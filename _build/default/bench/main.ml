@@ -1,0 +1,206 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (run with no arguments for all of them, or name experiments:
+   tab1 tab2 fig1 fig5a fig5b fig5c fig6 fig7a fig7b fig8 fig9 tab3
+   ablations micro).
+
+   Absolute speedups come from the simulated tool-chain, so they are not
+   expected to equal the paper's testbed numbers; the shapes (who wins,
+   roughly by how much, where greedy fails) are the reproduction target —
+   EXPERIMENTS.md records the side-by-side comparison.
+
+   "micro" runs Bechamel micro-benchmarks of the framework machinery (one
+   Test.make per core operation). *)
+
+open Ft_experiments
+module Table = Ft_util.Table
+
+let lab = lazy (Lab.create ())
+
+let banner name description =
+  Printf.printf "\n=== %s — %s ===\n%!" name description
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+let run_tab1 () =
+  banner "tab1" "Table 1: benchmark list";
+  Table.print (Ft_suite.Suite.table1 ())
+
+let run_tab2 () =
+  banner "tab2" "Table 2: platforms and inputs";
+  Table.print (Ft_suite.Suite.table2 ())
+
+let run_fig1 () =
+  banner "fig1" "Combined Elimination vs O3 (paper: no significant gain)";
+  Series.print (Fig1.run (Lazy.force lab))
+
+let run_fig5 panel =
+  let platform, tag =
+    match panel with
+    | `A -> (Ft_prog.Platform.Opteron, "fig5a")
+    | `B -> (Ft_prog.Platform.Sandy_bridge, "fig5b")
+    | `C -> (Ft_prog.Platform.Broadwell, "fig5c")
+  in
+  banner tag
+    "Random / G.realized / FR / CFR / G.Independent vs O3 (paper GM: CFR \
+     +9.2/+10.3/+9.4%)";
+  Series.print (Fig5.panel (Lazy.force lab) platform)
+
+let run_fig6 () =
+  banner "fig6"
+    "State of the art on Broadwell (paper GM: OpenTuner +4.9%, COBAYN \
+     static +4.6%, dynamic <1.0, PGO marginal, CFR +9.4%)";
+  let l = Lazy.force lab in
+  Series.print (Fig6.run l);
+  List.iter
+    (fun (p : Ft_prog.Program.t) ->
+      let pgo = Lab.pgo l p in
+      match pgo.Ft_baselines.Pgo_driver.diagnostic with
+      | Some msg -> note "  note: %s" msg
+      | None -> ())
+    Ft_suite.Suite.all
+
+let run_fig7 small =
+  let tag = if small then "fig7a" else "fig7b" in
+  banner tag
+    "Generalization to different work-set sizes (paper GM: CFR +12.3% \
+     small / +10.7% large)";
+  Series.print (Fig7.panel (Lazy.force lab) ~small)
+
+let run_fig8 () =
+  banner "fig8" "Cloverleaf time-step scaling (paper: CFR benefit stable)";
+  Series.print (Fig8.run (Lazy.force lab))
+
+let run_fig9 () =
+  banner "fig9"
+    "Per-loop speedups, top-5 Cloverleaf kernels (paper: 256-bit loses on \
+     cell3/cell7; scalar wins dt/mom9; acc wants 256)";
+  Series.print (Casestudy.fig9 (Lazy.force lab))
+
+let run_tab3 () =
+  banner "tab3" "Decision matrix for the Cloverleaf kernels";
+  Table.print (Casestudy.table3 (Lazy.force lab))
+
+let run_ablations () =
+  banner "ablations"
+    "top-X sweep, convergence, adaptive budget, elimination variants, \
+     critical flags";
+  let l = Lazy.force lab in
+  Series.print (Ablations.top_x_sweep l);
+  Table.print (Ablations.convergence l);
+  Table.print (Ablations.adaptive_budget l);
+  Series.print (Ablations.elimination_variants l);
+  Table.print (Ablations.critical_flags_table l)
+
+(* --- Bechamel micro-benchmarks -------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let toolchain = Ft_machine.Toolchain.make Ft_prog.Platform.Broadwell in
+  let program = Option.get (Ft_suite.Suite.find "Cloverleaf") in
+  let input = Ft_suite.Suite.tuning_input Ft_prog.Platform.Broadwell program in
+  let rng = Ft_util.Rng.create 7 in
+  let cv = Ft_flags.Space.sample rng in
+  let binary = Ft_machine.Toolchain.compile_uniform toolchain ~cv program in
+  let pool = Ft_flags.Space.sample_pool rng 100 in
+  let samples =
+    List.init 200 (fun _ ->
+        Option.get (Ft_flags.Cv.to_bits (Ft_flags.Space.sample_binary rng)))
+  in
+  Test.make_grouped ~name:"funcytuner"
+    [
+      Test.make ~name:"cv_sample"
+        (Staged.stage (fun () -> ignore (Ft_flags.Space.sample rng)));
+      Test.make ~name:"compile_program"
+        (Staged.stage (fun () ->
+             ignore
+               (Ft_machine.Toolchain.compile_uniform toolchain ~cv program)));
+      Test.make ~name:"evaluate_binary"
+        (Staged.stage (fun () ->
+             ignore
+               (Ft_machine.Exec.evaluate
+                  ~arch:toolchain.Ft_machine.Toolchain.arch ~input binary)));
+      Test.make ~name:"measure_binary"
+        (Staged.stage (fun () ->
+             ignore
+               (Ft_machine.Exec.measure
+                  ~arch:toolchain.Ft_machine.Toolchain.arch ~input ~rng binary)));
+      Test.make ~name:"top_k_prune"
+        (Staged.stage (fun () ->
+             let costs =
+               Array.init 1000 (fun i -> float_of_int (i * 7919 mod 997))
+             in
+             ignore (Ft_util.Stats.top_k_indices 20 costs)));
+      Test.make ~name:"crossover"
+        (Staged.stage (fun () ->
+             ignore (Ft_flags.Space.crossover rng pool.(3) pool.(7))));
+      Test.make ~name:"chow_liu_fit"
+        (Staged.stage (fun () ->
+             ignore (Ft_cobayn.Chow_liu.fit ~dims:Ft_flags.Flag.count samples)));
+    ]
+
+let run_micro () =
+  banner "micro" "Bechamel micro-benchmarks of the framework machinery";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 256) ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Table.create ~title:"Micro-benchmarks (monotonic clock)"
+      [ "benchmark"; "ns/run" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ e ] -> Printf.sprintf "%.0f" e
+        | _ -> "n/a"
+      in
+      rows := (name, estimate) :: !rows)
+    results;
+  List.iter
+    (fun (name, estimate) -> Table.add_row table [ name; estimate ])
+    (List.sort compare !rows);
+  Table.print table
+
+let experiments =
+  [
+    ("tab1", run_tab1);
+    ("tab2", run_tab2);
+    ("fig1", run_fig1);
+    ("fig5a", fun () -> run_fig5 `A);
+    ("fig5b", fun () -> run_fig5 `B);
+    ("fig5c", fun () -> run_fig5 `C);
+    ("fig6", run_fig6);
+    ("fig7a", fun () -> run_fig7 true);
+    ("fig7b", fun () -> run_fig7 false);
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("tab3", run_tab3);
+    ("ablations", run_ablations);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Sys.time () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (available: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested;
+  Printf.printf "\n(total harness CPU time: %.1f s)\n" (Sys.time () -. t0)

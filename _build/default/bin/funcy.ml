@@ -1,0 +1,324 @@
+(* funcy — the FuncyTuner command-line driver.
+
+   Subcommands:
+     list         benchmarks and platforms
+     profile      Caliper-profile a benchmark at O3 and show hot loops
+     decisions    per-region code-generation decisions for a CV
+     tune         run one tuning algorithm on one benchmark/platform
+     experiment   regenerate paper tables/figures (same ids as bench/main) *)
+
+open Cmdliner
+open Ft_prog
+module Result = Funcytuner.Result
+module Tuner = Funcytuner.Tuner
+
+let program_arg =
+  let parse s =
+    match Ft_suite.Suite.find s with
+    | Some p -> Ok p
+    | None -> Error (`Msg ("unknown benchmark: " ^ s))
+  in
+  let print fmt (p : Program.t) = Format.pp_print_string fmt p.Program.name in
+  Arg.conv (parse, print)
+
+let platform_arg =
+  let parse s =
+    match Platform.of_short_name (String.lowercase_ascii s) with
+    | Some p -> Ok p
+    | None -> Error (`Msg "platform must be one of: opteron, snb, bdw")
+  in
+  let print fmt p = Format.pp_print_string fmt (Platform.short_name p) in
+  Arg.conv (parse, print)
+
+let program_t =
+  Arg.(
+    required
+    & opt (some program_arg) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME"
+        ~doc:"Benchmark (lulesh, cl, amg, optewe, bwaves, fma3d, swim).")
+
+let platform_t =
+  Arg.(
+    value
+    & opt platform_arg Platform.Broadwell
+    & info [ "p"; "platform" ] ~docv:"PLATFORM"
+        ~doc:"Platform: opteron, snb or bdw (default bdw).")
+
+let seed_t =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N" ~doc:"Experiment seed (default 42).")
+
+let pool_t =
+  Arg.(
+    value & opt int 1000
+    & info [ "k"; "pool" ] ~docv:"K"
+        ~doc:"Pre-sampled CV pool size / evaluation budget (default 1000).")
+
+(* --- list ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Ft_util.Table.print (Ft_suite.Suite.table1 ());
+    print_newline ();
+    Ft_util.Table.print (Ft_suite.Suite.table2 ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Show the benchmark suite and platforms")
+    Term.(const run $ const ())
+
+(* --- profile ---------------------------------------------------------- *)
+
+let profile_cmd =
+  let run program platform seed =
+    let toolchain = Ft_machine.Toolchain.make platform in
+    let input = Ft_suite.Suite.tuning_input platform program in
+    let report =
+      Ft_caliper.Profiler.run ~toolchain ~program ~input
+        ~rng:(Ft_util.Rng.create seed) ()
+    in
+    Printf.printf "Caliper profile of %s on %s (input %s):\n\n"
+      program.Program.name (Platform.name platform) input.Input.label;
+    print_string (Ft_caliper.Report.render report);
+    let hot = Ft_caliper.Report.hot_loops ~threshold:0.01 report in
+    Printf.printf "\nhot loops (>= 1%%): %s\n" (String.concat ", " hot)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Caliper-profile a benchmark at O3")
+    Term.(const run $ program_t $ platform_t $ seed_t)
+
+(* --- decisions -------------------------------------------------------- *)
+
+let decisions_cmd =
+  let cv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cv" ] ~docv:"COMPACT"
+          ~doc:
+            "Compact CV encoding (dot-separated value indices); defaults \
+             to the O3 baseline.")
+  in
+  let run program platform cv_compact =
+    let cv =
+      match cv_compact with
+      | None -> Ft_flags.Cv.o3
+      | Some s -> (
+          match Ft_flags.Cv.of_compact s with
+          | Some cv -> cv
+          | None -> failwith "malformed compact CV")
+    in
+    let toolchain = Ft_machine.Toolchain.make platform in
+    let input = Ft_suite.Suite.tuning_input platform program in
+    let binary = Ft_machine.Toolchain.compile_uniform toolchain ~cv program in
+    let run_report =
+      Ft_machine.Exec.evaluate ~arch:toolchain.Ft_machine.Toolchain.arch
+        ~input binary
+    in
+    Printf.printf "%s on %s with: %s\n" program.Program.name
+      (Platform.name platform) (Ft_flags.Cv.render cv);
+    Printf.printf "end-to-end: %.3f s\n\n" run_report.Ft_machine.Exec.total_s;
+    let table =
+      Ft_util.Table.create ~title:"Per-region decisions"
+        [ "region"; "seconds"; "decision" ]
+    in
+    List.iter
+      (fun (r : Ft_machine.Exec.region_report) ->
+        Ft_util.Table.add_row table
+          [
+            r.Ft_machine.Exec.name;
+            Ft_util.Table.fmt_f r.Ft_machine.Exec.seconds;
+            Ft_compiler.Decision.summary r.Ft_machine.Exec.decision;
+          ])
+      (run_report.Ft_machine.Exec.loops
+      @ [ run_report.Ft_machine.Exec.nonloop ]);
+    Ft_util.Table.print table;
+    print_newline ();
+    print_string (Ft_machine.Explain.render run_report)
+  in
+  Cmd.v
+    (Cmd.info "decisions"
+       ~doc:"Show per-region code-generation decisions for a CV")
+    Term.(const run $ program_t $ platform_t $ cv_t)
+
+(* --- tune ------------------------------------------------------------- *)
+
+let print_result (r : Result.t) =
+  Printf.printf "%s: speedup %.3f over O3 (%s) after %d evaluations\n"
+    r.Result.algorithm r.Result.speedup
+    (Ft_util.Table.fmt_pct r.Result.speedup)
+    r.Result.evaluations;
+  match r.Result.configuration with
+  | Result.Whole_program cv ->
+      Printf.printf "  winning CV: %s\n" (Ft_flags.Cv.render cv)
+  | Result.Per_module assignment ->
+      Printf.printf "  winning per-module assignment:\n";
+      List.iter
+        (fun (m, cv) ->
+          Printf.printf "    %-20s %s\n" m (Ft_flags.Cv.render cv))
+        assignment
+
+let tune_cmd =
+  let algo_t =
+    let algos =
+      [
+        ("cfr", `Cfr);
+        ("cfr-adaptive", `Adaptive);
+        ("random", `Random);
+        ("fr", `Fr);
+        ("greedy", `Greedy);
+        ("opentuner", `Opentuner);
+        ("cobayn", `Cobayn);
+        ("ce", `Ce);
+        ("pgo", `Pgo);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum algos) `Cfr
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:
+            "One of: cfr, cfr-adaptive, random, fr, greedy, opentuner, \
+             cobayn, ce, pgo (default cfr).")
+  in
+  let top_x_t =
+    Arg.(
+      value & opt int Funcytuner.Cfr.default_top_x
+      & info [ "top-x" ] ~docv:"X" ~doc:"CFR space-focusing width.")
+  in
+  let run program platform seed pool algo top_x =
+    let session =
+      Tuner.make_session ~pool_size:pool ~platform ~program
+        ~input:(Ft_suite.Suite.tuning_input platform program)
+        ~seed ()
+    in
+    let ctx = session.Tuner.ctx in
+    Printf.printf "%s on %s: T_O3 = %.3f s, %d modules outlined\n\n"
+      program.Program.name (Platform.name platform)
+      ctx.Funcytuner.Context.baseline_s
+      (Ft_outline.Outline.module_count session.Tuner.outline - 1);
+    match algo with
+    | `Cfr -> print_result (Tuner.run_cfr ~top_x session)
+    | `Adaptive ->
+        print_result
+          (Funcytuner.Adaptive.run ~top_x ctx
+             (Lazy.force session.Tuner.collection))
+    | `Random -> print_result (Funcytuner.Random_search.run ctx)
+    | `Fr -> print_result (Funcytuner.Fr.run ctx session.Tuner.outline)
+    | `Greedy ->
+        let g =
+          Funcytuner.Greedy.run ctx (Lazy.force session.Tuner.collection)
+        in
+        print_result g.Funcytuner.Greedy.realized;
+        Printf.printf "  G.Independent bound: speedup %.3f\n"
+          g.Funcytuner.Greedy.independent_speedup
+    | `Opentuner ->
+        let o = Ft_opentuner.Ensemble.run ctx in
+        print_result o.Ft_opentuner.Ensemble.result;
+        Printf.printf "  technique usage: %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (n, u) -> Printf.sprintf "%s=%d" n u)
+                o.Ft_opentuner.Ensemble.technique_uses))
+    | `Cobayn ->
+        let toolchain = Ft_machine.Toolchain.make platform in
+        let model =
+          Ft_cobayn.Model.train ~toolchain ~variant:Ft_cobayn.Features.Static
+            ~corpus_seed:seed ()
+        in
+        print_result (Ft_cobayn.Model.tune model ctx)
+    | `Ce ->
+        let toolchain = Ft_machine.Toolchain.make platform in
+        let input = Ft_suite.Suite.tuning_input platform program in
+        let ce =
+          Ft_baselines.Ce.run ~toolchain ~program ~input
+            ~rng:(Ft_util.Rng.create seed) ()
+        in
+        Printf.printf
+          "CE: speedup %.3f over O3 after %d evaluations (%d eliminations)\n\
+          \  final CV: %s\n"
+          ce.Ft_baselines.Ce.speedup ce.Ft_baselines.Ce.evaluations
+          (List.length ce.Ft_baselines.Ce.steps)
+          (Ft_flags.Cv.render ce.Ft_baselines.Ce.cv)
+    | `Pgo ->
+        let toolchain = Ft_machine.Toolchain.make platform in
+        let input = Ft_suite.Suite.tuning_input platform program in
+        let pgo =
+          Ft_baselines.Pgo_driver.run ~toolchain ~program ~input
+            ~rng:(Ft_util.Rng.create seed) ()
+        in
+        Printf.printf "PGO: speedup %.3f over O3%s\n"
+          pgo.Ft_baselines.Pgo_driver.speedup
+          (match pgo.Ft_baselines.Pgo_driver.diagnostic with
+          | Some msg -> "\n  note: " ^ msg
+          | None -> "")
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Run one auto-tuning algorithm")
+    Term.(const run $ program_t $ platform_t $ seed_t $ pool_t $ algo_t $ top_x_t)
+
+(* --- experiment ------------------------------------------------------- *)
+
+let experiment_cmd =
+  let csv_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-dir" ] ~docv:"DIR"
+          ~doc:
+            "Also write each figure-shaped experiment as CSV into $(docv)              (created if missing).")
+  in
+  let names_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"fig1 fig5a fig5b fig5c fig6 fig7a fig7b fig8 fig9 tab1 tab2 \
+                tab3 ablations (default: fig5c).")
+  in
+  let run seed pool csv_dir names =
+    let lab = Ft_experiments.Lab.create ~seed ~pool_size:pool () in
+    let open Ft_experiments in
+    let emit name series =
+      Series.print series;
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path = Filename.concat dir (name ^ ".csv") in
+          Csv.write ~path series;
+          Printf.printf "(wrote %s)
+" path
+    in
+    let dispatch = function
+      | "tab1" -> Ft_util.Table.print (Ft_suite.Suite.table1 ())
+      | "tab2" -> Ft_util.Table.print (Ft_suite.Suite.table2 ())
+      | "fig1" -> emit "fig1" (Fig1.run lab)
+      | "fig5a" -> emit "fig5a" (Fig5.panel lab Platform.Opteron)
+      | "fig5b" -> emit "fig5b" (Fig5.panel lab Platform.Sandy_bridge)
+      | "fig5c" -> emit "fig5c" (Fig5.panel lab Platform.Broadwell)
+      | "fig6" -> emit "fig6" (Fig6.run lab)
+      | "fig7a" -> emit "fig7a" (Fig7.panel lab ~small:true)
+      | "fig7b" -> emit "fig7b" (Fig7.panel lab ~small:false)
+      | "fig8" -> emit "fig8" (Fig8.run lab)
+      | "fig9" -> emit "fig9" (Casestudy.fig9 lab)
+      | "tab3" -> Ft_util.Table.print (Casestudy.table3 lab)
+      | "ablations" ->
+          emit "topx" (Ablations.top_x_sweep lab);
+          Ft_util.Table.print (Ablations.convergence lab);
+          Ft_util.Table.print (Ablations.adaptive_budget lab);
+          emit "elimination" (Ablations.elimination_variants lab);
+          Ft_util.Table.print (Ablations.critical_flags_table lab)
+      | other -> failwith ("unknown experiment: " ^ other)
+    in
+    List.iter dispatch (match names with [] -> [ "fig5c" ] | n -> n)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate paper tables and figures")
+    Term.(const run $ seed_t $ pool_t $ csv_dir_t $ names_t)
+
+let () =
+  let doc = "FuncyTuner: per-loop compilation auto-tuning (ICPP'19 reproduction)" in
+  let info = Cmd.info "funcy" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; profile_cmd; decisions_cmd; tune_cmd; experiment_cmd ]))

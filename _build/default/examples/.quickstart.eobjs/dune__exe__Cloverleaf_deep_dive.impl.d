@@ -1,0 +1,1 @@
+examples/cloverleaf_deep_dive.ml: Ft_caliper Ft_flags Ft_machine Ft_prog Ft_suite Ft_util Funcytuner Lazy List Option Platform Printf

@@ -1,0 +1,1 @@
+examples/cloverleaf_deep_dive.mli:

@@ -1,0 +1,1 @@
+examples/custom_benchmark.ml: Feature Ft_flags Ft_outline Ft_prog Funcytuner Input List Loop Platform Printf Program String

@@ -1,0 +1,1 @@
+examples/input_sensitivity.ml: Ft_prog Ft_suite Ft_util Funcytuner Input Option Platform Printf

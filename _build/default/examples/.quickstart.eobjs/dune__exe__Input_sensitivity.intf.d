@@ -1,0 +1,1 @@
+examples/input_sensitivity.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ft_caliper Ft_flags Ft_outline Ft_prog Ft_suite Funcytuner List Option Platform Printf

@@ -1,0 +1,1 @@
+lib/baselines/ce.ml: Array Ft_caliper Ft_flags Ft_machine Ft_prog Ft_util List

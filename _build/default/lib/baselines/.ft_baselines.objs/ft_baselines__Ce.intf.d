@@ -1,0 +1,1 @@
+lib/baselines/ce.mli: Ft_flags Ft_machine Ft_prog Ft_util

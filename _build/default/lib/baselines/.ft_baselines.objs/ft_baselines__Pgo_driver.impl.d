@@ -1,0 +1,1 @@
+lib/baselines/pgo_driver.ml: Ft_caliper Ft_compiler Ft_flags Ft_machine

@@ -1,0 +1,1 @@
+lib/baselines/pgo_driver.mli: Ft_compiler Ft_machine Ft_prog Ft_util

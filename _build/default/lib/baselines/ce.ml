@@ -1,0 +1,137 @@
+module Flag = Ft_flags.Flag
+module Cv = Ft_flags.Cv
+module Exec = Ft_machine.Exec
+module Toolchain = Ft_machine.Toolchain
+
+type step = { eliminated : Flag.id; rip : float }
+
+type t = {
+  algorithm : string;
+  cv : Cv.t;
+  seconds : float;
+  speedup : float;
+  steps : step list;
+  evaluations : int;
+}
+
+(* Shared measurement state for all three algorithms. *)
+type env = {
+  toolchain : Toolchain.t;
+  program : Ft_prog.Program.t;
+  input : Ft_prog.Input.t;
+  rng : Ft_util.Rng.t;
+  mutable evaluations : int;
+}
+
+let measure env cv =
+  env.evaluations <- env.evaluations + 1;
+  let binary = Toolchain.compile_uniform env.toolchain ~cv env.program in
+  (Exec.measure ~arch:env.toolchain.Toolchain.arch ~input:env.input
+     ~rng:env.rng binary)
+    .Exec.elapsed_s
+
+let rip_of env bits current_s id =
+  let trial = Array.copy bits in
+  trial.(Flag.index id) <- false;
+  let s = measure env (Cv.of_bits trial) in
+  (s, (s -. current_s) /. current_s)
+
+let finish env ~algorithm ~bits ~steps =
+  let baseline_o3 =
+    Ft_caliper.Profiler.baseline_seconds ~toolchain:env.toolchain
+      ~program:env.program ~input:env.input
+  in
+  let cv = Cv.of_bits bits in
+  let binary = Toolchain.compile_uniform env.toolchain ~cv env.program in
+  let seconds =
+    (Exec.evaluate ~arch:env.toolchain.Toolchain.arch ~input:env.input binary)
+      .Exec.total_s
+  in
+  {
+    algorithm;
+    cv;
+    seconds;
+    speedup = baseline_o3 /. seconds;
+    steps = List.rev steps;
+    evaluations = env.evaluations;
+  }
+
+let make_env ~toolchain ~program ~input ~rng =
+  { toolchain; program; input; rng; evaluations = 0 }
+
+let on_flags bits =
+  Array.to_list Flag.all |> List.filter (fun id -> bits.(Flag.index id))
+
+let run_batch ~toolchain ~program ~input ~rng () =
+  let env = make_env ~toolchain ~program ~input ~rng in
+  let bits = Array.make Flag.count true in
+  let base_s = measure env (Cv.of_bits bits) in
+  let steps =
+    on_flags bits
+    |> List.filter_map (fun id ->
+           let _, rip = rip_of env bits base_s id in
+           if rip < 0.0 then Some { eliminated = id; rip } else None)
+  in
+  List.iter (fun s -> bits.(Flag.index s.eliminated) <- false) steps;
+  finish env ~algorithm:"BE" ~bits ~steps:(List.rev steps)
+
+let run_iterative ~toolchain ~program ~input ~rng () =
+  let env = make_env ~toolchain ~program ~input ~rng in
+  let bits = Array.make Flag.count true in
+  let current_s = ref (measure env (Cv.of_bits bits)) in
+  let steps = ref [] in
+  let continue = ref true in
+  while !continue do
+    let candidates =
+      on_flags bits
+      |> List.map (fun id ->
+             let s, rip = rip_of env bits !current_s id in
+             (id, s, rip))
+      |> List.filter (fun (_, _, rip) -> rip < 0.0)
+      |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+    in
+    match candidates with
+    | [] -> continue := false
+    | (id, s, rip) :: _ ->
+        bits.(Flag.index id) <- false;
+        current_s := s;
+        steps := { eliminated = id; rip } :: !steps
+  done;
+  finish env ~algorithm:"IE" ~bits ~steps:!steps
+
+let run ~toolchain ~program ~input ~rng () =
+  let env = make_env ~toolchain ~program ~input ~rng in
+  let bits = Array.make Flag.count true in
+  let current_s = ref (measure env (Cv.of_bits bits)) in
+  let steps = ref [] in
+  let continue = ref true in
+  while !continue do
+    (* RIPs of all remaining flags against the current baseline. *)
+    let candidates =
+      on_flags bits
+      |> List.map (fun id ->
+             let s, rip = rip_of env bits !current_s id in
+             (id, s, rip))
+      |> List.filter (fun (_, _, rip) -> rip < 0.0)
+      |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+    in
+    match candidates with
+    | [] -> continue := false
+    | (first, s, rip) :: rest ->
+        (* Remove the most harmful flag outright... *)
+        bits.(Flag.index first) <- false;
+        current_s := s;
+        steps := { eliminated = first; rip } :: !steps;
+        (* ...then re-try the other candidates against the *updated*
+           baseline within the same iteration (the "combined" part). *)
+        List.iter
+          (fun (id, _, _) ->
+            let s', rip' = rip_of env bits !current_s id in
+            if rip' < 0.0 then begin
+              bits.(Flag.index id) <- false;
+              current_s := s';
+              steps := { eliminated = id; rip = rip' } :: !steps
+            end)
+          rest
+  done;
+  finish env ~algorithm:"CE" ~bits ~steps:!steps

@@ -1,0 +1,65 @@
+(** Optimization-flag elimination algorithms (Pan & Eigenmann, CGO'06 /
+    TOPLAS'08) — the per-program comparators of the paper's Fig. 1.
+
+    All three work on on/off switches over the binarized flag space
+    (multi-valued flags are allowed exactly two values, as for COBAYN,
+    §4.2.1), starting from the baseline B with every flag {e on} and
+    using the relative improvement percentage of switching a flag off:
+
+      RIP(f) = (T(B \ f) - T(B)) / T(B)        (negative = removal helps)
+
+    - {b Batch Elimination} (BE): measure all RIPs once, switch off every
+      flag with negative RIP in one shot.  Fast, ignores interactions.
+    - {b Iterative Elimination} (IE): repeatedly re-measure all RIPs and
+      switch off only the single most harmful flag.  Handles interactions,
+      O(n²) measurements.
+    - {b Combined Elimination} (CE): IE's outer loop, but after removing
+      the most harmful flag it also greedily tries the other
+      negative-RIP candidates against the {e updated} baseline within the
+      same iteration — Pan & Eigenmann's accuracy/cost compromise and the
+      algorithm the paper evaluates in Fig. 1.
+
+    The paper's finding: even CE yields no significant improvement over
+    O3 for LULESH, Cloverleaf and AMG with either compiler — per-program
+    granularity, not search cleverness, is the bottleneck. *)
+
+type step = {
+  eliminated : Ft_flags.Flag.id;  (** flag switched back to its default *)
+  rip : float;  (** its RIP (negative = removal helped) at that point *)
+}
+
+type t = {
+  algorithm : string;  (** ["CE"], ["BE"] or ["IE"] *)
+  cv : Ft_flags.Cv.t;  (** the final configuration *)
+  seconds : float;  (** noise-free runtime of the final configuration *)
+  speedup : float;  (** vs the O3 baseline T_O3 *)
+  steps : step list;  (** elimination order *)
+  evaluations : int;
+}
+
+val run :
+  toolchain:Ft_machine.Toolchain.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  rng:Ft_util.Rng.t ->
+  unit ->
+  t
+(** Combined Elimination (the Fig. 1 algorithm). *)
+
+val run_batch :
+  toolchain:Ft_machine.Toolchain.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  rng:Ft_util.Rng.t ->
+  unit ->
+  t
+(** Batch Elimination. *)
+
+val run_iterative :
+  toolchain:Ft_machine.Toolchain.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  rng:Ft_util.Rng.t ->
+  unit ->
+  t
+(** Iterative Elimination. *)

@@ -1,0 +1,32 @@
+(** Intel-style profile-guided optimization comparator (§4.2).
+
+    Protocol, as in the paper: build with the PGO-instrumentation
+    equivalent of [-qopenmp -fp-model source -prof-gen], run on the tuning
+    input to collect trip counts / branch statistics / working sets, then
+    rebuild with [-O3 ... -prof-use] and measure.  When the instrumented
+    run fails (LULESH, Optewe — §4.2.2 observation 3) the result falls
+    back to the plain O3 build, which is what a practitioner ships. *)
+
+type t = {
+  succeeded : bool;  (** instrumentation run completed *)
+  diagnostic : string option;  (** failure message when it did not *)
+  seconds : float;  (** measured runtime of the shipped binary *)
+  speedup : float;  (** vs plain O3 (exactly 1.0-ish when PGO failed) *)
+}
+
+val run :
+  toolchain:Ft_machine.Toolchain.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  rng:Ft_util.Rng.t ->
+  unit ->
+  t
+
+val tuned_binary :
+  toolchain:Ft_machine.Toolchain.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  Ft_compiler.Linker.binary
+(** The [-prof-use] build (or the plain O3 build on instrumentation
+    failure) — used by the generalization experiments to re-measure the
+    same binary on other inputs. *)

@@ -1,0 +1,1 @@
+lib/caliper/annotation.ml: Hashtbl List Option Printf Report

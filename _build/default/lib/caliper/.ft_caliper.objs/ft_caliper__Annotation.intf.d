@@ -1,0 +1,1 @@
+lib/caliper/annotation.mli: Report

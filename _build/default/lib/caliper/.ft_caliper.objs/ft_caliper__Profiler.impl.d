@@ -1,0 +1,1 @@
+lib/caliper/profiler.ml: Ft_flags Ft_machine Report

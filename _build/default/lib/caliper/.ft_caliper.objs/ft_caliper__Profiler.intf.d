@@ -1,0 +1,1 @@
+lib/caliper/profiler.mli: Ft_flags Ft_machine Ft_prog Ft_util Report

@@ -1,0 +1,1 @@
+lib/caliper/report.ml: Buffer Float Ft_machine List Printf

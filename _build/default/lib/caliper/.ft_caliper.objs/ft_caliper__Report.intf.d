@@ -1,0 +1,1 @@
+lib/caliper/report.mli: Ft_machine

@@ -1,0 +1,47 @@
+type t = {
+  mutable stack : string list;  (* innermost first *)
+  times : (string, float) Hashtbl.t;  (* inclusive seconds per region *)
+}
+
+let create () = { stack = []; times = Hashtbl.create 16 }
+let begin_region t name = t.stack <- name :: t.stack
+
+let end_region t name =
+  match t.stack with
+  | top :: rest when top = name -> t.stack <- rest
+  | top :: _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Annotation.end_region: expected innermost region %S, got %S" top
+           name)
+  | [] -> invalid_arg "Annotation.end_region: no open region"
+
+let advance t dt =
+  if dt < 0.0 then invalid_arg "Annotation.advance: negative duration";
+  List.iter
+    (fun name ->
+      let current = Option.value ~default:0.0 (Hashtbl.find_opt t.times name) in
+      Hashtbl.replace t.times name (current +. dt))
+    t.stack
+
+let with_region t name f =
+  begin_region t name;
+  match f () with
+  | result ->
+      end_region t name;
+      result
+  | exception e ->
+      end_region t name;
+      raise e
+
+let inclusive_s t name =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.times name)
+
+let open_regions t = t.stack
+
+let to_report ~total_s t =
+  let loop_s =
+    Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.times []
+    |> List.sort compare
+  in
+  { Report.total_s; loop_s }

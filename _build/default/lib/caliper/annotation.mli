@@ -1,0 +1,42 @@
+(** The Caliper source-annotation API, against a virtual clock.
+
+    This mirrors the programming model of Caliper's C API
+    ([cali_begin_region] / [cali_end_region]): regions nest, and each
+    region accumulates the (virtual) time spent between its begin and end
+    marks.  The simulator's binaries are annotated implicitly — the machine
+    model reports per-region times directly — but the explicit API is kept
+    for programs modelled at a finer grain (see the quickstart example) and
+    to document what "instrumentation" means in this reproduction.
+
+    Time is virtual: the caller advances the clock explicitly, so tests and
+    examples are deterministic. *)
+
+type t
+(** A Caliper context: a region stack plus accumulated inclusive times. *)
+
+val create : unit -> t
+(** Fresh context with an empty stack and the clock at 0. *)
+
+val begin_region : t -> string -> unit
+(** Push a region.  Mirrors [CALI_MARK_BEGIN]. *)
+
+val end_region : t -> string -> unit
+(** Pop a region.  @raise Invalid_argument if [name] is not the innermost
+    open region (mismatched nesting is a bug in the annotated program). *)
+
+val advance : t -> float -> unit
+(** Advance the virtual clock by a number of seconds; the elapsed time is
+    attributed to every currently open region (inclusive semantics).
+    @raise Invalid_argument on negative durations. *)
+
+val with_region : t -> string -> (unit -> 'a) -> 'a
+(** [with_region t name f] brackets [f] with begin/end, exception-safe. *)
+
+val inclusive_s : t -> string -> float
+(** Total inclusive time attributed to a region name (0 if never opened). *)
+
+val open_regions : t -> string list
+(** Currently open regions, innermost first. *)
+
+val to_report : total_s:float -> t -> Report.t
+(** Package the accumulated top-level region times as a {!Report.t}. *)

@@ -1,0 +1,20 @@
+module Toolchain = Ft_machine.Toolchain
+module Exec = Ft_machine.Exec
+
+let default_hot_threshold = 0.01
+
+let run ~toolchain ~program ~input ?(cv = Ft_flags.Cv.o3) ~rng () =
+  let binary =
+    Toolchain.compile_uniform toolchain ~cv ~instrumented:true program
+  in
+  let m =
+    Exec.measure ~arch:toolchain.Toolchain.arch ~input ~rng binary
+  in
+  Report.of_measurement m
+
+let baseline_seconds ~toolchain ~program ~input =
+  let binary =
+    Toolchain.compile_uniform toolchain ~cv:Ft_flags.Cv.o3 program
+  in
+  let run = Exec.evaluate ~arch:toolchain.Toolchain.arch ~input binary in
+  run.Exec.total_s

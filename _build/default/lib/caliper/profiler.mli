@@ -1,0 +1,26 @@
+(** Instrumented profiling runs (the paper's §3.3 workflow).
+
+    FuncyTuner profiles the target application compiled with
+    [-O3 -qopenmp -fp-model source] and Caliper annotations, then treats
+    every loop at ≥ 1 % of end-to-end time as hot. *)
+
+val run :
+  toolchain:Ft_machine.Toolchain.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  ?cv:Ft_flags.Cv.t ->
+  rng:Ft_util.Rng.t ->
+  unit ->
+  Report.t
+(** One instrumented run; [cv] defaults to the O3 baseline. *)
+
+val baseline_seconds :
+  toolchain:Ft_machine.Toolchain.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  float
+(** Noise-free, uninstrumented O3 end-to-end runtime — the paper's T_O3
+    denominator for all speedups. *)
+
+val default_hot_threshold : float
+(** 0.01 — "at least 1.0 % of the baseline's end-to-end runtime". *)

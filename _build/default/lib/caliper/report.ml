@@ -1,0 +1,42 @@
+type t = { total_s : float; loop_s : (string * float) list }
+
+let of_measurement (m : Ft_machine.Exec.measurement) =
+  { total_s = m.Ft_machine.Exec.elapsed_s; loop_s = m.Ft_machine.Exec.region_samples }
+
+let loop_time t name = List.assoc_opt name t.loop_s
+
+let other_s t =
+  let loops = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 t.loop_s in
+  Float.max 0.0 (t.total_s -. loops)
+
+let ratio t name =
+  match loop_time t name with
+  | None -> None
+  | Some s -> if t.total_s > 0.0 then Some (s /. t.total_s) else None
+
+let hot_loops ~threshold t =
+  let shares =
+    List.filter_map
+      (fun (name, s) ->
+        let r = if t.total_s > 0.0 then s /. t.total_s else 0.0 in
+        if r >= threshold then Some (name, r) else None)
+      t.loop_s
+  in
+  shares
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "total: %.3f s\n" t.total_s);
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) t.loop_s in
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %8.3f s  %5.1f%%\n" name s
+           (100.0 *. s /. t.total_s)))
+    sorted;
+  Buffer.add_string buf
+    (Printf.sprintf "  %-24s %8.3f s  %5.1f%%\n" "<other>" (other_s t)
+       (100.0 *. other_s t /. t.total_s));
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Caliper-style per-region profiling reports.
+
+    Caliper (Boehme et al., SC'16) gives HPC codes lightweight source-level
+    annotations whose per-region inclusive times are collected at runtime.
+    FuncyTuner uses it twice: once on the O3 build to find hot loops worth
+    outlining (§3.3), and once per sampled CV to collect the per-loop
+    runtimes T[j][k] that drive space focusing (Fig. 4).
+
+    A report holds the measured per-loop times of one run plus the derived
+    non-loop remainder.  As in the paper, the non-loop time is {e not}
+    measured directly — glue code is scattered across too many files — but
+    obtained by subtracting the hot loops' aggregate from the end-to-end
+    time. *)
+
+type t = {
+  total_s : float;  (** end-to-end wall time of the run *)
+  loop_s : (string * float) list;  (** measured instrumented-loop times *)
+}
+
+val of_measurement : Ft_machine.Exec.measurement -> t
+(** Package one instrumented run. *)
+
+val loop_time : t -> string -> float option
+(** Measured time of one instrumented loop. *)
+
+val other_s : t -> float
+(** Derived non-loop (plus cold-loop) time: total minus instrumented loops.
+    Clamped at 0 — noise can push the subtraction marginally negative. *)
+
+val ratio : t -> string -> float option
+(** A loop's share of the end-to-end time, e.g. 0.063 for Cloverleaf's [dt]
+    (Table 3). *)
+
+val hot_loops : threshold:float -> t -> string list
+(** Loops whose share is at least [threshold] (the paper uses 0.01),
+    ordered by decreasing share. *)
+
+val render : t -> string
+(** Human-readable profile listing, hottest first. *)

@@ -1,0 +1,1 @@
+lib/cobayn/chow_liu.ml: Array Ft_util List

@@ -1,0 +1,1 @@
+lib/cobayn/chow_liu.mli: Ft_util

@@ -1,0 +1,1 @@
+lib/cobayn/corpus.ml: Feature Ft_prog Ft_util Input List Loop Printf Program

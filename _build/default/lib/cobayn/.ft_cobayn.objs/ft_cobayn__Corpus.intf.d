@@ -1,0 +1,1 @@
+lib/cobayn/corpus.mli: Ft_prog

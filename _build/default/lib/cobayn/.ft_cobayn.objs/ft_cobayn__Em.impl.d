@@ -1,0 +1,1 @@
+lib/cobayn/em.ml: Array Float Ft_util List

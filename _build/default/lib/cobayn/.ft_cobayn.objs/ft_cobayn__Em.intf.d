@@ -1,0 +1,1 @@
+lib/cobayn/em.mli: Ft_util

@@ -1,0 +1,1 @@
+lib/cobayn/features.ml: Array Feature Float Ft_prog List Loop Program

@@ -1,0 +1,1 @@
+lib/cobayn/features.mli: Ft_prog

@@ -1,0 +1,1 @@
+lib/cobayn/model.ml: Array Chow_liu Corpus Em Features Float Ft_flags Ft_machine Ft_util Funcytuner List Printf

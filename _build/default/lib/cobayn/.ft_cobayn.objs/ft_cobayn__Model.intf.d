@@ -1,0 +1,1 @@
+lib/cobayn/model.mli: Features Ft_flags Ft_machine Ft_prog Ft_util Funcytuner

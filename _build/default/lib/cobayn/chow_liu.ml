@@ -1,0 +1,131 @@
+module Rng = Ft_util.Rng
+
+type node = {
+  parent : int option;
+  (* P(true | parent_value); for the root only index 0 is meaningful. *)
+  p_true : float array;  (* [| p when parent=false; p when parent=true |] *)
+}
+
+type t = { nodes : node array; order : int list (* topological *) }
+
+let counts samples i j =
+  (* Joint counts of (x_i, x_j) with Laplace smoothing of 1. *)
+  let c = Array.make_matrix 2 2 1.0 in
+  List.iter
+    (fun row ->
+      let a = if row.(i) then 1 else 0 and b = if row.(j) then 1 else 0 in
+      c.(a).(b) <- c.(a).(b) +. 1.0)
+    samples;
+  c
+
+let mutual_information samples i j =
+  let c = counts samples i j in
+  let total = c.(0).(0) +. c.(0).(1) +. c.(1).(0) +. c.(1).(1) in
+  let p a b = c.(a).(b) /. total in
+  let px a = (c.(a).(0) +. c.(a).(1)) /. total in
+  let py b = (c.(0).(b) +. c.(1).(b)) /. total in
+  let term a b =
+    let pab = p a b in
+    pab *. log (pab /. (px a *. py b))
+  in
+  term 0 0 +. term 0 1 +. term 1 0 +. term 1 1
+
+let marginal samples i =
+  let t =
+    List.fold_left (fun acc row -> if row.(i) then acc +. 1.0 else acc) 1.0
+      samples
+  in
+  t /. (float_of_int (List.length samples) +. 2.0)
+
+let conditional samples ~child ~parent =
+  let c = counts samples parent child in
+  [|
+    c.(0).(1) /. (c.(0).(0) +. c.(0).(1));
+    c.(1).(1) /. (c.(1).(0) +. c.(1).(1));
+  |]
+
+let fit ~dims samples =
+  (match samples with
+  | [] -> invalid_arg "Chow_liu.fit: no samples"
+  | rows ->
+      if List.exists (fun r -> Array.length r <> dims) rows then
+        invalid_arg "Chow_liu.fit: ragged sample rows");
+  (* Prim's algorithm on the complete MI graph, rooted at variable 0. *)
+  let in_tree = Array.make dims false in
+  let parent = Array.make dims None in
+  let best_gain = Array.make dims neg_infinity in
+  let order = ref [ 0 ] in
+  in_tree.(0) <- true;
+  Array.iteri
+    (fun j _ ->
+      if j <> 0 then begin
+        best_gain.(j) <- mutual_information samples 0 j;
+        parent.(j) <- Some 0
+      end)
+    in_tree;
+  for _ = 2 to dims do
+    (* Attach the out-of-tree variable with maximal MI to the tree. *)
+    let next = ref (-1) in
+    Array.iteri
+      (fun j inside ->
+        if (not inside) && (!next < 0 || best_gain.(j) > best_gain.(!next))
+        then next := j)
+      in_tree;
+    let j = !next in
+    in_tree.(j) <- true;
+    order := j :: !order;
+    Array.iteri
+      (fun k inside ->
+        if not inside then
+          let mi = mutual_information samples j k in
+          if mi > best_gain.(k) then begin
+            best_gain.(k) <- mi;
+            parent.(k) <- Some j
+          end)
+      in_tree
+  done;
+  let nodes =
+    Array.init dims (fun i ->
+        match parent.(i) with
+        | None ->
+            let p = marginal samples i in
+            { parent = None; p_true = [| p; p |] }
+        | Some p ->
+            { parent = Some p; p_true = conditional samples ~child:i ~parent:p })
+  in
+  { nodes; order = List.rev !order }
+
+let sample t rng =
+  let dims = Array.length t.nodes in
+  let values = Array.make dims false in
+  List.iter
+    (fun i ->
+      let node = t.nodes.(i) in
+      let p =
+        match node.parent with
+        | None -> node.p_true.(0)
+        | Some parent -> node.p_true.(if values.(parent) then 1 else 0)
+      in
+      values.(i) <- Rng.float rng 1.0 < p)
+    t.order;
+  values
+
+let log_likelihood t values =
+  let acc = ref 0.0 in
+  List.iter
+    (fun i ->
+      let node = t.nodes.(i) in
+      let p =
+        match node.parent with
+        | None -> node.p_true.(0)
+        | Some parent -> node.p_true.(if values.(parent) then 1 else 0)
+      in
+      acc := !acc +. log (if values.(i) then p else 1.0 -. p))
+    t.order;
+  !acc
+
+let edges t =
+  Array.to_list t.nodes
+  |> List.mapi (fun i node -> (i, node.parent))
+  |> List.filter_map (fun (i, p) ->
+         match p with Some parent -> Some (parent, i) | None -> None)

@@ -1,0 +1,30 @@
+(** Chow–Liu tree Bayesian networks over binary flag vectors.
+
+    COBAYN's inference engine is a Bayesian network over (binarized)
+    compiler flags.  The Chow–Liu construction finds the best
+    tree-structured approximation of the joint distribution: compute the
+    pairwise mutual information of every flag pair from the training
+    samples, take a maximum spanning tree, root it, and fit the
+    conditional tables P(child | parent) with Laplace smoothing.
+    Ancestral sampling then draws flag assignments that follow the
+    correlations good configurations exhibited in training. *)
+
+type t
+
+val fit : dims:int -> bool array list -> t
+(** [fit ~dims samples] learns a tree over [dims] binary variables.
+    @raise Invalid_argument on an empty sample list or ragged rows. *)
+
+val sample : t -> Ft_util.Rng.t -> bool array
+(** One ancestral sample (root marginal, then children conditionally). *)
+
+val log_likelihood : t -> bool array -> float
+(** Log-probability of an assignment under the fitted tree (for tests and
+    model comparison). *)
+
+val edges : t -> (int * int) list
+(** The learned tree's (parent, child) edges, for inspection. *)
+
+val mutual_information : bool array list -> int -> int -> float
+(** Empirical MI (nats, Laplace-smoothed) between two columns — the
+    quantity the spanning tree maximizes; exposed for tests. *)

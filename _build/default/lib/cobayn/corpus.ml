@@ -1,0 +1,183 @@
+open Ft_prog
+module Rng = Ft_util.Rng
+
+(* Template distributions per cBench domain.  Each field is (low, high)
+   for a uniform draw. *)
+type template = {
+  domain : string;
+  flops : float * float;
+  bytes : float * float;
+  gather_frac : float * float;  (* of total bytes *)
+  divergence : float * float;
+  predictability : float * float;
+  dep : float * float;
+  body : int * int;
+  alias : float * float;
+  reduction_p : float;
+}
+
+let templates =
+  [
+    ( "crypto",
+      {
+        domain = "Cryptography";
+        flops = (24.0, 60.0);
+        bytes = (16.0, 40.0);
+        gather_frac = (0.1, 0.4);
+        divergence = (0.0, 0.2);
+        predictability = (0.8, 0.99);
+        dep = (2.0, 6.0);
+        body = (40, 120);
+        alias = (0.1, 0.5);
+        reduction_p = 0.1;
+      } );
+    ( "codec",
+      {
+        domain = "Media codec";
+        flops = (20.0, 80.0);
+        bytes = (32.0, 96.0);
+        gather_frac = (0.0, 0.3);
+        divergence = (0.2, 0.6);
+        predictability = (0.6, 0.95);
+        dep = (0.0, 3.0);
+        body = (30, 100);
+        alias = (0.2, 0.7);
+        reduction_p = 0.15;
+      } );
+    ( "sort_search",
+      {
+        domain = "Sorting / searching";
+        flops = (4.0, 16.0);
+        bytes = (16.0, 48.0);
+        gather_frac = (0.3, 0.7);
+        divergence = (0.4, 0.8);
+        predictability = (0.5, 0.9);
+        dep = (0.0, 2.0);
+        body = (16, 48);
+        alias = (0.3, 0.8);
+        reduction_p = 0.2;
+      } );
+    ( "dsp",
+      {
+        domain = "Signal processing";
+        flops = (30.0, 110.0);
+        bytes = (24.0, 64.0);
+        gather_frac = (0.0, 0.15);
+        divergence = (0.0, 0.15);
+        predictability = (0.85, 0.99);
+        dep = (0.0, 4.0);
+        body = (24, 90);
+        alias = (0.05, 0.4);
+        reduction_p = 0.4;
+      } );
+    ( "string",
+      {
+        domain = "String processing";
+        flops = (2.0, 10.0);
+        bytes = (8.0, 32.0);
+        gather_frac = (0.1, 0.5);
+        divergence = (0.3, 0.7);
+        predictability = (0.5, 0.85);
+        dep = (0.0, 2.0);
+        body = (12, 40);
+        alias = (0.4, 0.9);
+        reduction_p = 0.1;
+      } );
+  ]
+
+let names =
+  [
+    ("bitcount", "sort_search");
+    ("qsort1", "sort_search");
+    ("dijkstra", "sort_search");
+    ("patricia", "sort_search");
+    ("stringsearch", "string");
+    ("ispell_kernel", "string");
+    ("rsynth_kernel", "string");
+    ("ghostscript_kernel", "string");
+    ("blowfish_e", "crypto");
+    ("blowfish_d", "crypto");
+    ("rijndael_e", "crypto");
+    ("rijndael_d", "crypto");
+    ("sha", "crypto");
+    ("crc32", "crypto");
+    ("pgp_kernel", "crypto");
+    ("adpcm_c", "codec");
+    ("adpcm_d", "codec");
+    ("gsm_toast", "codec");
+    ("jpeg_c", "codec");
+    ("jpeg_d", "codec");
+    ("lame_kernel", "codec");
+    ("mad_kernel", "codec");
+    ("tiff2bw", "codec");
+    ("tiffdither", "codec");
+    ("bzip2_c", "codec");
+    ("bzip2_d", "codec");
+    ("susan_corners", "dsp");
+    ("susan_edges", "dsp");
+    ("fft", "dsp");
+    ("basicmath", "dsp");
+  ]
+
+let range rng (lo, hi) = lo +. Rng.float rng (hi -. lo)
+let irange rng (lo, hi) = lo + Rng.int rng (max 1 (hi - lo))
+
+let make_loop rng template index =
+  let total_bytes = range rng template.bytes in
+  let gather = total_bytes *. range rng template.gather_frac in
+  let contiguous = total_bytes -. gather in
+  let features =
+    {
+      Feature.flops_per_iter = range rng template.flops;
+      fma_fraction = range rng (0.0, 0.6);
+      read_bytes = contiguous *. 0.75;
+      write_bytes = contiguous *. 0.25;
+      strided_bytes = 0.0;
+      gather_bytes = gather;
+      divergence = range rng template.divergence;
+      branch_predictability = range rng template.predictability;
+      dep_chain = range rng template.dep;
+      reduction = Rng.float rng 1.0 < template.reduction_p;
+      alias_ambiguity = range rng template.alias;
+      calls_per_iter = range rng (0.0, 0.8);
+      body_insns = irange rng template.body;
+      nest_depth = 1 + Rng.int rng 2;
+      working_set_kb = range rng (64.0, 4096.0);
+      trip_count = 50_000.0 +. Rng.float rng 400_000.0;
+      invocations = 1.0 +. Rng.float rng 8.0;
+      parallel = false (* cBench is serial *);
+    }
+  in
+  Loop.make (Printf.sprintf "kernel%d" index) features
+
+let make_program rng (name, template_key) =
+  let template =
+    List.assoc template_key templates
+  in
+  let loop_count = 1 + Rng.int rng 3 in
+  let loops = List.init loop_count (make_loop rng template) in
+  let nonloop =
+    Loop.make "<nonloop>"
+      {
+        Feature.default with
+        flops_per_iter = 10.0;
+        read_bytes = 24.0;
+        write_bytes = 8.0;
+        divergence = 0.3;
+        branch_predictability = 0.8;
+        alias_ambiguity = 0.7;
+        calls_per_iter = 1.0;
+        body_insns = 150;
+        working_set_kb = 512.0;
+        trip_count = 100_000.0;
+        parallel = false;
+      }
+  in
+  Program.make ~name ~language:Program.C ~loc:(500 + Rng.int rng 20_000)
+    ~domain:template.domain ~reference_size:1.0 ~nonloop loops
+
+let programs ~seed =
+  let rng = Rng.create seed in
+  List.map (fun spec -> make_program (Rng.of_label rng (fst spec)) spec) names
+
+let input_for (_ : Program.t) = Input.make ~label:"cbench" ~size:1.0 ~steps:1 ()

@@ -1,0 +1,15 @@
+(** A synthetic cBench-like training corpus.
+
+    COBAYN is trained on cBench (Fursin's shared autotuning kernels):
+    small {e serial} C programs — crypto, codecs, sorting, DSP, string
+    processing.  This module generates 30 program models with matching
+    names and per-domain feature distributions, deterministically from a
+    seed.  All loops are serial (cBench predates OpenMP), so MICA-style
+    dynamic features are informative {e on the corpus} — and misleading on
+    the paper's OpenMP benchmarks, exactly as published. *)
+
+val programs : seed:int -> Ft_prog.Program.t list
+(** The 30 corpus programs. *)
+
+val input_for : Ft_prog.Program.t -> Ft_prog.Input.t
+(** The (small) evaluation input used during training. *)

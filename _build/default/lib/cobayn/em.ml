@@ -1,0 +1,98 @@
+module Rng = Ft_util.Rng
+
+type t = {
+  weights : float array;  (* mixing proportions *)
+  mu : float array array;  (* component means *)
+  var : float array array;  (* diagonal variances *)
+}
+
+let components t = Array.length t.weights
+let means t = t.mu
+let weights t = t.weights
+
+let log_gaussian ~mu ~var x =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun d m ->
+      let v = var.(d) in
+      let diff = x.(d) -. m in
+      acc := !acc -. (0.5 *. (log (2.0 *. Float.pi *. v) +. (diff *. diff /. v))))
+    mu;
+  !acc
+
+let log_sum_exp xs =
+  let m = Array.fold_left Float.max neg_infinity xs in
+  if m = neg_infinity then neg_infinity
+  else m +. log (Array.fold_left (fun acc x -> acc +. exp (x -. m)) 0.0 xs)
+
+let component_logs t x =
+  Array.init (components t) (fun c ->
+      log t.weights.(c) +. log_gaussian ~mu:t.mu.(c) ~var:t.var.(c) x)
+
+let log_likelihood t x = log_sum_exp (component_logs t x)
+
+let responsibilities t x =
+  let logs = component_logs t x in
+  let z = log_sum_exp logs in
+  Array.map (fun l -> exp (l -. z)) logs
+
+let assign t x =
+  let r = responsibilities t x in
+  let best = ref 0 in
+  Array.iteri (fun c p -> if p > r.(!best) then best := c) r;
+  !best
+
+let fit ?(iterations = 40) ?(variance_floor = 1e-4) ~k ~rng samples =
+  (match samples with
+  | [] -> invalid_arg "Em.fit: no samples"
+  | first :: rest ->
+      let dims = Array.length first in
+      if List.exists (fun r -> Array.length r <> dims) rest then
+        invalid_arg "Em.fit: ragged sample rows");
+  let data = Array.of_list samples in
+  let n = Array.length data in
+  let dims = Array.length data.(0) in
+  let k = max 1 (min k n) in
+  (* Initialize means on spread-out samples, unit variances, uniform
+     weights. *)
+  let order = Array.init n (fun i -> i) in
+  Rng.shuffle rng order;
+  let model =
+    {
+      weights = Array.make k (1.0 /. float_of_int k);
+      mu = Array.init k (fun c -> Array.copy data.(order.(c * n / k)));
+      var = Array.init k (fun _ -> Array.make dims 1.0);
+    }
+  in
+  let resp = Array.make_matrix n k 0.0 in
+  for _ = 1 to iterations do
+    (* E step *)
+    Array.iteri
+      (fun i x ->
+        let r = responsibilities model x in
+        Array.blit r 0 resp.(i) 0 k)
+      data;
+    (* M step *)
+    for c = 0 to k - 1 do
+      let nc = ref 1e-9 in
+      for i = 0 to n - 1 do
+        nc := !nc +. resp.(i).(c)
+      done;
+      model.weights.(c) <- !nc /. float_of_int n;
+      for d = 0 to dims - 1 do
+        let mean = ref 0.0 in
+        for i = 0 to n - 1 do
+          mean := !mean +. (resp.(i).(c) *. data.(i).(d))
+        done;
+        let mean = !mean /. !nc in
+        model.mu.(c).(d) <- mean;
+        let var = ref 0.0 in
+        for i = 0 to n - 1 do
+          let diff = data.(i).(d) -. mean in
+          var := !var +. (resp.(i).(c) *. diff *. diff)
+        done;
+        model.var.(c).(d) <- Float.max variance_floor (!var /. !nc)
+      done
+    done
+  done;
+  model

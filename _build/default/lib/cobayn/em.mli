@@ -1,0 +1,34 @@
+(** Expectation–maximization for diagonal-covariance Gaussian mixtures.
+
+    COBAYN groups training programs in feature space with an EM-fitted
+    mixture model before learning one Bayesian network per component.
+    This is that clustering: k diagonal Gaussians fitted by EM from a
+    k-means-style initialization, with variance flooring for stability on
+    small corpora (30 programs).  [responsibility]-based hard assignment
+    is exposed for the model, soft responsibilities for tests. *)
+
+type t
+
+val fit :
+  ?iterations:int ->
+  ?variance_floor:float ->
+  k:int ->
+  rng:Ft_util.Rng.t ->
+  float array list ->
+  t
+(** Fit a [k]-component mixture (k is clamped to the sample count).
+    Defaults: 40 EM iterations, variance floor 1e-4.
+    @raise Invalid_argument on an empty sample list or ragged rows. *)
+
+val components : t -> int
+val means : t -> float array array
+val weights : t -> float array
+
+val responsibilities : t -> float array -> float array
+(** Posterior component probabilities for a point (sums to 1). *)
+
+val assign : t -> float array -> int
+(** Hard assignment: argmax responsibility. *)
+
+val log_likelihood : t -> float array -> float
+(** Log density of a point under the mixture. *)

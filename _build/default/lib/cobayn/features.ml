@@ -1,0 +1,74 @@
+open Ft_prog
+
+let static_dims = 12
+let dynamic_dims = 6
+
+let all_regions (p : Program.t) = p.Program.nonloop :: p.Program.loops
+
+let mean_by f xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left (fun acc x -> acc +. f x) 0.0 xs
+         /. float_of_int (List.length xs)
+
+let static_features (p : Program.t) =
+  let loops = List.map (fun (l : Loop.t) -> l.Loop.features) p.Program.loops in
+  let every =
+    List.map (fun (l : Loop.t) -> l.Loop.features)
+      (all_regions p)
+  in
+  let mem f = mean_by f loops in
+  [|
+    mem (fun f -> float_of_int f.Feature.body_insns);
+    float_of_int (List.length loops);
+    mem (fun f ->
+        Feature.bytes_per_iter f /. Float.max 1.0 f.Feature.flops_per_iter);
+    mem (fun f -> f.Feature.divergence);
+    mean_by (fun f -> f.Feature.calls_per_iter) every;
+    mem (fun f -> float_of_int f.Feature.nest_depth);
+    mem (fun f ->
+        f.Feature.strided_bytes /. Float.max 1.0 (Feature.bytes_per_iter f));
+    mem (fun f ->
+        f.Feature.gather_bytes /. Float.max 1.0 (Feature.bytes_per_iter f));
+    mem (fun f -> if f.Feature.reduction then 1.0 else 0.0);
+    mem (fun f -> f.Feature.alias_ambiguity);
+    mem (fun f -> log10 (Float.max 1.0 f.Feature.trip_count));
+    mem (fun f -> if f.Feature.parallel then 1.0 else 0.0);
+  |]
+
+let dynamic_features (p : Program.t) =
+  (* MICA instruments serial execution only: for an OpenMP code the sample
+     is the serial regions, which rarely resemble the hot loops. *)
+  let serial =
+    all_regions p
+    |> List.map (fun (l : Loop.t) -> l.Loop.features)
+    |> List.filter (fun f -> not f.Feature.parallel)
+  in
+  let sample =
+    match serial with
+    | [] -> [ p.Program.nonloop.Loop.features ]
+    | s -> s
+  in
+  let m f = mean_by f sample in
+  [|
+    m (fun f -> 1.0 /. (1.0 +. f.Feature.dep_chain)) (* ILP proxy *);
+    m (fun f ->
+        Feature.bytes_per_iter f /. Float.max 1.0 f.Feature.flops_per_iter);
+    m (fun f -> f.Feature.divergence *. (1.0 -. f.Feature.branch_predictability));
+    m (fun f -> log10 (Float.max 1.0 f.Feature.working_set_kb));
+    m (fun f -> f.Feature.flops_per_iter /. float_of_int f.Feature.body_insns);
+    m (fun f -> f.Feature.calls_per_iter);
+  |]
+
+type variant = Static | Dynamic | Hybrid
+
+let variant_name = function
+  | Static -> "static"
+  | Dynamic -> "dynamic"
+  | Hybrid -> "hybrid"
+
+let extract variant p =
+  match variant with
+  | Static -> static_features p
+  | Dynamic -> dynamic_features p
+  | Hybrid -> Array.append (static_features p) (dynamic_features p)

@@ -1,0 +1,36 @@
+(** Program characterization features for COBAYN (§4.2.1).
+
+    COBAYN describes a program with Milepost-GCC {e static} features and
+    MICA {e dynamic} features and feeds them to a Bayesian network.  The
+    equivalents here:
+
+    - {b static}: aggregates over the whole program model (body sizes, loop
+      counts, memory/compute mix, branch and call densities, nest depth,
+      aliasing) — information a compiler pass can read off the IR;
+    - {b dynamic}: microarchitecture-independent execution characteristics
+      (ILP, memory intensity, mispredict rate, footprint) gathered from an
+      instrumented {e serial} run.  MICA instruments serial code only, so
+      for OpenMP programs the sample covers just the serial regions — a
+      faithful reproduction of why the paper's dynamic and hybrid COBAYN
+      models underperform on parallel benchmarks (§4.2.2 observation 2). *)
+
+val static_dims : int
+(** 12 *)
+
+val dynamic_dims : int
+(** 6 *)
+
+val static_features : Ft_prog.Program.t -> float array
+(** Static (Milepost-style) characterization; length {!static_dims}. *)
+
+val dynamic_features : Ft_prog.Program.t -> float array
+(** Dynamic (MICA-style) characterization from the serial portion only;
+    length {!dynamic_dims}. *)
+
+type variant = Static | Dynamic | Hybrid
+
+val variant_name : variant -> string
+(** ["static"], ["dynamic"], ["hybrid"]. *)
+
+val extract : variant -> Ft_prog.Program.t -> float array
+(** The feature vector for a model variant (hybrid = static @ dynamic). *)

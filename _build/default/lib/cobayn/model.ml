@@ -1,0 +1,111 @@
+module Rng = Ft_util.Rng
+module Cv = Ft_flags.Cv
+module Flag = Ft_flags.Flag
+module Toolchain = Ft_machine.Toolchain
+module Exec = Ft_machine.Exec
+module Context = Funcytuner.Context
+module Result = Funcytuner.Result
+
+type t = {
+  variant : Features.variant;
+  mean : float array;  (* feature normalization *)
+  std : float array;
+  mixture : Em.t;  (* EM-fitted Gaussian mixture over program features *)
+  networks : Chow_liu.t array;
+}
+
+let variant t = t.variant
+let cluster_count t = Em.components t.mixture
+
+(* --- feature normalization ------------------------------------------ *)
+
+let normalize ~mean ~std v =
+  Array.mapi (fun i x -> (x -. mean.(i)) /. std.(i)) v
+
+let fit_normalization rows =
+  let dims = Array.length (List.hd rows) in
+  let n = float_of_int (List.length rows) in
+  let mean = Array.make dims 0.0 in
+  List.iter (fun r -> Array.iteri (fun i x -> mean.(i) <- mean.(i) +. x) r) rows;
+  Array.iteri (fun i x -> mean.(i) <- x /. n) mean;
+  let std = Array.make dims 0.0 in
+  List.iter
+    (fun r -> Array.iteri (fun i x -> std.(i) <- std.(i) +. ((x -. mean.(i)) ** 2.0)) r)
+    rows;
+  Array.iteri (fun i x -> std.(i) <- Float.max 1e-9 (sqrt (x /. n))) std;
+  (mean, std)
+
+(* --- training --------------------------------------------------------- *)
+
+let good_configurations ~toolchain ~rng ~samples ~top program =
+  let input = Corpus.input_for program in
+  let measured =
+    List.init samples (fun _ ->
+        let cv = Ft_flags.Space.sample_binary rng in
+        let binary = Toolchain.compile_uniform toolchain ~cv program in
+        let s =
+          (Exec.measure ~arch:toolchain.Toolchain.arch ~input ~rng binary)
+            .Exec.elapsed_s
+        in
+        (cv, s))
+  in
+  List.sort (fun (_, a) (_, b) -> compare a b) measured
+  |> List.filteri (fun i _ -> i < top)
+  |> List.filter_map (fun (cv, _) -> Cv.to_bits cv)
+
+let train ~toolchain ~variant ?(clusters = 3) ?(corpus_seed = 2019)
+    ?(top = 100) ?(samples_per_program = 1000) () =
+  let rng = Rng.create (corpus_seed + 7919) in
+  let programs = Corpus.programs ~seed:corpus_seed in
+  let raw_features = List.map (Features.extract variant) programs in
+  let mean, std = fit_normalization raw_features in
+  let rows = List.map (normalize ~mean ~std) raw_features in
+  (* EM-fitted Gaussian mixture over program features, as in the COBAYN
+     paper; programs are hard-assigned to their most responsible
+     component. *)
+  let mixture = Em.fit ~k:clusters ~rng rows in
+  let assignment = Array.of_list (List.map (Em.assign mixture) rows) in
+  let good =
+    List.map
+      (good_configurations ~toolchain ~rng ~samples:samples_per_program ~top)
+      programs
+  in
+  let networks =
+    Array.init (Em.components mixture) (fun c ->
+        let member_samples =
+          List.concat (List.filteri (fun i _ -> assignment.(i) = c) good)
+        in
+        let member_samples =
+          (* An empty component would be degenerate; fall back to the
+             whole corpus. *)
+          if member_samples = [] then List.concat good else member_samples
+        in
+        Chow_liu.fit ~dims:Flag.count member_samples)
+  in
+  { variant; mean; std; mixture; networks }
+
+(* --- inference -------------------------------------------------------- *)
+
+let nearest_cluster t program =
+  let v = normalize ~mean:t.mean ~std:t.std (Features.extract t.variant program) in
+  Em.assign t.mixture v
+
+let sample_cv t ~cluster rng = Cv.of_bits (Chow_liu.sample t.networks.(cluster) rng)
+
+let tune t (ctx : Context.t) =
+  let cluster = nearest_cluster t ctx.Context.program in
+  let rng = Context.stream ctx ("cobayn:" ^ Features.variant_name t.variant) in
+  let k = Array.length ctx.Context.pool in
+  let times =
+    Array.init k (fun _ ->
+        let cv = sample_cv t ~cluster rng in
+        (cv, Context.measure_uniform ctx ~rng cv))
+  in
+  let best_cv, _ = Array.to_list times |> Ft_util.Stats.min_by snd in
+  let best_seconds = Context.evaluate_uniform ctx best_cv in
+  Result.make
+    ~algorithm:(Printf.sprintf "COBAYN(%s)" (Features.variant_name t.variant))
+    ~configuration:(Result.Whole_program best_cv)
+    ~baseline_s:ctx.Context.baseline_s ~evaluations:k
+    ~trace:(Result.best_so_far (Array.to_list (Array.map snd times)))
+    ~best_seconds

@@ -1,0 +1,42 @@
+(** The COBAYN pipeline: train on cBench, infer flags for a new program
+    (§4.2.1).
+
+    Training: every corpus program is compiled with 1000 random binarized
+    CVs and executed; the top 100 CVs per program become its "good
+    configuration" sample (exactly the paper's protocol).  Programs are
+    clustered in feature space by an EM-fitted Gaussian mixture ({!Em},
+    as in the COBAYN paper), and each component gets its own
+    Chow–Liu-tree Bayesian network over the 33 binarized flags.
+
+    Inference: extract the target's features, find the nearest cluster,
+    draw 1000 CVs from its network, compile + run each on the target, and
+    report the fastest — so COBAYN spends the same 1000-evaluation budget
+    as the other comparators, but spends it on a {e learned} distribution
+    instead of a uniform one. *)
+
+type t
+
+val train :
+  toolchain:Ft_machine.Toolchain.t ->
+  variant:Features.variant ->
+  ?clusters:int ->
+  ?corpus_seed:int ->
+  ?top:int ->
+  ?samples_per_program:int ->
+  unit ->
+  t
+(** Defaults: 3 clusters, corpus seed 2019, top 100 of 1000 samples. *)
+
+val variant : t -> Features.variant
+val cluster_count : t -> int
+
+val nearest_cluster : t -> Ft_prog.Program.t -> int
+(** The mixture component most responsible for the program's (normalized)
+    features. *)
+
+val sample_cv : t -> cluster:int -> Ft_util.Rng.t -> Ft_flags.Cv.t
+(** One CV drawn from a cluster's Bayesian network. *)
+
+val tune : t -> Funcytuner.Context.t -> Funcytuner.Result.t
+(** Full inference on a tuning session (1000 evaluations); the result's
+    algorithm is ["COBAYN(<variant>)"]. *)

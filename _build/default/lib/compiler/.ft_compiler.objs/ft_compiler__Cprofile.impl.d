@@ -1,0 +1,1 @@
+lib/compiler/cprofile.ml: Ft_flags

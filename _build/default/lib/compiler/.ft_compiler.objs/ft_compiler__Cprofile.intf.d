@@ -1,0 +1,1 @@
+lib/compiler/cprofile.mli: Ft_flags

@@ -1,0 +1,1 @@
+lib/compiler/cunit.ml: Decision Ft_flags Ft_prog Heuristics List Loop Option Pgo Program

@@ -1,0 +1,1 @@
+lib/compiler/cunit.mli: Cprofile Decision Ft_flags Ft_prog Pgo Target

@@ -1,0 +1,1 @@
+lib/compiler/heuristics.ml: Cprofile Decision Feature Ft_flags Ft_prog Ft_util List Pgo Program Target

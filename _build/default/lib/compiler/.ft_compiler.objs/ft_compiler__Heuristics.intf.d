@@ -1,0 +1,1 @@
+lib/compiler/heuristics.mli: Cprofile Decision Ft_flags Ft_prog Pgo Target

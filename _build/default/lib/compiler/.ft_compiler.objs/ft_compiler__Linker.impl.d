@@ -1,0 +1,1 @@
+lib/compiler/linker.ml: Cunit Decision Feature Float Ft_flags Ft_prog Ft_util List Loop Printf Program Target

@@ -1,0 +1,1 @@
+lib/compiler/linker.mli: Cunit Decision Ft_prog Target

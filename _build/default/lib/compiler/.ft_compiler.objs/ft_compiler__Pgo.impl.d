@@ -1,0 +1,1 @@
+lib/compiler/pgo.ml: Feature Ft_prog Input List Loop Printf Program

@@ -1,0 +1,1 @@
+lib/compiler/pgo.mli: Ft_prog

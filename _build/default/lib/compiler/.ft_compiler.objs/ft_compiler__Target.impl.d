@@ -1,0 +1,1 @@
+lib/compiler/target.ml: Ft_prog

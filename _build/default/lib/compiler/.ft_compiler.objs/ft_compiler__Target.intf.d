@@ -1,0 +1,1 @@
+lib/compiler/target.mli: Ft_prog

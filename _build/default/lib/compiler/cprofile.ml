@@ -1,0 +1,63 @@
+type vendor = Icc | Gcc
+
+type t = {
+  vendor : vendor;
+  name : string;
+  est_divergence_cost : float;
+  est_gather_cost : float;
+  est_strided_cost : float;
+  vec_threshold : float;
+  conservative_margin : float;
+  alias_limit_basic : float;
+  alias_limit_advanced : float;
+  alias_limit_aggressive : float;
+  no_ansi_alias_penalty : float;
+  unroll_small_body : int;
+  unroll_mid_body : int;
+  unroll_large_body : int;
+  base_quality : float;
+}
+
+let icc =
+  {
+    vendor = Icc;
+    name = "icc-17.0.4";
+    est_divergence_cost = 0.15;
+    est_gather_cost = 1.1;
+    est_strided_cost = 0.75;
+    vec_threshold = 1.15;
+    conservative_margin = 0.45;
+    alias_limit_basic = 0.35;
+    alias_limit_advanced = 0.65;
+    alias_limit_aggressive = 0.85;
+    no_ansi_alias_penalty = 0.25;
+    unroll_small_body = 24;
+    unroll_mid_body = 44;
+    unroll_large_body = 72;
+    base_quality = 1.0;
+  }
+
+let gcc =
+  {
+    vendor = Gcc;
+    name = "gcc-5.4.0";
+    est_divergence_cost = 0.2;
+    est_gather_cost = 1.25;
+    est_strided_cost = 0.85;
+    vec_threshold = 1.3;
+    conservative_margin = 0.5;
+    alias_limit_basic = 0.3;
+    alias_limit_advanced = 0.6;
+    alias_limit_aggressive = 0.8;
+    no_ansi_alias_penalty = 0.3;
+    unroll_small_body = 20;
+    unroll_mid_body = 52;
+    unroll_large_body = 52;
+    base_quality = 0.965;
+  }
+
+let alias_limit t (level : Ft_flags.Cv.three_level) =
+  match level with
+  | Level_low -> t.alias_limit_basic
+  | Level_default -> t.alias_limit_advanced
+  | Level_high -> t.alias_limit_aggressive

@@ -1,0 +1,49 @@
+(** Compiler personalities (heuristic parameter sets).
+
+    The paper compares the Intel 17.04 compilers against GCC 5.4 in Fig. 1;
+    both are production compilers whose difference, from the auto-tuner's
+    point of view, is the {e bias} of their internal cost models: how they
+    estimate vectorization overheads, where their profitability thresholds
+    sit, and how they unroll.  A personality bundles those constants.
+
+    A crucial, deliberate property: the estimates below are {e not} the
+    machine model's true costs.  Production heuristics are tuned on
+    benchmark suites and are systematically wrong for code they were not
+    tuned on (§1 of the paper) — that gap is exactly the headroom iterative
+    compilation exploits. *)
+
+type vendor = Icc | Gcc
+
+type t = {
+  vendor : vendor;
+  name : string;  (** e.g. ["icc-17.0.4"] *)
+  est_divergence_cost : float;
+      (** estimated per-lane-pair cost of masked divergent control flow *)
+  est_gather_cost : float;  (** estimated cost of gathers per lane-pair *)
+  est_strided_cost : float;  (** estimated shuffle cost for strided access *)
+  vec_threshold : float;
+      (** estimated speedup required before vectorizing under the default
+          cost model; the conservative model adds {!conservative_margin} *)
+  conservative_margin : float;
+  alias_limit_basic : float;
+      (** max tolerated alias ambiguity under basic dependence analysis *)
+  alias_limit_advanced : float;
+  alias_limit_aggressive : float;
+  no_ansi_alias_penalty : float;
+      (** subtracted from the alias limit when strict aliasing is off *)
+  unroll_small_body : int;  (** body size (insns) below which unroll = 4 *)
+  unroll_mid_body : int;  (** body size below which unroll = 2 *)
+  unroll_large_body : int;  (** body size below which unroll = 3 *)
+  base_quality : float;
+      (** overall code-quality multiplier (> means faster code);
+          ICC = 1.0, GCC slightly below on these HPC kernels *)
+}
+
+val icc : t
+(** Intel C/C++/Fortran 17.0.4 personality. *)
+
+val gcc : t
+(** GCC 5.4.0 personality (used only for the Fig. 1 CE experiment). *)
+
+val alias_limit : t -> Ft_flags.Cv.three_level -> float
+(** The ambiguity limit for a given dependence-analysis precision. *)

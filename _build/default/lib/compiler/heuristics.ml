@@ -1,0 +1,308 @@
+open Ft_prog
+module Cv = Ft_flags.Cv
+
+(* The decision pipeline, in compiler phase order:
+     1. scalar transformations (inlining, interchange, distribution) that
+        rewrite the feature vector;
+     2. vectorization legality (dependences, aliasing, control flow) and
+        profitability under the personality's *estimated* cost model;
+     3. unrolling;
+     4. back-end quality knobs (scheduling, selection, register allocation)
+        and the resulting spill count;
+     5. code-size accounting.
+   Every constant here is a heuristic *belief*; the truth lives in
+   Ft_machine.Exec. *)
+
+let gather_share (f : Feature.t) =
+  let total = Feature.bytes_per_iter f in
+  if total <= 0.0 then 0.0 else f.Feature.gather_bytes /. total
+
+let strided_share (f : Feature.t) =
+  let total = Feature.bytes_per_iter f in
+  if total <= 0.0 then 0.0 else f.Feature.strided_bytes /. total
+
+let internal_vector_estimate ~(profile : Cprofile.t) (f : Feature.t) width =
+  let l = float_of_int (Decision.lanes width) in
+  if l <= 1.0 then 1.0
+  else
+    (* Estimated per-element overhead of executing this loop SIMD-wide;
+       believed to grow quadratically with width (shuffles, masks).  The
+       quadratic belief is what makes the compiler pick 128-bit code for
+       moderately hostile loops, as ICC does for Cloverleaf's mom9. *)
+    let hostility =
+      (f.Feature.divergence *. profile.Cprofile.est_divergence_cost)
+      +. (gather_share f *. profile.Cprofile.est_gather_cost)
+      +. (strided_share f *. profile.Cprofile.est_strided_cost)
+    in
+    l /. (1.0 +. (hostility *. l *. l /. 4.0))
+
+let alias_provable ~(profile : Cprofile.t) ~language ~cv (f : Feature.t) =
+  match (language : Program.language) with
+  | Fortran -> true
+  | C | Cpp ->
+      let limit = Cprofile.alias_limit profile (Cv.dep_analysis cv) in
+      let limit =
+        if Cv.ansi_alias cv then limit
+        else limit -. profile.Cprofile.no_ansi_alias_penalty
+      in
+      f.Feature.alias_ambiguity < limit
+
+(* --- scalar transformations (phase 1) ------------------------------- *)
+
+let apply_inlining ~cv ~ipo_linked (f : Feature.t) =
+  if f.Feature.calls_per_iter <= 0.0 then (f, false)
+  else
+    let factor = Cv.inline_factor cv in
+    let inlined = factor >= 100 || (ipo_linked && factor >= 50) in
+    if not inlined then (f, false)
+    else
+      let callee_insns = 14.0 *. min 2.0 (float_of_int factor /. 100.0) in
+      let grown =
+        f.Feature.body_insns
+        + int_of_float (f.Feature.calls_per_iter *. callee_insns)
+      in
+      ({ f with Feature.calls_per_iter = 0.0; body_insns = grown }, true)
+
+let apply_interchange ~cv (f : Feature.t) =
+  if
+    Cv.interchange cv && f.Feature.nest_depth >= 2
+    && f.Feature.strided_bytes > f.Feature.read_bytes
+  then
+    let moved = 0.7 *. f.Feature.strided_bytes in
+    {
+      f with
+      Feature.strided_bytes = f.Feature.strided_bytes -. moved;
+      read_bytes = f.Feature.read_bytes +. moved;
+    }
+  else f
+
+(* --- unrolling (phase 3) -------------------------------------------- *)
+
+let auto_unroll ~(profile : Cprofile.t) ~vectorized (f : Feature.t) =
+  let body = f.Feature.body_insns in
+  let choice =
+    if body <= profile.Cprofile.unroll_small_body then 4
+    else if body <= profile.Cprofile.unroll_mid_body then 2
+    else if body <= profile.Cprofile.unroll_large_body then 3
+    else 1
+  in
+  if vectorized then min choice 2 else choice
+
+let decide ~(profile : Cprofile.t) ~(target : Target.t) ~language ?(pgo = None)
+    ~cv (f0 : Feature.t) =
+  let olevel = Cv.base_opt_level cv in
+  (* Phase 1: scalar transformations. *)
+  let f1, inlined = apply_inlining ~cv ~ipo_linked:(Cv.ipo cv) f0 in
+  let f2 = if olevel >= 2 then apply_interchange ~cv f1 else f1 in
+  let f = if Cv.heap_arrays cv then
+      { f2 with Feature.working_set_kb = f2.Feature.working_set_kb *. 1.02 }
+    else f2
+  in
+  (* Phase 2: vectorization. *)
+  let alias_ok = alias_provable ~profile ~language ~cv f in
+  let dep_ok = f.Feature.dep_chain <= 0.0 || f.Feature.reduction in
+  (* The vectorizer if-converts divergent bodies itself (masked
+     execution); the Branch_conv/Cmov flags only steer *scalar*
+     if-conversion below. *)
+  let legal = alias_ok && dep_ok && olevel >= 2 in
+  let clamp_width w =
+    match (w : Decision.width) with
+    | W256 when target.Target.max_simd_bits < 256 -> Decision.W128
+    | w -> w
+  in
+  let width =
+    if not (Cv.vec_enabled cv) || olevel < 2 || not legal then Decision.Scalar
+    else
+      match Cv.simd_pref cv with
+      | Cv.Width_128 -> Decision.W128
+      | Cv.Width_256 -> clamp_width Decision.W256
+      | Cv.Width_auto ->
+          let threshold =
+            let base = profile.Cprofile.vec_threshold in
+            let base = if olevel = 2 then base +. 0.25 else base in
+            match Cv.vector_cost cv with
+            | Cv.Level_low -> base +. profile.Cprofile.conservative_margin
+            | Cv.Level_default -> base
+            | Cv.Level_high -> 0.0
+          in
+          let candidates =
+            if target.Target.max_simd_bits >= 256 then
+              [ Decision.W128; Decision.W256 ]
+            else [ Decision.W128 ]
+          in
+          let est w = internal_vector_estimate ~profile f w in
+          let best =
+            Ft_util.Stats.max_by est (List.map (fun w -> (w : Decision.width)) candidates)
+          in
+          (* Production cost models refuse masked divergent reductions:
+             the horizontal dependence plus per-lane masking rarely pays
+             off in their training set.  An unlimited cost model (or a
+             forced width, handled above) overrides this. *)
+          let divergent_reduction_veto =
+            f.Feature.reduction
+            && f.Feature.divergence > 0.2
+            && Cv.vector_cost cv <> Cv.Level_high
+          in
+          if est best >= threshold && not divergent_reduction_veto then best
+          else Decision.Scalar
+  in
+  let vectorized = width <> Decision.Scalar in
+  (* Phase 3: unrolling. *)
+  let unroll =
+    if olevel < 2 then 1
+    else
+      let auto = auto_unroll ~profile ~vectorized f in
+      let auto = if olevel = 2 then min auto 2 else auto in
+      let chosen =
+        match Cv.unroll_bound cv with
+        | None -> auto
+        | Some 0 -> 1
+        | Some n -> n
+      in
+      let chosen = if Cv.unroll_aggressive cv then chosen * 2 else chosen in
+      let chosen = min chosen 16 in
+      (* Never unroll past a quarter of the trip count. *)
+      let trip_cap =
+        max 1 (int_of_float (f.Feature.trip_count /. 4.0 /.
+                             float_of_int (Decision.lanes width)))
+      in
+      max 1 (min chosen trip_cap)
+  in
+  (* Control flow: vector loops must be if-converted; scalar loops are
+     if-converted when the compiler believes the branches mispredict. *)
+  let if_converted =
+    if f.Feature.divergence <= 0.0 then false
+    else if vectorized then true
+    else
+      Cv.branch_conv cv && Cv.cmov cv
+      && f.Feature.divergence *. (1.0 -. f.Feature.branch_predictability)
+         > 0.08
+  in
+  (* Prefetching. *)
+  let prefetch = if olevel < 2 then 0 else Cv.prefetch_level cv in
+  let prefetch_far =
+    match Cv.prefetch_distance cv with
+    | Some Cv.Level_high -> true
+    | Some _ -> false
+    | None -> (
+        (* auto: with a profile the compiler knows the working set. *)
+        match pgo with
+        | Some p -> p.Pgo.working_set_kb > 20480.0
+        | None -> false)
+  in
+  (* Non-temporal stores. *)
+  let streaming =
+    if f.Feature.write_bytes <= 0.0 then false
+    else
+      match Cv.streaming_stores cv with
+      | Cv.Stream_always -> true
+      | Cv.Stream_never -> false
+      | Cv.Stream_auto ->
+          let ws_known_large =
+            match pgo with
+            | Some p -> p.Pgo.working_set_kb > 20480.0
+            | None -> f.Feature.trip_count >= 4096.0
+          in
+          vectorized && f.Feature.write_bytes >= 24.0 && ws_known_large
+  in
+  let fma_used =
+    target.Target.has_fma && Cv.fma cv && f.Feature.fma_fraction > 0.0
+    && olevel >= 2
+  in
+  (* Phase 4: back end. *)
+  let sched_quality =
+    match Cv.sched cv with
+    | Cv.Level_low -> 0.97
+    | Cv.Level_default -> 1.0
+    | Cv.Level_high -> 1.03
+  in
+  let sched_quality = if olevel = 1 then sched_quality *. 0.94 else sched_quality in
+  let isel_quality =
+    (* Advanced selection pays off on large bodies with real choice in the
+       instruction mix; on small bodies the extra search just perturbs an
+       already-optimal schedule. *)
+    match Cv.isel cv with
+    | Cv.Isel_default -> 1.0
+    | Cv.Isel_advanced -> if f.Feature.body_insns >= 48 then 1.02 else 0.99
+    | Cv.Isel_size -> 0.985
+  in
+  let pressure =
+    (float_of_int (min f.Feature.body_insns 120) /. 9.0)
+    +. (float_of_int unroll *. if vectorized then 1.8 else 1.0)
+    +. (if Cv.scalar_rep cv then 2.0 else 0.0)
+    +. (match Cv.sched cv with
+       | Cv.Level_high -> 4.0
+       | Cv.Level_low -> -2.0
+       | Cv.Level_default -> 0.0)
+    +. if vectorized then 3.0 else 0.0
+  in
+  let regs =
+    float_of_int target.Target.vector_regs
+    +. (if Cv.regalloc_aggressive cv then 2.0 else 0.0)
+    +. if Cv.distribution cv then 2.0 else 0.0
+  in
+  let spills =
+    let raw = max 0.0 (pressure -. regs) in
+    raw *. if Cv.spill_opt cv then 0.25 else 0.45
+  in
+  let redundancy =
+    let base = 1.0 in
+    let base = if Cv.gvn cv then base else base +. 0.06 in
+    let base = if Cv.licm cv then base else base +. 0.08 in
+    let base = if Cv.scalar_rep cv then base else base +. 0.05 in
+    let base =
+      match olevel with 1 -> base +. 0.22 | 2 -> base +. 0.04 | _ -> base
+    in
+    (* Aggressive dependence analysis resolves borderline aliasing by
+       multi-versioning: code whose pointers stay genuinely ambiguous
+       executes the runtime checks on every trip.  This is the per-program
+       cost of the flag that unlocks alias-blocked kernels — pointer-soup
+       regions pay for it. *)
+    let base =
+      if
+        Cv.dep_analysis cv = Cv.Level_high
+        && f.Feature.alias_ambiguity > profile.Cprofile.alias_limit_aggressive
+      then base +. 0.08
+      else base
+    in
+    base /. profile.Cprofile.base_quality
+  in
+  let tiled = Cv.tile_size cv <> None && f.Feature.nest_depth >= 2 in
+  (* Phase 5: code size. *)
+  let code_bytes =
+    let width_factor =
+      match width with Decision.Scalar -> 1.0 | W128 -> 1.15 | W256 -> 1.3
+    in
+    let isel_factor = match Cv.isel cv with Cv.Isel_size -> 0.85 | _ -> 1.0 in
+    let split_factor =
+      if Cv.func_split cv && f.Feature.divergence > 0.0 then 0.8 else 1.0
+    in
+    let body = float_of_int f.Feature.body_insns *. 4.2 in
+    let main = body *. float_of_int unroll *. width_factor in
+    let remainder = if vectorized || unroll > 1 then body *. 0.3 else 0.0 in
+    let aligned_pad = if Cv.align_loops cv then 32.0 else 0.0 in
+    int_of_float
+      (((main +. remainder) *. isel_factor *. split_factor)
+      +. 80.0 +. aligned_pad)
+  in
+  let decision =
+    {
+      Decision.width;
+      unroll;
+      if_converted;
+      prefetch;
+      prefetch_far;
+      streaming;
+      inlined;
+      fma_used;
+      sched_quality;
+      isel_quality;
+      spills;
+      redundancy;
+      tiled;
+      code_aligned = Cv.align_loops cv;
+      profile_guided = pgo <> None;
+      code_bytes;
+    }
+  in
+  (decision, f)

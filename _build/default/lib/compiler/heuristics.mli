@@ -1,0 +1,38 @@
+(** The simulated compiler's per-loop decision making.
+
+    [decide] maps one region's feature vector plus one compilation vector to
+    the {!Decision.t} the compiler emits and the {e effective} feature
+    vector after code transformations (interchange rewrites strided traffic,
+    inlining grows the body and removes calls, etc.).
+
+    The profitability analysis inside uses the personality's {e estimated}
+    costs ({!Cprofile.t}), which differ from the machine model's true costs
+    — that bias is what gives iterative compilation its headroom, and it is
+    calibrated so the O3 decisions for the five Cloverleaf kernels match
+    Table 3 of the paper (see [test_compiler.ml]). *)
+
+val decide :
+  profile:Cprofile.t ->
+  target:Target.t ->
+  language:Ft_prog.Program.language ->
+  ?pgo:Pgo.region_profile option ->
+  cv:Ft_flags.Cv.t ->
+  Ft_prog.Feature.t ->
+  Decision.t * Ft_prog.Feature.t
+(** [decide ~profile ~target ~language ~pgo ~cv features] →
+    (decision, effective features). *)
+
+val internal_vector_estimate :
+  profile:Cprofile.t -> Ft_prog.Feature.t -> Decision.width -> float
+(** The compiler's {e internal} estimated speedup of vectorizing at a given
+    width (1.0 = break-even vs scalar).  Exposed for tests and for the
+    Table 3 case-study analysis. *)
+
+val alias_provable :
+  profile:Cprofile.t ->
+  language:Ft_prog.Program.language ->
+  cv:Ft_flags.Cv.t ->
+  Ft_prog.Feature.t ->
+  bool
+(** Whether dependence analysis can rule out aliasing for this loop under
+    the given flags (Fortran always can). *)

@@ -1,0 +1,32 @@
+open Ft_prog
+
+type region_profile = {
+  trip_count : float;
+  predictability : float;
+  working_set_kb : float;
+}
+
+type t = (string * region_profile) list
+
+let profile_of_loop ~scale (l : Loop.t) =
+  let f = Loop.features_at ~scale l in
+  {
+    trip_count = f.Feature.trip_count;
+    predictability = f.Feature.branch_predictability;
+    working_set_kb = f.Feature.working_set_kb;
+  }
+
+let collect ~(program : Program.t) ~(input : Input.t) =
+  if not program.Program.pgo_instrumentable then
+    Error
+      (Printf.sprintf
+         "prof-gen: instrumented run of %s aborted (instrumentation \
+          incompatible with the program's runtime behaviour)"
+         program.Program.name)
+  else
+    let scale = Input.scale ~reference:program.Program.reference_size input in
+    let entry (l : Loop.t) = (l.Loop.name, profile_of_loop ~scale l) in
+    Ok (entry program.Program.nonloop :: List.map entry program.Program.loops)
+
+let lookup t name = List.assoc_opt name t
+let region_count = List.length

@@ -1,0 +1,27 @@
+(** Profile-guided optimization support (the paper's §4.2 PGO comparator).
+
+    Intel's PGO flow is two-phase: an instrumented build ([-prof-gen]) runs
+    on the tuning input to collect trip counts and branch statistics, and a
+    second build ([-prof-use]) feeds them to the heuristics.  The paper
+    notes the instrumentation run {e fails} for LULESH and Optewe — the
+    simulated flow reproduces that via
+    [Ft_prog.Program.pgo_instrumentable]. *)
+
+type region_profile = {
+  trip_count : float;  (** measured iterations per invocation *)
+  predictability : float;  (** observed branch predictability, [0,1] *)
+  working_set_kb : float;  (** measured data footprint *)
+}
+
+type t
+(** A profile database: region name → {!region_profile}. *)
+
+val collect :
+  program:Ft_prog.Program.t -> input:Ft_prog.Input.t -> (t, string) result
+(** Run the instrumented build on the tuning input.  Returns [Error] with a
+    diagnostic when the program cannot be instrumented (LULESH, Optewe). *)
+
+val lookup : t -> string -> region_profile option
+(** Profile for a region name, if the instrumented run covered it. *)
+
+val region_count : t -> int

@@ -1,0 +1,16 @@
+type t = {
+  platform : Ft_prog.Platform.t;
+  max_simd_bits : int;
+  has_fma : bool;
+  vector_regs : int;
+  scalar_regs : int;
+}
+
+let for_platform (platform : Ft_prog.Platform.t) =
+  match platform with
+  | Opteron ->
+      { platform; max_simd_bits = 128; has_fma = false; vector_regs = 16; scalar_regs = 16 }
+  | Sandy_bridge ->
+      { platform; max_simd_bits = 256; has_fma = false; vector_regs = 16; scalar_regs = 16 }
+  | Broadwell ->
+      { platform; max_simd_bits = 256; has_fma = true; vector_regs = 16; scalar_regs = 16 }

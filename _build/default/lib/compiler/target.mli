@@ -1,0 +1,20 @@
+(** Compile-time target descriptions.
+
+    This is the compiler's view of the machine it is generating code for —
+    ISA width, FMA availability, register file — as selected by the
+    processor-specific flags of Table 2 ([default] / [-xAVX] /
+    [-xCORE-AVX2]).  The execution-time performance parameters (frequencies,
+    cache sizes, bandwidths) live in [Ft_machine.Arch]; keeping the two
+    separate mirrors reality: a compiler knows the ISA, not the memory
+    system's behaviour under 16 threads. *)
+
+type t = {
+  platform : Ft_prog.Platform.t;
+  max_simd_bits : int;  (** 128 on Opteron, 256 on Sandy Bridge/Broadwell *)
+  has_fma : bool;  (** true only on Broadwell (-xCORE-AVX2) *)
+  vector_regs : int;  (** architectural vector registers (16 on all three) *)
+  scalar_regs : int;  (** architectural integer/fp scalar registers *)
+}
+
+val for_platform : Ft_prog.Platform.t -> t
+(** The Table 2 targets. *)

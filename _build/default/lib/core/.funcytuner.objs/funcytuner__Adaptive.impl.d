@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Cfr Collection Context Fr Ft_util List Result

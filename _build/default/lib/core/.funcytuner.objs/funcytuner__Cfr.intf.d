@@ -1,0 +1,1 @@
+lib/core/cfr.mli: Collection Context Ft_flags Result

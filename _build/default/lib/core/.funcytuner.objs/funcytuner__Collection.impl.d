@@ -1,0 +1,1 @@
+lib/core/collection.ml: Array Context Float Ft_flags Ft_machine Ft_outline Ft_util List

@@ -1,0 +1,1 @@
+lib/core/collection.mli: Context Ft_flags Ft_outline

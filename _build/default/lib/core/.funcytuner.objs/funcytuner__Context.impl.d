@@ -1,0 +1,1 @@
+lib/core/context.ml: Ft_caliper Ft_flags Ft_machine Ft_prog Ft_util

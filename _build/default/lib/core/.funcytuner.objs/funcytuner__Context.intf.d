@@ -1,0 +1,1 @@
+lib/core/context.mli: Ft_flags Ft_machine Ft_prog Ft_util

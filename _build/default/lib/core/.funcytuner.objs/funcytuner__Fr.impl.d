@@ -1,0 +1,1 @@
+lib/core/fr.ml: Array Context Ft_machine Ft_outline Ft_util List Result

@@ -1,0 +1,1 @@
+lib/core/fr.mli: Context Ft_flags Ft_outline Ft_util Result

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Collection Context Fr Ft_util List Result

@@ -1,0 +1,1 @@
+lib/core/random_search.ml: Array Context Ft_util Result

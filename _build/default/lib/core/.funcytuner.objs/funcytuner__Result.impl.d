@@ -1,0 +1,1 @@
+lib/core/result.ml: Float Ft_flags List

@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Cfr Collection Context Fr Ft_caliper Ft_machine Ft_outline Greedy Lazy List Random_search Result

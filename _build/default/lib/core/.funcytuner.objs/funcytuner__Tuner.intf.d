@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Collection Context Ft_compiler Ft_outline Ft_prog Ft_util Greedy Lazy Result

@@ -1,0 +1,44 @@
+module Rng = Ft_util.Rng
+
+let default_patience = 150
+let default_min_gain = 0.002
+
+let run ?(top_x = Cfr.default_top_x) ?(patience = default_patience)
+    ?(min_gain = default_min_gain) (ctx : Context.t)
+    (collection : Collection.t) =
+  let rng = Context.stream ctx "cfr-adaptive" in
+  let pools = Cfr.pruned_pools ~top_x collection in
+  let budget = Array.length ctx.Context.pool in
+  let best = ref None in
+  let times = ref [] in
+  let stale = ref 0 in
+  let spent = ref 0 in
+  while !spent < budget && !stale < patience do
+    incr spent;
+    let assignment =
+      List.map (fun (m, pool) -> (m, Rng.choose rng pool)) pools
+    in
+    let t =
+      Fr.measure_assignment ctx collection.Collection.outline ~rng assignment
+    in
+    times := t :: !times;
+    (match !best with
+    | Some (best_t, _) when t < best_t *. (1.0 -. min_gain) ->
+        best := Some (t, assignment);
+        stale := 0
+    | Some (best_t, _) ->
+        if t < best_t then best := Some (t, assignment);
+        incr stale
+    | None -> best := Some (t, assignment))
+  done;
+  let best_seconds, configuration =
+    match !best with
+    | Some (_, a) ->
+        ( Fr.evaluate_assignment ctx collection.Collection.outline a,
+          Result.Per_module a )
+    | None -> invalid_arg "Adaptive.run: empty pool"
+  in
+  Result.make ~algorithm:"CFR-adaptive" ~configuration
+    ~baseline_s:ctx.Context.baseline_s ~evaluations:!spent
+    ~trace:(Result.best_so_far (List.rev !times))
+    ~best_seconds

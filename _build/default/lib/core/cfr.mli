@@ -1,0 +1,24 @@
+(** Caliper-guided random search — CFR, the paper's headline algorithm
+    (§2.2.4, Algorithm 1).
+
+    CFR focuses the per-module search space before re-sampling: for each
+    module j it keeps only the top-X pool CVs by collected per-loop time
+    T[j][k] (line 11), then draws K per-module assignments from the pruned
+    pools, links each into a real executable, measures end-to-end time,
+    and returns the fastest (lines 12–23).
+
+    Within the paper's unified framing, G is CFR with X = 1 and FR is CFR
+    with X = K; CFR's X with 1 < X << K balances keeping per-loop winners
+    against retaining enough diversity to dodge inter-module conflicts
+    that the uniform-build measurements cannot reveal. *)
+
+val default_top_x : int
+(** 20 — the pruning width used throughout the experiments. *)
+
+val run : ?top_x:int -> Context.t -> Collection.t -> Result.t
+(** K assembled-variant evaluations from the pruned space. *)
+
+val pruned_pools :
+  ?top_x:int -> Collection.t -> (string * Ft_flags.Cv.t array) list
+(** The per-module pruned spaces (module name → top-X CVs, best first);
+    exposed for tests and the case-study analysis. *)

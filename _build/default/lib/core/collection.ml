@@ -1,0 +1,58 @@
+module Outline = Ft_outline.Outline
+module Exec = Ft_machine.Exec
+
+type t = {
+  outline : Outline.t;
+  pool : Ft_flags.Cv.t array;
+  modules : string array;
+  times : float array array;
+  totals : float array;
+}
+
+let collect (ctx : Context.t) (outline : Outline.t) =
+  let rng = Context.stream ctx "collection" in
+  let hot = outline.Outline.hot in
+  let modules = Array.of_list (Outline.module_names outline) in
+  let k = Array.length ctx.Context.pool in
+  let times = Array.make_matrix (Array.length modules) k 0.0 in
+  let totals = Array.make k 0.0 in
+  Array.iteri
+    (fun i cv ->
+      let binary =
+        Outline.compile ~toolchain:ctx.Context.toolchain outline
+          ~assignment:(fun _ -> cv)
+          ~instrumented:true ()
+      in
+      let m =
+        Exec.measure ~arch:ctx.Context.toolchain.Ft_machine.Toolchain.arch
+          ~input:ctx.Context.input ~rng binary
+      in
+      totals.(i) <- m.Exec.elapsed_s;
+      (* Only outlined loops carry Caliper annotations; everything else is
+         part of the residual, derived by subtraction as in the paper. *)
+      let hot_sum = ref 0.0 in
+      List.iteri
+        (fun j name ->
+          let s = List.assoc name m.Exec.region_samples in
+          times.(j + 1).(i) <- s;
+          hot_sum := !hot_sum +. s)
+        hot;
+      times.(0).(i) <- Float.max 0.0 (m.Exec.elapsed_s -. !hot_sum))
+    ctx.Context.pool;
+  { outline; pool = ctx.Context.pool; modules; times; totals }
+
+let module_index t name =
+  let found = ref None in
+  Array.iteri (fun j m -> if m = name then found := Some j) t.modules;
+  !found
+
+let row t name =
+  match module_index t name with
+  | Some j -> t.times.(j)
+  | None -> invalid_arg ("Collection: unknown module " ^ name)
+
+let best_cv_for t name = t.pool.(Ft_util.Stats.argmin (row t name))
+
+let top_k_for t name x =
+  let indices = Ft_util.Stats.top_k_indices x (row t name) in
+  Array.of_list (List.map (fun i -> t.pool.(i)) indices)

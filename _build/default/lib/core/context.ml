@@ -1,0 +1,34 @@
+module Rng = Ft_util.Rng
+module Toolchain = Ft_machine.Toolchain
+module Exec = Ft_machine.Exec
+
+type t = {
+  toolchain : Toolchain.t;
+  program : Ft_prog.Program.t;
+  input : Ft_prog.Input.t;
+  pool : Ft_flags.Cv.t array;
+  baseline_s : float;
+  rng : Rng.t;
+}
+
+let make ?(pool_size = 1000) ~toolchain ~program ~input ~seed () =
+  let rng = Rng.create seed in
+  let pool = Ft_flags.Space.sample_pool (Rng.of_label rng "pool") pool_size in
+  let baseline_s =
+    Ft_caliper.Profiler.baseline_seconds ~toolchain ~program ~input
+  in
+  { toolchain; program; input; pool; baseline_s; rng }
+
+let stream t label = Rng.of_label t.rng label
+
+let measure_uniform t ~rng cv =
+  let binary = Toolchain.compile_uniform t.toolchain ~cv t.program in
+  let m = Exec.measure ~arch:t.toolchain.Toolchain.arch ~input:t.input ~rng binary in
+  m.Exec.elapsed_s
+
+let evaluate_uniform t cv =
+  let binary = Toolchain.compile_uniform t.toolchain ~cv t.program in
+  (Exec.evaluate ~arch:t.toolchain.Toolchain.arch ~input:t.input binary)
+    .Exec.total_s
+
+let speedup t seconds = t.baseline_s /. seconds

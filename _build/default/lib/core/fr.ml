@@ -1,0 +1,51 @@
+module Outline = Ft_outline.Outline
+module Exec = Ft_machine.Exec
+module Rng = Ft_util.Rng
+
+let measure_assignment (ctx : Context.t) outline ~rng assignment =
+  let binary =
+    Outline.compile ~toolchain:ctx.Context.toolchain outline
+      ~assignment:(fun name -> List.assoc name assignment)
+      ()
+  in
+  let m =
+    Exec.measure ~arch:ctx.Context.toolchain.Ft_machine.Toolchain.arch
+      ~input:ctx.Context.input ~rng binary
+  in
+  m.Exec.elapsed_s
+
+let evaluate_assignment (ctx : Context.t) outline assignment =
+  let binary =
+    Outline.compile ~toolchain:ctx.Context.toolchain outline
+      ~assignment:(fun name -> List.assoc name assignment)
+      ()
+  in
+  (Exec.evaluate ~arch:ctx.Context.toolchain.Ft_machine.Toolchain.arch
+     ~input:ctx.Context.input binary)
+    .Exec.total_s
+
+let run (ctx : Context.t) outline =
+  let rng = Context.stream ctx "fr" in
+  let modules = Outline.module_names outline in
+  let k = Array.length ctx.Context.pool in
+  let best = ref None in
+  let times = ref [] in
+  for _ = 1 to k do
+    let assignment =
+      List.map (fun m -> (m, Rng.choose rng ctx.Context.pool)) modules
+    in
+    let t = measure_assignment ctx outline ~rng assignment in
+    times := t :: !times;
+    match !best with
+    | Some (best_t, _) when best_t <= t -> ()
+    | _ -> best := Some (t, assignment)
+  done;
+  let best_seconds, configuration =
+    match !best with
+    | Some (_, a) -> (evaluate_assignment ctx outline a, Result.Per_module a)
+    | None -> invalid_arg "Fr.run: empty pool"
+  in
+  Result.make ~algorithm:"FR" ~configuration ~baseline_s:ctx.Context.baseline_s
+    ~evaluations:k
+    ~trace:(Result.best_so_far (List.rev !times))
+    ~best_seconds

@@ -1,0 +1,28 @@
+(** Per-function random search (§2.2.2, Fig. 3).
+
+    The program is outlined, then 1000 times a CV is drawn {e with
+    replacement} from the pre-sampled pool for {e each} module, the
+    modules are compiled and linked, and the assembled variant is timed.
+    FR exists to test whether per-loop granularity {e alone} — without
+    per-loop runtime information — suffices; the paper finds it does not
+    (high variance, small gains). *)
+
+val run : Context.t -> Ft_outline.Outline.t -> Result.t
+(** K assembled-variant evaluations. *)
+
+val measure_assignment :
+  Context.t ->
+  Ft_outline.Outline.t ->
+  rng:Ft_util.Rng.t ->
+  (string * Ft_flags.Cv.t) list ->
+  float
+(** Compile modules under an explicit module→CV assignment, link, run once
+    on the session input; returns noisy seconds.  Shared by FR, greedy
+    combination and CFR (they differ only in how assignments are chosen). *)
+
+val evaluate_assignment :
+  Context.t ->
+  Ft_outline.Outline.t ->
+  (string * Ft_flags.Cv.t) list ->
+  float
+(** Noise-free runtime of an assembled assignment (winner reporting). *)

@@ -1,0 +1,30 @@
+type t = {
+  realized : Result.t;
+  independent_seconds : float;
+  independent_speedup : float;
+}
+
+let run (ctx : Context.t) (collection : Collection.t) =
+  let modules = Array.to_list collection.Collection.modules in
+  let assignment =
+    List.map (fun m -> (m, Collection.best_cv_for collection m)) modules
+  in
+  let seconds =
+    Fr.evaluate_assignment ctx collection.Collection.outline assignment
+  in
+  let realized =
+    Result.make ~algorithm:"G.realized"
+      ~configuration:(Result.Per_module assignment)
+      ~baseline_s:ctx.Context.baseline_s ~evaluations:1 ~trace:[ seconds ]
+      ~best_seconds:seconds
+  in
+  let independent_seconds =
+    Array.fold_left
+      (fun acc row -> acc +. row.(Ft_util.Stats.argmin row))
+      0.0 collection.Collection.times
+  in
+  {
+    realized;
+    independent_seconds;
+    independent_speedup = ctx.Context.baseline_s /. independent_seconds;
+  }

@@ -1,0 +1,20 @@
+(** Greedy combination G (§2.2.3) and its independence bound (§3.4).
+
+    G picks, for each module j, the pool CV minimizing the collected
+    per-loop time T[j][k], links the winners together, and measures the
+    assembled executable — that measured result is {b G.realized}.
+
+    {b G.Independent} is the hypothetical upper bound obtained by summing
+    each module's best collected time (including the derived residual)
+    without ever assembling a binary.  The gap between the two is the
+    paper's evidence of inter-module dependence: if modules were
+    independent, realized and independent would coincide. *)
+
+type t = {
+  realized : Result.t;  (** measured runtime of the assembled greedy binary *)
+  independent_seconds : float;  (** Σ_j min_k T[j][k] *)
+  independent_speedup : float;  (** T_O3 / independent_seconds *)
+}
+
+val run : Context.t -> Collection.t -> t
+(** One assembled-binary measurement (plus the arithmetic bound). *)

@@ -1,0 +1,12 @@
+let run (ctx : Context.t) =
+  let rng = Context.stream ctx "random" in
+  let times =
+    Array.map (fun cv -> Context.measure_uniform ctx ~rng cv) ctx.Context.pool
+  in
+  let best = Ft_util.Stats.argmin times in
+  Result.make ~algorithm:"Random"
+    ~configuration:(Result.Whole_program ctx.Context.pool.(best))
+    ~baseline_s:ctx.Context.baseline_s
+    ~evaluations:(Array.length times)
+    ~trace:(Result.best_so_far (Array.to_list times))
+    ~best_seconds:(Context.evaluate_uniform ctx ctx.Context.pool.(best))

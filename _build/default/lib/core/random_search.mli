@@ -1,0 +1,8 @@
+(** Per-program random search (§2.2.1, Fig. 2) — the classical reference.
+
+    Does not modify the program: every pre-sampled CV compiles {e all}
+    source files (step 2), all K code variants are executed (step 3), and
+    the fastest wins.  Search-space size is C0 = |COS|. *)
+
+val run : Context.t -> Result.t
+(** Evaluate the whole pool; K timed runs. *)

@@ -1,0 +1,43 @@
+type configuration =
+  | Whole_program of Ft_flags.Cv.t
+  | Per_module of (string * Ft_flags.Cv.t) list
+
+type t = {
+  algorithm : string;
+  configuration : configuration;
+  best_seconds : float;
+  speedup : float;
+  evaluations : int;
+  trace : float list;
+}
+
+let make ~algorithm ~configuration ~baseline_s ~evaluations ~trace
+    ~best_seconds =
+  {
+    algorithm;
+    configuration;
+    best_seconds;
+    speedup = baseline_s /. best_seconds;
+    evaluations;
+    trace;
+  }
+
+let best_so_far series =
+  let folder (best, acc) x =
+    let best' = match best with None -> x | Some b -> Float.min b x in
+    (Some best', best' :: acc)
+  in
+  let _, reversed = List.fold_left folder (None, []) series in
+  List.rev reversed
+
+let evaluations_to_best t =
+  match t.trace with
+  | [] -> 0
+  | trace ->
+      let final = List.fold_left Float.min infinity trace in
+      let threshold = final *. 1.005 in
+      let rec find i = function
+        | [] -> i (* unreachable for non-empty traces *)
+        | x :: rest -> if x <= threshold then i else find (i + 1) rest
+      in
+      find 1 trace

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Casestudy Float Ft_baselines Ft_flags Ft_machine Ft_outline Ft_prog Ft_suite Ft_util Funcytuner Lab Lazy List Option Platform Printf Program Series String

@@ -1,0 +1,1 @@
+lib/experiments/ablations.mli: Ft_prog Ft_util Lab Series

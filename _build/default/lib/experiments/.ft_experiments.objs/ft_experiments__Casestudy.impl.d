@@ -1,0 +1,1 @@
+lib/experiments/casestudy.ml: Array Ft_compiler Ft_flags Ft_machine Ft_prog Ft_suite Ft_util Funcytuner Lab Lazy List Option Platform Printf Series

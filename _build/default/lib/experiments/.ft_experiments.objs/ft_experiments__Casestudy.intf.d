@@ -1,0 +1,1 @@
+lib/experiments/casestudy.mli: Ft_util Lab Series

@@ -1,0 +1,1 @@
+lib/experiments/csv.ml: Buffer Fun List Printf Series String

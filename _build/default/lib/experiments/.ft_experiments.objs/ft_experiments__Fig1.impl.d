@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Ft_baselines Ft_compiler Ft_machine Ft_prog Ft_suite Lab List Option Platform Printf Program Series

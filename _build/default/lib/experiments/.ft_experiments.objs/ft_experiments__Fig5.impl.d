@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Ft_prog Ft_suite Funcytuner Lab List Platform Printf Program Series

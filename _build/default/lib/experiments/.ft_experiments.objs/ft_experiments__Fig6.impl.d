@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Ft_baselines Ft_cobayn Ft_opentuner Ft_prog Ft_suite Funcytuner Lab List Platform Program Series

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Ft_baselines Ft_cobayn Ft_machine Ft_opentuner Ft_prog Ft_suite Funcytuner Input Lab List Platform Printf Program Series

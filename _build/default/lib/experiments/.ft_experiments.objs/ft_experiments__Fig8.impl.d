@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Fig7 Ft_prog Ft_suite Input List Option Platform Series

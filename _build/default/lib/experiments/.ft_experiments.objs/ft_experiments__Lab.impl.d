@@ -1,0 +1,1 @@
+lib/experiments/lab.ml: Ft_baselines Ft_cobayn Ft_machine Ft_opentuner Ft_prog Ft_suite Ft_util Funcytuner Hashtbl Input Platform Program

@@ -1,0 +1,1 @@
+lib/experiments/lab.mli: Ft_baselines Ft_cobayn Ft_opentuner Ft_prog Ft_util Funcytuner

@@ -1,0 +1,1 @@
+lib/experiments/series.ml: Ft_util List String

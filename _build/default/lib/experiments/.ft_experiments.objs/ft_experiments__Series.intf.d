@@ -1,0 +1,1 @@
+lib/experiments/series.mli: Ft_util

@@ -1,0 +1,117 @@
+open Ft_prog
+module Tuner = Funcytuner.Tuner
+module Result = Funcytuner.Result
+module Exec = Ft_machine.Exec
+module Linker = Ft_compiler.Linker
+module Decision = Ft_compiler.Decision
+
+let kernels = [ "dt"; "cell3"; "cell7"; "mom9"; "acc" ]
+let program lab = ignore lab; Option.get (Ft_suite.Suite.find "Cloverleaf")
+
+let region_seconds run name =
+  match
+    List.find_opt (fun (r : Exec.region_report) -> r.Exec.name = name)
+      run.Exec.loops
+  with
+  | Some r -> r.Exec.seconds
+  | None -> invalid_arg ("Casestudy: unknown region " ^ name)
+
+let region_decision run name =
+  (List.find (fun (r : Exec.region_report) -> r.Exec.name = name)
+     run.Exec.loops)
+    .Exec.decision
+
+(* Noise-free per-region run of a configuration's binary on the tuning
+   input. *)
+let run_of lab configuration =
+  let p = program lab in
+  let session = Lab.session lab Platform.Broadwell p in
+  let binary = Tuner.build_configuration session configuration in
+  let input = Ft_suite.Suite.tuning_input Platform.Broadwell p in
+  Exec.evaluate
+    ~arch:session.Tuner.ctx.Funcytuner.Context.toolchain.Ft_machine.Toolchain.arch
+    ~input binary
+
+let o3_run lab = run_of lab (Result.Whole_program Ft_flags.Cv.o3)
+
+let fig9 lab =
+  let p = program lab in
+  let report = Lab.report lab Platform.Broadwell p in
+  let session = Lab.session lab Platform.Broadwell p in
+  let collection = Lazy.force session.Tuner.collection in
+  let o3 = o3_run lab in
+  let random_run = run_of lab report.Tuner.random.Result.configuration in
+  let greedy_run =
+    run_of lab
+      report.Tuner.greedy.Funcytuner.Greedy.realized.Result.configuration
+  in
+  let cfr_run = run_of lab report.Tuner.cfr.Result.configuration in
+  let independent_seconds name =
+    match Funcytuner.Collection.module_index collection name with
+    | Some j ->
+        let row = collection.Funcytuner.Collection.times.(j) in
+        row.(Ft_util.Stats.argmin row)
+    | None -> invalid_arg ("Casestudy.fig9: " ^ name ^ " was not outlined")
+  in
+  let rows =
+    List.map
+      (fun kernel ->
+        let base = region_seconds o3 kernel in
+        ( kernel,
+          [
+            base /. region_seconds random_run kernel;
+            base /. region_seconds greedy_run kernel;
+            base /. region_seconds cfr_run kernel;
+            base /. independent_seconds kernel;
+          ] ))
+      kernels
+  in
+  Series.make
+    ~title:
+      "Fig. 9: per-loop speedups, top-5 Cloverleaf kernels on Broadwell"
+    ~columns:[ "Random"; "G.realized"; "CFR"; "G.Independent" ]
+    rows
+
+let table3 lab =
+  let p = program lab in
+  let report = Lab.report lab Platform.Broadwell p in
+  let session = Lab.session lab Platform.Broadwell p in
+  let collection = Lazy.force session.Tuner.collection in
+  let o3 = o3_run lab in
+  let decisions_of configuration =
+    let run = run_of lab configuration in
+    fun kernel -> Decision.summary (region_decision run kernel)
+  in
+  (* G.Independent: each kernel's best pool CV, compiled *uniformly* (the
+     decisions the per-loop measurements actually saw — no link-time
+     perturbation, per §3.4). *)
+  let independent kernel =
+    let cv = Funcytuner.Collection.best_cv_for collection kernel in
+    let run = run_of lab (Result.Whole_program cv) in
+    Decision.summary (region_decision run kernel)
+  in
+  let o3_ratio kernel =
+    100.0 *. region_seconds o3 kernel /. o3.Exec.total_s
+  in
+  let table =
+    Ft_util.Table.create
+      ~title:
+        "Table 3: optimization decisions for the 5 Cloverleaf kernels \
+         (Broadwell)"
+      ("Algorithm" :: kernels)
+  in
+  Ft_util.Table.add_row table
+    ("O3 runtime ratio %"
+    :: List.map (fun k -> Printf.sprintf "%.1f" (o3_ratio k)) kernels);
+  Ft_util.Table.add_separator table;
+  let add name summarize =
+    Ft_util.Table.add_row table (name :: List.map summarize kernels)
+  in
+  add "O3 baseline" (decisions_of (Result.Whole_program Ft_flags.Cv.o3));
+  add "Random" (decisions_of report.Tuner.random.Result.configuration);
+  add "G.realized"
+    (decisions_of
+       report.Tuner.greedy.Funcytuner.Greedy.realized.Result.configuration);
+  add "G.Independent" independent;
+  add "CFR" (decisions_of report.Tuner.cfr.Result.configuration);
+  table

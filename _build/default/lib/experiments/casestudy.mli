@@ -1,0 +1,23 @@
+(** The §4.4 deep dive: Cloverleaf's top-5 kernels on Broadwell.
+
+    - {b Fig. 9}: per-loop speedups over O3 for Random, G.realized, CFR
+      and G.Independent on dt / cell3 / cell7 / mom9 / acc.  The paper's
+      shape: everything beats O3 on dt (scalar variants most), 256-bit
+      code {e loses} on cell3 and cell7, scalar+IS wins mom9, unlocked
+      256-bit wins acc, and G.realized's link-time surprises hurt it.
+    - {b Table 3}: the code-generation decisions behind those bars
+      (S/128/256, unroll, IS, IO, RS) per algorithm, plus the kernels' O3
+      runtime ratios.  G.realized's decisions are read from the {e linked}
+      binary, so the paper's observation — mom9 re-vectorized to 256-bit
+      and unrolled twice by the link-time optimizer even though its module
+      was compiled scalar — is visible verbatim. *)
+
+val kernels : string list
+(** ["dt"; "cell3"; "cell7"; "mom9"; "acc"]. *)
+
+val fig9 : Lab.t -> Series.t
+(** Rows = kernels; columns = Random, G.realized, CFR, G.Independent. *)
+
+val table3 : Lab.t -> Ft_util.Table.t
+(** Decision matrix in the paper's notation, with the O3-ratio header
+    row. *)

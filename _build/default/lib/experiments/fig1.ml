@@ -1,0 +1,37 @@
+open Ft_prog
+
+let benchmarks = [ "LULESH"; "Cloverleaf"; "AMG" ]
+
+let run lab =
+  let ce vendor (program : Program.t) =
+    let toolchain = Ft_machine.Toolchain.make ~vendor Platform.Broadwell in
+    let input = Ft_suite.Suite.tuning_input Platform.Broadwell program in
+    let result =
+      Ft_baselines.Ce.run ~toolchain ~program ~input
+        ~rng:
+          (Lab.rng lab
+             (Printf.sprintf "ce:%s:%s"
+                (match vendor with
+                | Ft_compiler.Cprofile.Gcc -> "gcc"
+                | Ft_compiler.Cprofile.Icc -> "icc")
+                program.Program.name))
+        ()
+    in
+    result.Ft_baselines.Ce.speedup
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let program = Option.get (Ft_suite.Suite.find name) in
+        ( name,
+          [
+            ce Ft_compiler.Cprofile.Gcc program;
+            ce Ft_compiler.Cprofile.Icc program;
+          ] ))
+      benchmarks
+  in
+  Series.make
+    ~title:
+      "Fig. 1: Combined Elimination speedup over each compiler's O3 \
+       (Broadwell)"
+    ~columns:[ "GCC"; "ICC" ] rows

@@ -1,0 +1,8 @@
+(** Fig. 1: Combined Elimination does not significantly beat O3.
+
+    CE for GCC 5.4 and ICC 17.04 on LULESH, Cloverleaf and AMG (Broadwell),
+    speedups normalized to each compiler's own O3 baseline.  Paper: all
+    bars hover around 1.0 — CE gets trapped in per-program local minima. *)
+
+val run : Lab.t -> Series.t
+(** Columns ["GCC"; "ICC"]; rows LULESH / Cloverleaf / AMG. *)

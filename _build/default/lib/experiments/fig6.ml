@@ -1,0 +1,37 @@
+open Ft_prog
+module Result = Funcytuner.Result
+module Tuner = Funcytuner.Tuner
+
+let columns =
+  [
+    "COBAYN(static)";
+    "COBAYN(dynamic)";
+    "COBAYN(hybrid)";
+    "PGO";
+    "OpenTuner";
+    "CFR";
+  ]
+
+let row lab (program : Program.t) =
+  let cobayn v = (Lab.cobayn lab v program).Result.speedup in
+  let report = Lab.report lab Platform.Broadwell program in
+  [
+    cobayn Ft_cobayn.Features.Static;
+    cobayn Ft_cobayn.Features.Dynamic;
+    cobayn Ft_cobayn.Features.Hybrid;
+    (Lab.pgo lab program).Ft_baselines.Pgo_driver.speedup;
+    (Lab.opentuner lab program).Ft_opentuner.Ensemble.result.Result.speedup;
+    report.Tuner.cfr.Result.speedup;
+  ]
+
+let run lab =
+  let rows =
+    List.map
+      (fun (p : Program.t) -> (p.Program.name, row lab p))
+      Ft_suite.Suite.all
+  in
+  Series.with_geomean
+    (Series.make
+       ~title:
+         "Fig. 6: state-of-the-art comparison on Broadwell (speedup over O3)"
+       ~columns rows)

@@ -1,0 +1,13 @@
+(** Fig. 6: FuncyTuner CFR vs the state of the art on Broadwell.
+
+    Columns: COBAYN static / dynamic / hybrid, Intel PGO, OpenTuner, CFR —
+    all with a 1000-evaluation budget where applicable, speedups over O3.
+
+    Paper: OpenTuner +4.9 % GM, COBAYN static +4.6 %, hybrid +2.1 %,
+    dynamic below 1.0, PGO marginal (and its instrumentation run fails for
+    LULESH and Optewe), CFR +9.4 %. *)
+
+val columns : string list
+
+val run : Lab.t -> Series.t
+(** GM row included. *)

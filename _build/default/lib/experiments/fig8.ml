@@ -1,0 +1,21 @@
+open Ft_prog
+
+let columns = Fig7.columns
+let step_counts = [ 100; 200; 400; 800 ]
+
+let run lab =
+  let program = Option.get (Ft_suite.Suite.find "Cloverleaf") in
+  let tuning = Ft_suite.Suite.tuning_input Platform.Broadwell program in
+  let rows =
+    List.map
+      (fun steps ->
+        let input = Input.with_steps tuning steps in
+        (string_of_int steps, Fig7.row lab program ~input))
+      step_counts
+  in
+  Series.with_geomean
+    (Series.make
+       ~title:
+         "Fig. 8: Cloverleaf on Broadwell, scaling time steps (speedup over \
+          O3)"
+       ~columns rows)

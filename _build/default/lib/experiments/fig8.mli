@@ -1,0 +1,10 @@
+(** Fig. 8: Cloverleaf on Broadwell while scaling simulated time steps.
+
+    Same tuned configurations as Fig. 7, evaluated at 100 / 200 / 400 /
+    800 time steps of the tuning-size grid.  Paper: CFR's benefit is
+    stable across the whole range (time-step count only multiplies the
+    per-step profile, which is what FuncyTuner tuned). *)
+
+val columns : string list
+val run : Lab.t -> Series.t
+(** Rows "100" … "800" plus GM. *)

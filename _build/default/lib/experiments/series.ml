@@ -1,0 +1,46 @@
+type t = {
+  title : string;
+  columns : string list;
+  rows : (string * float list) list;
+}
+
+let make ~title ~columns rows =
+  List.iter
+    (fun (label, cells) ->
+      if List.length cells <> List.length columns then
+        invalid_arg ("Series.make: ragged row " ^ label))
+    rows;
+  { title; columns; rows }
+
+let with_geomean t =
+  let per_column i =
+    Ft_util.Stats.geomean (List.map (fun (_, cells) -> List.nth cells i) t.rows)
+  in
+  let gm = List.mapi (fun i _ -> per_column i) t.columns in
+  { t with rows = t.rows @ [ ("GM", gm) ] }
+
+let column t name =
+  let i =
+    match List.find_index (String.equal name) t.columns with
+    | Some i -> i
+    | None -> raise Not_found
+  in
+  List.map (fun (label, cells) -> (label, List.nth cells i)) t.rows
+
+let cell t ~row ~column:col =
+  let cells = List.assoc row t.rows in
+  match List.find_index (String.equal col) t.columns with
+  | Some i -> List.nth cells i
+  | None -> raise Not_found
+
+let to_table t =
+  let table = Ft_util.Table.create ~title:t.title ("" :: t.columns) in
+  List.iter
+    (fun (label, cells) ->
+      if label = "GM" then Ft_util.Table.add_separator table;
+      Ft_util.Table.add_row table
+        (label :: List.map (Ft_util.Table.fmt_f ~digits:3) cells))
+    t.rows;
+  table
+
+let print t = Ft_util.Table.print (to_table t)

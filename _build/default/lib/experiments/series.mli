@@ -1,0 +1,28 @@
+(** Figure-style result series: rows (benchmarks / categories) × columns
+    (algorithms), cell = speedup normalized to O3 — the format of every
+    bar chart in the paper.  Renders as a text table with an optional GM
+    (geometric mean) row, which is how the harness "plots" figures. *)
+
+type t = {
+  title : string;
+  columns : string list;  (** algorithm names *)
+  rows : (string * float list) list;  (** row label → one cell per column *)
+}
+
+val make : title:string -> columns:string list -> (string * float list) list -> t
+(** @raise Invalid_argument if any row's width differs from the header. *)
+
+val with_geomean : t -> t
+(** Append the paper's "GM" row (per-column geometric mean over rows). *)
+
+val column : t -> string -> (string * float) list
+(** One algorithm's values by row label.  @raise Not_found on unknown
+    columns. *)
+
+val cell : t -> row:string -> column:string -> float
+(** @raise Not_found on unknown labels. *)
+
+val to_table : t -> Ft_util.Table.t
+(** Render; speedup cells are printed with 3 decimals. *)
+
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/flags/cv.ml: Array Flag List Option Printf String

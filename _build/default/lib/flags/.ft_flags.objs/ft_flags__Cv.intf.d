@@ -1,0 +1,1 @@
+lib/flags/cv.mli: Flag

@@ -1,0 +1,1 @@
+lib/flags/flag.ml: Array

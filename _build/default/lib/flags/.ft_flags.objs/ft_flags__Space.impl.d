@@ -1,0 +1,1 @@
+lib/flags/space.ml: Array Cv Flag Ft_util

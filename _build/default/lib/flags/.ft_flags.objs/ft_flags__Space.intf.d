@@ -1,0 +1,1 @@
+lib/flags/space.mli: Cv Ft_util

@@ -1,0 +1,136 @@
+type id =
+  | Base_opt
+  | Vec
+  | Simd_width
+  | Unroll
+  | Unroll_aggressive
+  | Ipo
+  | Inline_threshold
+  | Ansi_alias
+  | Streaming_stores
+  | Prefetch
+  | Prefetch_distance
+  | Fma
+  | Interchange
+  | Fusion
+  | Distribution
+  | Tile
+  | Sched
+  | Isel
+  | Regalloc
+  | Spill_opt
+  | Align_loops
+  | Pad
+  | Branch_conv
+  | Cmov
+  | Scalar_rep
+  | Gvn
+  | Licm
+  | Func_split
+  | Jump_tables
+  | Dep_analysis
+  | Code_layout
+  | Vector_cost
+  | Heap_arrays
+
+type descriptor = {
+  d_id : id;
+  d_name : string;
+  d_values : string array;
+  d_o3 : int;
+  d_o2 : int;
+}
+
+let on_off = [| "off"; "on" |]
+
+let descriptors =
+  [|
+    { d_id = Base_opt; d_name = "-O"; d_values = [| "1"; "2"; "3" |]; d_o3 = 2; d_o2 = 1 };
+    { d_id = Vec; d_name = "-vec"; d_values = on_off; d_o3 = 1; d_o2 = 1 };
+    { d_id = Simd_width; d_name = "-simd-width"; d_values = [| "auto"; "128"; "256" |]; d_o3 = 0; d_o2 = 0 };
+    { d_id = Unroll; d_name = "-unroll"; d_values = [| "auto"; "0"; "2"; "4"; "8"; "16" |]; d_o3 = 0; d_o2 = 0 };
+    { d_id = Unroll_aggressive; d_name = "-unroll-aggressive"; d_values = on_off; d_o3 = 0; d_o2 = 0 };
+    { d_id = Ipo; d_name = "-ipo"; d_values = on_off; d_o3 = 0; d_o2 = 0 };
+    { d_id = Inline_threshold; d_name = "-inline-factor"; d_values = [| "25"; "50"; "100"; "200"; "400" |]; d_o3 = 2; d_o2 = 2 };
+    { d_id = Ansi_alias; d_name = "-ansi-alias"; d_values = on_off; d_o3 = 1; d_o2 = 1 };
+    { d_id = Streaming_stores; d_name = "-qopt-streaming-stores"; d_values = [| "auto"; "always"; "never" |]; d_o3 = 0; d_o2 = 0 };
+    { d_id = Prefetch; d_name = "-qopt-prefetch"; d_values = [| "0"; "1"; "2"; "3"; "4" |]; d_o3 = 2; d_o2 = 1 };
+    { d_id = Prefetch_distance; d_name = "-qopt-prefetch-distance"; d_values = [| "auto"; "near"; "mid"; "far" |]; d_o3 = 0; d_o2 = 0 };
+    { d_id = Fma; d_name = "-fma"; d_values = on_off; d_o3 = 1; d_o2 = 1 };
+    { d_id = Interchange; d_name = "-qopt-loop-interchange"; d_values = on_off; d_o3 = 1; d_o2 = 0 };
+    { d_id = Fusion; d_name = "-qopt-loop-fusion"; d_values = on_off; d_o3 = 1; d_o2 = 0 };
+    { d_id = Distribution; d_name = "-qopt-loop-distribution"; d_values = on_off; d_o3 = 0; d_o2 = 0 };
+    { d_id = Tile; d_name = "-qopt-block-size"; d_values = [| "none"; "8"; "16"; "32"; "64" |]; d_o3 = 0; d_o2 = 0 };
+    { d_id = Sched; d_name = "-qsched"; d_values = [| "conservative"; "default"; "aggressive" |]; d_o3 = 1; d_o2 = 1 };
+    { d_id = Isel; d_name = "-qisel"; d_values = [| "default"; "advanced"; "size" |]; d_o3 = 0; d_o2 = 0 };
+    { d_id = Regalloc; d_name = "-qregalloc"; d_values = [| "default"; "aggressive" |]; d_o3 = 0; d_o2 = 0 };
+    { d_id = Spill_opt; d_name = "-qspill-opt"; d_values = on_off; d_o3 = 1; d_o2 = 1 };
+    { d_id = Align_loops; d_name = "-falign-loops"; d_values = on_off; d_o3 = 1; d_o2 = 0 };
+    { d_id = Pad; d_name = "-pad"; d_values = on_off; d_o3 = 0; d_o2 = 0 };
+    { d_id = Branch_conv; d_name = "-qif-convert"; d_values = on_off; d_o3 = 1; d_o2 = 1 };
+    { d_id = Cmov; d_name = "-qcmov"; d_values = on_off; d_o3 = 1; d_o2 = 1 };
+    { d_id = Scalar_rep; d_name = "-scalar-rep"; d_values = on_off; d_o3 = 1; d_o2 = 0 };
+    { d_id = Gvn; d_name = "-qgvn"; d_values = on_off; d_o3 = 1; d_o2 = 1 };
+    { d_id = Licm; d_name = "-qlicm"; d_values = on_off; d_o3 = 1; d_o2 = 1 };
+    { d_id = Func_split; d_name = "-qhot-cold-split"; d_values = on_off; d_o3 = 0; d_o2 = 0 };
+    { d_id = Jump_tables; d_name = "-qjump-tables"; d_values = on_off; d_o3 = 1; d_o2 = 1 };
+    { d_id = Dep_analysis; d_name = "-qdep-analysis"; d_values = [| "basic"; "advanced"; "aggressive" |]; d_o3 = 1; d_o2 = 0 };
+    { d_id = Code_layout; d_name = "-qcode-layout"; d_values = [| "default"; "hot"; "size" |]; d_o3 = 0; d_o2 = 0 };
+    { d_id = Vector_cost; d_name = "-vec-cost-model"; d_values = [| "conservative"; "default"; "unlimited" |]; d_o3 = 1; d_o2 = 1 };
+    { d_id = Heap_arrays; d_name = "-heap-arrays"; d_values = on_off; d_o3 = 0; d_o2 = 0 };
+  |]
+
+let all = Array.map (fun d -> d.d_id) descriptors
+let count = Array.length descriptors
+
+let index = function
+  | Base_opt -> 0
+  | Vec -> 1
+  | Simd_width -> 2
+  | Unroll -> 3
+  | Unroll_aggressive -> 4
+  | Ipo -> 5
+  | Inline_threshold -> 6
+  | Ansi_alias -> 7
+  | Streaming_stores -> 8
+  | Prefetch -> 9
+  | Prefetch_distance -> 10
+  | Fma -> 11
+  | Interchange -> 12
+  | Fusion -> 13
+  | Distribution -> 14
+  | Tile -> 15
+  | Sched -> 16
+  | Isel -> 17
+  | Regalloc -> 18
+  | Spill_opt -> 19
+  | Align_loops -> 20
+  | Pad -> 21
+  | Branch_conv -> 22
+  | Cmov -> 23
+  | Scalar_rep -> 24
+  | Gvn -> 25
+  | Licm -> 26
+  | Func_split -> 27
+  | Jump_tables -> 28
+  | Dep_analysis -> 29
+  | Code_layout -> 30
+  | Vector_cost -> 31
+  | Heap_arrays -> 32
+
+let descriptor id = descriptors.(index id)
+let name id = (descriptor id).d_name
+let values id = (descriptor id).d_values
+let arity id = Array.length (descriptor id).d_values
+let default_o3 id = (descriptor id).d_o3
+let default_o2 id = (descriptor id).d_o2
+
+let space_size () =
+  Array.fold_left
+    (fun acc d -> acc *. float_of_int (Array.length d.d_values))
+    1.0 descriptors
+
+let of_name s =
+  let found = ref None in
+  Array.iter (fun d -> if d.d_name = s then found := Some d.d_id) descriptors;
+  !found

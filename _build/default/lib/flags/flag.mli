@@ -1,0 +1,79 @@
+(** The compiler optimization flag vocabulary.
+
+    The paper tunes 33 optimization-related flags of the Intel 17.04
+    compilers (§3.2): binary switches plus multi-valued parametric options,
+    discretized, giving a compiler optimization space (COS) of roughly
+    2.3e13 points.  This module defines the equivalent vocabulary for the
+    simulated compiler: 33 flags whose domain-size product is ≈ 2.1e13.
+
+    Floating-point-behaviour flags are deliberately absent: like the paper,
+    the framework always compiles with the equivalent of
+    [-fp-model source] so that all code variants are numerically
+    comparable.  Processor-specific ISA flags ([-xAVX], [-xCORE-AVX2]) are
+    attached to the architecture, not to the search space (Table 2). *)
+
+type id =
+  | Base_opt  (** base optimization level: O1 / O2 / O3 *)
+  | Vec  (** auto-vectorizer master switch ([-no-vec] when off) *)
+  | Simd_width  (** preferred SIMD width: auto / 128 / 256 bit *)
+  | Unroll  (** loop unroll bound: auto / 0 / 2 / 4 / 8 / 16 *)
+  | Unroll_aggressive  (** unroll beyond the cost model's comfort *)
+  | Ipo  (** cross-module interprocedural optimization at link time *)
+  | Inline_threshold  (** inliner budget as % of default: 25..400 *)
+  | Ansi_alias  (** assume strict ANSI aliasing rules *)
+  | Streaming_stores  (** non-temporal stores: auto / always / never *)
+  | Prefetch  (** software prefetch aggressiveness 0..4 *)
+  | Prefetch_distance  (** prefetch distance: auto / near / mid / far *)
+  | Fma  (** fused multiply-add contraction *)
+  | Interchange  (** loop interchange *)
+  | Fusion  (** loop fusion *)
+  | Distribution  (** loop distribution *)
+  | Tile  (** loop tiling block size: none / 8 / 16 / 32 / 64 *)
+  | Sched  (** instruction scheduling effort (the paper's "IO") *)
+  | Isel  (** instruction selection strategy (the paper's "IS") *)
+  | Regalloc  (** register allocation strategy *)
+  | Spill_opt  (** spill-code placement optimization *)
+  | Align_loops  (** align loop heads to fetch boundaries *)
+  | Pad  (** inter-array padding of shared arrays *)
+  | Branch_conv  (** if-conversion of divergent branches *)
+  | Cmov  (** use conditional moves *)
+  | Scalar_rep  (** scalar replacement of array references *)
+  | Gvn  (** global value numbering / PRE *)
+  | Licm  (** loop-invariant code motion *)
+  | Func_split  (** hot/cold function splitting *)
+  | Jump_tables  (** lower switches to jump tables *)
+  | Dep_analysis  (** dependence-analysis precision: basic/advanced/aggressive *)
+  | Code_layout  (** code placement: default / hot-grouped / size *)
+  | Vector_cost  (** vectorizer cost model: conservative/default/unlimited *)
+  | Heap_arrays  (** move large temporaries to the heap *)
+
+val all : id array
+(** Every flag, in canonical order.  [Array.length all = 33]. *)
+
+val count : int
+(** Number of flags (33). *)
+
+val index : id -> int
+(** Position of a flag in {!all} (also its slot in a CV). *)
+
+val name : id -> string
+(** Command-line spelling, e.g. ["-unroll"]. *)
+
+val values : id -> string array
+(** Printable domain of the flag, e.g. [[|"auto";"0";"2";"4";"8";"16"|]].
+    Always at least two values. *)
+
+val arity : id -> int
+(** [Array.length (values id)]. *)
+
+val default_o3 : id -> int
+(** Value index the simulated [-O3] uses for this flag. *)
+
+val default_o2 : id -> int
+(** Value index the simulated [-O2] uses. *)
+
+val space_size : unit -> float
+(** Product of all arities — the size of the COS (≈ 2.1e13). *)
+
+val of_name : string -> id option
+(** Inverse of {!name}. *)

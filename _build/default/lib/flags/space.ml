@@ -1,0 +1,43 @@
+module Rng = Ft_util.Rng
+
+let sample rng = Cv.make (fun id -> Rng.int rng (Flag.arity id))
+let sample_pool rng k = Array.init k (fun _ -> sample rng)
+
+let sample_binary rng =
+  Cv.make (fun id ->
+      if Rng.bool rng then Cv.binary_alternative id else Flag.default_o3 id)
+
+let mutate rng cv =
+  let id = Rng.choose rng Flag.all in
+  let arity = Flag.arity id in
+  let current = Cv.get cv id in
+  (* Pick uniformly among the other values. *)
+  let shift = 1 + Rng.int rng (arity - 1) in
+  Cv.set cv id ((current + shift) mod arity)
+
+let rec mutate_n rng n cv = if n <= 0 then cv else mutate_n rng (n - 1) (mutate rng cv)
+
+let crossover rng a b =
+  Cv.make (fun id -> if Rng.bool rng then Cv.get a id else Cv.get b id)
+
+let distance a b =
+  Array.fold_left
+    (fun acc id -> if Cv.get a id = Cv.get b id then acc else acc + 1)
+    0 Flag.all
+
+let dimensions = Flag.count
+
+let to_point cv =
+  Array.map
+    (fun id ->
+      let arity = float_of_int (Flag.arity id) in
+      (float_of_int (Cv.get cv id) +. 0.5) /. arity)
+    Flag.all
+
+let of_point x =
+  if Array.length x <> dimensions then
+    invalid_arg "Space.of_point: wrong dimension";
+  Cv.make (fun id ->
+      let arity = Flag.arity id in
+      let coord = Ft_util.Stats.clamp ~lo:0.0 ~hi:0.999999 x.(Flag.index id) in
+      int_of_float (coord *. float_of_int arity))

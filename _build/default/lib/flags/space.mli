@@ -1,0 +1,47 @@
+(** Sampling and search-space geometry over the compiler optimization space.
+
+    All search algorithms in the paper start from the same primitive: a pool
+    of K = 1000 CVs sampled uniformly at random (each flag value chosen with
+    equal probability, §3.2).  The geometric helpers (neighbours, crossover,
+    continuous relaxation) support the OpenTuner-style ensemble baselines. *)
+
+val sample : Ft_util.Rng.t -> Cv.t
+(** One uniform CV: every flag picks among its values with equal
+    probability. *)
+
+val sample_pool : Ft_util.Rng.t -> int -> Cv.t array
+(** [sample_pool rng k] draws [k] independent uniform CVs — the paper's
+    pre-sampled pool (step 1 of Figs. 2–4). *)
+
+val sample_binary : Ft_util.Rng.t -> Cv.t
+(** Uniform over the binarized subspace (each flag: O3 default or its
+    {!Cv.binary_alternative}), as used for COBAYN. *)
+
+val mutate : Ft_util.Rng.t -> Cv.t -> Cv.t
+(** Change exactly one uniformly chosen flag to a different value — the unit
+    neighbourhood step of hill-climbing searches. *)
+
+val mutate_n : Ft_util.Rng.t -> int -> Cv.t -> Cv.t
+(** Apply [n] successive {!mutate} steps. *)
+
+val crossover : Ft_util.Rng.t -> Cv.t -> Cv.t -> Cv.t
+(** Uniform crossover: each flag comes from either parent with equal
+    probability (genetic-algorithm primitive). *)
+
+val distance : Cv.t -> Cv.t -> int
+(** Hamming distance in flag positions. *)
+
+(** {1 Continuous relaxation}
+
+    Nelder–Mead and Torczon pattern search operate on real vectors; a CV is
+    relaxed to a point of [0,1)^33 where coordinate [i] selects value
+    [floor (x.(i) *. arity_i)].  Decoding clamps coordinates into [0,1). *)
+
+val to_point : Cv.t -> float array
+(** Centre of the CV's cell in the relaxed cube. *)
+
+val of_point : float array -> Cv.t
+(** Decode (with clamping).  @raise Invalid_argument on wrong dimension. *)
+
+val dimensions : int
+(** 33. *)

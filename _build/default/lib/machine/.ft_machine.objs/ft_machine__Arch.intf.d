@@ -1,0 +1,1 @@
+lib/machine/arch.mli: Ft_prog

@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Arch Cunit Decision Feature Float Ft_compiler Ft_flags Ft_prog Ft_util Input Linker List Loop Program Quirk

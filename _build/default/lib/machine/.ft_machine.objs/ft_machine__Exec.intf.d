@@ -1,0 +1,1 @@
+lib/machine/exec.mli: Arch Ft_compiler Ft_prog Ft_util

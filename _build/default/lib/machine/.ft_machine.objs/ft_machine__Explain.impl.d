@@ -1,0 +1,1 @@
+lib/machine/explain.ml: Buffer Exec Ft_compiler List Printf

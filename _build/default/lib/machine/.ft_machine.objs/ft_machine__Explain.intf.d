@@ -1,0 +1,1 @@
+lib/machine/explain.mli: Exec Ft_compiler

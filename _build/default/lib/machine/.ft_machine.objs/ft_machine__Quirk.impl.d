@@ -1,0 +1,1 @@
+lib/machine/quirk.ml: Array Ft_flags Ft_prog Ft_util Hashtbl Printf

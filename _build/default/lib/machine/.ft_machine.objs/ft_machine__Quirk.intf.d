@@ -1,0 +1,1 @@
+lib/machine/quirk.mli: Ft_flags Ft_prog

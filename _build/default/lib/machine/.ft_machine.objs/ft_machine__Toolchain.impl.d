@@ -1,0 +1,1 @@
+lib/machine/toolchain.ml: Arch Cprofile Cunit Ft_compiler Linker Target

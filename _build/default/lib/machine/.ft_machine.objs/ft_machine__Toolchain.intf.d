@@ -1,0 +1,1 @@
+lib/machine/toolchain.mli: Arch Ft_compiler Ft_flags Ft_prog

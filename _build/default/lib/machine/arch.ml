@@ -1,0 +1,123 @@
+open Ft_prog
+
+type t = {
+  platform : Platform.t;
+  freq_ghz : float;
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  numa_nodes : int;
+  mem_gb : int;
+  issue_flops : float;
+  fp_latency : float;
+  l2_kb : float;
+  llc_kb_per_socket : float;
+  icache_kb : float;
+  dram_gbs_per_socket : float;
+  llc_gbs : float;
+  l2_bytes_per_cycle : float;
+  mask_cost : float;
+  gather_cost : float;
+  strided_cost : float;
+  avx256_throttle : float;
+  mispredict_cycles : float;
+  barrier_us : float;
+  omp_threads : int;
+  smt_boost : float;
+  serial_bw_fraction : float;
+}
+
+let of_platform (platform : Platform.t) =
+  match platform with
+  | Opteron ->
+      {
+        platform;
+        freq_ghz = 2.0;
+        sockets = 2;
+        cores_per_socket = 4;
+        threads_per_core = 2;
+        numa_nodes = 4;
+        mem_gb = 32;
+        issue_flops = 2.0;
+        fp_latency = 4.0;
+        l2_kb = 512.0;
+        llc_kb_per_socket = 6144.0;
+        icache_kb = 64.0;
+        dram_gbs_per_socket = 21.0;
+        llc_gbs = 90.0;
+        l2_bytes_per_cycle = 16.0;
+        mask_cost = 1.3;
+        gather_cost = 2.0;
+        strided_cost = 1.5;
+        avx256_throttle = 0.0;
+        mispredict_cycles = 18.0;
+        barrier_us = 4.0;
+        omp_threads = 16;
+        smt_boost = 1.3;
+        serial_bw_fraction = 0.35;
+      }
+  | Sandy_bridge ->
+      {
+        platform;
+        freq_ghz = 2.0;
+        sockets = 2;
+        cores_per_socket = 8;
+        threads_per_core = 2;
+        numa_nodes = 2;
+        mem_gb = 16;
+        issue_flops = 2.0;
+        fp_latency = 4.0;
+        l2_kb = 256.0;
+        llc_kb_per_socket = 20480.0;
+        icache_kb = 32.0;
+        dram_gbs_per_socket = 40.0;
+        llc_gbs = 250.0;
+        l2_bytes_per_cycle = 32.0;
+        mask_cost = 1.0;
+        gather_cost = 1.8;
+        strided_cost = 1.3;
+        avx256_throttle = 0.05;
+        mispredict_cycles = 16.0;
+        barrier_us = 2.5;
+        omp_threads = 16;
+        smt_boost = 1.0;
+        serial_bw_fraction = 0.3;
+      }
+  | Broadwell ->
+      {
+        platform;
+        freq_ghz = 2.1;
+        sockets = 2;
+        cores_per_socket = 8;
+        threads_per_core = 2;
+        numa_nodes = 2;
+        mem_gb = 64;
+        issue_flops = 2.0;
+        fp_latency = 4.0;
+        l2_kb = 256.0;
+        llc_kb_per_socket = 20480.0;
+        icache_kb = 32.0;
+        dram_gbs_per_socket = 54.0;
+        llc_gbs = 300.0;
+        l2_bytes_per_cycle = 32.0;
+        mask_cost = 0.85;
+        gather_cost = 1.2;
+        strided_cost = 1.1;
+        avx256_throttle = 0.10;
+        mispredict_cycles = 15.0;
+        barrier_us = 2.0;
+        omp_threads = 16;
+        smt_boost = 1.0;
+        serial_bw_fraction = 0.3;
+      }
+
+let physical_cores t = t.sockets * t.cores_per_socket
+
+let effective_cores t =
+  let physical = float_of_int (physical_cores t) in
+  let threads = float_of_int t.omp_threads in
+  if threads <= physical then threads else physical *. t.smt_boost
+
+let aggregate_dram_gbs t =
+  (* 0.9: imperfect NUMA locality with explicit proclist pinning. *)
+  float_of_int t.sockets *. t.dram_gbs_per_socket *. 0.9

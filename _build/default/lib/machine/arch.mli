@@ -1,0 +1,51 @@
+(** Execution-time architecture models for the three platforms of Table 2.
+
+    Unlike {!Ft_compiler.Target} (what the compiler believes about the ISA),
+    these records describe how code actually performs: frequencies, cache
+    capacities, achievable bandwidths, SIMD-hostility costs, the AVX-256
+    frequency license, and OpenMP scaling behaviour.  The gap between a
+    personality's estimated costs and these true costs is the headroom the
+    auto-tuners compete for. *)
+
+type t = {
+  platform : Ft_prog.Platform.t;
+  freq_ghz : float;
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  numa_nodes : int;
+  mem_gb : int;
+  issue_flops : float;  (** scalar double-precision flops per core-cycle *)
+  fp_latency : float;  (** FP pipeline latency in cycles *)
+  l2_kb : float;  (** per-core L2 (Opteron: per-core share) *)
+  llc_kb_per_socket : float;
+  icache_kb : float;  (** instruction cache relevant to hot loops *)
+  dram_gbs_per_socket : float;  (** achievable stream bandwidth *)
+  llc_gbs : float;  (** aggregate last-level-cache bandwidth *)
+  l2_bytes_per_cycle : float;  (** per-core L2 bandwidth *)
+  mask_cost : float;  (** true per-element cost of masked divergence *)
+  gather_cost : float;  (** true per-lane-pair cost of gathers *)
+  strided_cost : float;  (** true per-lane-pair shuffle cost *)
+  avx256_throttle : float;
+      (** whole-chip frequency loss when 256-bit units are hot (the AVX
+          license offset; 0 on Opteron) *)
+  mispredict_cycles : float;
+  barrier_us : float;  (** OpenMP fork/join + barrier cost per invocation *)
+  omp_threads : int;  (** 16 on all three platforms (Table 2) *)
+  smt_boost : float;
+      (** throughput multiplier per physical core from running 2 SMT
+          threads (1.0 = SMT useless for this workload mix) *)
+  serial_bw_fraction : float;
+      (** fraction of one socket's bandwidth reachable by a single thread *)
+}
+
+val of_platform : Ft_prog.Platform.t -> t
+(** The Table 2 machines. *)
+
+val physical_cores : t -> int
+val effective_cores : t -> float
+(** Core-equivalents available to the 16 OpenMP threads, including the SMT
+    boost when threads outnumber physical cores. *)
+
+val aggregate_dram_gbs : t -> float
+(** All sockets combined, after a NUMA-locality discount. *)

@@ -1,0 +1,61 @@
+(** Execution of a linked binary on an architecture: the true cost model.
+
+    For every region the model prices the compiler's decisions against the
+    loop's features, roofline-style: a compute/latency term (SIMD lane
+    efficiency degraded by divergence masks, gathers and shuffles; FP
+    dependence chains broken — or not — by unrolling; mispredictions;
+    spills; call and loop overheads) raced against a memory term (working
+    set mapped to a cache level; DRAM bandwidth shared by all threads and
+    modulated by prefetching and non-temporal stores), plus OpenMP
+    fork/join cost per invocation.
+
+    Three whole-binary couplings make module compilation non-separable,
+    reproducing the paper's central observation (§4.4):
+    - the AVX-256 frequency license slows {e every} region when 256-bit
+      regions are hot (Intel platforms only);
+    - aggregate hot-code size beyond the i-cache penalizes all loops;
+    - shared-array padding/alignment chosen by the {e non-loop} module's CV
+      changes vectorized loops' efficiency.
+
+    [evaluate] is pure and noise-free; [measure] adds multiplicative
+    log-normal measurement noise (σ ≈ 1 %, matching the paper's reported
+    run-to-run deviations) and models Caliper's ≤ 3 % instrumentation
+    overhead on instrumented builds. *)
+
+type region_report = {
+  name : string;
+  seconds : float;  (** final noise-free time of this region *)
+  compute_s : float;  (** compute-bound component (after couplings) *)
+  memory_s : float;  (** memory-bound component *)
+  width : Ft_compiler.Decision.width;  (** as linked *)
+  decision : Ft_compiler.Decision.t;  (** final (post-link) decision *)
+}
+
+type run = {
+  total_s : float;  (** noise-free end-to-end runtime *)
+  nonloop : region_report;
+  loops : region_report list;  (** in program order *)
+  freq_factor : float;  (** applied AVX frequency derating (≤ 1) *)
+  icache_mult : float;  (** applied i-cache pressure multiplier (≥ 1) *)
+}
+
+val evaluate :
+  arch:Arch.t -> input:Ft_prog.Input.t -> Ft_compiler.Linker.binary -> run
+(** Deterministic, noise-free execution. *)
+
+type measurement = {
+  elapsed_s : float;  (** noisy end-to-end wall time *)
+  region_samples : (string * float) list;
+      (** per-loop Caliper samples — present only on instrumented builds,
+          and never for the non-loop region (the paper derives it by
+          subtraction, §3.3) *)
+}
+
+val measure :
+  arch:Arch.t ->
+  input:Ft_prog.Input.t ->
+  rng:Ft_util.Rng.t ->
+  Ft_compiler.Linker.binary ->
+  measurement
+(** One timed run with measurement noise (and instrumentation overhead when
+    the binary is instrumented). *)

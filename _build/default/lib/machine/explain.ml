@@ -1,0 +1,60 @@
+type boundedness = Compute_bound | Memory_bound | Balanced
+
+type t = {
+  region : string;
+  seconds : float;
+  boundedness : boundedness;
+  compute_s : float;
+  memory_s : float;
+  balance : float;
+  decision : Ft_compiler.Decision.t;
+  share : float;
+}
+
+let classify ~compute_s ~memory_s =
+  if memory_s <= 0.0 then Compute_bound
+  else
+    let ratio = compute_s /. memory_s in
+    if ratio > 1.25 then Compute_bound
+    else if ratio < 0.8 then Memory_bound
+    else Balanced
+
+let boundedness_name = function
+  | Compute_bound -> "compute-bound"
+  | Memory_bound -> "memory-bound"
+  | Balanced -> "balanced"
+
+let of_region ~total (r : Exec.region_report) =
+  {
+    region = r.Exec.name;
+    seconds = r.Exec.seconds;
+    boundedness = classify ~compute_s:r.Exec.compute_s ~memory_s:r.Exec.memory_s;
+    compute_s = r.Exec.compute_s;
+    memory_s = r.Exec.memory_s;
+    balance =
+      (if r.Exec.memory_s > 0.0 then r.Exec.compute_s /. r.Exec.memory_s
+       else infinity);
+    decision = r.Exec.decision;
+    share = r.Exec.seconds /. total;
+  }
+
+let of_run (run : Exec.run) =
+  let total = run.Exec.total_s in
+  List.map (of_region ~total) (run.Exec.loops @ [ run.Exec.nonloop ])
+  |> List.sort (fun a b -> compare b.seconds a.seconds)
+
+let render run =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "end-to-end %.3f s  (frequency derating %.3f, i-cache multiplier %.3f)\n"
+       run.Exec.total_s run.Exec.freq_factor run.Exec.icache_mult);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-16s %6.1f%%  %-13s  [%s]\n" e.region
+           (100.0 *. e.share)
+           (boundedness_name e.boundedness)
+           (Ft_compiler.Decision.summary e.decision)))
+    (of_run run);
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Human-readable accounting of where a region's time comes from.
+
+    [Exec] prices a region as max(compute, memory) + fixed cost under
+    whole-binary couplings; this module classifies each region (compute-,
+    memory- or latency-bound) and renders the breakdown — the tool a
+    performance engineer reaches for when a tuned CV surprises them, and
+    what the deep-dive example prints. *)
+
+type boundedness = Compute_bound | Memory_bound | Balanced
+
+type t = {
+  region : string;
+  seconds : float;
+  boundedness : boundedness;
+  compute_s : float;
+  memory_s : float;
+  balance : float;  (** compute/memory ratio; 1.0 = perfectly balanced *)
+  decision : Ft_compiler.Decision.t;
+  share : float;  (** of end-to-end time *)
+}
+
+val of_run : Exec.run -> t list
+(** One entry per region (loops then the non-loop region), hottest
+    first. *)
+
+val boundedness_name : boundedness -> string
+
+val render : Exec.run -> string
+(** Multi-line report: per-region share, bound class, decision summary,
+    plus the whole-binary couplings (frequency derating, i-cache
+    multiplier). *)

@@ -1,0 +1,37 @@
+module Rng = Ft_util.Rng
+module Flag = Ft_flags.Flag
+module Cv = Ft_flags.Cv
+
+let amplitude = 0.002
+
+let flag_factor ~platform ~program ~region (flag : Flag.id) value =
+  let key =
+    Printf.sprintf "quirk:%s:%s:%s:%s=%d"
+      (Ft_prog.Platform.short_name platform)
+      program region (Flag.name flag) value
+  in
+  let rng = Rng.create (Rng.hash_string key) in
+  1.0 +. ((Rng.float rng 2.0 -. 1.0) *. amplitude)
+
+(* The same ~1000 pooled CVs are priced against the same regions hundreds
+   of thousands of times during a search, so the product is memoized on
+   (platform, program, region, CV).  Cv.hash is stable and collisions are
+   harmless here (a collision would only alias one ±few-% texture value). *)
+let memo : (string * int, float) Hashtbl.t = Hashtbl.create 4096
+
+let factor ~platform ~program ~region cv =
+  let key =
+    ( Ft_prog.Platform.short_name platform ^ ":" ^ program ^ ":" ^ region,
+      Cv.hash cv )
+  in
+  match Hashtbl.find_opt memo key with
+  | Some f -> f
+  | None ->
+      let f =
+        Array.fold_left
+          (fun acc flag ->
+            acc *. flag_factor ~platform ~program ~region flag (Cv.get cv flag))
+          1.0 Flag.all
+      in
+      Hashtbl.replace memo key f;
+      f

@@ -1,0 +1,34 @@
+(** Deterministic per-loop micro-sensitivities to individual flag values.
+
+    Real flag→performance landscapes are rugged: beyond the first-order
+    effects (vectorization, unrolling, …) every loop has small idiosyncratic
+    reactions to individual flag settings — code placement luck, uop-cache
+    effects, store-buffer interactions.  This module provides that texture
+    as a pure function of (platform, program, region, flag, value), so the
+    landscape is rugged but perfectly reproducible: the same CV on the same
+    loop always performs identically.
+
+    The magnitude is small (each flag contributes ±1.5 %); first-order model
+    terms dominate, but top-X per-loop pruning has realistic fine structure
+    to exploit. *)
+
+val factor :
+  platform:Ft_prog.Platform.t ->
+  program:string ->
+  region:string ->
+  Ft_flags.Cv.t ->
+  float
+(** Product of the per-flag multipliers for this CV on this region; always
+    within [(1 - 0.015)^33, (1 + 0.015)^33] ≈ [0.61, 1.63] in theory, and
+    within a few percent of 1.0 in practice (independent ± contributions
+    cancel). *)
+
+val flag_factor :
+  platform:Ft_prog.Platform.t ->
+  program:string ->
+  region:string ->
+  Ft_flags.Flag.id ->
+  int ->
+  float
+(** The multiplier contributed by one flag value alone (exposed for tests:
+    determinism and bounds). *)

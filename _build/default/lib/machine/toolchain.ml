@@ -1,0 +1,27 @@
+open Ft_compiler
+
+type t = { cprofile : Cprofile.t; target : Target.t; arch : Arch.t }
+
+let make ?(vendor = Cprofile.Icc) platform =
+  let cprofile =
+    match vendor with Cprofile.Icc -> Cprofile.icc | Cprofile.Gcc -> Cprofile.gcc
+  in
+  {
+    cprofile;
+    target = Target.for_platform platform;
+    arch = Arch.of_platform platform;
+  }
+
+let compile_assigned t ~cv_of ?(instrumented = false) program =
+  let units =
+    Cunit.compile_program ~profile:t.cprofile ~target:t.target ~cv_of program
+  in
+  Linker.link ~target:t.target ~program ~instrumented units
+
+let compile_uniform t ?(pgo = None) ~cv ?(instrumented = false) program =
+  let units =
+    Cunit.compile_program ~profile:t.cprofile ~target:t.target ~pgo
+      ~cv_of:(fun _ -> cv)
+      program
+  in
+  Linker.link ~target:t.target ~program ~instrumented units

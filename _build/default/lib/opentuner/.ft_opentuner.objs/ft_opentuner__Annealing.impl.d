@@ -1,0 +1,1 @@
+lib/opentuner/annealing.ml: Float Ft_flags Ft_util List Technique

@@ -1,0 +1,1 @@
+lib/opentuner/annealing.mli: Ft_util Technique

@@ -1,0 +1,1 @@
+lib/opentuner/bandit.ml: Ft_util List

@@ -1,0 +1,1 @@
+lib/opentuner/de.ml: Array Ft_flags Ft_util List Technique

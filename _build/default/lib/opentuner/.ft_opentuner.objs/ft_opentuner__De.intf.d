@@ -1,0 +1,1 @@
+lib/opentuner/de.mli: Ft_util Technique

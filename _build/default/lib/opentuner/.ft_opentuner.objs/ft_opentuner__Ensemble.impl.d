@@ -1,0 +1,1 @@
+lib/opentuner/ensemble.ml: Annealing Array Bandit De Ft_flags Ft_util Funcytuner Ga List Nelder_mead Pso Technique Torczon

@@ -1,0 +1,1 @@
+lib/opentuner/ensemble.mli: Funcytuner

@@ -1,0 +1,1 @@
+lib/opentuner/ga.ml: Ft_flags Ft_util List Technique

@@ -1,0 +1,1 @@
+lib/opentuner/ga.mli: Ft_util Technique

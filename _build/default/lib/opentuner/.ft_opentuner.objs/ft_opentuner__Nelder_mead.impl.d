@@ -1,0 +1,1 @@
+lib/opentuner/nelder_mead.ml: Array Float Ft_flags Ft_util Technique

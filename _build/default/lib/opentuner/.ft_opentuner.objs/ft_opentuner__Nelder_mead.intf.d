@@ -1,0 +1,1 @@
+lib/opentuner/nelder_mead.mli: Ft_util Technique

@@ -1,0 +1,1 @@
+lib/opentuner/pso.ml: Array Ft_flags Ft_util List Technique

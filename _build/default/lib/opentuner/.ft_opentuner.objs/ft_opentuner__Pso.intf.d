@@ -1,0 +1,1 @@
+lib/opentuner/pso.mli: Ft_util Technique

@@ -1,0 +1,1 @@
+lib/opentuner/technique.ml: Ft_flags List

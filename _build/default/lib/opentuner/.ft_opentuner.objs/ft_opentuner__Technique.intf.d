@@ -1,0 +1,1 @@
+lib/opentuner/technique.mli: Ft_flags

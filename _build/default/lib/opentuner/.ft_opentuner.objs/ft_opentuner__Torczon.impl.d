@@ -1,0 +1,1 @@
+lib/opentuner/torczon.ml: Ft_flags Ft_util List Technique

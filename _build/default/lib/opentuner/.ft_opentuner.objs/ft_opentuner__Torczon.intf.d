@@ -1,0 +1,1 @@
+lib/opentuner/torczon.mli: Ft_util Technique

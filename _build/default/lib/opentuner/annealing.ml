@@ -1,0 +1,33 @@
+module Rng = Ft_util.Rng
+module Space = Ft_flags.Space
+
+let create ?(initial_temperature = 0.05) ?(cooling = 0.995) ~rng () =
+  let incumbent = ref (Space.sample rng) in
+  let incumbent_cost = ref infinity in
+  let temperature = ref initial_temperature in
+  let pending = ref [] in
+  let propose () =
+    let trial =
+      if !incumbent_cost = infinity then !incumbent
+      else Space.mutate_n rng (1 + Rng.int rng 3) !incumbent
+    in
+    pending := trial :: !pending;
+    trial
+  in
+  let feedback cv cost =
+    if List.exists (Ft_flags.Cv.equal cv) !pending then begin
+      pending := List.filter (fun c -> not (Ft_flags.Cv.equal c cv)) !pending;
+      let accept =
+        if cost < !incumbent_cost then true
+        else
+          let delta = (cost -. !incumbent_cost) /. !incumbent_cost in
+          Rng.float rng 1.0 < exp (-.delta /. Float.max 1e-6 !temperature)
+      in
+      if accept then begin
+        incumbent := cv;
+        incumbent_cost := cost
+      end;
+      temperature := !temperature *. cooling
+    end
+  in
+  { Technique.name = "SimulatedAnnealing"; propose; feedback }

@@ -1,0 +1,16 @@
+(** Simulated annealing on the discrete flag lattice.
+
+    A single walker mutates 1–3 flags per step and accepts worsening moves
+    with probability exp(-Δ/T) under a geometric cooling schedule; the
+    temperature is expressed relative to the incumbent's cost so the
+    technique is scale-free in the objective.  (Simulated annealing is
+    part of OpenTuner's stock technique set.) *)
+
+val create :
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  rng:Ft_util.Rng.t ->
+  unit ->
+  Technique.t
+(** Defaults: initial relative temperature 0.05 (a 5 % regression is
+    accepted with probability 1/e at the start), cooling 0.995/step. *)

@@ -1,0 +1,59 @@
+type arm = {
+  name : string;
+  mutable history : bool list;  (* newest first, bounded by window *)
+  mutable n : int;
+}
+
+type t = { arms : arm list; window : int; exploration : float; mutable total : int }
+
+let create ?(window = 50) ?(exploration = 1.0) names =
+  {
+    arms = List.map (fun name -> { name; history = []; n = 0 }) names;
+    window;
+    exploration;
+    total = 0;
+  }
+
+let find t name =
+  match List.find_opt (fun a -> a.name = name) t.arms with
+  | Some a -> a
+  | None -> invalid_arg ("Bandit: unknown arm " ^ name)
+
+let auc_of_history history =
+  (* Trapezoid area under the cumulative-success curve, newest weighted
+     most: sum_i v_i * i, normalized by the maximal area. *)
+  let n = List.length history in
+  if n = 0 then 0.0
+  else begin
+    let num = ref 0 and denom = ref 0 in
+    (* history is newest-first; weight newest highest. *)
+    List.iteri
+      (fun i v ->
+        let w = n - i in
+        if v then num := !num + w;
+        denom := !denom + w)
+      history;
+    float_of_int !num /. float_of_int !denom
+  end
+
+let select t =
+  t.total <- t.total + 1;
+  match List.find_opt (fun a -> a.n = 0) t.arms with
+  | Some a -> a.name
+  | None ->
+      let score a =
+        auc_of_history a.history
+        +. t.exploration
+           *. sqrt (2.0 *. log (float_of_int t.total) /. float_of_int a.n)
+      in
+      (Ft_util.Stats.max_by score t.arms).name
+
+let reward t name improved =
+  let a = find t name in
+  a.n <- a.n + 1;
+  a.history <- improved :: a.history;
+  if List.length a.history > t.window then
+    a.history <- List.filteri (fun i _ -> i < t.window) a.history
+
+let uses t name = (find t name).n
+let auc t name = auc_of_history (find t name).history

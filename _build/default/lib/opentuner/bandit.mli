@@ -1,0 +1,30 @@
+(** The AUC multi-armed bandit meta-technique (OpenTuner §3.1).
+
+    OpenTuner assigns each evaluation to a technique using a sliding-window
+    bandit whose exploitation term is the {e area under the curve} of the
+    technique's recent successes: within the window, a success (the
+    proposal improved the global best) at a more recent position
+    contributes more area.  The score of arm a is
+
+      auc(a) + c * sqrt(2 ln t / n_a)
+
+    with the usual UCB exploration term.  Unused arms are tried first. *)
+
+type t
+
+val create : ?window:int -> ?exploration:float -> string list -> t
+(** [create names] — one arm per technique name.  Window 50,
+    exploration 1.0 by default. *)
+
+val select : t -> string
+(** Name of the arm to use for the next evaluation. *)
+
+val reward : t -> string -> bool -> unit
+(** [reward t name improved] records whether the arm's proposal improved
+    the global best. *)
+
+val uses : t -> string -> int
+(** Evaluations assigned to an arm so far (for reporting). *)
+
+val auc : t -> string -> float
+(** Current AUC score of an arm (0 if its window is empty). *)

@@ -1,0 +1,58 @@
+module Rng = Ft_util.Rng
+module Space = Ft_flags.Space
+
+type member = { mutable point : float array; mutable cost : float }
+
+let create ?(population = 24) ?(f = 0.6) ?(cr = 0.8) ~rng () =
+  let members =
+    Array.init population (fun _ ->
+        {
+          point = Array.init Space.dimensions (fun _ -> Rng.float rng 1.0);
+          cost = infinity;
+        })
+  in
+  let target = ref 0 in
+  let pending = ref [] in
+  let propose () =
+    let i = !target in
+    target := (i + 1) mod population;
+    let m = members.(i) in
+    let trial =
+      if m.cost = infinity then Array.copy m.point
+      else begin
+        let distinct () =
+          let rec pick () =
+            let j = Rng.int rng population in
+            if j = i then pick () else j
+          in
+          pick ()
+        in
+        let a = members.(distinct ()).point
+        and b = members.(distinct ()).point
+        and c = members.(distinct ()).point in
+        let forced = Rng.int rng Space.dimensions in
+        Array.init Space.dimensions (fun d ->
+            if d = forced || Rng.float rng 1.0 < cr then
+              Ft_util.Stats.clamp ~lo:0.0 ~hi:0.999999
+                (a.(d) +. (f *. (b.(d) -. c.(d))))
+            else m.point.(d))
+      end
+    in
+    let cv = Space.of_point trial in
+    pending := (cv, i, trial) :: !pending;
+    cv
+  in
+  let feedback cv cost =
+    match
+      List.find_opt (fun (c, _, _) -> Ft_flags.Cv.equal c cv) !pending
+    with
+    | None -> ()
+    | Some ((_, i, trial) as entry) ->
+        pending := List.filter (fun e -> e != entry) !pending;
+        let m = members.(i) in
+        if cost < m.cost then begin
+          m.point <- trial;
+          m.cost <- cost
+        end
+  in
+  { Technique.name = "DifferentialEvolution"; propose; feedback }

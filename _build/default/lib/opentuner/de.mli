@@ -1,0 +1,16 @@
+(** Differential evolution over the continuous relaxation of the CV space.
+
+    Classic DE/rand/1/bin: for a target population member, a mutant is
+    formed as [a + f * (b - c)] from three distinct other members and
+    crossed over coordinate-wise with probability [cr]; the trial replaces
+    the target if it measures faster.  Points live in [0,1)^33 and decode
+    through {!Ft_flags.Space.of_point}. *)
+
+val create :
+  ?population:int ->
+  ?f:float ->
+  ?cr:float ->
+  rng:Ft_util.Rng.t ->
+  unit ->
+  Technique.t
+(** Defaults: population 24, f = 0.6, cr = 0.8. *)

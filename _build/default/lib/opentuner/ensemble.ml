@@ -1,0 +1,71 @@
+module Context = Funcytuner.Context
+module Result = Funcytuner.Result
+
+type t = {
+  result : Result.t;
+  technique_uses : (string * int) list;
+}
+
+let run ?budget (ctx : Context.t) =
+  let budget =
+    match budget with Some b -> b | None -> Array.length ctx.Context.pool
+  in
+  let rng = Context.stream ctx "opentuner" in
+  let measure_rng = Context.stream ctx "opentuner:measure" in
+  let techniques =
+    [
+      De.create ~rng:(Ft_util.Rng.of_label rng "de") ();
+      Nelder_mead.create ~rng:(Ft_util.Rng.of_label rng "nm") ();
+      Torczon.create ~rng:(Ft_util.Rng.of_label rng "torczon") ();
+      Ga.create ~rng:(Ft_util.Rng.of_label rng "ga") ();
+      Pso.create ~rng:(Ft_util.Rng.of_label rng "pso") ();
+      Annealing.create ~rng:(Ft_util.Rng.of_label rng "sa") ();
+      {
+        Technique.name = "Random";
+        propose =
+          (let r = Ft_util.Rng.of_label rng "random" in
+           fun () -> Ft_flags.Space.sample r);
+        feedback = (fun _ _ -> ());
+      };
+    ]
+  in
+  let bandit =
+    Bandit.create (List.map (fun t -> t.Technique.name) techniques)
+  in
+  let technique name =
+    List.find (fun t -> t.Technique.name = name) techniques
+  in
+  let best = ref None in
+  let trace = ref [] in
+  for _ = 1 to budget do
+    let name = Bandit.select bandit in
+    let tech = technique name in
+    let cv = tech.Technique.propose () in
+    let cost = Context.measure_uniform ctx ~rng:measure_rng cv in
+    tech.Technique.feedback cv cost;
+    let improved =
+      match !best with Some (c, _) -> cost < c | None -> true
+    in
+    Bandit.reward bandit name improved;
+    if improved then best := Some (cost, cv);
+    trace := cost :: !trace
+  done;
+  let best_seconds, best_cv =
+    match !best with
+    | Some (_, cv) -> (Context.evaluate_uniform ctx cv, cv)
+    | None -> invalid_arg "Ensemble.run: zero budget"
+  in
+  let result =
+    Result.make ~algorithm:"OpenTuner"
+      ~configuration:(Result.Whole_program best_cv)
+      ~baseline_s:ctx.Context.baseline_s ~evaluations:budget
+      ~trace:(Result.best_so_far (List.rev !trace))
+      ~best_seconds
+  in
+  {
+    result;
+    technique_uses =
+      List.map
+        (fun t -> (t.Technique.name, Bandit.uses bandit t.Technique.name))
+        techniques;
+  }

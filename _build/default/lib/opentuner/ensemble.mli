@@ -1,0 +1,17 @@
+(** The OpenTuner comparator: an AUC-bandit ensemble of search techniques
+    run for 1000 test iterations over the whole-program CV space (§4.2.1).
+
+    Techniques: differential evolution, Nelder–Mead, a Torczon-style
+    pattern hill climber, a steady-state GA, particle-swarm optimization,
+    simulated annealing, and pure random — each proposing whole-program
+    CVs, coordinated by the sliding-window AUC bandit, sharing one result
+    database. *)
+
+type t = {
+  result : Funcytuner.Result.t;  (** algorithm = ["OpenTuner"] *)
+  technique_uses : (string * int) list;  (** evaluations per technique *)
+}
+
+val run : ?budget:int -> Funcytuner.Context.t -> t
+(** Budget defaults to the context's pool size (1000 evaluations, as in
+    the paper's comparison). *)

@@ -1,0 +1,37 @@
+module Rng = Ft_util.Rng
+module Space = Ft_flags.Space
+
+type member = { cv : Ft_flags.Cv.t; cost : float }
+
+let create ?(population = 20) ~rng () =
+  let members : member list ref = ref [] in
+  let pending = ref [] in
+  let tournament () =
+    match !members with
+    | [] -> Space.sample rng
+    | pool ->
+        let pick () = List.nth pool (Rng.int rng (List.length pool)) in
+        let a = pick () and b = pick () in
+        (if a.cost <= b.cost then a else b).cv
+  in
+  let propose () =
+    let trial =
+      if List.length !members < population then Space.sample rng
+      else
+        let child = Space.crossover rng (tournament ()) (tournament ()) in
+        if Rng.float rng 1.0 < 0.3 then Space.mutate rng child else child
+    in
+    pending := trial :: !pending;
+    trial
+  in
+  let feedback cv cost =
+    if List.exists (Ft_flags.Cv.equal cv) !pending then begin
+      pending := List.filter (fun c -> not (Ft_flags.Cv.equal c cv)) !pending;
+      members := { cv; cost } :: !members;
+      if List.length !members > population then
+        members :=
+          List.sort (fun a b -> compare a.cost b.cost) !members
+          |> List.filteri (fun i _ -> i < population)
+    end
+  in
+  { Technique.name = "GeneticAlgorithm"; propose; feedback }

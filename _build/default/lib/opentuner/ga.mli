@@ -1,0 +1,8 @@
+(** Steady-state genetic algorithm over CVs.
+
+    Tournament selection of two parents from a fixed-size population,
+    uniform crossover ({!Ft_flags.Space.crossover}), one-flag mutation,
+    and replace-worst insertion. *)
+
+val create : ?population:int -> rng:Ft_util.Rng.t -> unit -> Technique.t
+(** Default population 20. *)

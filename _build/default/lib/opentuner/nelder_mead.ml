@@ -1,0 +1,136 @@
+module Rng = Ft_util.Rng
+module Space = Ft_flags.Space
+module Stats = Ft_util.Stats
+
+type vertex = { point : float array; mutable cost : float }
+
+type phase =
+  | Init of int  (* evaluating initial vertex i *)
+  | Reflect
+  | Expand of float array * float  (* reflected point and its cost *)
+  | Contract of float array * float
+  | Shrink of int  (* re-evaluating shrunken vertex i *)
+
+let dims = Space.dimensions
+let clamp = Stats.clamp ~lo:0.0 ~hi:0.999999
+
+let create ~rng () =
+  let fresh_simplex () =
+    let origin = Array.init dims (fun _ -> Rng.float rng 1.0) in
+    Array.init (dims + 1) (fun i ->
+        let point = Array.copy origin in
+        if i > 0 then
+          point.(i - 1) <- clamp (point.(i - 1) +. 0.25);
+        { point; cost = infinity })
+  in
+  let simplex = ref (fresh_simplex ()) in
+  let phase = ref (Init 0) in
+  let pending = ref None in
+  let order () =
+    Array.sort (fun a b -> compare a.cost b.cost) !simplex
+  in
+  let centroid_excluding_worst () =
+    let n = Array.length !simplex - 1 in
+    let acc = Array.make dims 0.0 in
+    for i = 0 to n - 1 do
+      let p = !simplex.(i).point in
+      for d = 0 to dims - 1 do
+        acc.(d) <- acc.(d) +. p.(d)
+      done
+    done;
+    Array.map (fun v -> v /. float_of_int n) acc
+  in
+  let combine a b coeff =
+    Array.init dims (fun d -> clamp (a.(d) +. (coeff *. (a.(d) -. b.(d)))))
+  in
+  let propose () =
+    let point =
+      match !phase with
+      | Init i -> !simplex.(i).point
+      | Reflect ->
+          order ();
+          let worst = !simplex.(Array.length !simplex - 1) in
+          combine (centroid_excluding_worst ()) worst.point 1.0
+      | Expand (reflected, _) ->
+          let worst = !simplex.(Array.length !simplex - 1) in
+          ignore reflected;
+          combine (centroid_excluding_worst ()) worst.point 2.0
+      | Contract (_, _) ->
+          let worst = !simplex.(Array.length !simplex - 1) in
+          combine (centroid_excluding_worst ()) worst.point (-0.5)
+      | Shrink i -> !simplex.(i).point
+    in
+    pending := Some point;
+    Space.of_point point
+  in
+  let feedback _cv cost =
+    match !pending with
+    | None -> ()
+    | Some point ->
+        pending := None;
+        (match !phase with
+        | Init i ->
+            !simplex.(i).cost <- cost;
+            phase :=
+              if i + 1 <= dims then Init (i + 1) else Reflect
+        | Reflect ->
+            order ();
+            let best = !simplex.(0).cost
+            and second_worst = !simplex.(Array.length !simplex - 2).cost
+            and worst = !simplex.(Array.length !simplex - 1) in
+            if cost < best then phase := Expand (point, cost)
+            else if cost < second_worst then begin
+              worst.cost <- cost;
+              Array.blit point 0 worst.point 0 dims;
+              phase := Reflect
+            end
+            else phase := Contract (point, cost)
+        | Expand (reflected, reflected_cost) ->
+            let worst = !simplex.(Array.length !simplex - 1) in
+            if cost < reflected_cost then begin
+              worst.cost <- cost;
+              Array.blit point 0 worst.point 0 dims
+            end
+            else begin
+              worst.cost <- reflected_cost;
+              Array.blit reflected 0 worst.point 0 dims
+            end;
+            phase := Reflect
+        | Contract (_, reflected_cost) ->
+            let worst = !simplex.(Array.length !simplex - 1) in
+            if cost < Float.min worst.cost reflected_cost then begin
+              worst.cost <- cost;
+              Array.blit point 0 worst.point 0 dims;
+              phase := Reflect
+            end
+            else begin
+              (* Shrink everything toward the best vertex. *)
+              order ();
+              let best = !simplex.(0).point in
+              Array.iteri
+                (fun i v ->
+                  if i > 0 then begin
+                    for d = 0 to dims - 1 do
+                      v.point.(d) <-
+                        clamp (best.(d) +. (0.5 *. (v.point.(d) -. best.(d))))
+                    done;
+                    v.cost <- infinity
+                  end)
+                !simplex;
+              phase := Shrink 1
+            end
+        | Shrink i ->
+            !simplex.(i).cost <- cost;
+            phase :=
+              if i + 1 <= dims then Shrink (i + 1) else Reflect);
+        (* Restart a collapsed simplex (all vertices decode identically). *)
+        order ();
+        let spread =
+          !simplex.(Array.length !simplex - 1).cost -. !simplex.(0).cost
+        in
+        if !phase = Reflect && Float.abs spread < 1e-9 then begin
+          simplex := fresh_simplex ();
+          phase := Init 0
+        end
+  in
+  { Technique.name = "NelderMead"; propose; feedback }

@@ -1,0 +1,11 @@
+(** Nelder–Mead simplex search on the continuous CV relaxation.
+
+    The standard downhill simplex (reflection α=1, expansion γ=2, outside
+    contraction β=0.5, shrink σ=0.5) reorganized as an incremental
+    propose/feedback state machine: each [propose] emits exactly one trial
+    point (a vertex being (re)evaluated, a reflection, an expansion, a
+    contraction, or a shrink vertex) and the matching [feedback] advances
+    the simplex.  Degenerate simplexes restart around the best-known
+    vertex. *)
+
+val create : rng:Ft_util.Rng.t -> unit -> Technique.t

@@ -1,0 +1,68 @@
+module Rng = Ft_util.Rng
+module Space = Ft_flags.Space
+
+type particle = {
+  mutable position : float array;
+  mutable velocity : float array;
+  mutable best_position : float array;
+  mutable best_cost : float;
+}
+
+let clamp = Ft_util.Stats.clamp ~lo:0.0 ~hi:0.999999
+
+let create ?(particles = 20) ?(inertia = 0.7) ?(c1 = 1.4) ?(c2 = 1.4) ~rng () =
+  let dims = Space.dimensions in
+  let swarm =
+    Array.init particles (fun _ ->
+        let position = Array.init dims (fun _ -> Rng.float rng 1.0) in
+        {
+          position;
+          velocity = Array.init dims (fun _ -> (Rng.float rng 0.2) -. 0.1);
+          best_position = Array.copy position;
+          best_cost = infinity;
+        })
+  in
+  let global_best = ref None in
+  let cursor = ref 0 in
+  let pending = ref [] in
+  let propose () =
+    let i = !cursor in
+    cursor := (i + 1) mod particles;
+    let p = swarm.(i) in
+    (if p.best_cost < infinity then begin
+       (* Velocity update toward personal and global bests. *)
+       let gbest =
+         match !global_best with
+         | Some (pos, _) -> pos
+         | None -> p.best_position
+       in
+       for d = 0 to dims - 1 do
+         let r1 = Rng.float rng 1.0 and r2 = Rng.float rng 1.0 in
+         p.velocity.(d) <-
+           (inertia *. p.velocity.(d))
+           +. (c1 *. r1 *. (p.best_position.(d) -. p.position.(d)))
+           +. (c2 *. r2 *. (gbest.(d) -. p.position.(d)));
+         p.position.(d) <- clamp (p.position.(d) +. p.velocity.(d))
+       done
+     end);
+    let cv = Space.of_point p.position in
+    pending := (cv, i, Array.copy p.position) :: !pending;
+    cv
+  in
+  let feedback cv cost =
+    match
+      List.find_opt (fun (c, _, _) -> Ft_flags.Cv.equal c cv) !pending
+    with
+    | None -> ()
+    | Some ((_, i, position) as entry) ->
+        pending := List.filter (fun e -> e != entry) !pending;
+        let p = swarm.(i) in
+        if cost < p.best_cost then begin
+          p.best_cost <- cost;
+          p.best_position <- position
+        end;
+        (match !global_best with
+        | Some (_, best) when best <= cost -> ()
+        | _ -> global_best := Some (position, cost))
+  in
+  { Technique.name = "ParticleSwarm"; propose; feedback }

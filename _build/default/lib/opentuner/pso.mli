@@ -1,0 +1,18 @@
+(** Particle-swarm optimization over the continuous CV relaxation.
+
+    Standard global-best PSO: each particle keeps a position and velocity
+    in [0,1)^33; velocity is updated toward the particle's own best and
+    the swarm's best with inertia [w] and acceleration coefficients
+    [c1]/[c2], positions clamp into the cube and decode through
+    {!Ft_flags.Space.of_point}.  (PSO is part of OpenTuner's stock
+    technique set.) *)
+
+val create :
+  ?particles:int ->
+  ?inertia:float ->
+  ?c1:float ->
+  ?c2:float ->
+  rng:Ft_util.Rng.t ->
+  unit ->
+  Technique.t
+(** Defaults: 20 particles, inertia 0.7, c1 = c2 = 1.4. *)

@@ -1,0 +1,40 @@
+module Rng = Ft_util.Rng
+module Space = Ft_flags.Space
+
+let max_step = 6
+let stall_limit = 12
+
+let create ~rng () =
+  let incumbent = ref (Space.sample rng) in
+  let incumbent_cost = ref infinity in
+  let step = ref 1 in
+  let stalls = ref 0 in
+  let pending = ref [] in
+  let propose () =
+    let trial = Space.mutate_n rng !step !incumbent in
+    pending := trial :: !pending;
+    trial
+  in
+  let feedback cv cost =
+    if List.exists (Ft_flags.Cv.equal cv) !pending then begin
+      pending := List.filter (fun c -> not (Ft_flags.Cv.equal c cv)) !pending;
+      if cost < !incumbent_cost then begin
+        incumbent := cv;
+        incumbent_cost := cost;
+        step := 1;
+        stalls := 0
+      end
+      else begin
+        incr stalls;
+        if !stalls mod 4 = 0 then step := min max_step (!step + 1);
+        if !stalls >= stall_limit then begin
+          (* Expand exhausted: restart from a fresh random point. *)
+          incumbent := Space.sample rng;
+          incumbent_cost := infinity;
+          step := 1;
+          stalls := 0
+        end
+      end
+    end
+  in
+  { Technique.name = "TorczonHillclimber"; propose; feedback }

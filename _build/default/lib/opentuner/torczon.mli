@@ -1,0 +1,10 @@
+(** Torczon-style pattern hill climber on the discrete CV space.
+
+    OpenTuner's ensemble includes "Torczon hillclimbers"; this variant
+    walks the flag lattice directly: from the incumbent it probes
+    single-flag mutations (the unit pattern), accepts improvements, and
+    widens to multi-flag mutations when the unit pattern stalls —
+    contracting back to unit steps after a success, restarting from a
+    fresh random point after repeated failures at the widest step. *)
+
+val create : rng:Ft_util.Rng.t -> unit -> Technique.t

@@ -1,0 +1,1 @@
+lib/outline/outline.ml: Ft_caliper Ft_machine Ft_prog List Loop Program

@@ -1,0 +1,1 @@
+lib/outline/outline.mli: Ft_caliper Ft_compiler Ft_flags Ft_machine Ft_prog Ft_util

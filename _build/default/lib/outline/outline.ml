@@ -1,0 +1,39 @@
+open Ft_prog
+
+type t = {
+  program : Program.t;
+  hot : string list;
+  cold : string list;
+  baseline_report : Ft_caliper.Report.t;
+}
+
+let residual_module = "<residual>"
+
+let of_report ~program ?(threshold = Ft_caliper.Profiler.default_hot_threshold)
+    report =
+  let hot = Ft_caliper.Report.hot_loops ~threshold report in
+  let cold =
+    List.filter_map
+      (fun (l : Loop.t) ->
+        if List.mem l.Loop.name hot then None else Some l.Loop.name)
+      program.Program.loops
+  in
+  { program; hot; cold; baseline_report = report }
+
+let outline ~toolchain ~program ~input ?threshold ~rng () =
+  let report =
+    Ft_caliper.Profiler.run ~toolchain ~program ~input ~rng ()
+  in
+  of_report ~program ?threshold report
+
+let module_names t = residual_module :: t.hot
+let module_count t = 1 + List.length t.hot
+
+let cv_for_region t ~assignment region =
+  if List.mem region t.hot then assignment region
+  else assignment residual_module
+
+let compile ~toolchain t ~assignment ?(instrumented = false) () =
+  Ft_machine.Toolchain.compile_assigned toolchain
+    ~cv_of:(cv_for_region t ~assignment)
+    ~instrumented t.program

@@ -1,0 +1,1 @@
+lib/prog/loop.mli: Feature

@@ -1,0 +1,1 @@
+lib/prog/program.mli: Loop

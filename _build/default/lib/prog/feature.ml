@@ -1,0 +1,79 @@
+type t = {
+  flops_per_iter : float;
+  fma_fraction : float;
+  read_bytes : float;
+  write_bytes : float;
+  strided_bytes : float;
+  gather_bytes : float;
+  divergence : float;
+  branch_predictability : float;
+  dep_chain : float;
+  reduction : bool;
+  alias_ambiguity : float;
+  calls_per_iter : float;
+  body_insns : int;
+  nest_depth : int;
+  working_set_kb : float;
+  trip_count : float;
+  invocations : float;
+  parallel : bool;
+}
+
+let default =
+  {
+    flops_per_iter = 8.0;
+    fma_fraction = 0.5;
+    read_bytes = 32.0;
+    write_bytes = 8.0;
+    strided_bytes = 0.0;
+    gather_bytes = 0.0;
+    divergence = 0.0;
+    branch_predictability = 0.9;
+    dep_chain = 0.0;
+    reduction = false;
+    alias_ambiguity = 0.2;
+    calls_per_iter = 0.0;
+    body_insns = 40;
+    nest_depth = 1;
+    working_set_kb = 256.0;
+    trip_count = 10_000.0;
+    invocations = 1.0;
+    parallel = true;
+  }
+
+let validate t =
+  let fraction name v =
+    if v < 0.0 || v > 1.0 then Error (name ^ " outside [0,1]") else Ok ()
+  in
+  let non_negative name v =
+    if v < 0.0 then Error (name ^ " negative") else Ok ()
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* () = fraction "fma_fraction" t.fma_fraction in
+  let* () = fraction "divergence" t.divergence in
+  let* () = fraction "branch_predictability" t.branch_predictability in
+  let* () = fraction "alias_ambiguity" t.alias_ambiguity in
+  let* () = non_negative "flops_per_iter" t.flops_per_iter in
+  let* () = non_negative "read_bytes" t.read_bytes in
+  let* () = non_negative "write_bytes" t.write_bytes in
+  let* () = non_negative "strided_bytes" t.strided_bytes in
+  let* () = non_negative "gather_bytes" t.gather_bytes in
+  let* () = non_negative "dep_chain" t.dep_chain in
+  let* () = non_negative "calls_per_iter" t.calls_per_iter in
+  let* () = non_negative "working_set_kb" t.working_set_kb in
+  let* () = non_negative "invocations" t.invocations in
+  if t.trip_count <= 0.0 then Error "trip_count must be positive"
+  else if t.body_insns <= 0 then Error "body_insns must be positive"
+  else if t.nest_depth <= 0 then Error "nest_depth must be positive"
+  else Ok ()
+
+let bytes_per_iter t =
+  t.read_bytes +. t.write_bytes +. t.strided_bytes +. t.gather_bytes
+
+let vector_hostility t =
+  let mem = bytes_per_iter t in
+  let gather_share = if mem > 0.0 then t.gather_bytes /. mem else 0.0 in
+  let dep_term =
+    if t.reduction then 0.2 else min 1.0 (t.dep_chain /. 8.0)
+  in
+  t.divergence +. gather_share +. dep_term

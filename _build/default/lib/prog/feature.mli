@@ -1,0 +1,52 @@
+(** Per-loop code features.
+
+    A loop enters the simulated tool-chain only through this feature vector:
+    the compiler's heuristics read it to make code-generation decisions, the
+    machine model reads it to cost those decisions, and COBAYN's
+    Milepost/MICA-style extractors project it to learning features.  Values
+    describe the loop at the benchmark's {e reference} input size; the
+    workload scaling rules of {!Loop} rescale trip counts and working sets
+    for other inputs. *)
+
+type t = {
+  flops_per_iter : float;  (** double-precision flops per iteration *)
+  fma_fraction : float;  (** fraction of flops contractable into FMAs *)
+  read_bytes : float;  (** contiguous read traffic, bytes/iteration *)
+  write_bytes : float;  (** contiguous write traffic, bytes/iteration *)
+  strided_bytes : float;  (** non-unit-stride traffic, bytes/iteration *)
+  gather_bytes : float;  (** indirect (gather/scatter) traffic, bytes/iter *)
+  divergence : float;  (** fraction of iterations taking data-dependent
+                            branches (0 = straight-line) *)
+  branch_predictability : float;
+      (** 0 = random branches, 1 = perfectly predictable *)
+  dep_chain : float;  (** loop-carried dependence chain length in flops
+                           (0 = fully parallel iterations) *)
+  reduction : bool;  (** the only loop-carried dependence is a reduction *)
+  alias_ambiguity : float;
+      (** 0 = compiler can prove pointers distinct, 1 = fully ambiguous
+          (C pointer soup); Fortran programs sit near 0 *)
+  calls_per_iter : float;  (** small out-of-line calls per iteration *)
+  body_insns : int;  (** static instruction count of the loop body *)
+  nest_depth : int;  (** loop-nest depth, 1 = innermost only *)
+  working_set_kb : float;  (** per-invocation data footprint, KiB *)
+  trip_count : float;  (** iterations per invocation *)
+  invocations : float;  (** invocations per simulated time step *)
+  parallel : bool;  (** body of an OpenMP [parallel for] *)
+}
+
+val default : t
+(** A neutral, compute-light serial loop; define real loops with
+    [{ default with ... }]. *)
+
+val validate : t -> (unit, string) result
+(** Check ranges (fractions in [0,1], non-negative counts, positive trip
+    count).  Used by tests and by the program constructors. *)
+
+val bytes_per_iter : t -> float
+(** Total memory traffic per iteration over all stream classes. *)
+
+val vector_hostility : t -> float
+(** A derived score in [0, ~3]: how much SIMD execution is expected to be
+    degraded by divergence, gathers and dependence chains.  Used by tests
+    and by COBAYN's static features; the machine model uses the raw fields
+    directly. *)

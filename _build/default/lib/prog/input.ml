@@ -1,0 +1,17 @@
+type t = { label : string; size : float; steps : int }
+
+let make ?label ~size ~steps () =
+  if size <= 0.0 then invalid_arg "Input.make: size must be positive";
+  if steps <= 0 then invalid_arg "Input.make: steps must be positive";
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "size=%g,steps=%d" size steps
+  in
+  { label; size; steps }
+
+let with_steps t steps =
+  make ~label:(Printf.sprintf "%s/steps=%d" t.label steps) ~size:t.size ~steps
+    ()
+
+let scale ~reference t = t.size /. reference

@@ -1,0 +1,20 @@
+(** Benchmark inputs: a size parameter plus a number of simulated time steps.
+
+    Scientific codes run a time-step outer loop; the paper tunes with inputs
+    sized so one O3 run takes under 40 s (Table 2), and separately evaluates
+    generalization to smaller / larger work sets (§4.3) and to longer runs
+    (Fig. 8).  An input here is exactly that pair, plus a label for
+    reporting. *)
+
+type t = { label : string; size : float; steps : int }
+
+val make : ?label:string -> size:float -> steps:int -> unit -> t
+(** Label defaults to ["size=<size>,steps=<steps>"].
+    @raise Invalid_argument if [size <= 0] or [steps <= 0]. *)
+
+val with_steps : t -> int -> t
+(** Same work set, different number of time steps (Fig. 8's axis). *)
+
+val scale : reference:float -> t -> float
+(** [scale ~reference i] = [i.size /. reference]: the factor handed to
+    {!Loop.features_at}. *)

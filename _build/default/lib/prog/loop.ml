@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  features : Feature.t;
+  trip_exponent : float;
+  ws_exponent : float;
+}
+
+let make ?(trip_exponent = 1.0) ?(ws_exponent = 1.0) name features =
+  (match Feature.validate features with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Loop.make %s: %s" name msg));
+  { name; features; trip_exponent; ws_exponent }
+
+let features_at ~scale t =
+  let f = t.features in
+  {
+    f with
+    Feature.trip_count = f.Feature.trip_count *. (scale ** t.trip_exponent);
+    working_set_kb = f.Feature.working_set_kb *. (scale ** t.ws_exponent);
+  }

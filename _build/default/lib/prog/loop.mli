@@ -1,0 +1,23 @@
+(** Loops (and the non-loop pseudo-region) with workload scaling rules.
+
+    Each loop carries its reference-size feature vector plus exponents
+    describing how its trip count and working set grow with the input's size
+    parameter; e.g. a 3-D stencil over an N³ grid has trip exponent 3 while a
+    1-D sweep has exponent 1.  The machine model asks for features {e at} a
+    given input via {!features_at}. *)
+
+type t = {
+  name : string;
+  features : Feature.t;  (** at the program's reference size *)
+  trip_exponent : float;  (** trips ∝ (size / reference_size) ^ e *)
+  ws_exponent : float;  (** working set ∝ (size / reference_size) ^ e *)
+}
+
+val make :
+  ?trip_exponent:float -> ?ws_exponent:float -> string -> Feature.t -> t
+(** [make name features] with both exponents defaulting to 1.0.
+    @raise Invalid_argument if [Feature.validate] rejects [features]. *)
+
+val features_at : scale:float -> t -> Feature.t
+(** [features_at ~scale l] rescales trip count and working set for an input
+    whose size parameter is [scale] times the reference size. *)

@@ -1,0 +1,29 @@
+type t = Opteron | Sandy_bridge | Broadwell
+
+let all = [ Opteron; Sandy_bridge; Broadwell ]
+
+let name = function
+  | Opteron -> "AMD Opteron"
+  | Sandy_bridge -> "Intel Sandy Bridge"
+  | Broadwell -> "Intel Broadwell"
+
+let short_name = function
+  | Opteron -> "opteron"
+  | Sandy_bridge -> "snb"
+  | Broadwell -> "bdw"
+
+let processor = function
+  | Opteron -> "Opteron 6128"
+  | Sandy_bridge -> "Xeon E5-2650 0"
+  | Broadwell -> "Xeon E5-2620 v4"
+
+let processor_flag = function
+  | Opteron -> "default"
+  | Sandy_bridge -> "-xAVX"
+  | Broadwell -> "-xCORE-AVX2"
+
+let of_short_name = function
+  | "opteron" -> Some Opteron
+  | "snb" -> Some Sandy_bridge
+  | "bdw" -> Some Broadwell
+  | _ -> None

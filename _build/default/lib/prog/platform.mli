@@ -1,0 +1,25 @@
+(** The three evaluation platforms of the paper (Table 2).
+
+    The variant lives in [ft_prog] (not in the machine model) because
+    benchmark inputs are keyed by platform too: the paper sizes every
+    benchmark per machine so a single O3 run stays under 40 s. *)
+
+type t = Opteron | Sandy_bridge | Broadwell
+
+val all : t list
+(** In the paper's order: Opteron, Sandy Bridge, Broadwell. *)
+
+val name : t -> string
+(** Display name, e.g. ["Intel Broadwell"]. *)
+
+val short_name : t -> string
+(** Compact tag used in tables, e.g. ["bdw"]. *)
+
+val processor : t -> string
+(** Processor model from Table 2. *)
+
+val processor_flag : t -> string
+(** The processor-specific ISA flag of Table 2 ([default], [-xAVX],
+    [-xCORE-AVX2]); fixed per platform, not part of the search space. *)
+
+val of_short_name : string -> t option

@@ -1,0 +1,46 @@
+type language = C | Cpp | Fortran
+
+type t = {
+  name : string;
+  language : language;
+  loc : int;
+  domain : string;
+  loops : Loop.t list;
+  nonloop : Loop.t;
+  reference_size : float;
+  pgo_instrumentable : bool;
+}
+
+let make ~name ~language ~loc ~domain ~reference_size
+    ?(pgo_instrumentable = true) ~nonloop loops =
+  if loops = [] then invalid_arg "Program.make: no loops";
+  if reference_size <= 0.0 then
+    invalid_arg "Program.make: reference_size must be positive";
+  let names = List.map (fun (l : Loop.t) -> l.Loop.name) loops in
+  let all_names = nonloop.Loop.name :: names in
+  let sorted = List.sort compare all_names in
+  let rec has_duplicate = function
+    | a :: (b :: _ as rest) -> if a = b then true else has_duplicate rest
+    | _ -> false
+  in
+  if has_duplicate sorted then
+    invalid_arg "Program.make: duplicate loop names";
+  {
+    name;
+    language;
+    loc;
+    domain;
+    loops;
+    nonloop;
+    reference_size;
+    pgo_instrumentable;
+  }
+
+let language_name = function C -> "C" | Cpp -> "C++" | Fortran -> "Fortran"
+let loop_count t = List.length t.loops
+
+let find_loop t loop_name =
+  if t.nonloop.Loop.name = loop_name then Some t.nonloop
+  else List.find_opt (fun (l : Loop.t) -> l.Loop.name = loop_name) t.loops
+
+let fortran t = t.language = Fortran

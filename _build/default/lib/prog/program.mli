@@ -1,0 +1,47 @@
+(** Whole-program models.
+
+    A program is a set of candidate loops plus one aggregate non-loop region
+    (scattered glue code whose runtime the paper can only derive by
+    subtraction, §3.3), together with Table 1 metadata.  Programs are the
+    unit the compiler compiles and the machine executes; the outliner turns
+    a program's hot loops into separate compilation modules. *)
+
+type language = C | Cpp | Fortran
+
+type t = private {
+  name : string;
+  language : language;
+  loc : int;  (** lines of source code (Table 1) *)
+  domain : string;  (** application domain (Table 1) *)
+  loops : Loop.t list;  (** candidate loops, hot and cold *)
+  nonloop : Loop.t;  (** the aggregate non-loop region *)
+  reference_size : float;  (** the size the loop features describe *)
+  pgo_instrumentable : bool;
+      (** PGO instrumentation runs fail for LULESH and Optewe (§4.2.2) *)
+}
+
+val make :
+  name:string ->
+  language:language ->
+  loc:int ->
+  domain:string ->
+  reference_size:float ->
+  ?pgo_instrumentable:bool ->
+  nonloop:Loop.t ->
+  Loop.t list ->
+  t
+(** @raise Invalid_argument on duplicate loop names, an empty loop list, or
+    a non-positive reference size. *)
+
+val language_name : language -> string
+(** ["C"], ["C++"] or ["Fortran"]. *)
+
+val loop_count : t -> int
+(** Number of candidate loops (excluding the non-loop region). *)
+
+val find_loop : t -> string -> Loop.t option
+(** Look a loop up by name ([nonloop] included, under its own name). *)
+
+val fortran : t -> bool
+(** Fortran front-ends get precise alias information for free; the
+    heuristics consult this. *)

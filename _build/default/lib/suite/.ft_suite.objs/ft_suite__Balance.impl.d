@@ -1,0 +1,1 @@
+lib/suite/balance.ml: Feature Ft_flags Ft_machine Ft_prog List Loop Program

@@ -1,0 +1,1 @@
+lib/suite/balance.mli: Ft_machine Ft_prog

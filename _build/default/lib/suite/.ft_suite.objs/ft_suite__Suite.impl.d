@@ -1,0 +1,1 @@
+lib/suite/suite.ml: Amg Bwaves Cloverleaf Fma3d Ft_prog Ft_util Input List Lulesh Optewe Option Platform Printf Program String Swim

@@ -1,0 +1,1 @@
+lib/suite/suite.mli: Ft_prog Ft_util

@@ -1,0 +1,1 @@
+lib/suite/swim.ml: Balance Feature Ft_machine Ft_prog Input Loop Platform Program

@@ -1,0 +1,167 @@
+(* AMG (LLNL): algebraic multigrid linear-system solver, C.  Reference
+   size 25 = the Broadwell Table 2 input; a run is one solve (steps = 1)
+   whose inner V-cycle iterations are folded into invocation counts; trips
+   scale with size^3 (3-D problem).
+
+   This is the benchmark FuncyTuner helps most (paper: +18.1% on Opteron,
+   +12.7% on Broadwell, +22% on the large input).  The headroom is
+   concentrated where ICC's cost model mis-fires on sparse kernels:
+     - matvec over CSR rows: predictable row-length branches make scalar
+       code cheap, but the cost model sees vectorizable gathers and emits
+       SIMD that touches both branch paths — a 20-25% loss that -no-vec
+       recovers;
+     - Gauss-Seidel relaxation: a loop-carried recurrence that cannot be
+       vectorized at all; scheduling/selection flags and prefetching are
+       the only lever, which per-program tuning cannot pull without
+       hurting the vector-friendly kernels;
+     - axpy/dot: pure streams where non-temporal stores, prefetch distance
+       and deep unrolling pay. *)
+
+open Ft_prog
+
+let fine_rows = 2.5e6
+
+let loop = Loop.make ~trip_exponent:3.0 ~ws_exponent:3.0
+
+let sparse ~name ~share_of_fine ~ws ~gather ~read ~write ~flops ~div ~pred
+    ~dep ~body =
+  loop name
+    {
+      Feature.default with
+      flops_per_iter = flops;
+      fma_fraction = 0.3;
+      read_bytes = read;
+      write_bytes = write;
+      gather_bytes = gather;
+      divergence = div;
+      branch_predictability = pred;
+      dep_chain = dep;
+      alias_ambiguity = 0.35;
+      body_insns = body;
+      working_set_kb = ws;
+      trip_count = fine_rows *. share_of_fine;
+    }
+
+let matvec_fine =
+  sparse ~name:"matvec_fine" ~share_of_fine:1.0 ~ws:300_000.0 ~gather:12.0
+    ~read:40.0 ~write:8.0 ~flops:16.0 ~div:0.5 ~pred:0.95 ~dep:0.0 ~body:44
+
+let matvec_coarse =
+  sparse ~name:"matvec_coarse" ~share_of_fine:0.25 ~ws:18_000.0 ~gather:12.0
+    ~read:40.0 ~write:8.0 ~flops:16.0 ~div:0.5 ~pred:0.95 ~dep:0.0 ~body:44
+
+let relax_fine =
+  sparse ~name:"relax_fine" ~share_of_fine:1.0 ~ws:300_000.0 ~gather:14.0
+    ~read:36.0 ~write:8.0 ~flops:20.0 ~div:0.4 ~pred:0.9 ~dep:4.0 ~body:52
+
+let relax_coarse =
+  sparse ~name:"relax_coarse" ~share_of_fine:0.25 ~ws:18_000.0 ~gather:14.0
+    ~read:36.0 ~write:8.0 ~flops:20.0 ~div:0.4 ~pred:0.9 ~dep:4.0 ~body:52
+
+(* Interpolation over a fixed stencil: clean, FMA-rich, vector-friendly —
+   deliberately in tension with the sparse kernels: a whole-program
+   -no-vec CV that rescues matvec/relax forfeits interp's 3x SIMD win,
+   which is why per-program search stalls on AMG (Fig. 5). *)
+let interp =
+  loop "interp"
+    {
+      Feature.default with
+      flops_per_iter = 40.0;
+      fma_fraction = 0.7;
+      read_bytes = 20.0;
+      write_bytes = 8.0;
+      alias_ambiguity = 0.2;
+      body_insns = 40;
+      working_set_kb = 200_000.0;
+      trip_count = fine_rows;
+    }
+
+let restrict_op =
+  sparse ~name:"restrict_op" ~share_of_fine:0.5 ~ws:120_000.0 ~gather:16.0
+    ~read:24.0 ~write:12.0 ~flops:12.0 ~div:0.35 ~pred:0.92 ~dep:0.0 ~body:38
+
+let dot =
+  loop "dot"
+    {
+      Feature.default with
+      flops_per_iter = 8.0;
+      fma_fraction = 0.9;
+      read_bytes = 16.0;
+      write_bytes = 0.0;
+      dep_chain = 4.0;
+      reduction = true;
+      alias_ambiguity = 0.2;
+      body_insns = 18;
+      working_set_kb = 150_000.0;
+      trip_count = fine_rows;
+    }
+
+let axpy =
+  loop "axpy"
+    {
+      Feature.default with
+      flops_per_iter = 4.0;
+      fma_fraction = 1.0;
+      read_bytes = 32.0;
+      write_bytes = 16.0;
+      alias_ambiguity = 0.25;
+      body_insns = 14;
+      working_set_kb = 200_000.0;
+      trip_count = fine_rows;
+    }
+
+let residual =
+  sparse ~name:"residual" ~share_of_fine:1.0 ~ws:300_000.0 ~gather:12.0
+    ~read:36.0 ~write:10.0 ~flops:14.0 ~div:0.45 ~pred:0.94 ~dep:0.0 ~body:42
+
+let nonloop =
+  Loop.make ~trip_exponent:2.0 ~ws_exponent:2.0 "<nonloop>"
+    {
+      Feature.default with
+      flops_per_iter = 20.0;
+      read_bytes = 44.0;
+      write_bytes = 16.0;
+      divergence = 0.4;
+      branch_predictability = 0.8;
+      dep_chain = 1.0;
+      alias_ambiguity = 0.95;
+      calls_per_iter = 2.0;
+      body_insns = 380;
+      working_set_kb = 40_000.0;
+      trip_count = 900_000.0;
+      parallel = false;
+    }
+
+let draft =
+  Program.make ~name:"AMG" ~language:Program.C ~loc:113_000
+    ~domain:"Math: linear solver" ~reference_size:25.0 ~nonloop
+    [
+      matvec_fine;
+      matvec_coarse;
+      relax_fine;
+      relax_coarse;
+      interp;
+      restrict_op;
+      dot;
+      axpy;
+      residual;
+    ]
+
+let shares =
+  [
+    ("matvec_fine", 0.16);
+    ("matvec_coarse", 0.07);
+    ("relax_fine", 0.13);
+    ("relax_coarse", 0.07);
+    ("interp", 0.13);
+    ("restrict_op", 0.06);
+    ("dot", 0.04);
+    ("axpy", 0.06);
+    ("residual", 0.05);
+  ]
+
+let program =
+  Balance.calibrate
+    ~toolchain:(Ft_machine.Toolchain.make Platform.Broadwell)
+    ~input:(Input.make ~size:25.0 ~steps:1 ())
+    ~total_s:11.0 ~shares draft

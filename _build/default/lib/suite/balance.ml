@@ -1,0 +1,55 @@
+open Ft_prog
+module Exec = Ft_machine.Exec
+module Toolchain = Ft_machine.Toolchain
+
+let scale_invocations (l : Loop.t) factor =
+  let f = l.Loop.features in
+  {
+    l with
+    Loop.features =
+      { f with Feature.invocations = f.Feature.invocations *. factor };
+  }
+
+let one_pass ~toolchain ~input ~total_s ~shares (program : Program.t) =
+  let binary = Toolchain.compile_uniform toolchain ~cv:Ft_flags.Cv.o3 program in
+  let run = Exec.evaluate ~arch:toolchain.Toolchain.arch ~input binary in
+  let measured name =
+    match
+      List.find_opt (fun (r : Exec.region_report) -> r.Exec.name = name)
+        run.Exec.loops
+    with
+    | Some r -> r.Exec.seconds
+    | None -> invalid_arg ("Balance.calibrate: unknown loop " ^ name)
+  in
+  let loop_share_sum = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 shares in
+  if loop_share_sum >= 1.0 then
+    invalid_arg "Balance.calibrate: loop shares must sum below 1";
+  List.iter
+    (fun (name, s) ->
+      if s <= 0.0 then
+        invalid_arg ("Balance.calibrate: non-positive share for " ^ name);
+      ignore (measured name))
+    shares;
+  let rescale (l : Loop.t) =
+    match List.assoc_opt l.Loop.name shares with
+    | None -> l
+    | Some share ->
+        let target = share *. total_s in
+        scale_invocations l (target /. measured l.Loop.name)
+  in
+  let nonloop =
+    let target = (1.0 -. loop_share_sum) *. total_s in
+    scale_invocations program.Program.nonloop
+      (target /. run.Exec.nonloop.Exec.seconds)
+  in
+  Program.make ~name:program.Program.name ~language:program.Program.language
+    ~loc:program.Program.loc ~domain:program.Program.domain
+    ~reference_size:program.Program.reference_size
+    ~pgo_instrumentable:program.Program.pgo_instrumentable ~nonloop
+    (List.map rescale program.Program.loops)
+
+let calibrate ~toolchain ~input ~total_s ~shares program =
+  (* Second pass absorbs the whole-binary couplings that shift when the
+     mix changes (AVX frequency share, i-cache pressure). *)
+  let once = one_pass ~toolchain ~input ~total_s ~shares program in
+  one_pass ~toolchain ~input ~total_s ~shares once

@@ -1,0 +1,29 @@
+(** Workload balancing: pin a benchmark model's O3 runtime profile.
+
+    Each benchmark model specifies per-loop {e personalities} (feature
+    mixes) by hand, but the paper also tells us the O3 runtime {e shares}
+    (e.g. Cloverleaf's top-5 kernels are 6.3/2.9/3.5/3.5/4.2 % of end-to-end
+    time on Broadwell, Table 3) and that the O3 run takes at most ~40 s.
+    This module reconciles the two: it executes the draft program at O3 on
+    the reference platform/input and rescales every loop's invocation count
+    so the O3 shares and the end-to-end runtime land exactly on target.
+
+    Region times are linear in invocation counts, so one pass is exact up
+    to the whole-binary couplings (frequency license share, i-cache
+    pressure); a second fixed-point pass absorbs those. *)
+
+val calibrate :
+  toolchain:Ft_machine.Toolchain.t ->
+  input:Ft_prog.Input.t ->
+  total_s:float ->
+  shares:(string * float) list ->
+  Ft_prog.Program.t ->
+  Ft_prog.Program.t
+(** [calibrate ~toolchain ~input ~total_s ~shares program] rescales loop
+    invocation counts so that, compiled at O3 and run on [input], each
+    listed loop takes [share] of [total_s] and the whole program takes
+    [total_s].  The non-loop region absorbs the unlisted remainder (its
+    share is [1 - sum shares]; loops not listed keep their natural share of
+    that remainder — in practice every loop should be listed).
+    @raise Invalid_argument if shares exceed 1, a name is unknown, or a
+    share is non-positive. *)

@@ -1,0 +1,143 @@
+(* 351.bwaves (SPEC OMP 2012): blast-wave CFD, Fortran.  The "train"
+   input is the reference (size parameter 1.0); "test" and "ref" are the
+   §4.3 small/large inputs.  Trips scale with size^3 (3-D grid).
+
+   Fortran gives the compiler precise aliasing for free, so unlike the C
+   codes nothing is alias-locked; the headroom sits in a huge Jacobian
+   body that spills at O3 (register-allocation flags), a Gauss-Seidel-like
+   solver sweep with an unvectorizable recurrence (scheduling flags), and
+   the width choice on mixed-stride flux kernels. *)
+
+open Ft_prog
+
+let cells = 6.0e6
+
+let loop = Loop.make ~trip_exponent:3.0 ~ws_exponent:3.0
+
+let jacobian =
+  loop "jacobian"
+    {
+      Feature.default with
+      flops_per_iter = 160.0;
+      fma_fraction = 0.5;
+      read_bytes = 60.0;
+      write_bytes = 24.0;
+      alias_ambiguity = 0.05;
+      body_insns = 130;
+      working_set_kb = 500_000.0;
+      trip_count = cells;
+    }
+
+let solver_sweep =
+  loop "solver_sweep"
+    {
+      Feature.default with
+      flops_per_iter = 70.0;
+      fma_fraction = 0.4;
+      read_bytes = 40.0;
+      write_bytes = 16.0;
+      dep_chain = 5.0;
+      alias_ambiguity = 0.05;
+      body_insns = 88;
+      working_set_kb = 400_000.0;
+      trip_count = cells;
+    }
+
+let flux =
+  loop "flux"
+    {
+      Feature.default with
+      flops_per_iter = 90.0;
+      fma_fraction = 0.6;
+      read_bytes = 40.0;
+      write_bytes = 16.0;
+      strided_bytes = 20.0;
+      alias_ambiguity = 0.05;
+      body_insns = 76;
+      working_set_kb = 400_000.0;
+      trip_count = cells;
+    }
+
+let residual_norm =
+  loop "residual_norm"
+    {
+      Feature.default with
+      flops_per_iter = 10.0;
+      fma_fraction = 0.8;
+      read_bytes = 16.0;
+      write_bytes = 0.0;
+      dep_chain = 4.0;
+      reduction = true;
+      alias_ambiguity = 0.05;
+      body_insns = 20;
+      working_set_kb = 200_000.0;
+      trip_count = cells;
+    }
+
+let update =
+  loop "update"
+    {
+      Feature.default with
+      flops_per_iter = 8.0;
+      fma_fraction = 0.6;
+      read_bytes = 40.0;
+      write_bytes = 24.0;
+      alias_ambiguity = 0.05;
+      body_insns = 18;
+      working_set_kb = 500_000.0;
+      trip_count = cells;
+    }
+
+let shell_bc =
+  Loop.make ~trip_exponent:2.0 ~ws_exponent:2.0 "shell_bc"
+    {
+      Feature.default with
+      flops_per_iter = 24.0;
+      fma_fraction = 0.3;
+      read_bytes = 20.0;
+      write_bytes = 10.0;
+      strided_bytes = 20.0;
+      alias_ambiguity = 0.05;
+      body_insns = 34;
+      working_set_kb = 10_000.0;
+      trip_count = 160_000.0;
+    }
+
+let nonloop =
+  Loop.make ~trip_exponent:1.0 ~ws_exponent:1.0 "<nonloop>"
+    {
+      Feature.default with
+      flops_per_iter = 18.0;
+      read_bytes = 36.0;
+      write_bytes = 10.0;
+      divergence = 0.25;
+      branch_predictability = 0.9;
+      dep_chain = 1.0;
+      alias_ambiguity = 0.1;
+      calls_per_iter = 1.0;
+      body_insns = 240;
+      working_set_kb = 4_000.0;
+      trip_count = 400_000.0;
+      parallel = false;
+    }
+
+let draft =
+  Program.make ~name:"351.bwaves" ~language:Program.Fortran ~loc:1_200
+    ~domain:"Computational fluid dynamics" ~reference_size:1.0 ~nonloop
+    [ jacobian; solver_sweep; flux; residual_norm; update; shell_bc ]
+
+let shares =
+  [
+    ("jacobian", 0.24);
+    ("solver_sweep", 0.20);
+    ("flux", 0.16);
+    ("residual_norm", 0.06);
+    ("update", 0.08);
+    ("shell_bc", 0.04);
+  ]
+
+let program =
+  Balance.calibrate
+    ~toolchain:(Ft_machine.Toolchain.make Platform.Broadwell)
+    ~input:(Input.make ~size:1.0 ~steps:50 ())
+    ~total_s:18.0 ~shares draft

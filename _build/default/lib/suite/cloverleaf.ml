@@ -1,0 +1,334 @@
+(* Cloverleaf (UK-MAC): 2-D structured compressible Euler solver.
+   C with Fortran kernels in the original; modelled as C (the paper's
+   deep-dive case study runs the C build).  Reference size 2000 = the
+   2000x2000-cell Table 2 input; trips scale with the cell count (size^2).
+
+   The five kernels of Table 3 (dt, cell3, cell7, mom9, acc) carry
+   features calibrated so the O3 / Random / CFR / G decision rows and the
+   Fig. 9 per-loop speedup shapes reproduce (see test_casestudy.ml):
+     - dt:    latency-bound divergent min-reduction; O3 emits S,unroll2 and
+              leaves the FP chain unbroken — deep unrolling with aggressive
+              scheduling wins ~1.5x, forced 256-bit code much less.
+     - cell3, cell7: gather-bound upwind kernels; O3 correctly stays
+              scalar, forced 256-bit vectorization *loses* (Fig. 9),
+              because if-converted SIMD touches both branch paths' data.
+     - mom9:  stride-2000 column sweeps; ICC's quadratic width-cost belief
+              picks 128-bit, true optimum is scalar + better selection.
+     - acc:   clean FMA code, but C aliasing blocks vectorization at the
+              default dependence analysis; unlocking it wins ~1.3-1.4x.
+
+   O3 runtime shares on the Broadwell tuning input are pinned to Table 3
+   (top five: 6.3/2.9/3.5/3.5/4.2 %; every other loop below 3 %) by
+   Balance.calibrate. *)
+
+open Ft_prog
+
+let cells = 4.0e6 (* 2000 x 2000 *)
+
+let loop = Loop.make ~trip_exponent:2.0 ~ws_exponent:2.0
+
+let dt =
+  loop "dt"
+    {
+      Feature.default with
+      flops_per_iter = 20.0;
+      fma_fraction = 0.2;
+      read_bytes = 8.0;
+      write_bytes = 0.0;
+      strided_bytes = 4.0;
+      gather_bytes = 2.0;
+      divergence = 0.55;
+      branch_predictability = 0.88;
+      dep_chain = 6.0;
+      reduction = true;
+      alias_ambiguity = 0.3;
+      body_insns = 32;
+      working_set_kb = 96_000.0;
+      trip_count = cells;
+    }
+
+let cell3 =
+  loop "cell3"
+    {
+      Feature.default with
+      flops_per_iter = 40.0;
+      fma_fraction = 0.3;
+      read_bytes = 7.0;
+      write_bytes = 8.0;
+      gather_bytes = 35.0;
+      divergence = 0.45;
+      branch_predictability = 0.85;
+      alias_ambiguity = 0.35;
+      body_insns = 60;
+      working_set_kb = 128_000.0;
+      trip_count = cells;
+    }
+
+let cell7 =
+  loop "cell7"
+    {
+      Feature.default with
+      flops_per_iter = 45.0;
+      fma_fraction = 0.3;
+      read_bytes = 12.0;
+      write_bytes = 8.0;
+      gather_bytes = 36.0;
+      divergence = 0.35;
+      branch_predictability = 0.8;
+      alias_ambiguity = 0.35;
+      body_insns = 64;
+      working_set_kb = 128_000.0;
+      trip_count = cells;
+    }
+
+let mom9 =
+  loop "mom9"
+    {
+      Feature.default with
+      flops_per_iter = 55.0;
+      fma_fraction = 0.35;
+      read_bytes = 4.0;
+      write_bytes = 2.0;
+      strided_bytes = 24.0;
+      gather_bytes = 2.0;
+      divergence = 0.1;
+      branch_predictability = 0.9;
+      alias_ambiguity = 0.4;
+      body_insns = 58;
+      working_set_kb = 128_000.0;
+      trip_count = cells;
+    }
+
+let acc =
+  loop "acc"
+    {
+      Feature.default with
+      flops_per_iter = 72.0;
+      fma_fraction = 0.6;
+      read_bytes = 32.0;
+      write_bytes = 12.0;
+      alias_ambiguity = 0.7;
+      body_insns = 56;
+      working_set_kb = 160_000.0;
+      trip_count = cells;
+    }
+
+let pdv =
+  loop "pdv"
+    {
+      Feature.default with
+      flops_per_iter = 48.0;
+      fma_fraction = 0.4;
+      read_bytes = 70.0;
+      write_bytes = 24.0;
+      divergence = 0.2;
+      branch_predictability = 0.9;
+      alias_ambiguity = 0.3;
+      body_insns = 50;
+      working_set_kb = 192_000.0;
+      trip_count = cells;
+    }
+
+let flux_calc =
+  loop "flux_calc"
+    {
+      Feature.default with
+      flops_per_iter = 25.0;
+      read_bytes = 60.0;
+      write_bytes = 30.0;
+      divergence = 0.15;
+      branch_predictability = 0.92;
+      alias_ambiguity = 0.3;
+      body_insns = 36;
+      working_set_kb = 192_000.0;
+      trip_count = cells;
+    }
+
+let ideal_gas =
+  loop "ideal_gas"
+    {
+      Feature.default with
+      flops_per_iter = 35.0;
+      read_bytes = 40.0;
+      write_bytes = 16.0;
+      alias_ambiguity = 0.25;
+      body_insns = 30;
+      working_set_kb = 96_000.0;
+      trip_count = cells;
+    }
+
+let viscosity =
+  loop "viscosity"
+    {
+      Feature.default with
+      flops_per_iter = 80.0;
+      fma_fraction = 0.5;
+      read_bytes = 60.0;
+      write_bytes = 8.0;
+      strided_bytes = 20.0;
+      divergence = 0.3;
+      branch_predictability = 0.7;
+      alias_ambiguity = 0.35;
+      body_insns = 70;
+      working_set_kb = 128_000.0;
+      trip_count = cells;
+    }
+
+let advec_mom_y =
+  loop "advec_mom_y"
+    {
+      Feature.default with
+      flops_per_iter = 40.0;
+      fma_fraction = 0.35;
+      read_bytes = 24.0;
+      write_bytes = 8.0;
+      strided_bytes = 26.0;
+      divergence = 0.1;
+      branch_predictability = 0.9;
+      alias_ambiguity = 0.4;
+      body_insns = 52;
+      working_set_kb = 128_000.0;
+      trip_count = cells;
+    }
+
+let advec_cell_x =
+  loop "advec_cell_x"
+    {
+      Feature.default with
+      flops_per_iter = 38.0;
+      fma_fraction = 0.3;
+      read_bytes = 40.0;
+      write_bytes = 16.0;
+      gather_bytes = 12.0;
+      divergence = 0.25;
+      branch_predictability = 0.9;
+      alias_ambiguity = 0.3;
+      body_insns = 48;
+      working_set_kb = 128_000.0;
+      trip_count = cells;
+    }
+
+let reset_field =
+  loop "reset_field"
+    {
+      Feature.default with
+      flops_per_iter = 2.0;
+      fma_fraction = 0.0;
+      read_bytes = 48.0;
+      write_bytes = 48.0;
+      alias_ambiguity = 0.15;
+      body_insns = 12;
+      working_set_kb = 256_000.0;
+      trip_count = cells;
+    }
+
+let revert =
+  loop "revert"
+    {
+      Feature.default with
+      flops_per_iter = 2.0;
+      fma_fraction = 0.0;
+      read_bytes = 32.0;
+      write_bytes = 32.0;
+      alias_ambiguity = 0.15;
+      body_insns = 10;
+      working_set_kb = 128_000.0;
+      trip_count = cells;
+    }
+
+let field_summary =
+  loop "field_summary"
+    {
+      Feature.default with
+      flops_per_iter = 14.0;
+      fma_fraction = 0.3;
+      read_bytes = 40.0;
+      write_bytes = 0.0;
+      dep_chain = 4.0;
+      reduction = true;
+      alias_ambiguity = 0.2;
+      body_insns = 26;
+      working_set_kb = 160_000.0;
+      trip_count = cells;
+    }
+
+let update_halo =
+  Loop.make ~trip_exponent:1.0 ~ws_exponent:1.0 "update_halo"
+    {
+      Feature.default with
+      flops_per_iter = 4.0;
+      fma_fraction = 0.0;
+      read_bytes = 16.0;
+      write_bytes = 16.0;
+      strided_bytes = 32.0;
+      alias_ambiguity = 0.3;
+      body_insns = 20;
+      working_set_kb = 2_000.0;
+      trip_count = 64_000.0;
+    }
+
+let nonloop =
+  Loop.make ~trip_exponent:1.0 ~ws_exponent:1.0 "<nonloop>"
+    {
+      Feature.default with
+      flops_per_iter = 30.0;
+      read_bytes = 48.0;
+      write_bytes = 12.0;
+      divergence = 0.35;
+      branch_predictability = 0.8;
+      dep_chain = 2.0;
+      alias_ambiguity = 0.9;
+      calls_per_iter = 1.5;
+      body_insns = 320;
+      working_set_kb = 4_000.0;
+      trip_count = 650_000.0;
+      parallel = false;
+    }
+
+let draft =
+  Program.make ~name:"Cloverleaf" ~language:Program.C ~loc:14_500
+    ~domain:"Hydrodynamics" ~reference_size:2000.0 ~nonloop
+    [
+      dt;
+      cell3;
+      cell7;
+      mom9;
+      acc;
+      pdv;
+      flux_calc;
+      ideal_gas;
+      viscosity;
+      advec_mom_y;
+      advec_cell_x;
+      reset_field;
+      revert;
+      field_summary;
+      update_halo;
+    ]
+
+(* Table 3 O3 runtime ratios for the top five; the rest below 3 % as the
+   paper states.  update_halo sits below the 1 % outlining threshold. *)
+let shares =
+  [
+    ("dt", 0.063);
+    ("cell3", 0.029);
+    ("cell7", 0.035);
+    ("mom9", 0.035);
+    ("acc", 0.042);
+    ("pdv", 0.029);
+    ("flux_calc", 0.028);
+    ("ideal_gas", 0.022);
+    ("viscosity", 0.029);
+    ("advec_mom_y", 0.028);
+    ("advec_cell_x", 0.029);
+    ("reset_field", 0.025);
+    ("revert", 0.022);
+    ("field_summary", 0.018);
+    ("update_halo", 0.007);
+  ]
+
+let program =
+  Balance.calibrate
+    ~toolchain:(Ft_machine.Toolchain.make Platform.Broadwell)
+    ~input:(Input.make ~size:2000.0 ~steps:60 ())
+    ~total_s:14.0 ~shares draft

@@ -1,0 +1,168 @@
+(* 362.fma3d (SPEC OMP 2012): explicit finite-element crash simulation,
+   Fortran, 62k LOC.  "train" is the reference input (size 1.0); trips are
+   tied to the fixed unstructured mesh, so sizes scale element counts
+   directly (exponent 1).
+
+   Personalities: very large element-force bodies (spill-bound at O3),
+   contact search with gathered neighbour lists and half-predictable
+   branches (a wrong-to-vectorize candidate even in Fortran), plus
+   streaming nodal updates.  Overall headroom is modest — fma3d is one of
+   the paper's smaller wins. *)
+
+open Ft_prog
+
+let elements = 2.0e6
+
+let loop = Loop.make ~trip_exponent:1.0 ~ws_exponent:1.0
+
+let element_force =
+  loop "element_force"
+    {
+      Feature.default with
+      flops_per_iter = 220.0;
+      fma_fraction = 0.5;
+      read_bytes = 80.0;
+      write_bytes = 32.0;
+      alias_ambiguity = 0.05;
+      body_insns = 150;
+      working_set_kb = 300_000.0;
+      trip_count = elements;
+    }
+
+let stress_integrate =
+  loop "stress_integrate"
+    {
+      Feature.default with
+      flops_per_iter = 150.0;
+      fma_fraction = 0.5;
+      read_bytes = 60.0;
+      write_bytes = 24.0;
+      divergence = 0.25;
+      branch_predictability = 0.85;
+      alias_ambiguity = 0.05;
+      body_insns = 120;
+      working_set_kb = 300_000.0;
+      trip_count = elements;
+    }
+
+let contact_search =
+  loop "contact_search"
+    {
+      Feature.default with
+      flops_per_iter = 40.0;
+      fma_fraction = 0.2;
+      read_bytes = 12.0;
+      write_bytes = 4.0;
+      gather_bytes = 24.0;
+      divergence = 0.5;
+      branch_predictability = 0.8;
+      alias_ambiguity = 0.05;
+      body_insns = 70;
+      working_set_kb = 150_000.0;
+      trip_count = elements /. 2.0;
+    }
+
+let hourglass_control =
+  loop "hourglass_control"
+    {
+      Feature.default with
+      flops_per_iter = 90.0;
+      fma_fraction = 0.6;
+      read_bytes = 48.0;
+      write_bytes = 16.0;
+      alias_ambiguity = 0.05;
+      body_insns = 84;
+      working_set_kb = 250_000.0;
+      trip_count = elements;
+    }
+
+let mass_update =
+  loop "mass_update"
+    {
+      Feature.default with
+      flops_per_iter = 6.0;
+      fma_fraction = 0.5;
+      read_bytes = 32.0;
+      write_bytes = 24.0;
+      alias_ambiguity = 0.05;
+      body_insns = 16;
+      working_set_kb = 200_000.0;
+      trip_count = elements;
+    }
+
+let nodal_accel =
+  loop "nodal_accel"
+    {
+      Feature.default with
+      flops_per_iter = 30.0;
+      fma_fraction = 0.4;
+      read_bytes = 40.0;
+      write_bytes = 16.0;
+      gather_bytes = 8.0;
+      alias_ambiguity = 0.05;
+      body_insns = 36;
+      working_set_kb = 200_000.0;
+      trip_count = elements;
+    }
+
+let time_integration =
+  loop "time_integration"
+    {
+      Feature.default with
+      flops_per_iter = 20.0;
+      fma_fraction = 0.4;
+      read_bytes = 36.0;
+      write_bytes = 20.0;
+      alias_ambiguity = 0.05;
+      body_insns = 26;
+      working_set_kb = 200_000.0;
+      trip_count = elements;
+    }
+
+let nonloop =
+  Loop.make "<nonloop>"
+    {
+      Feature.default with
+      flops_per_iter = 22.0;
+      read_bytes = 40.0;
+      write_bytes = 12.0;
+      divergence = 0.3;
+      branch_predictability = 0.85;
+      dep_chain = 1.0;
+      alias_ambiguity = 0.1;
+      calls_per_iter = 2.0;
+      body_insns = 300;
+      working_set_kb = 10_000.0;
+      trip_count = 600_000.0;
+      parallel = false;
+    }
+
+let draft =
+  Program.make ~name:"362.fma3d" ~language:Program.Fortran ~loc:62_000
+    ~domain:"Mechanical simulation" ~reference_size:1.0 ~nonloop
+    [
+      element_force;
+      stress_integrate;
+      contact_search;
+      hourglass_control;
+      mass_update;
+      nodal_accel;
+      time_integration;
+    ]
+
+let shares =
+  [
+    ("element_force", 0.16);
+    ("stress_integrate", 0.12);
+    ("contact_search", 0.08);
+    ("hourglass_control", 0.06);
+    ("mass_update", 0.06);
+    ("nodal_accel", 0.07);
+    ("time_integration", 0.05);
+  ]
+
+let program =
+  Balance.calibrate
+    ~toolchain:(Ft_machine.Toolchain.make Platform.Broadwell)
+    ~input:(Input.make ~size:1.0 ~steps:20 ())
+    ~total_s:12.0 ~shares draft

@@ -1,0 +1,232 @@
+(* LULESH (LLNL proxy app): unstructured shock hydrodynamics on a 3-D
+   hexahedral mesh, C++.  Reference size 200 = the Broadwell Table 2 input
+   (200^3 elements, 10 time steps); trips scale with size^3.
+
+   Optimization personalities:
+     - hourglass/stress force kernels: large FMA-rich bodies that spill at
+       O3 — register-allocation and spill-placement flags pay off;
+     - eos: branchy equation-of-state selection that O3 if-converts; with
+       highly biased branches, *not* converting (keeping branches) wins;
+     - material_props: gather-indexed region traversal that O3 vectorizes
+       at a loss;
+     - pos/vel updates: pure streaming — non-temporal stores and prefetch
+       distance are the whole game.
+
+   PGO instrumentation fails for LULESH (paper §4.2.2, observation 3). *)
+
+open Ft_prog
+
+let elements = 8.0e6 (* 200^3 *)
+
+let loop = Loop.make ~trip_exponent:3.0 ~ws_exponent:3.0
+
+let hourglass_force =
+  loop "hourglass_force"
+    {
+      Feature.default with
+      flops_per_iter = 200.0;
+      fma_fraction = 0.8;
+      read_bytes = 60.0;
+      write_bytes = 24.0;
+      alias_ambiguity = 0.45;
+      body_insns = 120;
+      working_set_kb = 700_000.0;
+      trip_count = elements;
+    }
+
+let stress_force =
+  loop "stress_force"
+    {
+      Feature.default with
+      flops_per_iter = 90.0;
+      fma_fraction = 0.6;
+      read_bytes = 70.0;
+      write_bytes = 24.0;
+      alias_ambiguity = 0.5;
+      body_insns = 84;
+      working_set_kb = 700_000.0;
+      trip_count = elements;
+    }
+
+let eos =
+  loop "eos"
+    {
+      Feature.default with
+      flops_per_iter = 60.0;
+      fma_fraction = 0.3;
+      read_bytes = 48.0;
+      write_bytes = 16.0;
+      divergence = 0.6;
+      branch_predictability = 0.93;
+      alias_ambiguity = 0.5;
+      body_insns = 90;
+      working_set_kb = 500_000.0;
+      trip_count = elements;
+    }
+
+let material_props =
+  loop "material_props"
+    {
+      Feature.default with
+      flops_per_iter = 30.0;
+      fma_fraction = 0.3;
+      read_bytes = 16.0;
+      write_bytes = 8.0;
+      gather_bytes = 20.0;
+      divergence = 0.3;
+      branch_predictability = 0.9;
+      alias_ambiguity = 0.4;
+      body_insns = 44;
+      working_set_kb = 400_000.0;
+      trip_count = elements;
+    }
+
+let pos_vel_update =
+  loop "pos_vel_update"
+    {
+      Feature.default with
+      flops_per_iter = 6.0;
+      fma_fraction = 0.2;
+      read_bytes = 48.0;
+      write_bytes = 48.0;
+      alias_ambiguity = 0.2;
+      body_insns = 16;
+      working_set_kb = 500_000.0;
+      trip_count = elements;
+    }
+
+let kinematics =
+  loop "kinematics"
+    {
+      Feature.default with
+      flops_per_iter = 70.0;
+      fma_fraction = 0.5;
+      read_bytes = 24.0;
+      write_bytes = 8.0;
+      strided_bytes = 36.0;
+      nest_depth = 2;
+      alias_ambiguity = 0.45;
+      body_insns = 66;
+      working_set_kb = 600_000.0;
+      trip_count = elements;
+    }
+
+let volume_calc =
+  loop "volume_calc"
+    {
+      Feature.default with
+      flops_per_iter = 70.0;
+      fma_fraction = 0.5;
+      read_bytes = 48.0;
+      write_bytes = 8.0;
+      alias_ambiguity = 0.4;
+      body_insns = 58;
+      working_set_kb = 500_000.0;
+      trip_count = elements;
+    }
+
+let courant =
+  loop "courant"
+    {
+      Feature.default with
+      flops_per_iter = 18.0;
+      fma_fraction = 0.2;
+      read_bytes = 12.0;
+      strided_bytes = 4.0;
+      write_bytes = 0.0;
+      divergence = 0.4;
+      branch_predictability = 0.85;
+      dep_chain = 5.0;
+      reduction = true;
+      alias_ambiguity = 0.3;
+      body_insns = 30;
+      working_set_kb = 300_000.0;
+      trip_count = elements;
+    }
+
+let energy_calc =
+  loop "energy_calc"
+    {
+      Feature.default with
+      flops_per_iter = 50.0;
+      fma_fraction = 0.4;
+      read_bytes = 32.0;
+      write_bytes = 16.0;
+      dep_chain = 3.0;
+      alias_ambiguity = 0.45;
+      body_insns = 62;
+      working_set_kb = 500_000.0;
+      trip_count = elements;
+    }
+
+let monotonic_q =
+  loop "monotonic_q"
+    {
+      Feature.default with
+      flops_per_iter = 45.0;
+      fma_fraction = 0.3;
+      read_bytes = 16.0;
+      write_bytes = 8.0;
+      gather_bytes = 14.0;
+      divergence = 0.45;
+      branch_predictability = 0.75;
+      alias_ambiguity = 0.45;
+      body_insns = 56;
+      working_set_kb = 500_000.0;
+      trip_count = elements;
+    }
+
+let nonloop =
+  Loop.make ~trip_exponent:1.0 ~ws_exponent:1.0 "<nonloop>"
+    {
+      Feature.default with
+      flops_per_iter = 24.0;
+      read_bytes = 40.0;
+      write_bytes = 16.0;
+      divergence = 0.3;
+      branch_predictability = 0.85;
+      dep_chain = 1.0;
+      alias_ambiguity = 0.95;
+      calls_per_iter = 3.0;
+      body_insns = 420;
+      working_set_kb = 8_000.0;
+      trip_count = 400_000.0;
+      parallel = false;
+    }
+
+let draft =
+  Program.make ~name:"LULESH" ~language:Program.Cpp ~loc:7_200
+    ~domain:"Hydrodynamics" ~reference_size:200.0 ~pgo_instrumentable:false
+    ~nonloop
+    [
+      hourglass_force;
+      stress_force;
+      eos;
+      material_props;
+      pos_vel_update;
+      kinematics;
+      volume_calc;
+      courant;
+      energy_calc;
+      monotonic_q;
+    ]
+
+let shares =
+  [
+    ("hourglass_force", 0.16);
+    ("stress_force", 0.12);
+    ("eos", 0.10);
+    ("material_props", 0.06);
+    ("pos_vel_update", 0.08);
+    ("kinematics", 0.09);
+    ("volume_calc", 0.06);
+    ("courant", 0.03);
+    ("energy_calc", 0.06);
+    ("monotonic_q", 0.05);
+  ]
+
+let program =
+  Balance.calibrate
+    ~toolchain:(Ft_machine.Toolchain.make Platform.Broadwell)
+    ~input:(Input.make ~size:200.0 ~steps:10 ())
+    ~total_s:16.0 ~shares draft

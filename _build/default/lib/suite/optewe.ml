@@ -1,0 +1,171 @@
+(* Optewe (Sourouri): 3-D elastic seismic-wave propagation with PML
+   boundaries, C++.  Reference size 512 = the Broadwell Table 2 input
+   (512^3 grid, 5 time steps); trips scale with size^3.
+
+   Personalities: directional stencils whose y/z sweeps are stride-bound
+   (interchange and tiling matter), a stress update whose C++ pointer
+   aliasing blocks vectorization at O3 (like Cloverleaf's acc, the big
+   unlockable win), streaming velocity updates, and a branchy PML layer.
+
+   PGO instrumentation fails for Optewe (paper §4.2.2, observation 3). *)
+
+open Ft_prog
+
+let grid = 3.0e7
+
+let loop = Loop.make ~trip_exponent:3.0 ~ws_exponent:3.0
+
+let stencil_x =
+  loop "stencil_x"
+    {
+      Feature.default with
+      flops_per_iter = 90.0;
+      fma_fraction = 0.7;
+      read_bytes = 70.0;
+      write_bytes = 16.0;
+      alias_ambiguity = 0.4;
+      body_insns = 74;
+      working_set_kb = 1_000_000.0;
+      trip_count = grid;
+    }
+
+let stencil_y =
+  loop "stencil_y"
+    {
+      Feature.default with
+      flops_per_iter = 90.0;
+      fma_fraction = 0.7;
+      read_bytes = 20.0;
+      write_bytes = 12.0;
+      strided_bytes = 52.0;
+      nest_depth = 3;
+      alias_ambiguity = 0.4;
+      body_insns = 74;
+      working_set_kb = 1_000_000.0;
+      trip_count = grid;
+    }
+
+let stencil_z =
+  loop "stencil_z"
+    {
+      Feature.default with
+      flops_per_iter = 90.0;
+      fma_fraction = 0.7;
+      read_bytes = 14.0;
+      write_bytes = 12.0;
+      strided_bytes = 60.0;
+      nest_depth = 3;
+      alias_ambiguity = 0.4;
+      body_insns = 74;
+      working_set_kb = 1_000_000.0;
+      trip_count = grid;
+    }
+
+let stress_update =
+  loop "stress_update"
+    {
+      Feature.default with
+      flops_per_iter = 110.0;
+      fma_fraction = 0.8;
+      read_bytes = 36.0;
+      write_bytes = 12.0;
+      alias_ambiguity = 0.68;
+      body_insns = 100;
+      working_set_kb = 1_200_000.0;
+      trip_count = grid;
+    }
+
+let vel_update =
+  loop "vel_update"
+    {
+      Feature.default with
+      flops_per_iter = 20.0;
+      fma_fraction = 0.6;
+      read_bytes = 64.0;
+      write_bytes = 32.0;
+      alias_ambiguity = 0.3;
+      body_insns = 28;
+      working_set_kb = 1_000_000.0;
+      trip_count = grid;
+    }
+
+let pml_boundary =
+  loop "pml_boundary"
+    {
+      Feature.default with
+      flops_per_iter = 55.0;
+      fma_fraction = 0.4;
+      read_bytes = 20.0;
+      write_bytes = 10.0;
+      strided_bytes = 18.0;
+      divergence = 0.55;
+      branch_predictability = 0.6;
+      alias_ambiguity = 0.45;
+      body_insns = 72;
+      working_set_kb = 150_000.0;
+      trip_count = grid /. 8.0;
+    }
+
+let free_surface =
+  Loop.make ~trip_exponent:2.0 ~ws_exponent:2.0 "free_surface"
+    {
+      Feature.default with
+      flops_per_iter = 30.0;
+      fma_fraction = 0.4;
+      read_bytes = 16.0;
+      write_bytes = 10.0;
+      strided_bytes = 24.0;
+      alias_ambiguity = 0.4;
+      body_insns = 40;
+      working_set_kb = 8_000.0;
+      trip_count = 260_000.0;
+    }
+
+let nonloop =
+  Loop.make ~trip_exponent:1.0 ~ws_exponent:1.0 "<nonloop>"
+    {
+      Feature.default with
+      flops_per_iter = 26.0;
+      read_bytes = 40.0;
+      write_bytes = 12.0;
+      divergence = 0.3;
+      branch_predictability = 0.85;
+      dep_chain = 1.0;
+      alias_ambiguity = 0.9;
+      calls_per_iter = 2.0;
+      body_insns = 360;
+      working_set_kb = 6_000.0;
+      trip_count = 500_000.0;
+      parallel = false;
+    }
+
+let draft =
+  Program.make ~name:"Optewe" ~language:Program.Cpp ~loc:2_700
+    ~domain:"Seismic wave simulation" ~reference_size:512.0
+    ~pgo_instrumentable:false ~nonloop
+    [
+      stencil_x;
+      stencil_y;
+      stencil_z;
+      stress_update;
+      vel_update;
+      pml_boundary;
+      free_surface;
+    ]
+
+let shares =
+  [
+    ("stencil_x", 0.11);
+    ("stencil_y", 0.11);
+    ("stencil_z", 0.11);
+    ("stress_update", 0.13);
+    ("vel_update", 0.09);
+    ("pml_boundary", 0.07);
+    ("free_surface", 0.025);
+  ]
+
+let program =
+  Balance.calibrate
+    ~toolchain:(Ft_machine.Toolchain.make Platform.Broadwell)
+    ~input:(Input.make ~size:512.0 ~steps:5 ())
+    ~total_s:12.0 ~shares draft

@@ -1,0 +1,138 @@
+open Ft_prog
+
+let all =
+  [
+    Lulesh.program;
+    Cloverleaf.program;
+    Amg.program;
+    Optewe.program;
+    Bwaves.program;
+    Fma3d.program;
+    Swim.program;
+  ]
+
+let aliases =
+  [
+    ("lulesh", "LULESH");
+    ("cloverleaf", "Cloverleaf");
+    ("cl", "Cloverleaf");
+    ("amg", "AMG");
+    ("optewe", "Optewe");
+    ("bwaves", "351.bwaves");
+    ("351.bwaves", "351.bwaves");
+    ("fma3d", "362.fma3d");
+    ("362.fma3d", "362.fma3d");
+    ("swim", "363.swim");
+    ("363.swim", "363.swim");
+  ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  let canonical = Option.value ~default:name (List.assoc_opt lower aliases) in
+  List.find_opt
+    (fun (p : Program.t) ->
+      String.lowercase_ascii p.Program.name = String.lowercase_ascii canonical)
+    all
+
+(* Table 2: per-platform tuning inputs (size, time steps). *)
+let tuning_input (platform : Platform.t) (program : Program.t) =
+  let size, steps =
+    match (program.Program.name, platform) with
+    | "LULESH", Platform.Opteron -> (120.0, 10)
+    | "LULESH", Platform.Sandy_bridge -> (150.0, 10)
+    | "LULESH", Platform.Broadwell -> (200.0, 10)
+    | "Cloverleaf", Platform.Opteron -> (2000.0, 30)
+    | "Cloverleaf", Platform.Sandy_bridge -> (2000.0, 30)
+    | "Cloverleaf", Platform.Broadwell -> (2000.0, 60)
+    | "AMG", Platform.Opteron -> (18.0, 1)
+    | "AMG", Platform.Sandy_bridge -> (20.0, 1)
+    | "AMG", Platform.Broadwell -> (25.0, 1)
+    | "Optewe", Platform.Opteron -> (320.0, 5)
+    | "Optewe", Platform.Sandy_bridge -> (384.0, 5)
+    | "Optewe", Platform.Broadwell -> (512.0, 5)
+    | "351.bwaves", Platform.Opteron -> (1.0, 10)
+    | "351.bwaves", Platform.Sandy_bridge -> (1.0, 15)
+    | "351.bwaves", Platform.Broadwell -> (1.0, 50)
+    | "362.fma3d", _ -> (1.0, 20)
+    | "363.swim", _ -> (1.0, 40)
+    | name, _ -> invalid_arg ("Suite.tuning_input: unknown program " ^ name)
+  in
+  Input.make
+    ~label:(Printf.sprintf "tuning/%s" (Platform.short_name platform))
+    ~size ~steps ()
+
+(* §4.3: small and large work-set inputs (evaluated on Broadwell). *)
+let generalization_size ~small (program : Program.t) =
+  match (program.Program.name, small) with
+  | "LULESH", true -> 180.0
+  | "LULESH", false -> 250.0
+  | "Cloverleaf", true -> 1000.0
+  | "Cloverleaf", false -> 4000.0
+  | "AMG", true -> 20.0
+  | "AMG", false -> 30.0
+  | "Optewe", true -> 384.0
+  | "Optewe", false -> 768.0
+  | ("351.bwaves" | "362.fma3d" | "363.swim"), true -> 0.15 (* SPEC test *)
+  | ("351.bwaves" | "362.fma3d" | "363.swim"), false -> 1.5 (* SPEC ref *)
+  | name, _ -> invalid_arg ("Suite.generalization_size: unknown " ^ name)
+
+let small_input program =
+  let tuning = tuning_input Platform.Broadwell program in
+  Input.make ~label:"small"
+    ~size:(generalization_size ~small:true program)
+    ~steps:tuning.Input.steps ()
+
+let large_input program =
+  let tuning = tuning_input Platform.Broadwell program in
+  Input.make ~label:"large"
+    ~size:(generalization_size ~small:false program)
+    ~steps:tuning.Input.steps ()
+
+let table1 () =
+  let t =
+    Ft_util.Table.create ~title:"Table 1: List of benchmarks"
+      [ "Name"; "Language"; "LOC"; "Domain" ]
+  in
+  List.iter
+    (fun (p : Program.t) ->
+      Ft_util.Table.add_row t
+        [
+          p.Program.name;
+          Program.language_name p.Program.language;
+          Printf.sprintf "%.1fk" (float_of_int p.Program.loc /. 1000.0);
+          p.Program.domain;
+        ])
+    all;
+  t
+
+(* Table 2 restates the paper's platform facts directly — they are inputs
+   to the reproduction (Arch.of_platform encodes the same numbers), not
+   derived values. *)
+let table2 () =
+  let t =
+    Ft_util.Table.create
+      ~title:"Table 2: Platform overview, runtime configurations, inputs"
+      [ "Row"; "AMD Opteron"; "Intel Sandy Bridge"; "Intel Broadwell" ]
+  in
+  let row name f =
+    Ft_util.Table.add_row t (name :: List.map f Platform.all)
+  in
+  row "Processor" Platform.processor;
+  row "Processor-specific flag" Platform.processor_flag;
+  Ft_util.Table.add_row t [ "Sockets"; "2"; "2"; "2" ];
+  Ft_util.Table.add_row t [ "NUMA nodes"; "4"; "2"; "2" ];
+  Ft_util.Table.add_row t [ "Cores/socket"; "4"; "8"; "8" ];
+  Ft_util.Table.add_row t [ "Threads/core"; "2"; "2"; "2" ];
+  Ft_util.Table.add_row t [ "Core frequency [GHz]"; "2.0"; "2.0"; "2.1" ];
+  Ft_util.Table.add_row t [ "Memory size [GB]"; "32"; "16"; "64" ];
+  Ft_util.Table.add_row t [ "OpenMP thread count"; "16"; "16"; "16" ];
+  Ft_util.Table.add_separator t;
+  List.iter
+    (fun (p : Program.t) ->
+      let cell platform =
+        let input = tuning_input platform p in
+        Printf.sprintf "%g, %d" input.Input.size input.Input.steps
+      in
+      row (p.Program.name ^ ": size, steps") cell)
+    all;
+  t

@@ -1,0 +1,34 @@
+(** The paper's benchmark suite (Tables 1 and 2) and its inputs.
+
+    Seven OpenMP programs: AMG, LULESH, Cloverleaf, Optewe from the HPC
+    proxy-app world, plus 351.bwaves, 362.fma3d and 363.swim from SPEC OMP
+    2012.  Each benchmark module pins its O3 per-loop runtime profile on
+    the Broadwell tuning input via {!Balance}; this module is the registry
+    plus the per-platform tuning inputs (Table 2), the §4.3 small/large
+    generalization inputs, and Table 1/2 rendering helpers. *)
+
+val all : Ft_prog.Program.t list
+(** In the paper's figure order: LULESH, Cloverleaf, AMG, Optewe, bwaves,
+    fma3d, swim. *)
+
+val find : string -> Ft_prog.Program.t option
+(** Look up by name (case-insensitive; accepts short aliases such as
+    ["cl"], ["bwaves"]). *)
+
+val tuning_input : Ft_prog.Platform.t -> Ft_prog.Program.t -> Ft_prog.Input.t
+(** The Table 2 input for a program on a platform (sized so one O3 run
+    stays under 40 s).  @raise Invalid_argument for unknown programs. *)
+
+val small_input : Ft_prog.Program.t -> Ft_prog.Input.t
+(** §4.3 small test input (Broadwell): LULESH 180, AMG 20, Cloverleaf
+    1000, Optewe 384, SPEC "test". *)
+
+val large_input : Ft_prog.Program.t -> Ft_prog.Input.t
+(** §4.3 large test input (Broadwell): LULESH 250, AMG 30, Cloverleaf
+    4000, Optewe 768, SPEC "ref". *)
+
+val table1 : unit -> Ft_util.Table.t
+(** Table 1: name, language, LOC, domain. *)
+
+val table2 : unit -> Ft_util.Table.t
+(** Table 2: platform parameters and per-benchmark inputs. *)

@@ -1,0 +1,112 @@
+(* 363.swim (SPEC OMP 2012): shallow-water weather prediction, Fortran,
+   0.5k LOC.  Three classic 2-D stencil loops (calc1/calc2/calc3) stream
+   a handful of N x N arrays each time step; the code is almost entirely
+   memory-bound, so the tuning story is about the memory system:
+   non-temporal stores (skip read-for-ownership on the written arrays),
+   prefetch level/distance, and avoiding vector-width choices that inflate
+   traffic.
+
+   The §4.3 pathology reproduces here: on the tiny "test" input the
+   working set drops into the last-level cache, so CVs tuned on "train"
+   (streaming stores + far prefetch, ideal for DRAM-resident arrays)
+   actively backfire — the paper reports exactly this as the one case
+   where CFR trails on the small input while still beating O3. *)
+
+open Ft_prog
+
+let points = 1.4e7 (* ~3800 x 3800 *)
+
+let loop = Loop.make ~trip_exponent:2.0 ~ws_exponent:2.0
+
+let calc1 =
+  loop "calc1"
+    {
+      Feature.default with
+      flops_per_iter = 30.0;
+      fma_fraction = 0.6;
+      read_bytes = 120.0;
+      write_bytes = 40.0;
+      alias_ambiguity = 0.05;
+      body_insns = 44;
+      working_set_kb = 900_000.0;
+      trip_count = points;
+    }
+
+let calc2 =
+  loop "calc2"
+    {
+      Feature.default with
+      flops_per_iter = 35.0;
+      fma_fraction = 0.6;
+      read_bytes = 140.0;
+      write_bytes = 32.0;
+      alias_ambiguity = 0.05;
+      body_insns = 48;
+      working_set_kb = 900_000.0;
+      trip_count = points;
+    }
+
+let calc3 =
+  loop "calc3"
+    {
+      Feature.default with
+      flops_per_iter = 25.0;
+      fma_fraction = 0.5;
+      read_bytes = 100.0;
+      write_bytes = 48.0;
+      divergence = 0.1;
+      branch_predictability = 0.95;
+      alias_ambiguity = 0.05;
+      body_insns = 40;
+      working_set_kb = 900_000.0;
+      trip_count = points;
+    }
+
+let periodic_bc =
+  Loop.make ~trip_exponent:1.0 ~ws_exponent:1.0 "periodic_bc"
+    {
+      Feature.default with
+      flops_per_iter = 4.0;
+      fma_fraction = 0.0;
+      read_bytes = 16.0;
+      write_bytes = 16.0;
+      strided_bytes = 16.0;
+      alias_ambiguity = 0.05;
+      body_insns = 14;
+      working_set_kb = 500.0;
+      trip_count = 15_000.0;
+    }
+
+let nonloop =
+  Loop.make ~trip_exponent:1.0 ~ws_exponent:1.0 "<nonloop>"
+    {
+      Feature.default with
+      flops_per_iter = 12.0;
+      read_bytes = 24.0;
+      write_bytes = 8.0;
+      divergence = 0.2;
+      branch_predictability = 0.9;
+      dep_chain = 0.0;
+      alias_ambiguity = 0.1;
+      calls_per_iter = 0.5;
+      body_insns = 120;
+      working_set_kb = 2_000.0;
+      trip_count = 250_000.0;
+      parallel = false;
+    }
+
+let draft =
+  Program.make ~name:"363.swim" ~language:Program.Fortran ~loc:500
+    ~domain:"Weather prediction" ~reference_size:1.0 ~nonloop
+    [ calc1; calc2; calc3; periodic_bc ]
+
+let shares =
+  [
+    ("calc1", 0.29); ("calc2", 0.29); ("calc3", 0.24); ("periodic_bc", 0.03);
+  ]
+
+let program =
+  Balance.calibrate
+    ~toolchain:(Ft_machine.Toolchain.make Platform.Broadwell)
+    ~input:(Input.make ~size:1.0 ~steps:40 ())
+    ~total_s:9.0 ~shares draft

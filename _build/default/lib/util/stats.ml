@@ -1,0 +1,84 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty input")
+  | _ -> ()
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  require_nonempty "Stats.geomean" xs;
+  let add_log acc x =
+    if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value"
+    else acc +. log x
+  in
+  exp (List.fold_left add_log 0.0 xs /. float_of_int (List.length xs))
+
+let stddev xs =
+  require_nonempty "Stats.stddev" xs;
+  match xs with
+  | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. (n -. 1.0))
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  require_nonempty "Stats.median" xs;
+  let a = Array.of_list (sorted xs) in
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile p xs =
+  require_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  let a = Array.of_list (sorted xs) in
+  let n = Array.length a in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then a.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. a.(lo)) +. (w *. a.(hi))
+
+let min_by key = function
+  | [] -> invalid_arg "Stats.min_by: empty input"
+  | x :: xs ->
+      let better best candidate =
+        if key candidate < key best then candidate else best
+      in
+      List.fold_left better x xs
+
+let max_by key = function
+  | [] -> invalid_arg "Stats.max_by: empty input"
+  | x :: xs ->
+      let better best candidate =
+        if key candidate > key best then candidate else best
+      in
+      List.fold_left better x xs
+
+let argmin a =
+  if Array.length a = 0 then invalid_arg "Stats.argmin: empty input";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) < a.(!best) then best := i
+  done;
+  !best
+
+let top_k_indices k costs =
+  let n = Array.length costs in
+  let k = max 0 (min k n) in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      match compare costs.(i) costs.(j) with 0 -> compare i j | c -> c)
+    idx;
+  Array.to_list (Array.sub idx 0 k)
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let speedup ~baseline t = baseline /. t

@@ -1,0 +1,51 @@
+(** Summary statistics used throughout the harness.
+
+    The paper reports geometric-mean speedups (Figs. 5–8), per-run standard
+    deviations (§4.1) and best-of-K selections; these helpers implement those
+    reductions once, with explicit behaviour on empty input. *)
+
+val mean : float list -> float
+(** Arithmetic mean.  @raise Invalid_argument on empty input. *)
+
+val geomean : float list -> float
+(** Geometric mean of strictly positive values, computed in log space so
+    K = 1000 products do not overflow.
+    @raise Invalid_argument on empty input or any value [<= 0]. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator; 0 for singletons).
+    @raise Invalid_argument on empty input. *)
+
+val median : float list -> float
+(** Median (mean of middle pair for even lengths).
+    @raise Invalid_argument on empty input. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [0,100], nearest-rank with linear
+    interpolation.  @raise Invalid_argument on empty input or p outside
+    [0,100]. *)
+
+val min_by : ('a -> float) -> 'a list -> 'a
+(** Element minimizing the key; first winner on ties.
+    @raise Invalid_argument on empty input. *)
+
+val max_by : ('a -> float) -> 'a list -> 'a
+(** Element maximizing the key; first winner on ties.
+    @raise Invalid_argument on empty input. *)
+
+val argmin : float array -> int
+(** Index of the smallest element; first on ties.
+    @raise Invalid_argument on empty input. *)
+
+val top_k_indices : int -> float array -> int list
+(** [top_k_indices k costs] are the indices of the [k] smallest costs in
+    ascending cost order (ties broken by index).  [k] is clamped to the
+    array length.  This is the space-focusing primitive of CFR
+    (Algorithm 1, line 11). *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp a float into a closed interval. *)
+
+val speedup : baseline:float -> float -> float
+(** [speedup ~baseline t] = [baseline /. t] — the paper's figure-of-merit,
+    runtime of the O3 build over runtime of the tuned build. *)

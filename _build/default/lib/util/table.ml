@@ -1,0 +1,95 @@
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  let n_head = List.length t.headers and n = List.length cells in
+  if n > n_head then invalid_arg "Table.add_row: more cells than headers";
+  let padded =
+    if n = n_head then cells else cells @ List.init (n_head - n) (fun _ -> "")
+  in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= '0' && c <= '9')
+         || c = '.' || c = '-' || c = '+' || c = '%' || c = 'x' || c = 'e')
+       s
+
+let render t =
+  let rows = List.rev t.rows in
+  let cells_of = function Cells c -> c | Separator -> [] in
+  let all_cells = t.headers :: List.filter_map
+    (function Cells c -> Some c | Separator -> None) rows in
+  let n_cols = List.length t.headers in
+  let widths = Array.make n_cols 0 in
+  let note_widths cells =
+    List.iteri
+      (fun i c -> if i < n_cols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  List.iter note_widths all_cells;
+  (* Right-align a column iff every non-empty body cell looks numeric. *)
+  let numeric = Array.make n_cols true in
+  List.iter
+    (fun r ->
+      List.iteri
+        (fun i c ->
+          if i < n_cols && c <> "" && not (looks_numeric c) then
+            numeric.(i) <- false)
+        (cells_of r))
+    rows;
+  let pad i c =
+    let w = widths.(i) in
+    let len = String.length c in
+    if len >= w then c
+    else if numeric.(i) then String.make (w - len) ' ' ^ c
+    else c ^ String.make (w - len) ' '
+  in
+  let line ch =
+    let segments = Array.to_list (Array.map (fun w -> String.make (w + 2) ch) widths) in
+    "+" ^ String.concat "+" segments ^ "+"
+  in
+  let render_cells cells =
+    let padded = List.mapi (fun i c -> " " ^ pad i c ^ " ") cells in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (t.title ^ "\n");
+  Buffer.add_string buf (line '-' ^ "\n");
+  Buffer.add_string buf (render_cells t.headers ^ "\n");
+  Buffer.add_string buf (line '=' ^ "\n");
+  List.iter
+    (fun r ->
+      match r with
+      | Separator -> Buffer.add_string buf (line '-' ^ "\n")
+      | Cells c -> Buffer.add_string buf (render_cells c ^ "\n"))
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_f ?(digits = 3) v = Printf.sprintf "%.*f" digits v
+
+let fmt_pct ratio =
+  let pct = (ratio -. 1.0) *. 100.0 in
+  Printf.sprintf "%+.1f%%" pct
+
+let bar ?(width = 40) ?(scale = 1.5) v =
+  let v = if v < 0.0 then 0.0 else v in
+  let n = int_of_float (Float.round (v /. scale *. float_of_int width)) in
+  let n = min n width in
+  String.make n '#'

@@ -1,0 +1,37 @@
+(** Plain-text table and bar-chart rendering for the experiment harness.
+
+    The benchmark harness regenerates every paper table and figure as text:
+    tables print aligned columns, figures print one row per (benchmark,
+    algorithm) series with an optional ASCII bar so the "who wins" shape is
+    visible at a glance in a terminal log. *)
+
+type t
+(** An in-progress table: a header plus accumulated rows. *)
+
+val create : title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append one row.  Rows shorter than the header are padded with [""];
+    longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (rendered between row groups). *)
+
+val render : t -> string
+(** Render with box-drawing rules and per-column alignment (numeric-looking
+    cells right-aligned, text left-aligned). *)
+
+val print : t -> unit
+(** [render] then [print_string] with a trailing newline. *)
+
+val fmt_f : ?digits:int -> float -> string
+(** Fixed-point float formatting (default 3 digits), for table cells. *)
+
+val fmt_pct : float -> string
+(** Format a speedup ratio as a signed percentage over baseline, e.g.
+    [fmt_pct 1.093 = "+9.3%"]. *)
+
+val bar : ?width:int -> ?scale:float -> float -> string
+(** [bar v] renders a horizontal bar proportional to [v] (default 1.0 maps to
+    [width/scale] characters), used for figure-style output. *)

@@ -1,0 +1,1 @@
+test/suite_baselines.ml: Alcotest Float Ft_baselines Ft_compiler Ft_flags Ft_machine Ft_prog Ft_suite Ft_util Lazy List Option Platform

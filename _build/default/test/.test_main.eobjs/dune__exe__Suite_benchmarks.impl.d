@@ -1,0 +1,1 @@
+test/suite_benchmarks.ml: Alcotest Ft_compiler Ft_flags Ft_machine Ft_prog Ft_suite List Option Platform

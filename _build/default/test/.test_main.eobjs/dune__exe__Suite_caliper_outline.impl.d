@@ -1,0 +1,1 @@
+test/suite_caliper_outline.ml: Alcotest Ft_caliper Ft_compiler Ft_flags Ft_machine Ft_outline Ft_prog Ft_suite Ft_util List Option Platform Printf Program

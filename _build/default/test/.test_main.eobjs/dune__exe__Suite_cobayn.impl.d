@@ -1,0 +1,1 @@
+test/suite_cobayn.ml: Alcotest Array Feature Float Ft_cobayn Ft_flags Ft_machine Ft_prog Ft_suite Ft_util Funcytuner Lazy List Loop Option Platform Program

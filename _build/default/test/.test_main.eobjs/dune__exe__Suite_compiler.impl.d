@@ -1,0 +1,1 @@
+test/suite_compiler.ml: Alcotest Array Cprofile Cunit Decision Feature Ft_compiler Ft_flags Ft_machine Ft_prog Ft_suite Ft_util Heuristics Input Linker List Loop Option Pgo Platform Program Target

@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array Float Ft_flags Ft_machine Ft_outline Ft_prog Ft_suite Ft_util Funcytuner Lazy List Platform Printf

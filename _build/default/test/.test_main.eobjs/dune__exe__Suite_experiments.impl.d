@@ -1,0 +1,1 @@
+test/suite_experiments.ml: Alcotest Astring_contains Ft_experiments Ft_prog Ft_suite Ft_util Funcytuner Lazy List Option Platform Program String

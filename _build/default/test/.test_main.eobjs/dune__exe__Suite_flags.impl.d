@@ -1,0 +1,1 @@
+test/suite_flags.ml: Alcotest Array Ft_flags Ft_util List Printf QCheck QCheck_alcotest String

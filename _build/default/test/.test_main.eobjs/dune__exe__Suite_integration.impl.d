@@ -1,0 +1,1 @@
+test/suite_integration.ml: Alcotest Feature Ft_caliper Ft_compiler Ft_flags Ft_machine Ft_outline Ft_prog Ft_suite Funcytuner Input List Loop Option Platform Program

@@ -1,0 +1,1 @@
+test/suite_machine.ml: Alcotest Array Astring_contains Float Ft_flags Ft_machine Ft_prog Ft_suite Ft_util Input List Platform Printf Program QCheck QCheck_alcotest

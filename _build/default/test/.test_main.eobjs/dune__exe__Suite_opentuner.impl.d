@@ -1,0 +1,1 @@
+test/suite_opentuner.ml: Alcotest Array Ft_flags Ft_machine Ft_opentuner Ft_prog Ft_suite Ft_util Funcytuner List Option Platform Printf

@@ -1,0 +1,1 @@
+test/suite_prog.ml: Alcotest Feature Ft_prog Input List Loop Platform Program

@@ -1,0 +1,1 @@
+test/suite_suite.ml: Alcotest Astring_contains Ft_flags Ft_machine Ft_prog Ft_suite Ft_util Input List Option Platform Printf Program

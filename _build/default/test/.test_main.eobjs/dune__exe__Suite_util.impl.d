@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Astring_contains Float Ft_util Gen List QCheck QCheck_alcotest String

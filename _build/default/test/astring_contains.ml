@@ -1,0 +1,12 @@
+(* Tiny substring helper for tests (no external string library needed). *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else
+    let rec at i =
+      if i + n > h then false
+      else if String.sub haystack i n = needle then true
+      else at (i + 1)
+    in
+    at 0

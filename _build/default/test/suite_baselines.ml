@@ -1,0 +1,145 @@
+(* Tests for ft_baselines: Combined Elimination and the PGO driver. *)
+
+open Ft_prog
+module Ce = Ft_baselines.Ce
+module Pgo_driver = Ft_baselines.Pgo_driver
+module Toolchain = Ft_machine.Toolchain
+module Cv = Ft_flags.Cv
+module Flag = Ft_flags.Flag
+
+let toolchain = Toolchain.make Platform.Broadwell
+let swim = Option.get (Ft_suite.Suite.find "363.swim")
+let swim_input = Ft_suite.Suite.tuning_input Platform.Broadwell swim
+
+let ce_result =
+  lazy
+    (Ce.run ~toolchain ~program:swim ~input:swim_input
+       ~rng:(Ft_util.Rng.create 51) ())
+
+let test_ce_terminates_in_binary_space () =
+  let r = Lazy.force ce_result in
+  Alcotest.(check bool) "final CV is binarized" true
+    (Cv.to_bits r.Ce.cv <> None);
+  Alcotest.(check bool) "used a plausible number of evaluations" true
+    (r.Ce.evaluations > Flag.count && r.Ce.evaluations < 20 * Flag.count)
+
+let test_ce_steps_negative_rips () =
+  let r = Lazy.force ce_result in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "every elimination helped" true (s.Ce.rip < 0.0))
+    r.Ce.steps
+
+let test_ce_eliminations_are_off () =
+  let r = Lazy.force ce_result in
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        ("eliminated flag back at default: " ^ Flag.name s.Ce.eliminated)
+        (Flag.default_o3 s.Ce.eliminated)
+        (Cv.get r.Ce.cv s.Ce.eliminated))
+    r.Ce.steps
+
+let test_ce_speedup_sane () =
+  let r = Lazy.force ce_result in
+  Alcotest.(check bool) "not a catastrophe, not a miracle" true
+    (r.Ce.speedup > 0.8 && r.Ce.speedup < 1.4)
+
+let test_ce_deterministic () =
+  let r1 = Lazy.force ce_result in
+  let r2 =
+    Ce.run ~toolchain ~program:swim ~input:swim_input
+      ~rng:(Ft_util.Rng.create 51) ()
+  in
+  Alcotest.(check (float 1e-12)) "same seed, same result" r1.Ce.speedup
+    r2.Ce.speedup
+
+let test_be_single_pass () =
+  let r =
+    Ce.run_batch ~toolchain ~program:swim ~input:swim_input
+      ~rng:(Ft_util.Rng.create 54) ()
+  in
+  Alcotest.(check string) "label" "BE" r.Ce.algorithm;
+  (* BE measures B once plus one RIP per flag: exactly 34 evaluations. *)
+  Alcotest.(check int) "one RIP measurement per flag"
+    (1 + Ft_flags.Flag.count) r.Ce.evaluations;
+  Alcotest.(check bool) "binarized" true (Cv.to_bits r.Ce.cv <> None)
+
+let test_ie_more_expensive_than_ce () =
+  let ie =
+    Ce.run_iterative ~toolchain ~program:swim ~input:swim_input
+      ~rng:(Ft_util.Rng.create 55) ()
+  in
+  let ce = Lazy.force ce_result in
+  Alcotest.(check string) "label" "IE" ie.Ce.algorithm;
+  Alcotest.(check string) "ce label" "CE" ce.Ce.algorithm;
+  (* IE re-measures every remaining flag per elimination; CE folds several
+     eliminations into one sweep — with any eliminations at all, IE pays
+     at least as many evaluations per elimination. *)
+  Alcotest.(check bool) "IE uses a full sweep per elimination" true
+    (List.length ie.Ce.steps = 0
+    || ie.Ce.evaluations / max 1 (List.length ie.Ce.steps)
+       >= ce.Ce.evaluations / max 1 (List.length ce.Ce.steps))
+
+let test_variants_comparable_quality () =
+  let be =
+    Ce.run_batch ~toolchain ~program:swim ~input:swim_input
+      ~rng:(Ft_util.Rng.create 56) ()
+  in
+  let ce = Lazy.force ce_result in
+  Alcotest.(check bool) "both in a plausible band" true
+    (be.Ce.speedup > 0.8 && be.Ce.speedup < 1.4 && ce.Ce.speedup > 0.8)
+
+(* --- PGO -------------------------------------------------------------- *)
+
+let test_pgo_success_path () =
+  let r =
+    Pgo_driver.run ~toolchain ~program:swim ~input:swim_input
+      ~rng:(Ft_util.Rng.create 52) ()
+  in
+  Alcotest.(check bool) "swim instruments fine" true r.Pgo_driver.succeeded;
+  Alcotest.(check bool) "no diagnostic" true (r.Pgo_driver.diagnostic = None);
+  Alcotest.(check bool) "PGO helps a little" true (r.Pgo_driver.speedup > 0.97)
+
+let test_pgo_failure_path () =
+  let lulesh = Option.get (Ft_suite.Suite.find "LULESH") in
+  let input = Ft_suite.Suite.tuning_input Platform.Broadwell lulesh in
+  let r =
+    Pgo_driver.run ~toolchain ~program:lulesh ~input
+      ~rng:(Ft_util.Rng.create 53) ()
+  in
+  Alcotest.(check bool) "LULESH instrumentation fails" false
+    r.Pgo_driver.succeeded;
+  Alcotest.(check bool) "diagnostic explains" true
+    (r.Pgo_driver.diagnostic <> None);
+  (* The shipped binary is then plain O3: speedup ~1 up to noise. *)
+  Alcotest.(check bool) "falls back to O3" true
+    (Float.abs (r.Pgo_driver.speedup -. 1.0) < 0.05)
+
+let test_pgo_binary_is_profile_guided () =
+  let binary = Pgo_driver.tuned_binary ~toolchain ~program:swim ~input:swim_input in
+  List.iter
+    (fun (r : Ft_compiler.Linker.region) ->
+      Alcotest.(check bool) "regions carry profile info" true
+        r.Ft_compiler.Linker.final.Ft_compiler.Decision.profile_guided)
+    binary.Ft_compiler.Linker.regions
+
+let suite =
+  ( "baselines",
+    [
+      Alcotest.test_case "CE stays binarized" `Quick
+        test_ce_terminates_in_binary_space;
+      Alcotest.test_case "CE negative RIPs" `Quick test_ce_steps_negative_rips;
+      Alcotest.test_case "CE eliminations applied" `Quick
+        test_ce_eliminations_are_off;
+      Alcotest.test_case "CE sane speedup" `Quick test_ce_speedup_sane;
+      Alcotest.test_case "CE deterministic" `Quick test_ce_deterministic;
+      Alcotest.test_case "BE single pass" `Quick test_be_single_pass;
+      Alcotest.test_case "IE vs CE cost" `Quick test_ie_more_expensive_than_ce;
+      Alcotest.test_case "variant quality band" `Quick
+        test_variants_comparable_quality;
+      Alcotest.test_case "PGO success" `Quick test_pgo_success_path;
+      Alcotest.test_case "PGO failure (LULESH)" `Quick test_pgo_failure_path;
+      Alcotest.test_case "PGO binary profile-guided" `Quick
+        test_pgo_binary_is_profile_guided;
+    ] )

@@ -1,0 +1,311 @@
+(* Tests for ft_cobayn: feature extraction, the synthetic cBench corpus,
+   Chow–Liu tree learning, and the trained model. *)
+
+open Ft_prog
+module Features = Ft_cobayn.Features
+module Corpus = Ft_cobayn.Corpus
+module Chow_liu = Ft_cobayn.Chow_liu
+module Model = Ft_cobayn.Model
+module Rng = Ft_util.Rng
+
+(* --- features ------------------------------------------------------------ *)
+
+let test_feature_dimensions () =
+  let p = Ft_suite.Cloverleaf.program in
+  Alcotest.(check int) "static dims" Features.static_dims
+    (Array.length (Features.static_features p));
+  Alcotest.(check int) "dynamic dims" Features.dynamic_dims
+    (Array.length (Features.dynamic_features p));
+  Alcotest.(check int) "hybrid = static + dynamic"
+    (Features.static_dims + Features.dynamic_dims)
+    (Array.length (Features.extract Features.Hybrid p))
+
+let test_feature_finiteness () =
+  List.iter
+    (fun p ->
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "finite feature" true (Float.is_finite v))
+        (Features.extract Features.Hybrid p))
+    Ft_suite.Suite.all
+
+let test_features_discriminate () =
+  let a = Features.static_features Ft_suite.Cloverleaf.program in
+  let b = Features.static_features Ft_suite.Swim.program in
+  Alcotest.(check bool) "different programs, different features" true (a <> b)
+
+let test_dynamic_features_serial_blindness () =
+  (* For an OpenMP program the dynamic features come from the serial
+     regions only; they must therefore be identical for two programs that
+     share serial code but have wildly different parallel loops. *)
+  let serial = { Feature.default with Feature.parallel = false } in
+  let mk name hot_loop =
+    Program.make ~name ~language:Program.C ~loc:1 ~domain:"d"
+      ~reference_size:1.0
+      ~nonloop:(Loop.make "<nl>" serial)
+      [ Loop.make "hot" hot_loop ]
+  in
+  let p1 = mk "p1" { Feature.default with Feature.flops_per_iter = 200.0 } in
+  let p2 = mk "p2" { Feature.default with Feature.gather_bytes = 64.0 } in
+  Alcotest.(check bool) "MICA sees only serial code" true
+    (Features.dynamic_features p1 = Features.dynamic_features p2);
+  Alcotest.(check bool) "static features do differ" true
+    (Features.static_features p1 <> Features.static_features p2)
+
+let test_variant_names () =
+  Alcotest.(check string) "static" "static" (Features.variant_name Features.Static);
+  Alcotest.(check string) "dynamic" "dynamic"
+    (Features.variant_name Features.Dynamic);
+  Alcotest.(check string) "hybrid" "hybrid" (Features.variant_name Features.Hybrid)
+
+(* --- corpus --------------------------------------------------------------- *)
+
+let corpus = lazy (Corpus.programs ~seed:2019)
+
+let test_corpus_size_and_names () =
+  let c = Lazy.force corpus in
+  Alcotest.(check int) "30 cBench programs" 30 (List.length c);
+  Alcotest.(check bool) "bitcount present" true
+    (List.exists (fun (p : Program.t) -> p.Program.name = "bitcount") c)
+
+let test_corpus_serial () =
+  List.iter
+    (fun (p : Program.t) ->
+      List.iter
+        (fun (l : Loop.t) ->
+          Alcotest.(check bool)
+            (p.Program.name ^ " is serial")
+            false l.Loop.features.Feature.parallel)
+        p.Program.loops)
+    (Lazy.force corpus)
+
+let test_corpus_deterministic () =
+  let c1 = Lazy.force corpus and c2 = Corpus.programs ~seed:2019 in
+  List.iter2
+    (fun (a : Program.t) (b : Program.t) ->
+      Alcotest.(check string) "same name" a.Program.name b.Program.name;
+      Alcotest.(check int) "same loop count" (Program.loop_count a)
+        (Program.loop_count b))
+    c1 c2;
+  let c3 = Corpus.programs ~seed:7 in
+  let loops c =
+    List.map (fun (p : Program.t) ->
+        List.map (fun (l : Loop.t) -> l.Loop.features.Feature.flops_per_iter)
+          p.Program.loops) c
+  in
+  Alcotest.(check bool) "different seed, different corpus" true
+    (loops c1 <> loops c3)
+
+(* --- Chow-Liu --------------------------------------------------------------- *)
+
+let test_mutual_information_properties () =
+  let rng = Rng.create 71 in
+  (* x0 random; x1 = x0 (fully dependent); x2 independent. *)
+  let samples =
+    List.init 400 (fun _ ->
+        let a = Rng.bool rng and c = Rng.bool rng in
+        [| a; a; c |])
+  in
+  let mi01 = Chow_liu.mutual_information samples 0 1 in
+  let mi02 = Chow_liu.mutual_information samples 0 2 in
+  Alcotest.(check bool) "dependent pair has higher MI" true (mi01 > mi02);
+  Alcotest.(check bool) "MI near ln 2 for a copy" true
+    (mi01 > 0.5 && mi01 < 0.75);
+  Alcotest.(check bool) "independent MI near 0" true (Float.abs mi02 < 0.05)
+
+let test_chow_liu_recovers_structure () =
+  let rng = Rng.create 72 in
+  (* chain: x0 -> x1 -> x2 with strong correlations. *)
+  let flip p v = if Rng.float rng 1.0 < p then not v else v in
+  let samples =
+    List.init 600 (fun _ ->
+        let a = Rng.bool rng in
+        let b = flip 0.1 a in
+        let c = flip 0.1 b in
+        [| a; b; c |])
+  in
+  let tree = Chow_liu.fit ~dims:3 samples in
+  let edges = Chow_liu.edges tree in
+  Alcotest.(check int) "tree has dims-1 edges" 2 (List.length edges);
+  let connected a b =
+    List.mem (a, b) edges || List.mem (b, a) edges
+  in
+  Alcotest.(check bool) "0-1 edge kept" true (connected 0 1);
+  Alcotest.(check bool) "1-2 edge kept" true (connected 1 2);
+  Alcotest.(check bool) "no direct 0-2 shortcut" false (connected 0 2)
+
+let test_chow_liu_sampling_matches_marginals () =
+  let rng = Rng.create 73 in
+  let samples =
+    List.init 500 (fun _ -> [| Rng.float rng 1.0 < 0.8; Rng.bool rng |])
+  in
+  let tree = Chow_liu.fit ~dims:2 samples in
+  let draw_rng = Rng.create 74 in
+  let n = 2000 in
+  let ones = ref 0 in
+  for _ = 1 to n do
+    if (Chow_liu.sample tree draw_rng).(0) then incr ones
+  done;
+  Alcotest.(check bool) "sampled marginal ~0.8" true
+    (let p = float_of_int !ones /. float_of_int n in
+     p > 0.74 && p < 0.86)
+
+let test_chow_liu_log_likelihood () =
+  let rng = Rng.create 75 in
+  let samples = List.init 300 (fun _ -> [| Rng.float rng 1.0 < 0.9; true |]) in
+  let tree = Chow_liu.fit ~dims:2 samples in
+  let common = Chow_liu.log_likelihood tree [| true; true |] in
+  let rare = Chow_liu.log_likelihood tree [| false; false |] in
+  Alcotest.(check bool) "frequent assignment more likely" true (common > rare)
+
+let test_chow_liu_rejects_bad_input () =
+  Alcotest.check_raises "empty" (Invalid_argument "Chow_liu.fit: no samples")
+    (fun () -> ignore (Chow_liu.fit ~dims:3 []));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Chow_liu.fit: ragged sample rows") (fun () ->
+      ignore (Chow_liu.fit ~dims:3 [ [| true |] ]))
+
+(* --- EM mixtures --------------------------------------------------------- *)
+
+let test_em_separates_clusters () =
+  let rng = Rng.create 81 in
+  (* Two well-separated blobs in 2-D. *)
+  let blob cx cy n =
+    List.init n (fun _ ->
+        [| cx +. Rng.gauss rng ~mu:0.0 ~sigma:0.2;
+           cy +. Rng.gauss rng ~mu:0.0 ~sigma:0.2 |])
+  in
+  let a = blob 0.0 0.0 40 and b = blob 5.0 5.0 40 in
+  let m = Ft_cobayn.Em.fit ~k:2 ~rng (a @ b) in
+  Alcotest.(check int) "two components" 2 (Ft_cobayn.Em.components m);
+  let ca = Ft_cobayn.Em.assign m [| 0.1; -0.1 |] in
+  let cb = Ft_cobayn.Em.assign m [| 4.9; 5.2 |] in
+  Alcotest.(check bool) "blobs assigned to distinct components" true (ca <> cb);
+  (* Points are assigned consistently with their own blob. *)
+  List.iter
+    (fun x -> Alcotest.(check int) "blob a member" ca (Ft_cobayn.Em.assign m x))
+    a
+
+let test_em_responsibilities_sum_to_one () =
+  let rng = Rng.create 82 in
+  let samples = List.init 30 (fun _ -> [| Rng.float rng 4.0; Rng.float rng 4.0 |]) in
+  let m = Ft_cobayn.Em.fit ~k:3 ~rng samples in
+  List.iter
+    (fun x ->
+      let r = Ft_cobayn.Em.responsibilities m x in
+      let sum = Array.fold_left ( +. ) 0.0 r in
+      Alcotest.(check (float 1e-6)) "posterior sums to 1" 1.0 sum)
+    samples
+
+let test_em_likelihood_ranks_points () =
+  let rng = Rng.create 83 in
+  let samples = List.init 60 (fun _ -> [| Rng.gauss rng ~mu:1.0 ~sigma:0.3 |]) in
+  let m = Ft_cobayn.Em.fit ~k:1 ~rng samples in
+  Alcotest.(check bool) "points near the mean are likelier" true
+    (Ft_cobayn.Em.log_likelihood m [| 1.0 |]
+    > Ft_cobayn.Em.log_likelihood m [| 8.0 |])
+
+let test_em_weights_normalized () =
+  let rng = Rng.create 84 in
+  let samples = List.init 20 (fun _ -> [| Rng.float rng 1.0 |]) in
+  let m = Ft_cobayn.Em.fit ~k:2 ~rng samples in
+  let sum = Array.fold_left ( +. ) 0.0 (Ft_cobayn.Em.weights m) in
+  Alcotest.(check (float 1e-6)) "mixing weights sum to 1" 1.0 sum
+
+let test_em_input_validation () =
+  let rng = Rng.create 85 in
+  Alcotest.check_raises "empty" (Invalid_argument "Em.fit: no samples")
+    (fun () -> ignore (Ft_cobayn.Em.fit ~k:2 ~rng []));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Em.fit: ragged sample rows") (fun () ->
+      ignore (Ft_cobayn.Em.fit ~k:2 ~rng [ [| 1.0 |]; [| 1.0; 2.0 |] ]))
+
+(* --- model (small training run) ---------------------------------------------- *)
+
+let small_model =
+  lazy
+    (Model.train
+       ~toolchain:(Ft_machine.Toolchain.make Platform.Broadwell)
+       ~variant:Features.Static ~corpus_seed:2019 ~top:20
+       ~samples_per_program:100 ())
+
+let test_model_training () =
+  let m = Lazy.force small_model in
+  Alcotest.(check bool) "clusters exist" true (Model.cluster_count m >= 1);
+  Alcotest.(check bool) "variant remembered" true
+    (Model.variant m = Features.Static)
+
+let test_model_sampling_binarized () =
+  let m = Lazy.force small_model in
+  let rng = Rng.create 76 in
+  for _ = 1 to 50 do
+    let cv = Model.sample_cv m ~cluster:0 rng in
+    Alcotest.(check bool) "samples live in the binarized space" true
+      (Ft_flags.Cv.to_bits cv <> None)
+  done
+
+let test_model_nearest_cluster_in_range () =
+  let m = Lazy.force small_model in
+  List.iter
+    (fun p ->
+      let c = Model.nearest_cluster m p in
+      Alcotest.(check bool) "valid cluster" true
+        (c >= 0 && c < Model.cluster_count m))
+    Ft_suite.Suite.all
+
+let test_model_tune_smoke () =
+  let m = Lazy.force small_model in
+  let program = Option.get (Ft_suite.Suite.find "363.swim") in
+  let ctx =
+    Funcytuner.Context.make ~pool_size:60
+      ~toolchain:(Ft_machine.Toolchain.make Platform.Broadwell)
+      ~program
+      ~input:(Ft_suite.Suite.tuning_input Platform.Broadwell program)
+      ~seed:77 ()
+  in
+  let r = Model.tune m ctx in
+  Alcotest.(check string) "algorithm label" "COBAYN(static)"
+    r.Funcytuner.Result.algorithm;
+  Alcotest.(check int) "budget = pool" 60 r.Funcytuner.Result.evaluations;
+  Alcotest.(check bool) "plausible result" true
+    (r.Funcytuner.Result.speedup > 0.9)
+
+let suite =
+  ( "cobayn",
+    [
+      Alcotest.test_case "feature dimensions" `Quick test_feature_dimensions;
+      Alcotest.test_case "feature finiteness" `Quick test_feature_finiteness;
+      Alcotest.test_case "features discriminate" `Quick
+        test_features_discriminate;
+      Alcotest.test_case "MICA serial blindness" `Quick
+        test_dynamic_features_serial_blindness;
+      Alcotest.test_case "variant names" `Quick test_variant_names;
+      Alcotest.test_case "corpus size" `Quick test_corpus_size_and_names;
+      Alcotest.test_case "corpus serial" `Quick test_corpus_serial;
+      Alcotest.test_case "corpus determinism" `Quick test_corpus_deterministic;
+      Alcotest.test_case "mutual information" `Quick
+        test_mutual_information_properties;
+      Alcotest.test_case "chow-liu structure" `Quick
+        test_chow_liu_recovers_structure;
+      Alcotest.test_case "chow-liu sampling" `Quick
+        test_chow_liu_sampling_matches_marginals;
+      Alcotest.test_case "chow-liu likelihood" `Quick
+        test_chow_liu_log_likelihood;
+      Alcotest.test_case "chow-liu input checks" `Quick
+        test_chow_liu_rejects_bad_input;
+      Alcotest.test_case "EM separates clusters" `Quick
+        test_em_separates_clusters;
+      Alcotest.test_case "EM posteriors normalized" `Quick
+        test_em_responsibilities_sum_to_one;
+      Alcotest.test_case "EM likelihood ranking" `Quick
+        test_em_likelihood_ranks_points;
+      Alcotest.test_case "EM weights normalized" `Quick
+        test_em_weights_normalized;
+      Alcotest.test_case "EM input validation" `Quick test_em_input_validation;
+      Alcotest.test_case "model training" `Quick test_model_training;
+      Alcotest.test_case "model samples binarized" `Quick
+        test_model_sampling_binarized;
+      Alcotest.test_case "nearest cluster" `Quick
+        test_model_nearest_cluster_in_range;
+      Alcotest.test_case "model tune smoke" `Quick test_model_tune_smoke;
+    ] )

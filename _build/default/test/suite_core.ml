@@ -1,0 +1,307 @@
+(* Tests for the funcytuner core: contexts, the per-loop collection, and
+   the four §2.2 search algorithms on reduced budgets. *)
+
+open Ft_prog
+module Context = Funcytuner.Context
+module Collection = Funcytuner.Collection
+module Result = Funcytuner.Result
+module Tuner = Funcytuner.Tuner
+module Cfr = Funcytuner.Cfr
+module Outline = Ft_outline.Outline
+module Toolchain = Ft_machine.Toolchain
+
+let program = Ft_suite.Cloverleaf.program
+let platform = Platform.Broadwell
+let input = Ft_suite.Suite.tuning_input platform program
+
+(* One shared small session: profiling + outlining + a 120-CV collection. *)
+let session =
+  lazy
+    (Tuner.make_session ~pool_size:120 ~platform ~program ~input ~seed:1234 ())
+
+let collection () = Lazy.force (Lazy.force session).Tuner.collection
+
+(* --- Context -------------------------------------------------------------- *)
+
+let test_context_pool_and_baseline () =
+  let ctx = (Lazy.force session).Tuner.ctx in
+  Alcotest.(check int) "pool size" 120 (Array.length ctx.Context.pool);
+  Alcotest.(check bool) "baseline positive" true (ctx.Context.baseline_s > 0.0);
+  Alcotest.(check (float 1e-9)) "speedup identity" 1.0
+    (Context.speedup ctx ctx.Context.baseline_s)
+
+let test_context_pool_deterministic () =
+  let make () =
+    Context.make ~pool_size:10 ~toolchain:(Toolchain.make platform) ~program
+      ~input ~seed:99 ()
+  in
+  let a = make () and b = make () in
+  Array.iteri
+    (fun i cv ->
+      Alcotest.(check bool) "same pool for same seed" true
+        (Ft_flags.Cv.equal cv b.Context.pool.(i)))
+    a.Context.pool
+
+let test_context_evaluate_vs_measure () =
+  let ctx = (Lazy.force session).Tuner.ctx in
+  let truth = Context.evaluate_uniform ctx Ft_flags.Cv.o3 in
+  let noisy =
+    Context.measure_uniform ctx ~rng:(Ft_util.Rng.create 5) Ft_flags.Cv.o3
+  in
+  Alcotest.(check bool) "noise small" true
+    (Float.abs (noisy -. truth) /. truth < 0.05);
+  Alcotest.(check (float 1e-9)) "evaluate matches baseline" ctx.Context.baseline_s truth
+
+(* --- Collection ------------------------------------------------------------ *)
+
+let test_collection_dimensions () =
+  let c = collection () in
+  let modules = Array.length c.Collection.modules in
+  Alcotest.(check int) "rows = J+1"
+    (Outline.module_count (Lazy.force session).Tuner.outline)
+    modules;
+  Array.iter
+    (fun row -> Alcotest.(check int) "K columns" 120 (Array.length row))
+    c.Collection.times;
+  Alcotest.(check int) "K totals" 120 (Array.length c.Collection.totals)
+
+let test_collection_times_positive () =
+  let c = collection () in
+  Array.iter
+    (Array.iter (fun t ->
+         Alcotest.(check bool) "T[j][k] >= 0" true (t >= 0.0)))
+    c.Collection.times
+
+let test_collection_rows_sum_to_totals () =
+  (* Residual is derived by subtraction, so each column must re-add to the
+     end-to-end time. *)
+  let c = collection () in
+  Array.iteri
+    (fun k total ->
+      let sum = ref 0.0 in
+      Array.iter (fun row -> sum := !sum +. row.(k)) c.Collection.times;
+      Alcotest.(check (float 1e-6)) "column adds up" total !sum)
+    c.Collection.totals
+
+let test_collection_best_cv () =
+  let c = collection () in
+  let name = c.Collection.modules.(1) in
+  let best = Collection.best_cv_for c name in
+  let row = c.Collection.times.(1) in
+  let k = Ft_util.Stats.argmin row in
+  Alcotest.(check bool) "argmin CV returned" true
+    (Ft_flags.Cv.equal best c.Collection.pool.(k))
+
+let test_collection_top_k_subset_ordered () =
+  let c = collection () in
+  let name = c.Collection.modules.(2) in
+  let row = c.Collection.times.(2) in
+  let top = Collection.top_k_for c name 10 in
+  Alcotest.(check int) "10 CVs" 10 (Array.length top);
+  Alcotest.(check bool) "head is the best" true
+    (Ft_flags.Cv.equal top.(0) (Collection.best_cv_for c name));
+  (* Every returned CV's collected time is within the 10 smallest. *)
+  let sorted = Array.copy row in
+  Array.sort compare sorted;
+  let threshold = sorted.(9) in
+  Array.iter
+    (fun cv ->
+      let k = ref (-1) in
+      Array.iteri
+        (fun i p -> if Ft_flags.Cv.equal p cv && !k < 0 then k := i)
+        c.Collection.pool;
+      Alcotest.(check bool) "within top-10 times" true
+        (row.(!k) <= threshold +. 1e-12))
+    top
+
+let test_module_index () =
+  let c = collection () in
+  Alcotest.(check bool) "residual at 0" true
+    (Collection.module_index c Outline.residual_module = Some 0);
+  Alcotest.(check bool) "missing module" true
+    (Collection.module_index c "nope" = None)
+
+(* --- Result helpers --------------------------------------------------------- *)
+
+let test_best_so_far () =
+  Alcotest.(check (list (float 1e-9))) "prefix minimum"
+    [ 5.0; 3.0; 3.0; 1.0; 1.0 ]
+    (Result.best_so_far [ 5.0; 3.0; 4.0; 1.0; 2.0 ]);
+  Alcotest.(check (list (float 1e-9))) "empty" [] (Result.best_so_far [])
+
+let test_evaluations_to_best () =
+  let r =
+    Result.make ~algorithm:"t" ~configuration:(Result.Whole_program Ft_flags.Cv.o3)
+      ~baseline_s:10.0 ~evaluations:5
+      ~trace:[ 5.0; 3.0; 3.0; 1.0; 1.0 ]
+      ~best_seconds:1.0
+  in
+  Alcotest.(check int) "first eval within 0.5% of final" 4
+    (Result.evaluations_to_best r)
+
+(* --- algorithms -------------------------------------------------------------- *)
+
+let test_random_search () =
+  let ctx = (Lazy.force session).Tuner.ctx in
+  let r = Funcytuner.Random_search.run ctx in
+  Alcotest.(check string) "name" "Random" r.Result.algorithm;
+  Alcotest.(check int) "K evaluations" 120 r.Result.evaluations;
+  Alcotest.(check int) "trace length" 120 (List.length r.Result.trace);
+  Alcotest.(check bool) "speedup positive" true (r.Result.speedup > 0.0);
+  (match r.Result.configuration with
+  | Result.Whole_program _ -> ()
+  | Result.Per_module _ -> Alcotest.fail "random is per-program");
+  (* With 120 candidates + the implicit O3 point in the space, random
+     search should not end up slower than ~5% below baseline. *)
+  Alcotest.(check bool) "sane speedup" true (r.Result.speedup > 0.9)
+
+let test_fr_per_module () =
+  let s = Lazy.force session in
+  let r = Funcytuner.Fr.run s.Tuner.ctx s.Tuner.outline in
+  Alcotest.(check string) "name" "FR" r.Result.algorithm;
+  match r.Result.configuration with
+  | Result.Per_module assignment ->
+      Alcotest.(check int) "one CV per module"
+        (Outline.module_count s.Tuner.outline)
+        (List.length assignment)
+  | Result.Whole_program _ -> Alcotest.fail "FR is per-module"
+
+let test_greedy () =
+  let s = Lazy.force session in
+  let g = Funcytuner.Greedy.run s.Tuner.ctx (collection ()) in
+  Alcotest.(check int) "one realized measurement" 1
+    g.Funcytuner.Greedy.realized.Result.evaluations;
+  Alcotest.(check bool) "independent bound beats realized" true
+    (g.Funcytuner.Greedy.independent_speedup
+    > g.Funcytuner.Greedy.realized.Result.speedup);
+  (* The independent sum uses per-module minima, so it must be at least
+     the speedup of the best single uniform build. *)
+  let best_uniform =
+    Array.fold_left Float.min infinity (collection ()).Collection.totals
+  in
+  Alcotest.(check bool) "independent >= best uniform" true
+    (g.Funcytuner.Greedy.independent_seconds <= best_uniform +. 1e-9)
+
+let test_cfr () =
+  let s = Lazy.force session in
+  let r = Cfr.run ~top_x:10 s.Tuner.ctx (collection ()) in
+  Alcotest.(check string) "name" "CFR" r.Result.algorithm;
+  Alcotest.(check int) "K evaluations" 120 r.Result.evaluations;
+  match r.Result.configuration with
+  | Result.Per_module assignment ->
+      (* Every assigned CV must come from its module's pruned pool. *)
+      let pools = Cfr.pruned_pools ~top_x:10 (collection ()) in
+      List.iter
+        (fun (m, cv) ->
+          let pool = List.assoc m pools in
+          Alcotest.(check bool)
+            ("CV for " ^ m ^ " is inside its pruned space")
+            true
+            (Array.exists (Ft_flags.Cv.equal cv) pool))
+        assignment
+  | Result.Whole_program _ -> Alcotest.fail "CFR is per-module"
+
+let test_cfr_pruned_pools_sizes () =
+  let pools = Cfr.pruned_pools ~top_x:7 (collection ()) in
+  List.iter
+    (fun (_, pool) -> Alcotest.(check int) "top-X width" 7 (Array.length pool))
+    pools
+
+let test_pipeline_determinism () =
+  let run () =
+    let s =
+      Tuner.make_session ~pool_size:40 ~platform ~program ~input ~seed:77 ()
+    in
+    (Tuner.run_cfr ~top_x:5 s).Result.speedup
+  in
+  Alcotest.(check (float 1e-12)) "same seed, same CFR result" (run ()) (run ())
+
+let test_seed_changes_results () =
+  let run seed =
+    let s =
+      Tuner.make_session ~pool_size:40 ~platform ~program ~input ~seed ()
+    in
+    (Tuner.run_cfr ~top_x:5 s).Result.speedup
+  in
+  Alcotest.(check bool) "different seeds explore differently" true
+    (run 7 <> run 8)
+
+let test_evaluate_configuration_other_input () =
+  let s = Lazy.force session in
+  let cfr = Tuner.run_cfr ~top_x:10 s in
+  let small = Ft_suite.Suite.small_input program in
+  let t =
+    Tuner.evaluate_configuration s ~input:small ~rng:(Ft_util.Rng.create 3)
+      cfr.Result.configuration
+  in
+  let o3 = Tuner.o3_seconds s ~input:small in
+  Alcotest.(check bool) "re-evaluation runs" true (t > 0.0);
+  Alcotest.(check bool) "tuned result in a sane band" true
+    (o3 /. t > 0.8 && o3 /. t < 2.0)
+
+let test_adaptive_cfr () =
+  let s = Lazy.force session in
+  let r =
+    Funcytuner.Adaptive.run ~top_x:10 ~patience:20 s.Tuner.ctx (collection ())
+  in
+  Alcotest.(check string) "name" "CFR-adaptive" r.Result.algorithm;
+  Alcotest.(check bool) "stops within the budget" true
+    (r.Result.evaluations <= 120);
+  Alcotest.(check bool) "spent at least patience evaluations" true
+    (r.Result.evaluations >= 20);
+  Alcotest.(check int) "trace matches spent budget" r.Result.evaluations
+    (List.length r.Result.trace);
+  (* The adaptive variant should land close to full CFR. *)
+  let full = Funcytuner.Cfr.run ~top_x:10 s.Tuner.ctx (collection ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 5%% of full CFR (%.3f vs %.3f)" r.Result.speedup
+       full.Result.speedup)
+    true
+    (r.Result.speedup > full.Result.speedup -. 0.05)
+
+let test_adaptive_patience_controls_budget () =
+  let s = Lazy.force session in
+  let short =
+    Funcytuner.Adaptive.run ~top_x:10 ~patience:5 s.Tuner.ctx (collection ())
+  in
+  let long =
+    Funcytuner.Adaptive.run ~top_x:10 ~patience:60 s.Tuner.ctx (collection ())
+  in
+  Alcotest.(check bool) "more patience, at least as many evaluations" true
+    (long.Result.evaluations >= short.Result.evaluations)
+
+let suite =
+  ( "core",
+    [
+      Alcotest.test_case "context basics" `Quick test_context_pool_and_baseline;
+      Alcotest.test_case "context determinism" `Quick
+        test_context_pool_deterministic;
+      Alcotest.test_case "evaluate vs measure" `Quick
+        test_context_evaluate_vs_measure;
+      Alcotest.test_case "collection dimensions" `Quick
+        test_collection_dimensions;
+      Alcotest.test_case "collection positivity" `Quick
+        test_collection_times_positive;
+      Alcotest.test_case "collection additivity" `Quick
+        test_collection_rows_sum_to_totals;
+      Alcotest.test_case "best CV per module" `Quick test_collection_best_cv;
+      Alcotest.test_case "top-k pruning" `Quick
+        test_collection_top_k_subset_ordered;
+      Alcotest.test_case "module index" `Quick test_module_index;
+      Alcotest.test_case "best-so-far traces" `Quick test_best_so_far;
+      Alcotest.test_case "convergence metric" `Quick test_evaluations_to_best;
+      Alcotest.test_case "random search" `Quick test_random_search;
+      Alcotest.test_case "FR" `Quick test_fr_per_module;
+      Alcotest.test_case "greedy + independence bound" `Quick test_greedy;
+      Alcotest.test_case "CFR focusing" `Quick test_cfr;
+      Alcotest.test_case "pruned pool widths" `Quick
+        test_cfr_pruned_pools_sizes;
+      Alcotest.test_case "pipeline determinism" `Quick
+        test_pipeline_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_results;
+      Alcotest.test_case "generalization evaluation" `Quick
+        test_evaluate_configuration_other_input;
+      Alcotest.test_case "adaptive CFR" `Quick test_adaptive_cfr;
+      Alcotest.test_case "adaptive patience" `Quick
+        test_adaptive_patience_controls_budget;
+    ] )

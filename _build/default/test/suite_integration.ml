@@ -1,0 +1,172 @@
+(* End-to-end integration tests: the whole pipeline on secondary
+   benchmarks/platforms, cross-input consistency, and failure injection
+   (invalid configurations must be rejected loudly, never mis-tuned
+   silently). *)
+
+open Ft_prog
+module Tuner = Funcytuner.Tuner
+module Result = Funcytuner.Result
+module Outline = Ft_outline.Outline
+module Toolchain = Ft_machine.Toolchain
+module Cv = Ft_flags.Cv
+
+(* --- full pipeline on a second platform ---------------------------------- *)
+
+let test_pipeline_on_opteron () =
+  let program = Option.get (Ft_suite.Suite.find "AMG") in
+  let input = Ft_suite.Suite.tuning_input Platform.Opteron program in
+  let session =
+    Tuner.make_session ~pool_size:80 ~platform:Platform.Opteron ~program
+      ~input ~seed:31 ()
+  in
+  let cfr = Tuner.run_cfr ~top_x:8 session in
+  Alcotest.(check bool) "AMG tunes on Opteron" true (cfr.Result.speedup > 1.0);
+  (* The Opteron target has no 256-bit units: no tuned module may carry a
+     256-bit decision. *)
+  let binary = Tuner.build_configuration session cfr.Result.configuration in
+  List.iter
+    (fun (r : Ft_compiler.Linker.region) ->
+      Alcotest.(check bool) "no 256-bit code on Opteron" true
+        (r.Ft_compiler.Linker.final.Ft_compiler.Decision.width
+        <> Ft_compiler.Decision.W256))
+    binary.Ft_compiler.Linker.regions
+
+let test_pipeline_on_fortran_benchmark () =
+  (* bwaves is Fortran: aliasing never blocks vectorization, so every hot
+     loop without a recurrence should end up vectorized at O3. *)
+  let program = Option.get (Ft_suite.Suite.find "351.bwaves") in
+  let toolchain = Toolchain.make Platform.Broadwell in
+  let input = Ft_suite.Suite.tuning_input Platform.Broadwell program in
+  let run =
+    Ft_machine.Exec.evaluate ~arch:toolchain.Toolchain.arch ~input
+      (Toolchain.compile_uniform toolchain ~cv:Cv.o3 program)
+  in
+  let find name =
+    List.find (fun (r : Ft_machine.Exec.region_report) ->
+        r.Ft_machine.Exec.name = name)
+      run.Ft_machine.Exec.loops
+  in
+  Alcotest.(check bool) "flux vectorized at O3" true
+    ((find "flux").Ft_machine.Exec.width <> Ft_compiler.Decision.Scalar);
+  Alcotest.(check bool) "solver recurrence stays scalar" true
+    ((find "solver_sweep").Ft_machine.Exec.width = Ft_compiler.Decision.Scalar)
+
+let test_tuned_config_rebuilds_identically () =
+  let program = Option.get (Ft_suite.Suite.find "363.swim") in
+  let input = Ft_suite.Suite.tuning_input Platform.Broadwell program in
+  let session =
+    Tuner.make_session ~pool_size:60 ~platform:Platform.Broadwell ~program
+      ~input ~seed:32 ()
+  in
+  let cfr = Tuner.run_cfr ~top_x:8 session in
+  let t1 =
+    (Ft_machine.Exec.evaluate
+       ~arch:(Ft_machine.Arch.of_platform Platform.Broadwell)
+       ~input
+       (Tuner.build_configuration session cfr.Result.configuration))
+      .Ft_machine.Exec.total_s
+  in
+  Alcotest.(check (float 1e-12))
+    "rebuilding the winner reproduces its reported time" cfr.Result.best_seconds
+    t1
+
+(* --- failure injection ----------------------------------------------------- *)
+
+let test_balance_rejects_bad_shares () =
+  let toolchain = Toolchain.make Platform.Broadwell in
+  let program = Ft_suite.Cloverleaf.program in
+  let input = Ft_suite.Suite.tuning_input Platform.Broadwell program in
+  Alcotest.check_raises "unknown loop name"
+    (Invalid_argument "Balance.calibrate: unknown loop nope") (fun () ->
+      ignore
+        (Ft_suite.Balance.calibrate ~toolchain ~input ~total_s:10.0
+           ~shares:[ ("nope", 0.5) ]
+           program));
+  Alcotest.check_raises "shares above 1"
+    (Invalid_argument "Balance.calibrate: loop shares must sum below 1")
+    (fun () ->
+      ignore
+        (Ft_suite.Balance.calibrate ~toolchain ~input ~total_s:10.0
+           ~shares:[ ("dt", 0.6); ("acc", 0.6) ]
+           program))
+
+let test_assignment_must_cover_modules () =
+  (* A per-module assignment missing a module must fail at build time, not
+     silently fall back. *)
+  let program = Option.get (Ft_suite.Suite.find "363.swim") in
+  let input = Ft_suite.Suite.tuning_input Platform.Broadwell program in
+  let session =
+    Tuner.make_session ~pool_size:40 ~platform:Platform.Broadwell ~program
+      ~input ~seed:33 ()
+  in
+  match
+    Tuner.build_configuration session
+      (Result.Per_module [ ("calc1", Cv.o3) ])
+  with
+  | exception Not_found -> ()
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "incomplete assignment accepted"
+
+let test_empty_pool_rejected () =
+  let program = Option.get (Ft_suite.Suite.find "363.swim") in
+  let input = Ft_suite.Suite.tuning_input Platform.Broadwell program in
+  let ctx =
+    Funcytuner.Context.make ~pool_size:0
+      ~toolchain:(Toolchain.make Platform.Broadwell)
+      ~program ~input ~seed:34 ()
+  in
+  match Funcytuner.Random_search.run ctx with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero-budget search should not produce a result"
+
+(* --- cross-input consistency ------------------------------------------------ *)
+
+let test_fig8_inputs_scale_linearly () =
+  let program = Option.get (Ft_suite.Suite.find "Cloverleaf") in
+  let toolchain = Toolchain.make Platform.Broadwell in
+  let tuning = Ft_suite.Suite.tuning_input Platform.Broadwell program in
+  let at steps =
+    Ft_caliper.Profiler.baseline_seconds ~toolchain ~program
+      ~input:(Input.with_steps tuning steps)
+  in
+  let t100 = at 100 and t800 = at 800 in
+  Alcotest.(check (float 0.4)) "8x steps ~ 8x runtime" 8.0 (t800 /. t100)
+
+let test_quickstart_shape () =
+  (* The README quickstart, condensed: the whole public API path works on
+     a fresh custom program. *)
+  let loop = Loop.make "kernel" Feature.default in
+  let nonloop =
+    Loop.make "<nl>" { Feature.default with Feature.parallel = false }
+  in
+  let program =
+    Program.make ~name:"mini" ~language:Program.C ~loc:100 ~domain:"demo"
+      ~reference_size:1.0 ~nonloop [ loop ]
+  in
+  let input = Input.make ~size:1.0 ~steps:5 () in
+  let session =
+    Tuner.make_session ~pool_size:30 ~platform:Platform.Broadwell ~program
+      ~input ~seed:35 ()
+  in
+  let report = Tuner.run_all ~top_x:5 session in
+  Alcotest.(check bool) "pipeline completes" true
+    (report.Tuner.cfr.Result.speedup > 0.0)
+
+let suite =
+  ( "integration",
+    [
+      Alcotest.test_case "full pipeline on Opteron" `Quick
+        test_pipeline_on_opteron;
+      Alcotest.test_case "fortran benchmark semantics" `Quick
+        test_pipeline_on_fortran_benchmark;
+      Alcotest.test_case "winner rebuild identical" `Quick
+        test_tuned_config_rebuilds_identically;
+      Alcotest.test_case "balance failure injection" `Quick
+        test_balance_rejects_bad_shares;
+      Alcotest.test_case "incomplete assignment rejected" `Quick
+        test_assignment_must_cover_modules;
+      Alcotest.test_case "empty pool rejected" `Quick test_empty_pool_rejected;
+      Alcotest.test_case "time-step scaling" `Quick
+        test_fig8_inputs_scale_linearly;
+      Alcotest.test_case "quickstart shape" `Quick test_quickstart_shape;
+    ] )

@@ -1,0 +1,179 @@
+(* Tests for ft_opentuner: each search technique against synthetic
+   objectives, the AUC bandit's credit assignment, and the ensemble. *)
+
+open Ft_prog
+module Cv = Ft_flags.Cv
+module Flag = Ft_flags.Flag
+module Technique = Ft_opentuner.Technique
+module Bandit = Ft_opentuner.Bandit
+
+(* A smooth synthetic objective over CVs: squared distance of the relaxed
+   point to a known optimum — every technique should make progress on
+   it. *)
+let synthetic_objective target cv =
+  let p = Ft_flags.Space.to_point cv in
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. ((x -. target.(i)) ** 2.0)) p;
+  !acc
+
+let drive technique objective budget =
+  let best = ref infinity in
+  for _ = 1 to budget do
+    let cv = technique.Technique.propose () in
+    let cost = objective cv in
+    technique.Technique.feedback cv cost;
+    if cost < !best then best := cost
+  done;
+  !best
+
+let target = Array.init Ft_flags.Space.dimensions (fun i ->
+    0.1 +. (0.8 *. float_of_int (i mod 5) /. 5.0))
+
+let random_baseline budget seed =
+  let rng = Ft_util.Rng.create seed in
+  let best = ref infinity in
+  for _ = 1 to budget do
+    let cost = synthetic_objective target (Ft_flags.Space.sample rng) in
+    if cost < !best then best := cost
+  done;
+  !best
+
+let improves name make =
+  let technique = make ~rng:(Ft_util.Rng.create 60) () in
+  let found = drive technique (synthetic_objective target) 400 in
+  let baseline = random_baseline 400 61 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (%.3f) at least matches random (%.3f)" name found
+       baseline)
+    true
+    (found <= baseline *. 1.15)
+
+let test_de () = improves "DE" (fun ~rng () -> Ft_opentuner.De.create ~rng ())
+
+let test_nelder_mead () =
+  (* Nelder-Mead is known to struggle in 33 dimensions (which is exactly
+     why OpenTuner runs it under a bandit); require sanity, not victory. *)
+  let technique = Ft_opentuner.Nelder_mead.create ~rng:(Ft_util.Rng.create 60) () in
+  let found = drive technique (synthetic_objective target) 400 in
+  let baseline = random_baseline 400 61 in
+  Alcotest.(check bool)
+    (Printf.sprintf "NelderMead (%.3f) lands within 1.5x of random (%.3f)"
+       found baseline)
+    true
+    (found <= baseline *. 1.5)
+
+let test_torczon () =
+  improves "Torczon" (fun ~rng () -> Ft_opentuner.Torczon.create ~rng ())
+
+let test_ga () = improves "GA" (fun ~rng () -> Ft_opentuner.Ga.create ~rng ())
+
+let test_pso () =
+  improves "PSO" (fun ~rng () -> Ft_opentuner.Pso.create ~rng ())
+
+let test_annealing () =
+  improves "SimulatedAnnealing" (fun ~rng () ->
+      Ft_opentuner.Annealing.create ~rng ())
+
+let test_techniques_propose_valid_cvs () =
+  List.iter
+    (fun (make : rng:Ft_util.Rng.t -> unit -> Technique.t) ->
+      let t = make ~rng:(Ft_util.Rng.create 62) () in
+      for _ = 1 to 50 do
+        let cv = t.Technique.propose () in
+        t.Technique.feedback cv 1.0;
+        Array.iter
+          (fun id ->
+            let v = Cv.get cv id in
+            Alcotest.(check bool) "valid CV" true (v >= 0 && v < Flag.arity id))
+          Flag.all
+      done)
+    [
+      (fun ~rng () -> Ft_opentuner.De.create ~rng ());
+      (fun ~rng () -> Ft_opentuner.Nelder_mead.create ~rng ());
+      (fun ~rng () -> Ft_opentuner.Torczon.create ~rng ());
+      (fun ~rng () -> Ft_opentuner.Ga.create ~rng ());
+      (fun ~rng () -> Ft_opentuner.Pso.create ~rng ());
+      (fun ~rng () -> Ft_opentuner.Annealing.create ~rng ());
+    ]
+
+(* --- bandit -------------------------------------------------------------- *)
+
+let test_bandit_tries_everything_first () =
+  let b = Bandit.create [ "a"; "b"; "c" ] in
+  let first_three =
+    List.init 3 (fun _ ->
+        let arm = Bandit.select b in
+        Bandit.reward b arm false;
+        arm)
+  in
+  Alcotest.(check int) "all arms visited" 3
+    (List.length (List.sort_uniq compare first_three))
+
+let test_bandit_prefers_successful_arm () =
+  let b = Bandit.create ~exploration:0.2 [ "good"; "bad" ] in
+  for _ = 1 to 30 do
+    let arm = Bandit.select b in
+    Bandit.reward b arm (arm = "good")
+  done;
+  Alcotest.(check bool) "credit flows to the improving arm" true
+    (Bandit.uses b "good" > Bandit.uses b "bad")
+
+let test_bandit_auc_recency () =
+  let b = Bandit.create [ "x" ] in
+  (* Same number of successes, but recent ones weigh more. *)
+  Bandit.reward b "x" false;
+  Bandit.reward b "x" true;
+  let recent_heavy = Bandit.auc b "x" in
+  let b2 = Bandit.create [ "x" ] in
+  Bandit.reward b2 "x" true;
+  Bandit.reward b2 "x" false;
+  Alcotest.(check bool) "recency weighting" true
+    (recent_heavy > Bandit.auc b2 "x")
+
+let test_bandit_unknown_arm () =
+  let b = Bandit.create [ "a" ] in
+  Alcotest.check_raises "unknown arm" (Invalid_argument "Bandit: unknown arm z")
+    (fun () -> Bandit.reward b "z" true)
+
+(* --- ensemble -------------------------------------------------------------- *)
+
+let test_ensemble_on_benchmark () =
+  let program = Option.get (Ft_suite.Suite.find "363.swim") in
+  let ctx =
+    Funcytuner.Context.make ~pool_size:80
+      ~toolchain:(Ft_machine.Toolchain.make Platform.Broadwell)
+      ~program
+      ~input:(Ft_suite.Suite.tuning_input Platform.Broadwell program)
+      ~seed:63 ()
+  in
+  let o = Ft_opentuner.Ensemble.run ~budget:80 ctx in
+  let r = o.Ft_opentuner.Ensemble.result in
+  Alcotest.(check string) "name" "OpenTuner" r.Funcytuner.Result.algorithm;
+  Alcotest.(check int) "budget respected" 80 r.Funcytuner.Result.evaluations;
+  Alcotest.(check int) "seven techniques" 7
+    (List.length o.Ft_opentuner.Ensemble.technique_uses);
+  Alcotest.(check int) "usage adds to budget" 80
+    (List.fold_left (fun acc (_, u) -> acc + u) 0
+       o.Ft_opentuner.Ensemble.technique_uses);
+  Alcotest.(check bool) "found something reasonable" true
+    (r.Funcytuner.Result.speedup > 0.95)
+
+let suite =
+  ( "opentuner",
+    [
+      Alcotest.test_case "differential evolution" `Quick test_de;
+      Alcotest.test_case "nelder-mead" `Quick test_nelder_mead;
+      Alcotest.test_case "torczon pattern search" `Quick test_torczon;
+      Alcotest.test_case "genetic algorithm" `Quick test_ga;
+      Alcotest.test_case "particle swarm" `Quick test_pso;
+      Alcotest.test_case "simulated annealing" `Quick test_annealing;
+      Alcotest.test_case "valid proposals" `Quick
+        test_techniques_propose_valid_cvs;
+      Alcotest.test_case "bandit initial sweep" `Quick
+        test_bandit_tries_everything_first;
+      Alcotest.test_case "bandit credit" `Quick
+        test_bandit_prefers_successful_arm;
+      Alcotest.test_case "bandit AUC recency" `Quick test_bandit_auc_recency;
+      Alcotest.test_case "bandit unknown arm" `Quick test_bandit_unknown_arm;
+      Alcotest.test_case "ensemble end-to-end" `Quick test_ensemble_on_benchmark;
+    ] )

@@ -1,0 +1,148 @@
+(* Tests for ft_prog: features, loops, programs, inputs, platforms. *)
+
+open Ft_prog
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_feature_default_valid () =
+  Alcotest.(check bool) "default validates" true
+    (Feature.validate Feature.default = Ok ())
+
+let test_feature_validation_catches () =
+  let bad field mutate =
+    match Feature.validate (mutate Feature.default) with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail ("validation missed " ^ field)
+  in
+  bad "divergence" (fun f -> { f with Feature.divergence = 1.5 });
+  bad "fma" (fun f -> { f with Feature.fma_fraction = -0.1 });
+  bad "trip_count" (fun f -> { f with Feature.trip_count = 0.0 });
+  bad "body_insns" (fun f -> { f with Feature.body_insns = 0 });
+  bad "read_bytes" (fun f -> { f with Feature.read_bytes = -1.0 });
+  bad "alias" (fun f -> { f with Feature.alias_ambiguity = 2.0 })
+
+let test_bytes_per_iter () =
+  let f =
+    {
+      Feature.default with
+      Feature.read_bytes = 10.0;
+      write_bytes = 5.0;
+      strided_bytes = 3.0;
+      gather_bytes = 2.0;
+    }
+  in
+  check_float "sum of stream classes" 20.0 (Feature.bytes_per_iter f)
+
+let test_vector_hostility_ordering () =
+  let clean = { Feature.default with Feature.divergence = 0.0 } in
+  let hostile =
+    {
+      Feature.default with
+      Feature.divergence = 0.6;
+      gather_bytes = 40.0;
+      dep_chain = 8.0;
+    }
+  in
+  Alcotest.(check bool) "hostile scores higher" true
+    (Feature.vector_hostility hostile > Feature.vector_hostility clean)
+
+let test_loop_scaling () =
+  let l =
+    Loop.make ~trip_exponent:2.0 ~ws_exponent:3.0 "l"
+      { Feature.default with Feature.trip_count = 100.0; working_set_kb = 8.0 }
+  in
+  let f = Loop.features_at ~scale:2.0 l in
+  check_float "trips scale^2" 400.0 f.Feature.trip_count;
+  check_float "ws scale^3" 64.0 f.Feature.working_set_kb;
+  let same = Loop.features_at ~scale:1.0 l in
+  check_float "identity at scale 1" 100.0 same.Feature.trip_count
+
+let test_loop_rejects_invalid () =
+  Alcotest.check_raises "invalid features rejected"
+    (Invalid_argument "Loop.make bad: trip_count must be positive") (fun () ->
+      ignore
+        (Loop.make "bad" { Feature.default with Feature.trip_count = 0.0 }))
+
+let dummy_loop name = Loop.make name Feature.default
+
+let test_program_construction () =
+  let p =
+    Program.make ~name:"p" ~language:Program.C ~loc:100 ~domain:"d"
+      ~reference_size:10.0 ~nonloop:(dummy_loop "<nl>")
+      [ dummy_loop "a"; dummy_loop "b" ]
+  in
+  Alcotest.(check int) "loop count" 2 (Program.loop_count p);
+  Alcotest.(check bool) "find loop" true (Program.find_loop p "a" <> None);
+  Alcotest.(check bool) "find nonloop" true (Program.find_loop p "<nl>" <> None);
+  Alcotest.(check bool) "missing loop" true (Program.find_loop p "zzz" = None);
+  Alcotest.(check bool) "not fortran" false (Program.fortran p)
+
+let test_program_rejects_duplicates () =
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Program.make: duplicate loop names") (fun () ->
+      ignore
+        (Program.make ~name:"p" ~language:Program.C ~loc:1 ~domain:"d"
+           ~reference_size:1.0 ~nonloop:(dummy_loop "<nl>")
+           [ dummy_loop "a"; dummy_loop "a" ]))
+
+let test_program_rejects_empty () =
+  Alcotest.check_raises "no loops" (Invalid_argument "Program.make: no loops")
+    (fun () ->
+      ignore
+        (Program.make ~name:"p" ~language:Program.C ~loc:1 ~domain:"d"
+           ~reference_size:1.0 ~nonloop:(dummy_loop "<nl>") []))
+
+let test_language_names () =
+  Alcotest.(check string) "C" "C" (Program.language_name Program.C);
+  Alcotest.(check string) "C++" "C++" (Program.language_name Program.Cpp);
+  Alcotest.(check string) "Fortran" "Fortran"
+    (Program.language_name Program.Fortran)
+
+let test_input () =
+  let i = Input.make ~size:100.0 ~steps:10 () in
+  check_float "scale" 2.0 (Input.scale ~reference:50.0 i);
+  let i' = Input.with_steps i 99 in
+  Alcotest.(check int) "with_steps" 99 i'.Input.steps;
+  check_float "size preserved" 100.0 i'.Input.size;
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Input.make: size must be positive") (fun () ->
+      ignore (Input.make ~size:0.0 ~steps:1 ()));
+  Alcotest.check_raises "bad steps"
+    (Invalid_argument "Input.make: steps must be positive") (fun () ->
+      ignore (Input.make ~size:1.0 ~steps:0 ()))
+
+let test_platforms () =
+  Alcotest.(check int) "three platforms" 3 (List.length Platform.all);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "short name roundtrip" true
+        (Platform.of_short_name (Platform.short_name p) = Some p))
+    Platform.all;
+  Alcotest.(check string) "bdw flag" "-xCORE-AVX2"
+    (Platform.processor_flag Platform.Broadwell);
+  Alcotest.(check string) "opteron flag" "default"
+    (Platform.processor_flag Platform.Opteron);
+  Alcotest.(check bool) "unknown" true (Platform.of_short_name "vax" = None)
+
+let suite =
+  ( "prog",
+    [
+      Alcotest.test_case "feature default valid" `Quick
+        test_feature_default_valid;
+      Alcotest.test_case "feature validation" `Quick
+        test_feature_validation_catches;
+      Alcotest.test_case "bytes per iter" `Quick test_bytes_per_iter;
+      Alcotest.test_case "vector hostility" `Quick
+        test_vector_hostility_ordering;
+      Alcotest.test_case "loop scaling" `Quick test_loop_scaling;
+      Alcotest.test_case "loop validation" `Quick test_loop_rejects_invalid;
+      Alcotest.test_case "program construction" `Quick
+        test_program_construction;
+      Alcotest.test_case "duplicate loops rejected" `Quick
+        test_program_rejects_duplicates;
+      Alcotest.test_case "empty programs rejected" `Quick
+        test_program_rejects_empty;
+      Alcotest.test_case "language names" `Quick test_language_names;
+      Alcotest.test_case "inputs" `Quick test_input;
+      Alcotest.test_case "platforms" `Quick test_platforms;
+    ] )

@@ -1,0 +1,158 @@
+(* Tests for ft_suite: the seven benchmark models and their inputs. *)
+
+open Ft_prog
+module Suite = Ft_suite.Suite
+module Exec = Ft_machine.Exec
+module Toolchain = Ft_machine.Toolchain
+
+let test_seven_benchmarks () =
+  Alcotest.(check int) "seven programs" 7 (List.length Suite.all)
+
+let test_table1_metadata () =
+  let expect name language loc domain =
+    let p = Option.get (Suite.find name) in
+    Alcotest.(check string) (name ^ " language") language
+      (Program.language_name p.Program.language);
+    Alcotest.(check int) (name ^ " loc") loc p.Program.loc;
+    Alcotest.(check string) (name ^ " domain") domain p.Program.domain
+  in
+  expect "AMG" "C" 113_000 "Math: linear solver";
+  expect "LULESH" "C++" 7_200 "Hydrodynamics";
+  expect "Cloverleaf" "C" 14_500 "Hydrodynamics";
+  expect "351.bwaves" "Fortran" 1_200 "Computational fluid dynamics";
+  expect "362.fma3d" "Fortran" 62_000 "Mechanical simulation";
+  expect "363.swim" "Fortran" 500 "Weather prediction";
+  expect "Optewe" "C++" 2_700 "Seismic wave simulation"
+
+let test_aliases () =
+  Alcotest.(check bool) "cl alias" true (Suite.find "cl" <> None);
+  Alcotest.(check bool) "case-insensitive" true (Suite.find "LULESH" <> None);
+  Alcotest.(check bool) "lowercase" true (Suite.find "lulesh" <> None);
+  Alcotest.(check bool) "unknown" true (Suite.find "doom" = None)
+
+let test_loop_counts_in_paper_range () =
+  (* "J is program-specific and ranges from 5 to 33 in this work" — the
+     candidate loop counts must make that possible. *)
+  List.iter
+    (fun (p : Program.t) ->
+      let j = Program.loop_count p in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has %d candidate loops" p.Program.name j)
+        true (j >= 4 && j <= 33))
+    Suite.all
+
+let test_pgo_instrumentable_flags () =
+  let check name expected =
+    let p = Option.get (Suite.find name) in
+    Alcotest.(check bool) name expected p.Program.pgo_instrumentable
+  in
+  check "LULESH" false;
+  check "Optewe" false;
+  check "AMG" true;
+  check "Cloverleaf" true
+
+let test_table2_inputs () =
+  let check name platform size steps =
+    let p = Option.get (Suite.find name) in
+    let i = Suite.tuning_input platform p in
+    Alcotest.(check (float 1e-9)) (name ^ " size") size i.Input.size;
+    Alcotest.(check int) (name ^ " steps") steps i.Input.steps
+  in
+  check "LULESH" Platform.Opteron 120.0 10;
+  check "LULESH" Platform.Sandy_bridge 150.0 10;
+  check "LULESH" Platform.Broadwell 200.0 10;
+  check "Cloverleaf" Platform.Broadwell 2000.0 60;
+  check "Cloverleaf" Platform.Opteron 2000.0 30;
+  check "AMG" Platform.Opteron 18.0 1;
+  check "AMG" Platform.Broadwell 25.0 1;
+  check "Optewe" Platform.Sandy_bridge 384.0 5;
+  check "351.bwaves" Platform.Broadwell 1.0 50
+
+let test_generalization_inputs () =
+  let check name small large =
+    let p = Option.get (Suite.find name) in
+    Alcotest.(check (float 1e-9)) (name ^ " small") small
+      (Suite.small_input p).Input.size;
+    Alcotest.(check (float 1e-9)) (name ^ " large") large
+      (Suite.large_input p).Input.size
+  in
+  check "LULESH" 180.0 250.0;
+  check "AMG" 20.0 30.0;
+  check "Cloverleaf" 1000.0 4000.0;
+  check "Optewe" 384.0 768.0
+
+let test_cloverleaf_table3_shares () =
+  (* The Broadwell O3 runtime ratios for the top-5 kernels are pinned to
+     Table 3: 6.3 / 2.9 / 3.5 / 3.5 / 4.2 percent. *)
+  let program = Option.get (Suite.find "Cloverleaf") in
+  let tc = Toolchain.make Platform.Broadwell in
+  let input = Suite.tuning_input Platform.Broadwell program in
+  let run =
+    Exec.evaluate ~arch:tc.Toolchain.arch ~input
+      (Toolchain.compile_uniform tc ~cv:Ft_flags.Cv.o3 program)
+  in
+  let share name =
+    let r =
+      List.find (fun (x : Exec.region_report) -> x.Exec.name = name)
+        run.Exec.loops
+    in
+    100.0 *. r.Exec.seconds /. run.Exec.total_s
+  in
+  let expect name pct = Alcotest.(check (float 0.15)) name pct (share name) in
+  expect "dt" 6.3;
+  expect "cell3" 2.9;
+  expect "cell7" 3.5;
+  expect "mom9" 3.5;
+  expect "acc" 4.2;
+  (* "others are less than 3.0%" *)
+  List.iter
+    (fun (r : Exec.region_report) ->
+      if
+        not
+          (List.mem r.Exec.name [ "dt"; "cell3"; "cell7"; "mom9"; "acc" ])
+      then
+        Alcotest.(check bool)
+          (r.Exec.name ^ " below 3%")
+          true
+          (100.0 *. r.Exec.seconds /. run.Exec.total_s < 3.05))
+    run.Exec.loops
+
+let test_tables_render () =
+  let t1 = Ft_util.Table.render (Suite.table1 ()) in
+  let t2 = Ft_util.Table.render (Suite.table2 ()) in
+  Alcotest.(check bool) "table1 mentions swim" true
+    (Astring_contains.contains t1 "363.swim");
+  Alcotest.(check bool) "table2 mentions processor flags" true
+    (Astring_contains.contains t2 "-xCORE-AVX2")
+
+let test_balance_calibration_is_exact () =
+  (* Re-calibrating an already-calibrated program is a no-op to within
+     the fixed point's tolerance. *)
+  let program = Option.get (Suite.find "363.swim") in
+  let tc = Toolchain.make Platform.Broadwell in
+  let input = Suite.tuning_input Platform.Broadwell program in
+  let t =
+    (Exec.evaluate ~arch:tc.Toolchain.arch ~input
+       (Toolchain.compile_uniform tc ~cv:Ft_flags.Cv.o3 program))
+      .Exec.total_s
+  in
+  Alcotest.(check (float 0.05)) "swim total pinned to 9s" 9.0 t
+
+let suite =
+  ( "suite",
+    [
+      Alcotest.test_case "seven benchmarks" `Quick test_seven_benchmarks;
+      Alcotest.test_case "table 1 metadata" `Quick test_table1_metadata;
+      Alcotest.test_case "aliases" `Quick test_aliases;
+      Alcotest.test_case "loop counts" `Quick test_loop_counts_in_paper_range;
+      Alcotest.test_case "pgo instrumentability" `Quick
+        test_pgo_instrumentable_flags;
+      Alcotest.test_case "table 2 inputs" `Quick test_table2_inputs;
+      Alcotest.test_case "small/large inputs" `Quick
+        test_generalization_inputs;
+      Alcotest.test_case "table 3 shares pinned" `Quick
+        test_cloverleaf_table3_shares;
+      Alcotest.test_case "tables render" `Quick test_tables_render;
+      Alcotest.test_case "calibration totals" `Quick
+        test_balance_calibration_is_exact;
+    ] )

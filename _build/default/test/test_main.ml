@@ -1,0 +1,20 @@
+(* Test entry point: one Alcotest suite per library. *)
+
+let () =
+  Alcotest.run "funcytuner"
+    [
+      Suite_util.suite;
+      Suite_flags.suite;
+      Suite_prog.suite;
+      Suite_suite.suite;
+      Suite_benchmarks.suite;
+      Suite_compiler.suite;
+      Suite_machine.suite;
+      Suite_caliper_outline.suite;
+      Suite_core.suite;
+      Suite_baselines.suite;
+      Suite_opentuner.suite;
+      Suite_cobayn.suite;
+      Suite_experiments.suite;
+      Suite_integration.suite;
+    ]
