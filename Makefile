@@ -1,0 +1,25 @@
+DUNE ?= dune
+FUNCY = $(DUNE) exec --no-build bin/funcy.exe --
+
+.PHONY: all build test smoke check clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+test:
+	$(DUNE) runtest
+
+# Determinism smoke: the same tune run at --jobs 4 must produce output
+# byte-identical to --jobs 1 (see DESIGN.md section 8).
+smoke: build
+	$(FUNCY) tune -b swim -a cfr -k 120 --jobs 1 > _build/smoke-j1.out
+	$(FUNCY) tune -b swim -a cfr -k 120 --jobs 4 > _build/smoke-j4.out
+	cmp _build/smoke-j1.out _build/smoke-j4.out
+	@echo "smoke OK: --jobs 4 output bit-identical to --jobs 1"
+
+check: build test smoke
+
+clean:
+	$(DUNE) clean

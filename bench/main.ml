@@ -1,7 +1,13 @@
 (* The benchmark harness: regenerates every table and figure of the paper
    (run with no arguments for all of them, or name experiments:
    tab1 tab2 fig1 fig5a fig5b fig5c fig6 fig7a fig7b fig8 fig9 tab3
-   ablations micro).
+   ablations micro engine).
+
+   Flags (anywhere on the command line):
+     --jobs N | -j N   size of the evaluation-engine worker pool
+                       (default 1 = sequential; results are bit-identical
+                       for any value)
+     --stats           print engine telemetry at exit
 
    Absolute speedups come from the simulated tool-chain, so they are not
    expected to equal the paper's testbed numbers; the shapes (who wins,
@@ -9,12 +15,16 @@
    EXPERIMENTS.md records the side-by-side comparison.
 
    "micro" runs Bechamel micro-benchmarks of the framework machinery (one
-   Test.make per core operation). *)
+   Test.make per core operation); "engine" exercises the parallel
+   evaluation engine (determinism, cache reuse, sequential-vs-parallel
+   wall clock). *)
 
 open Ft_experiments
 module Table = Ft_util.Table
 
-let lab = lazy (Lab.create ())
+let jobs = ref 1
+let stats = ref false
+let lab = lazy (Lab.create ~jobs:!jobs ())
 
 let banner name description =
   Printf.printf "\n=== %s — %s ===\n%!" name description
@@ -169,6 +179,63 @@ let run_micro () =
     (List.sort compare !rows);
   Table.print table
 
+(* --- evaluation-engine exercise -------------------------------------- *)
+
+let run_engine () =
+  banner "engine"
+    "parallel evaluation engine: determinism, cache reuse, wall clock";
+  let program = Option.get (Ft_suite.Suite.find "363.swim") in
+  let platform = Ft_prog.Platform.Broadwell in
+  let input = Ft_suite.Suite.tuning_input platform program in
+  let collect jobs =
+    let session =
+      Funcytuner.Tuner.make_session ~pool_size:300 ~jobs ~platform ~program
+        ~input ~seed:42 ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let c = Lazy.force session.Funcytuner.Tuner.collection in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (session, c, elapsed)
+  in
+  let parallel_jobs = max 4 !jobs in
+  let _, seq, seq_s = collect 1 in
+  let par_session, par, par_s = collect parallel_jobs in
+  note "collection (K=300, swim/bdw): sequential %.3f s, %d workers %.3f s \
+        (%.2fx)"
+    seq_s parallel_jobs par_s (seq_s /. par_s);
+  let identical =
+    seq.Funcytuner.Collection.times = par.Funcytuner.Collection.times
+    && seq.Funcytuner.Collection.totals = par.Funcytuner.Collection.totals
+  in
+  note "determinism: parallel matrix bit-identical to sequential = %b"
+    identical;
+  if not identical then failwith "engine determinism violated";
+  (* CFR on the same session reuses the engine cache for every assignment
+     it has already linked; a second CFR run is served entirely by it. *)
+  let r1 = Funcytuner.Tuner.run_cfr ~top_x:10 par_session in
+  let before =
+    Ft_engine.Telemetry.snapshot
+      (Funcytuner.Context.telemetry par_session.Funcytuner.Tuner.ctx)
+  in
+  let t0 = Unix.gettimeofday () in
+  let r2 = Funcytuner.Tuner.run_cfr ~top_x:10 par_session in
+  let warm_s = Unix.gettimeofday () -. t0 in
+  let after =
+    Ft_engine.Telemetry.snapshot
+      (Funcytuner.Context.telemetry par_session.Funcytuner.Tuner.ctx)
+  in
+  note "CFR speedup %.3f; re-run from warm cache: %.3f s, +%d hits, +%d \
+        misses, same result = %b"
+    r1.Funcytuner.Result.speedup warm_s
+    (after.Ft_engine.Telemetry.cache_hits
+   - before.Ft_engine.Telemetry.cache_hits)
+    (after.Ft_engine.Telemetry.cache_misses
+   - before.Ft_engine.Telemetry.cache_misses)
+    (r1.Funcytuner.Result.speedup = r2.Funcytuner.Result.speedup);
+  print_string
+    (Ft_engine.Telemetry.render
+       (Funcytuner.Context.telemetry par_session.Funcytuner.Tuner.ctx))
+
 let experiments =
   [
     ("tab1", run_tab1);
@@ -185,13 +252,43 @@ let experiments =
     ("tab3", run_tab3);
     ("ablations", run_ablations);
     ("micro", run_micro);
+    ("engine", run_engine);
   ]
+
+(* "engine" benchmarks the engine itself on its own sessions, so running
+   every experiment does not include it by default. *)
+let default_experiments =
+  List.filter (fun (name, _) -> name <> "engine") experiments
+
+let set_jobs s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> jobs := n
+  | _ ->
+      Printf.eprintf "bench: --jobs expects an integer >= 1, got '%s'\n" s;
+      exit 2
+
+let parse_args argv =
+  let rec go names = function
+    | [] -> List.rev names
+    | "--stats" :: rest ->
+        stats := true;
+        go names rest
+    | ("--jobs" | "-j") :: n :: rest ->
+        set_jobs n;
+        go names rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
+      ->
+        set_jobs (String.sub arg 7 (String.length arg - 7));
+        go names rest
+    | name :: rest -> go (name :: names) rest
+  in
+  go [] (List.tl (Array.to_list argv))
 
 let () =
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse_args Sys.argv with
+    | [] -> List.map fst default_experiments
+    | names -> names
   in
   let t0 = Sys.time () in
   List.iter
@@ -203,4 +300,8 @@ let () =
             (String.concat ", " (List.map fst experiments));
           exit 2)
     requested;
+  if !stats then begin
+    print_newline ();
+    print_string (Ft_engine.Telemetry.render (Lab.telemetry (Lazy.force lab)))
+  end;
   Printf.printf "\n(total harness CPU time: %.1f s)\n" (Sys.time () -. t0)

@@ -55,6 +55,35 @@ let pool_t =
     & info [ "k"; "pool" ] ~docv:"K"
         ~doc:"Pre-sampled CV pool size / evaluation budget (default 1000).")
 
+let jobs_arg =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "must be >= 1, got %d" n))
+    | None ->
+        Error (`Msg (Printf.sprintf "invalid value '%s', expected an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_t =
+  Arg.(
+    value & opt jobs_arg 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluation-engine worker domains (default 1 = sequential). \
+           Results are bit-identical for any value.")
+
+let stats_t =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print engine telemetry (builds, runs, cache, timers) at exit.")
+
+let maybe_stats stats telemetry =
+  if stats then (
+    print_newline ();
+    print_string (Ft_engine.Telemetry.render telemetry))
+
 (* --- list ------------------------------------------------------------ *)
 
 let list_cmd =
@@ -185,9 +214,9 @@ let tune_cmd =
       value & opt int Funcytuner.Cfr.default_top_x
       & info [ "top-x" ] ~docv:"X" ~doc:"CFR space-focusing width.")
   in
-  let run program platform seed pool algo top_x =
+  let run program platform seed pool jobs stats algo top_x =
     let session =
-      Tuner.make_session ~pool_size:pool ~platform ~program
+      Tuner.make_session ~pool_size:pool ~jobs ~platform ~program
         ~input:(Ft_suite.Suite.tuning_input platform program)
         ~seed ()
     in
@@ -196,6 +225,9 @@ let tune_cmd =
       program.Program.name (Platform.name platform)
       ctx.Funcytuner.Context.baseline_s
       (Ft_outline.Outline.module_count session.Tuner.outline - 1);
+    Fun.protect ~finally:(fun () ->
+        maybe_stats stats (Funcytuner.Context.telemetry ctx))
+    @@ fun () ->
     match algo with
     | `Cfr -> print_result (Tuner.run_cfr ~top_x session)
     | `Adaptive ->
@@ -254,7 +286,9 @@ let tune_cmd =
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Run one auto-tuning algorithm")
-    Term.(const run $ program_t $ platform_t $ seed_t $ pool_t $ algo_t $ top_x_t)
+    Term.(
+      const run $ program_t $ platform_t $ seed_t $ pool_t $ jobs_t $ stats_t
+      $ algo_t $ top_x_t)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -274,8 +308,8 @@ let experiment_cmd =
           ~doc:"fig1 fig5a fig5b fig5c fig6 fig7a fig7b fig8 fig9 tab1 tab2 \
                 tab3 ablations (default: fig5c).")
   in
-  let run seed pool csv_dir names =
-    let lab = Ft_experiments.Lab.create ~seed ~pool_size:pool () in
+  let run seed pool jobs stats csv_dir names =
+    let lab = Ft_experiments.Lab.create ~seed ~pool_size:pool ~jobs () in
     let open Ft_experiments in
     let emit name series =
       Series.print series;
@@ -309,11 +343,14 @@ let experiment_cmd =
           Ft_util.Table.print (Ablations.critical_flags_table lab)
       | other -> failwith ("unknown experiment: " ^ other)
     in
+    Fun.protect ~finally:(fun () ->
+        maybe_stats stats (Ft_experiments.Lab.telemetry lab))
+    @@ fun () ->
     List.iter dispatch (match names with [] -> [ "fig5c" ] | n -> n)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate paper tables and figures")
-    Term.(const run $ seed_t $ pool_t $ csv_dir_t $ names_t)
+    Term.(const run $ seed_t $ pool_t $ jobs_t $ stats_t $ csv_dir_t $ names_t)
 
 let () =
   let doc = "FuncyTuner: per-loop compilation auto-tuning (ICPP'19 reproduction)" in

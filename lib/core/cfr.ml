@@ -8,32 +8,8 @@ let pruned_pools ?(top_x = default_top_x) (collection : Collection.t) =
 
 let run ?(top_x = default_top_x) (ctx : Context.t)
     (collection : Collection.t) =
-  let rng = Context.stream ctx "cfr" in
   let pools = pruned_pools ~top_x collection in
-  let k = Array.length ctx.Context.pool in
-  let best = ref None in
-  let times = ref [] in
-  for _ = 1 to k do
-    (* Line 15: re-sample each module's CV inside its pruned space. *)
-    let assignment =
-      List.map (fun (m, pool) -> (m, Rng.choose rng pool)) pools
-    in
-    let t =
-      Fr.measure_assignment ctx collection.Collection.outline ~rng assignment
-    in
-    times := t :: !times;
-    match !best with
-    | Some (best_t, _) when best_t <= t -> ()
-    | _ -> best := Some (t, assignment)
-  done;
-  let best_seconds, configuration =
-    match !best with
-    | Some (_, a) ->
-        ( Fr.evaluate_assignment ctx collection.Collection.outline a,
-          Result.Per_module a )
-    | None -> invalid_arg "Cfr.run: empty pool"
-  in
-  Result.make ~algorithm:"CFR" ~configuration
-    ~baseline_s:ctx.Context.baseline_s ~evaluations:k
-    ~trace:(Result.best_so_far (List.rev !times))
-    ~best_seconds
+  (* Line 15: re-sample each module's CV inside its pruned space. *)
+  Fr.search_assignments ctx collection.Collection.outline ~algorithm:"CFR"
+    ~label:"cfr" ~draw:(fun rng ->
+      List.map (fun (m, pool) -> (m, Rng.choose rng pool)) pools)

@@ -1,5 +1,7 @@
 module Outline = Ft_outline.Outline
 module Exec = Ft_machine.Exec
+module Engine = Ft_engine.Engine
+module Rng = Ft_util.Rng
 
 type t = {
   outline : Outline.t;
@@ -12,21 +14,36 @@ type t = {
 let collect (ctx : Context.t) (outline : Outline.t) =
   let rng = Context.stream ctx "collection" in
   let hot = outline.Outline.hot in
-  let modules = Array.of_list (Outline.module_names outline) in
+  let module_names = Outline.module_names outline in
+  let modules = Array.of_list module_names in
   let k = Array.length ctx.Context.pool in
   let times = Array.make_matrix (Array.length modules) k 0.0 in
   let totals = Array.make k 0.0 in
+  (* Each of the K uniform instrumented builds is an independent job with
+     its own noise stream, so the collected matrix does not depend on
+     worker count or completion order. *)
+  let batch =
+    Array.mapi
+      (fun i cv ->
+        {
+          Engine.build =
+            Engine.Assigned
+              {
+                assignment = List.map (fun m -> (m, cv)) module_names;
+                instrumented = true;
+              };
+          rng = Rng.of_label rng (string_of_int i);
+        })
+      ctx.Context.pool
+  in
+  let engine = ctx.Context.engine in
+  let measurements =
+    Ft_engine.Telemetry.time (Engine.telemetry engine) "collect" (fun () ->
+        Engine.measure_batch engine ~toolchain:ctx.Context.toolchain ~outline
+          ~program:ctx.Context.program ~input:ctx.Context.input batch)
+  in
   Array.iteri
-    (fun i cv ->
-      let binary =
-        Outline.compile ~toolchain:ctx.Context.toolchain outline
-          ~assignment:(fun _ -> cv)
-          ~instrumented:true ()
-      in
-      let m =
-        Exec.measure ~arch:ctx.Context.toolchain.Ft_machine.Toolchain.arch
-          ~input:ctx.Context.input ~rng binary
-      in
+    (fun i m ->
       totals.(i) <- m.Exec.elapsed_s;
       (* Only outlined loops carry Caliper annotations; everything else is
          part of the residual, derived by subtraction as in the paper. *)
@@ -38,7 +55,7 @@ let collect (ctx : Context.t) (outline : Outline.t) =
           hot_sum := !hot_sum +. s)
         hot;
       times.(0).(i) <- Float.max 0.0 (m.Exec.elapsed_s -. !hot_sum))
-    ctx.Context.pool;
+    measurements;
   { outline; pool = ctx.Context.pool; modules; times; totals }
 
 let module_index t name =

@@ -1,6 +1,7 @@
 module Rng = Ft_util.Rng
 module Toolchain = Ft_machine.Toolchain
 module Exec = Ft_machine.Exec
+module Engine = Ft_engine.Engine
 
 type t = {
   toolchain : Toolchain.t;
@@ -9,26 +10,36 @@ type t = {
   pool : Ft_flags.Cv.t array;
   baseline_s : float;
   rng : Rng.t;
+  engine : Engine.t;
 }
 
-let make ?(pool_size = 1000) ~toolchain ~program ~input ~seed () =
+let make ?(pool_size = 1000) ?jobs ?engine ~toolchain ~program ~input ~seed ()
+    =
+  let engine =
+    match engine with Some e -> e | None -> Engine.create ?jobs ()
+  in
   let rng = Rng.create seed in
   let pool = Ft_flags.Space.sample_pool (Rng.of_label rng "pool") pool_size in
   let baseline_s =
     Ft_caliper.Profiler.baseline_seconds ~toolchain ~program ~input
   in
-  { toolchain; program; input; pool; baseline_s; rng }
+  { toolchain; program; input; pool; baseline_s; rng; engine }
 
 let stream t label = Rng.of_label t.rng label
+let engine t = t.engine
+let telemetry t = Engine.telemetry t.engine
 
 let measure_uniform t ~rng cv =
-  let binary = Toolchain.compile_uniform t.toolchain ~cv t.program in
-  let m = Exec.measure ~arch:t.toolchain.Toolchain.arch ~input:t.input ~rng binary in
+  let m =
+    Engine.measure_one t.engine ~toolchain:t.toolchain ~program:t.program
+      ~input:t.input
+      { Engine.build = Engine.Uniform { cv; instrumented = false }; rng }
+  in
   m.Exec.elapsed_s
 
 let evaluate_uniform t cv =
-  let binary = Toolchain.compile_uniform t.toolchain ~cv t.program in
-  (Exec.evaluate ~arch:t.toolchain.Toolchain.arch ~input:t.input binary)
-    .Exec.total_s
+  Engine.evaluate t.engine ~toolchain:t.toolchain ~program:t.program
+    ~input:t.input
+    (Engine.Uniform { cv; instrumented = false })
 
 let speedup t seconds = t.baseline_s /. seconds

@@ -13,10 +13,16 @@ type t = {
                                    Figs. 2–4); length = [pool_size] *)
   baseline_s : float;  (** T_O3: noise-free O3 end-to-end runtime *)
   rng : Ft_util.Rng.t;  (** master stream; use {!stream} for children *)
+  engine : Ft_engine.Engine.t;
+      (** the evaluation engine all of this session's builds and runs go
+          through — owns the worker pool, measurement cache and
+          telemetry *)
 }
 
 val make :
   ?pool_size:int ->
+  ?jobs:int ->
+  ?engine:Ft_engine.Engine.t ->
   toolchain:Ft_machine.Toolchain.t ->
   program:Ft_prog.Program.t ->
   input:Ft_prog.Input.t ->
@@ -26,11 +32,18 @@ val make :
 (** Build a session.  [pool_size] defaults to 1000 (the paper's K).  The
     pool is drawn from a stream derived from [seed] alone, so two sessions
     with the same seed share the same pool regardless of evaluation
-    order. *)
+    order.  [jobs] (default 1 = sequential) sizes a fresh engine's worker
+    pool; pass [engine] instead to share one engine — cache and telemetry
+    included — across sessions.  Results are independent of both. *)
 
 val stream : t -> string -> Ft_util.Rng.t
 (** A labelled child stream (e.g. ["fr"], ["cfr:measure"]), independent of
     all other labels. *)
+
+val engine : t -> Ft_engine.Engine.t
+
+val telemetry : t -> Ft_engine.Telemetry.t
+(** The session engine's telemetry (the [--stats] source). *)
 
 val measure_uniform : t -> rng:Ft_util.Rng.t -> Ft_flags.Cv.t -> float
 (** Compile the whole program with one CV (traditional model), run it on

@@ -1,51 +1,55 @@
 module Outline = Ft_outline.Outline
 module Exec = Ft_machine.Exec
 module Rng = Ft_util.Rng
+module Engine = Ft_engine.Engine
 
 let measure_assignment (ctx : Context.t) outline ~rng assignment =
-  let binary =
-    Outline.compile ~toolchain:ctx.Context.toolchain outline
-      ~assignment:(fun name -> List.assoc name assignment)
-      ()
-  in
   let m =
-    Exec.measure ~arch:ctx.Context.toolchain.Ft_machine.Toolchain.arch
-      ~input:ctx.Context.input ~rng binary
+    Engine.measure_one ctx.Context.engine ~toolchain:ctx.Context.toolchain
+      ~outline ~program:ctx.Context.program ~input:ctx.Context.input
+      { Engine.build = Engine.Assigned { assignment; instrumented = false }; rng }
   in
   m.Exec.elapsed_s
 
 let evaluate_assignment (ctx : Context.t) outline assignment =
-  let binary =
-    Outline.compile ~toolchain:ctx.Context.toolchain outline
-      ~assignment:(fun name -> List.assoc name assignment)
-      ()
+  Engine.evaluate ctx.Context.engine ~toolchain:ctx.Context.toolchain ~outline
+    ~program:ctx.Context.program ~input:ctx.Context.input
+    (Engine.Assigned { assignment; instrumented = false })
+
+(* Shared skeleton of FR and CFR: sample K per-module assignments from
+   [draw] (sequentially, on the search's own stream — sampling is cheap),
+   measure them as a batch of independent jobs, keep the earliest best. *)
+let search_assignments (ctx : Context.t) outline ~algorithm ~label ~draw =
+  let rng = Context.stream ctx label in
+  let noise = Context.stream ctx (label ^ ":noise") in
+  let k = Array.length ctx.Context.pool in
+  let assignments = Array.init k (fun _ -> draw rng) in
+  let batch =
+    Array.mapi
+      (fun i assignment ->
+        {
+          Engine.build = Engine.Assigned { assignment; instrumented = false };
+          rng = Rng.of_label noise (string_of_int i);
+        })
+      assignments
   in
-  (Exec.evaluate ~arch:ctx.Context.toolchain.Ft_machine.Toolchain.arch
-     ~input:ctx.Context.input binary)
-    .Exec.total_s
+  let engine = ctx.Context.engine in
+  let measurements =
+    Ft_engine.Telemetry.time (Engine.telemetry engine) label (fun () ->
+        Engine.measure_batch engine ~toolchain:ctx.Context.toolchain ~outline
+          ~program:ctx.Context.program ~input:ctx.Context.input batch)
+  in
+  let times = Array.map (fun m -> m.Exec.elapsed_s) measurements in
+  if k = 0 then invalid_arg (algorithm ^ ": empty pool");
+  let best = ref 0 in
+  Array.iteri (fun i t -> if t < times.(!best) then best := i) times;
+  let configuration = Result.Per_module assignments.(!best) in
+  Result.make ~algorithm ~configuration ~baseline_s:ctx.Context.baseline_s
+    ~evaluations:k
+    ~trace:(Result.best_so_far (Array.to_list times))
+    ~best_seconds:(evaluate_assignment ctx outline assignments.(!best))
 
 let run (ctx : Context.t) outline =
-  let rng = Context.stream ctx "fr" in
   let modules = Outline.module_names outline in
-  let k = Array.length ctx.Context.pool in
-  let best = ref None in
-  let times = ref [] in
-  for _ = 1 to k do
-    let assignment =
-      List.map (fun m -> (m, Rng.choose rng ctx.Context.pool)) modules
-    in
-    let t = measure_assignment ctx outline ~rng assignment in
-    times := t :: !times;
-    match !best with
-    | Some (best_t, _) when best_t <= t -> ()
-    | _ -> best := Some (t, assignment)
-  done;
-  let best_seconds, configuration =
-    match !best with
-    | Some (_, a) -> (evaluate_assignment ctx outline a, Result.Per_module a)
-    | None -> invalid_arg "Fr.run: empty pool"
-  in
-  Result.make ~algorithm:"FR" ~configuration ~baseline_s:ctx.Context.baseline_s
-    ~evaluations:k
-    ~trace:(Result.best_so_far (List.rev !times))
-    ~best_seconds
+  search_assignments ctx outline ~algorithm:"FR" ~label:"fr" ~draw:(fun rng ->
+      List.map (fun m -> (m, Rng.choose rng ctx.Context.pool)) modules)

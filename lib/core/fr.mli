@@ -25,4 +25,19 @@ val evaluate_assignment :
   Ft_outline.Outline.t ->
   (string * Ft_flags.Cv.t) list ->
   float
-(** Noise-free runtime of an assembled assignment (winner reporting). *)
+(** Noise-free runtime of an assembled assignment (winner reporting).
+    Served from the session engine's cache when the binary has been
+    evaluated before. *)
+
+val search_assignments :
+  Context.t ->
+  Ft_outline.Outline.t ->
+  algorithm:string ->
+  label:string ->
+  draw:(Ft_util.Rng.t -> (string * Ft_flags.Cv.t) list) ->
+  Result.t
+(** The sample-K-assignments-measure-batch skeleton shared by FR and CFR:
+    draws K assignments sequentially from a [label]-derived stream, then
+    measures them as one engine batch (each job on its own noise stream)
+    and keeps the earliest best.  @raise Invalid_argument on an empty
+    pool. *)

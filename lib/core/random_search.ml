@@ -1,8 +1,25 @@
+module Exec = Ft_machine.Exec
+module Engine = Ft_engine.Engine
+module Rng = Ft_util.Rng
+
 let run (ctx : Context.t) =
   let rng = Context.stream ctx "random" in
-  let times =
-    Array.map (fun cv -> Context.measure_uniform ctx ~rng cv) ctx.Context.pool
+  let batch =
+    Array.mapi
+      (fun i cv ->
+        {
+          Engine.build = Engine.Uniform { cv; instrumented = false };
+          rng = Rng.of_label rng (string_of_int i);
+        })
+      ctx.Context.pool
   in
+  let engine = ctx.Context.engine in
+  let measurements =
+    Ft_engine.Telemetry.time (Engine.telemetry engine) "random" (fun () ->
+        Engine.measure_batch engine ~toolchain:ctx.Context.toolchain
+          ~program:ctx.Context.program ~input:ctx.Context.input batch)
+  in
+  let times = Array.map (fun m -> m.Exec.elapsed_s) measurements in
   let best = Ft_util.Stats.argmin times in
   Result.make ~algorithm:"Random"
     ~configuration:(Result.Whole_program ctx.Context.pool.(best))

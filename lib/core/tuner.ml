@@ -8,9 +8,12 @@ type session = {
   collection : Collection.t Lazy.t;
 }
 
-let make_session ?pool_size ?threshold ~platform ~program ~input ~seed () =
+let make_session ?pool_size ?threshold ?jobs ?engine ~platform ~program
+    ~input ~seed () =
   let toolchain = Toolchain.make platform in
-  let ctx = Context.make ?pool_size ~toolchain ~program ~input ~seed () in
+  let ctx =
+    Context.make ?pool_size ?jobs ?engine ~toolchain ~program ~input ~seed ()
+  in
   let outline =
     Outline.outline ~toolchain ~program ~input ?threshold
       ~rng:(Context.stream ctx "profile")

@@ -16,6 +16,8 @@ type session = {
 val make_session :
   ?pool_size:int ->
   ?threshold:float ->
+  ?jobs:int ->
+  ?engine:Ft_engine.Engine.t ->
   platform:Ft_prog.Platform.t ->
   program:Ft_prog.Program.t ->
   input:Ft_prog.Input.t ->
@@ -23,7 +25,10 @@ val make_session :
   unit ->
   session
 (** Profile at O3, outline hot loops (≥ [threshold], default 1 %), prepare
-    the CV pool.  The collection happens on first use. *)
+    the CV pool.  The collection happens on first use.  [jobs] (default 1)
+    sizes the evaluation engine's worker pool — reports are bit-identical
+    at any setting; [engine] shares an existing engine (cache + telemetry)
+    instead. *)
 
 type report = {
   random : Result.t;

@@ -1,0 +1,96 @@
+module Exec = Ft_machine.Exec
+
+type t = {
+  table : (string, Exec.summary) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create () = { table = Hashtbl.create 1024; lock = Mutex.create () }
+
+let digest canonical = Digest.to_hex (Digest.string canonical)
+
+let find t key =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key)
+
+let add t key summary =
+  Mutex.protect t.lock (fun () -> Hashtbl.replace t.table key summary)
+
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+
+let bindings t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])
+  |> List.sort compare
+
+(* On-disk format: one entry per line,
+     <key> TAB <total> TAB <nonloop> [TAB <loop-name>=<seconds>]...
+   Floats are printed with %h (hexadecimal significand), so a save/load
+   round-trip is bit-exact and the determinism guarantee survives
+   persistence. *)
+
+let format_magic = "ft-engine-cache/1"
+
+let entry_line key (s : Exec.summary) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf key;
+  Buffer.add_string buf (Printf.sprintf "\t%h\t%h" s.Exec.sum_total_s s.Exec.sum_nonloop_s);
+  List.iter
+    (fun (name, seconds) ->
+      if String.contains name '\t' || String.contains name '=' then
+        invalid_arg ("Cache.save: unencodable region name " ^ name);
+      Buffer.add_string buf (Printf.sprintf "\t%s=%h" name seconds))
+    s.Exec.sum_loops;
+  Buffer.contents buf
+
+let parse_line line =
+  match String.split_on_char '\t' line with
+  | key :: total :: nonloop :: loops ->
+      let float_of field = float_of_string field in
+      let loop field =
+        match String.index_opt field '=' with
+        | Some i ->
+            ( String.sub field 0 i,
+              float_of (String.sub field (i + 1) (String.length field - i - 1)) )
+        | None -> failwith "loop field without '='"
+      in
+      ( key,
+        {
+          Exec.sum_total_s = float_of total;
+          sum_nonloop_s = float_of nonloop;
+          sum_loops = List.map loop loops;
+        } )
+  | _ -> failwith "truncated entry"
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (format_magic ^ "\n");
+      List.iter
+        (fun (key, summary) ->
+          output_string oc (entry_line key summary);
+          output_char oc '\n')
+        (bindings t))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (match input_line ic with
+      | magic when magic = format_magic -> ()
+      | _ -> failwith ("Cache.load: not an engine cache file: " ^ path)
+      | exception End_of_file ->
+          failwith ("Cache.load: empty cache file: " ^ path));
+      let t = create () in
+      (try
+         while true do
+           let line = input_line ic in
+           if line <> "" then begin
+             let key, summary = parse_line line in
+             Hashtbl.replace t.table key summary
+           end
+         done
+       with End_of_file -> ());
+      t)

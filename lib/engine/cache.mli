@@ -1,0 +1,41 @@
+(** Content-addressed measurement cache.
+
+    The engine memoizes the {e noise-free} summary of every binary it has
+    evaluated, keyed by a digest of everything that determines the binary
+    and its execution: program, platform, compiler vendor, input size and
+    steps, the full per-module CV assignment (or the single whole-program
+    CV), and the instrumentation flag.  Measurement noise is deliberately
+    {e outside} the cache — it is drawn per job from the job's own RNG
+    stream — so a cache hit returns bit-identical results to a recompute,
+    and warming the cache can never change a search's outcome.
+
+    The table is mutex-protected; concurrent workers racing on one key at
+    worst both compute the (identical, pure) summary and one write wins.
+
+    [save]/[load] persist the table as a line-oriented text file whose
+    floats are rendered in hexadecimal ([%h]), so round-trips are
+    bit-exact: a re-run of yesterday's experiment, or a greedy run sharing
+    a collection with CFR, never re-measures a binary it has seen. *)
+
+type t
+
+val create : unit -> t
+
+val digest : string -> string
+(** Digest of a canonical key description (hex MD5); the engine builds the
+    canonical string, this fixes the addressing scheme. *)
+
+val find : t -> string -> Ft_machine.Exec.summary option
+val add : t -> string -> Ft_machine.Exec.summary -> unit
+val length : t -> int
+
+val bindings : t -> (string * Ft_machine.Exec.summary) list
+(** All entries, sorted by key (deterministic; used by [save] and tests). *)
+
+val save : t -> path:string -> unit
+(** Write every entry to [path] (bit-exact float encoding).
+    @raise Invalid_argument if a region name cannot be encoded. *)
+
+val load : path:string -> t
+(** Read a table written by {!save}.
+    @raise Failure on malformed input; [Sys_error] if unreadable. *)

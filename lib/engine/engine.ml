@@ -1,0 +1,124 @@
+module Rng = Ft_util.Rng
+module Cv = Ft_flags.Cv
+module Platform = Ft_prog.Platform
+module Input = Ft_prog.Input
+module Toolchain = Ft_machine.Toolchain
+module Exec = Ft_machine.Exec
+module Outline = Ft_outline.Outline
+
+type build =
+  | Uniform of { cv : Cv.t; instrumented : bool }
+  | Assigned of { assignment : (string * Cv.t) list; instrumented : bool }
+
+type job = { build : build; rng : Rng.t }
+
+type t = { jobs : int; cache : Cache.t; telemetry : Telemetry.t }
+
+let create ?(jobs = 1) ?cache ?telemetry () =
+  if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
+  {
+    jobs;
+    cache = (match cache with Some c -> c | None -> Cache.create ());
+    telemetry =
+      (match telemetry with Some t -> t | None -> Telemetry.create ());
+  }
+
+let jobs t = t.jobs
+let cache t = t.cache
+let telemetry t = t.telemetry
+
+let instrumented = function
+  | Uniform { instrumented; _ } | Assigned { instrumented; _ } -> instrumented
+
+(* The canonical description digested into a cache key.  Everything that
+   determines the produced binary and its noise-free runtime must appear:
+   compiler personality, platform, program, input geometry, build kind
+   (a whole-program build and a per-module build that happens to assign one
+   CV everywhere are different binaries: only the latter is outlined),
+   the CV assignment itself and the instrumentation flag.  Assignments are
+   sorted by module name so equal assignments written in different orders
+   share a key. *)
+let canonical_key ~(toolchain : Toolchain.t) ~(program : Ft_prog.Program.t)
+    ~(input : Input.t) build =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf toolchain.Toolchain.cprofile.Ft_compiler.Cprofile.name;
+  Buffer.add_char buf ';';
+  Buffer.add_string buf
+    (Platform.short_name toolchain.Toolchain.arch.Ft_machine.Arch.platform);
+  Buffer.add_char buf ';';
+  Buffer.add_string buf program.Ft_prog.Program.name;
+  Buffer.add_string buf
+    (Printf.sprintf ";size=%h;steps=%d;" input.Input.size input.Input.steps);
+  (match build with
+  | Uniform { cv; instrumented } ->
+      Buffer.add_string buf
+        (Printf.sprintf "uniform;instr=%b;%s" instrumented (Cv.to_compact cv))
+  | Assigned { assignment; instrumented } ->
+      Buffer.add_string buf (Printf.sprintf "assigned;instr=%b" instrumented);
+      List.iter
+        (fun (m, cv) ->
+          Buffer.add_string buf (Printf.sprintf ";%s=%s" m (Cv.to_compact cv)))
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) assignment));
+  Buffer.contents buf
+
+let key ~toolchain ~program ~input build =
+  Cache.digest (canonical_key ~toolchain ~program ~input build)
+
+let compile ~toolchain ?outline ~program build =
+  match build with
+  | Uniform { cv; instrumented } ->
+      Toolchain.compile_uniform toolchain ~cv ~instrumented program
+  | Assigned { assignment; instrumented } -> (
+      match outline with
+      | None ->
+          invalid_arg "Engine: a per-module build requires an ?outline"
+      | Some o ->
+          Outline.compile ~toolchain o
+            ~assignment:(fun name ->
+              match List.assoc_opt name assignment with
+              | Some cv -> cv
+              | None ->
+                  invalid_arg ("Engine: assignment misses module " ^ name))
+            ~instrumented ())
+
+let summary t ~toolchain ?outline ~program ~input build =
+  let key = key ~toolchain ~program ~input build in
+  match Cache.find t.cache key with
+  | Some s ->
+      Telemetry.cache_hit t.telemetry;
+      s
+  | None ->
+      Telemetry.cache_miss t.telemetry;
+      let binary =
+        Telemetry.time t.telemetry "build" (fun () ->
+            compile ~toolchain ?outline ~program build)
+      in
+      Telemetry.build t.telemetry;
+      let run =
+        Telemetry.time t.telemetry "run" (fun () ->
+            Exec.evaluate ~arch:toolchain.Toolchain.arch ~input binary)
+      in
+      Telemetry.run t.telemetry;
+      let s = Exec.summarize run in
+      Cache.add t.cache key s;
+      s
+
+let evaluate t ~toolchain ?outline ~program ~input build =
+  (summary t ~toolchain ?outline ~program ~input build).Exec.sum_total_s
+
+let measure_one t ~toolchain ?outline ~program ~input { build; rng } =
+  let s = summary t ~toolchain ?outline ~program ~input build in
+  Exec.sample ~rng ~instrumented:(instrumented build) s
+
+let measure_batch t ~toolchain ?outline ~program ~input jobs_array =
+  Telemetry.expect t.telemetry (Array.length jobs_array);
+  Pool.map ~jobs:t.jobs
+    (fun job ->
+      let m = measure_one t ~toolchain ?outline ~program ~input job in
+      Telemetry.tick t.telemetry;
+      m)
+    jobs_array
+
+let measure_list t ~toolchain ?outline ~program ~input jobs =
+  Array.to_list
+    (measure_batch t ~toolchain ?outline ~program ~input (Array.of_list jobs))

@@ -1,0 +1,113 @@
+(** The parallel evaluation engine: how (build, run) jobs execute.
+
+    Every search in the paper is embarrassingly parallel — the §2.2.2
+    collection framework performs K = 1000 independent instrumented builds,
+    and CFR links and measures 1000 more per-module configurations.  The
+    engine owns that loop for all of them:
+
+    - jobs run on a fixed-size {!Pool} of domains ([jobs = 1], the
+      default, is strictly sequential);
+    - every job carries {e its own} RNG stream for measurement noise, so
+      results are bit-identical at any worker count ({e deterministic
+      parallelism} — the correctness property [test/suite_engine.ml]
+      checks explicitly);
+    - noise-free summaries are memoized in a content-addressed {!Cache}
+      (shareable across searches and persistable across runs);
+    - counters and timers accumulate in {!Telemetry}.
+
+    Determinism argument, in full: a [build] value determines the binary
+    (compilation and linking are pure), and the binary plus the input
+    determines the noise-free {!Ft_machine.Exec.summary} (evaluation is
+    pure).  The only stochastic step — measurement noise — is drawn from
+    the job's private [rng], never from shared state.  Hence each job's
+    measurement is a pure function of the job description, and the pool
+    only ever changes {e when} a job runs, not what it computes. *)
+
+type build =
+  | Uniform of { cv : Ft_flags.Cv.t; instrumented : bool }
+      (** traditional whole-program build: one CV for every region *)
+  | Assigned of {
+      assignment : (string * Ft_flags.Cv.t) list;
+      instrumented : bool;
+    }
+      (** per-module build of an outlined program; the assignment must
+          cover every module of the outline handed to the engine call *)
+
+type job = { build : build; rng : Ft_util.Rng.t }
+(** One unit of work: a build plus the private stream its measurement
+    noise is drawn from. *)
+
+type t
+
+val create :
+  ?jobs:int -> ?cache:Cache.t -> ?telemetry:Telemetry.t -> unit -> t
+(** [jobs] defaults to 1 (sequential).  A fresh cache and telemetry are
+    allocated unless shared ones are passed (e.g. one cache for a whole
+    experiment lab).  @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+val cache : t -> Cache.t
+val telemetry : t -> Telemetry.t
+
+val key :
+  toolchain:Ft_machine.Toolchain.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  build ->
+  string
+(** The content-addressed cache key of a build in an execution context
+    (exposed for tests). *)
+
+val summary :
+  t ->
+  toolchain:Ft_machine.Toolchain.t ->
+  ?outline:Ft_outline.Outline.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  build ->
+  Ft_machine.Exec.summary
+(** Noise-free summary of one build, through the cache.
+    @raise Invalid_argument for an [Assigned] build without [?outline]. *)
+
+val evaluate :
+  t ->
+  toolchain:Ft_machine.Toolchain.t ->
+  ?outline:Ft_outline.Outline.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  build ->
+  float
+(** [(summary ...).sum_total_s]: the cached noise-free end-to-end time. *)
+
+val measure_one :
+  t ->
+  toolchain:Ft_machine.Toolchain.t ->
+  ?outline:Ft_outline.Outline.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  job ->
+  Ft_machine.Exec.measurement
+(** One noisy measurement, drawn from the job's own stream on top of the
+    cached summary. *)
+
+val measure_batch :
+  t ->
+  toolchain:Ft_machine.Toolchain.t ->
+  ?outline:Ft_outline.Outline.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  job array ->
+  Ft_machine.Exec.measurement array
+(** Measure a batch on the pool.  Results are in submission order and
+    bit-identical for any [jobs] setting (see the determinism argument
+    above).  Progress ticks fire per completed job. *)
+
+val measure_list :
+  t ->
+  toolchain:Ft_machine.Toolchain.t ->
+  ?outline:Ft_outline.Outline.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  job list ->
+  Ft_machine.Exec.measurement list
+(** List version of {!measure_batch}. *)

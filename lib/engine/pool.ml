@@ -1,0 +1,38 @@
+exception Worker_failure of exn
+
+let sequential_map f a = Array.map f a
+
+let parallel_map ~workers f a =
+  let n = Array.length a in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let failed : exn option Atomic.t = Atomic.make None in
+  let worker () =
+    let rec loop () =
+      if Atomic.get failed = None then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f a.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set failed None (Some e)));
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  let domains = List.init workers (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  (match Atomic.get failed with
+  | Some e -> raise (Worker_failure e)
+  | None -> ());
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map ~jobs f a =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  let n = Array.length a in
+  if jobs = 1 || n <= 1 then sequential_map f a
+  else parallel_map ~workers:(min jobs n) f a
+
+let submit ~jobs thunks =
+  Array.to_list (map ~jobs (fun thunk -> thunk ()) (Array.of_list thunks))

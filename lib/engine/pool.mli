@@ -1,0 +1,26 @@
+(** A fixed-size domain worker pool.
+
+    Jobs are claimed from a shared queue by [min jobs n] domains
+    ([Domain.spawn], OCaml 5 — no external dependency) and their results
+    are written back by {e submission index}, so the output order is always
+    the input order no matter which worker finishes first.  With [jobs = 1]
+    no domain is spawned at all: the pool degrades to a plain sequential
+    [Array.map], which is the default everywhere so single-core behaviour
+    and CLI output are unchanged.
+
+    The pool makes no determinism promise by itself — that is the engine's
+    job: engine jobs carry their own independent RNG streams, so the
+    {e values} computed are identical at any worker count and only the
+    completion order varies. *)
+
+exception Worker_failure of exn
+(** Raised by {!map}/{!submit} after all workers have joined, wrapping the
+    first exception any job raised.  Remaining queued jobs are abandoned. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f a] applies [f] to every element on up to [jobs] workers
+    and returns results in submission order.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val submit : jobs:int -> (unit -> 'a) list -> 'a list
+(** Thunk-list version of {!map}; results are in submission order. *)

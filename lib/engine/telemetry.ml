@@ -1,0 +1,110 @@
+type snapshot = {
+  builds : int;
+  runs : int;
+  cache_hits : int;
+  cache_misses : int;
+  retries : int;
+  timers : (string * float) list;
+}
+
+type t = {
+  builds : int Atomic.t;
+  runs : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  retries : int Atomic.t;
+  completed : int Atomic.t;
+  expected : int Atomic.t;
+  timers : (string, float) Hashtbl.t;
+  lock : Mutex.t;
+  mutable progress : (completed:int -> expected:int -> unit) option;
+}
+
+let create () =
+  {
+    builds = Atomic.make 0;
+    runs = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    retries = Atomic.make 0;
+    completed = Atomic.make 0;
+    expected = Atomic.make 0;
+    timers = Hashtbl.create 8;
+    lock = Mutex.create ();
+    progress = None;
+  }
+
+let reset t =
+  Atomic.set t.builds 0;
+  Atomic.set t.runs 0;
+  Atomic.set t.cache_hits 0;
+  Atomic.set t.cache_misses 0;
+  Atomic.set t.retries 0;
+  Atomic.set t.completed 0;
+  Atomic.set t.expected 0;
+  Mutex.protect t.lock (fun () -> Hashtbl.reset t.timers)
+
+let bump counter = Atomic.incr counter
+let build t = bump t.builds
+let run t = bump t.runs
+let cache_hit t = bump t.cache_hits
+let cache_miss t = bump t.cache_misses
+let retry t = bump t.retries
+
+let add_time t phase seconds =
+  Mutex.protect t.lock (fun () ->
+      let prior = Option.value ~default:0.0 (Hashtbl.find_opt t.timers phase) in
+      Hashtbl.replace t.timers phase (prior +. seconds))
+
+let time t phase f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_time t phase (Unix.gettimeofday () -. t0)) f
+
+let set_progress t callback = t.progress <- Some callback
+
+let expect t n = ignore (Atomic.fetch_and_add t.expected n)
+
+let tick t =
+  let completed = 1 + Atomic.fetch_and_add t.completed 1 in
+  match t.progress with
+  | None -> ()
+  | Some callback ->
+      (* Callbacks run from worker domains; serialize them so user code
+         (typically terminal output) never interleaves. *)
+      Mutex.protect t.lock (fun () ->
+          callback ~completed ~expected:(Atomic.get t.expected))
+
+let snapshot t =
+  {
+    builds = Atomic.get t.builds;
+    runs = Atomic.get t.runs;
+    cache_hits = Atomic.get t.cache_hits;
+    cache_misses = Atomic.get t.cache_misses;
+    retries = Atomic.get t.retries;
+    timers =
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.timers []
+          |> List.sort compare);
+  }
+
+let render t =
+  let s = snapshot t in
+  let total_lookups = s.cache_hits + s.cache_misses in
+  let hit_pct =
+    if total_lookups = 0 then 0.0
+    else 100.0 *. float_of_int s.cache_hits /. float_of_int total_lookups
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "engine telemetry:\n";
+  Buffer.add_string b
+    (Printf.sprintf "  builds      %d\n  runs        %d\n" s.builds s.runs);
+  Buffer.add_string b
+    (Printf.sprintf "  cache       %d hits / %d misses (%.1f%% hit rate)\n"
+       s.cache_hits s.cache_misses hit_pct);
+  if s.retries > 0 then
+    Buffer.add_string b (Printf.sprintf "  retries     %d\n" s.retries);
+  List.iter
+    (fun (phase, seconds) ->
+      Buffer.add_string b (Printf.sprintf "  %-11s %.3f s\n" phase seconds))
+    s.timers;
+  Buffer.contents b

@@ -1,0 +1,52 @@
+(** Run telemetry for the evaluation engine: counters, per-phase wall-clock
+    timers and a progress callback.
+
+    All counters are [Atomic.t] and the timer table is mutex-protected, so
+    one telemetry value can be shared by every worker domain of a
+    {!Pool}.  Counters are observational only — no search result ever
+    depends on them — which is why they are allowed to vary with worker
+    scheduling (e.g. two workers racing on the same cache key record one
+    hit and one miss in either order) while measured values do not. *)
+
+type snapshot = {
+  builds : int;  (** compile+link jobs actually performed (cache misses) *)
+  runs : int;  (** binary executions actually performed *)
+  cache_hits : int;
+  cache_misses : int;
+  retries : int;  (** jobs re-submitted after a transient failure *)
+  timers : (string * float) list;  (** phase → accumulated wall seconds *)
+}
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val build : t -> unit
+val run : t -> unit
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+val retry : t -> unit
+
+val add_time : t -> string -> float -> unit
+(** Accumulate [seconds] onto a named phase timer. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t phase f] runs [f], accumulating its wall-clock duration onto
+    [phase] (even if [f] raises).  Phases timed inside parallel workers
+    accumulate CPU-side: their sum may exceed elapsed wall time. *)
+
+val set_progress : t -> (completed:int -> expected:int -> unit) -> unit
+(** Install a progress callback, invoked (serialized) after every engine
+    job completes. *)
+
+val expect : t -> int -> unit
+(** Announce [n] more jobs, so progress callbacks can show a total. *)
+
+val tick : t -> unit
+(** Mark one job complete and fire the progress callback, if any. *)
+
+val snapshot : t -> snapshot
+
+val render : t -> string
+(** Multi-line human-readable summary (the [--stats] output). *)

@@ -6,6 +6,7 @@ type t = {
   seed : int;
   pool_size : int;
   top_x : int;
+  engine : Ft_engine.Engine.t;
   sessions : (string, Tuner.session) Hashtbl.t;
   reports : (string, Tuner.report) Hashtbl.t;
   opentuner_runs : (string, Ft_opentuner.Ensemble.t) Hashtbl.t;
@@ -14,11 +15,16 @@ type t = {
   pgo_runs : (string, Ft_baselines.Pgo_driver.t) Hashtbl.t;
 }
 
-let create ?(seed = 42) ?(pool_size = 1000) ?(top_x = 20) () =
+let create ?(seed = 42) ?(pool_size = 1000) ?(top_x = 20) ?(jobs = 1) () =
   {
     seed;
     pool_size;
     top_x;
+    (* One engine for the whole lab: the measurement cache is shared by
+       every (benchmark, platform) cell — keys embed program, platform and
+       input, so cells never collide — and telemetry aggregates across the
+       whole run. *)
+    engine = Ft_engine.Engine.create ~jobs ();
     sessions = Hashtbl.create 32;
     reports = Hashtbl.create 32;
     opentuner_runs = Hashtbl.create 8;
@@ -29,6 +35,8 @@ let create ?(seed = 42) ?(pool_size = 1000) ?(top_x = 20) () =
 
 let seed t = t.seed
 let pool_size t = t.pool_size
+let engine t = t.engine
+let telemetry t = Ft_engine.Engine.telemetry t.engine
 let rng t label = Rng.of_label (Rng.create t.seed) label
 
 let memo table key compute =
@@ -45,8 +53,8 @@ let cell_key platform (program : Program.t) =
 let session t platform program =
   memo t.sessions (cell_key platform program) (fun () ->
       let input = Ft_suite.Suite.tuning_input platform program in
-      Tuner.make_session ~pool_size:t.pool_size ~platform ~program ~input
-        ~seed:t.seed ())
+      Tuner.make_session ~pool_size:t.pool_size ~engine:t.engine ~platform
+        ~program ~input ~seed:t.seed ())
 
 let report t platform program =
   memo t.reports (cell_key platform program) (fun () ->

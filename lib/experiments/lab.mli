@@ -9,11 +9,20 @@
 
 type t
 
-val create : ?seed:int -> ?pool_size:int -> ?top_x:int -> unit -> t
-(** Defaults: seed 42, K = 1000, top-X = 20. *)
+val create : ?seed:int -> ?pool_size:int -> ?top_x:int -> ?jobs:int -> unit -> t
+(** Defaults: seed 42, K = 1000, top-X = 20, jobs 1 (sequential engine).
+    All results are bit-identical for any [jobs] value. *)
 
 val seed : t -> int
 val pool_size : t -> int
+
+val engine : t -> Ft_engine.Engine.t
+(** The lab-wide evaluation engine: one worker pool, one measurement cache
+    and one telemetry record shared by every session. *)
+
+val telemetry : t -> Ft_engine.Telemetry.t
+(** Aggregated counters/timers across every experiment run so far (the
+    [--stats] source). *)
 
 val session :
   t -> Ft_prog.Platform.t -> Ft_prog.Program.t -> Funcytuner.Tuner.session

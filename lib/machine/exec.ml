@@ -289,21 +289,36 @@ type measurement = {
   region_samples : (string * float) list;
 }
 
+type summary = {
+  sum_total_s : float;
+  sum_nonloop_s : float;
+  sum_loops : (string * float) list;
+}
+
+let summarize run =
+  {
+    sum_total_s = run.total_s;
+    sum_nonloop_s = run.nonloop.seconds;
+    sum_loops = List.map (fun r -> (r.name, r.seconds)) run.loops;
+  }
+
 let lognormal rng ~sigma =
   exp (Rng.gauss rng ~mu:0.0 ~sigma)
 
-let measure ~arch ~input ~rng binary =
-  let run = evaluate ~arch ~input binary in
+let sample ~rng ~instrumented s =
   let noisy_loops =
     List.map
-      (fun r -> (r.name, r.seconds *. lognormal rng ~sigma:0.01))
-      run.loops
+      (fun (name, seconds) -> (name, seconds *. lognormal rng ~sigma:0.01))
+      s.sum_loops
   in
-  let noisy_nonloop = run.nonloop.seconds *. lognormal rng ~sigma:0.01 in
+  let noisy_nonloop = s.sum_nonloop_s *. lognormal rng ~sigma:0.01 in
   let elapsed_s =
-    List.fold_left (fun acc (_, s) -> acc +. s) noisy_nonloop noisy_loops
+    List.fold_left (fun acc (_, t) -> acc +. t) noisy_nonloop noisy_loops
   in
-  let region_samples =
-    if binary.Ft_compiler.Linker.instrumented then noisy_loops else []
-  in
+  let region_samples = if instrumented then noisy_loops else [] in
   { elapsed_s; region_samples }
+
+let measure ~arch ~input ~rng binary =
+  sample ~rng
+    ~instrumented:binary.Ft_compiler.Linker.instrumented
+    (summarize (evaluate ~arch ~input binary))

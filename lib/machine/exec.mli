@@ -51,6 +51,22 @@ type measurement = {
           subtraction, §3.3) *)
 }
 
+type summary = {
+  sum_total_s : float;  (** noise-free end-to-end runtime *)
+  sum_nonloop_s : float;  (** noise-free non-loop region time *)
+  sum_loops : (string * float) list;  (** noise-free loop times, in order *)
+}
+(** The noise-free distillate of a {!run}: everything a later noisy
+    {!sample} needs.  Summaries are what the evaluation engine memoizes —
+    a binary's summary never changes, only the noise drawn on top of it. *)
+
+val summarize : run -> summary
+
+val sample : rng:Ft_util.Rng.t -> instrumented:bool -> summary -> measurement
+(** Draw one noisy measurement from a noise-free summary.  [measure] is
+    exactly [sample ~rng ~instrumented (summarize (evaluate ...))]; the
+    split lets a memoized summary be re-sampled without re-executing. *)
+
 val measure :
   arch:Arch.t ->
   input:Ft_prog.Input.t ->

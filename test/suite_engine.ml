@@ -1,0 +1,277 @@
+(* Tests for the parallel evaluation engine: worker-pool order and error
+   discipline, deterministic parallelism of the searches built on it,
+   cache round-trips and hit accounting, telemetry. *)
+
+open Ft_prog
+module Pool = Ft_engine.Pool
+module Cache = Ft_engine.Cache
+module Telemetry = Ft_engine.Telemetry
+module Engine = Ft_engine.Engine
+module Exec = Ft_machine.Exec
+module Context = Funcytuner.Context
+module Collection = Funcytuner.Collection
+module Result = Funcytuner.Result
+module Tuner = Funcytuner.Tuner
+module Rng = Ft_util.Rng
+
+let program = Option.get (Ft_suite.Suite.find "363.swim")
+let platform = Platform.Broadwell
+let input = Ft_suite.Suite.tuning_input platform program
+
+let make_session ?(pool_size = 40) ?(seed = 4242) jobs =
+  Tuner.make_session ~pool_size ~jobs ~platform ~program ~input ~seed ()
+
+(* --- Pool ----------------------------------------------------------------- *)
+
+let test_pool_preserves_order () =
+  (* Stress fan-out: work per item varies by two orders of magnitude, so
+     late submissions overtake early ones on any schedule — results must
+     come back in submission order regardless. *)
+  let items = Array.init 500 (fun i -> i) in
+  let work i =
+    let spins = if i mod 7 = 0 then 5000 else 50 in
+    let acc = ref i in
+    for _ = 1 to spins do
+      acc := (!acc * 31) mod 65537
+    done;
+    (i, !acc)
+  in
+  let sequential = Pool.map ~jobs:1 work items in
+  let parallel = Pool.map ~jobs:8 work items in
+  Alcotest.(check bool) "parallel = sequential" true (sequential = parallel);
+  Array.iteri
+    (fun idx (i, _) ->
+      Alcotest.(check int) "submission order preserved" idx i)
+    parallel
+
+let test_pool_submit_list () =
+  let thunks = List.init 20 (fun i () -> 2 * i) in
+  Alcotest.(check (list int))
+    "submit preserves order"
+    (List.init 20 (fun i -> 2 * i))
+    (Pool.submit ~jobs:3 thunks)
+
+let test_pool_propagates_failure () =
+  let work i = if i = 13 then failwith "boom" else i in
+  (match Pool.map ~jobs:4 work (Array.init 64 (fun i -> i)) with
+  | exception Pool.Worker_failure (Failure msg) ->
+      Alcotest.(check string) "original exception carried" "boom" msg
+  | exception e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "worker failure swallowed");
+  match Pool.map ~jobs:1 work (Array.init 64 (fun i -> i)) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "sequential failure swallowed"
+
+let test_pool_rejects_bad_jobs () =
+  match Pool.map ~jobs:0 (fun i -> i) [| 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs=0 accepted"
+
+(* --- deterministic parallelism -------------------------------------------- *)
+
+let test_collection_parallel_bit_identical () =
+  let collect jobs =
+    Lazy.force (make_session jobs).Tuner.collection
+  in
+  let seq = collect 1 and par = collect 4 in
+  Alcotest.(check bool) "times matrices bit-identical" true
+    (seq.Collection.times = par.Collection.times);
+  Alcotest.(check bool) "totals bit-identical" true
+    (seq.Collection.totals = par.Collection.totals)
+
+let check_result_equal what (a : Result.t) (b : Result.t) =
+  Alcotest.(check string) (what ^ " algorithm") a.Result.algorithm b.Result.algorithm;
+  Alcotest.(check bool) (what ^ " best_seconds bit-identical") true
+    (a.Result.best_seconds = b.Result.best_seconds);
+  Alcotest.(check bool) (what ^ " speedup bit-identical") true
+    (a.Result.speedup = b.Result.speedup);
+  Alcotest.(check bool) (what ^ " trace bit-identical") true
+    (a.Result.trace = b.Result.trace);
+  Alcotest.(check bool) (what ^ " configuration identical") true
+    (a.Result.configuration = b.Result.configuration)
+
+let test_run_all_parallel_bit_identical () =
+  (* The acceptance property: a fixed seed gives byte-identical reports
+     under jobs=4 and jobs=1. *)
+  let report jobs = Tuner.run_all ~top_x:8 (make_session ~pool_size:30 jobs) in
+  let seq = report 1 and par = report 4 in
+  check_result_equal "random" seq.Tuner.random par.Tuner.random;
+  check_result_equal "fr" seq.Tuner.fr par.Tuner.fr;
+  check_result_equal "cfr" seq.Tuner.cfr par.Tuner.cfr;
+  check_result_equal "greedy"
+    seq.Tuner.greedy.Funcytuner.Greedy.realized
+    par.Tuner.greedy.Funcytuner.Greedy.realized;
+  Alcotest.(check bool) "greedy independent bound bit-identical" true
+    (seq.Tuner.greedy.Funcytuner.Greedy.independent_seconds
+    = par.Tuner.greedy.Funcytuner.Greedy.independent_seconds)
+
+let test_worker_count_does_not_leak_into_streams () =
+  let cfr jobs = (Tuner.run_cfr ~top_x:5 (make_session ~seed:77 jobs)).Result.speedup in
+  let s1 = cfr 1 in
+  Alcotest.(check bool) "jobs=2,3,8 all agree with jobs=1" true
+    (List.for_all (fun j -> cfr j = s1) [ 2; 3; 8 ])
+
+(* --- cache ----------------------------------------------------------------- *)
+
+let toolchain = Ft_machine.Toolchain.make platform
+
+let some_builds =
+  let rng = Rng.create 9 in
+  List.init 6 (fun i ->
+      Engine.Uniform
+        { cv = Ft_flags.Space.sample rng; instrumented = i mod 2 = 0 })
+
+let test_cache_roundtrip () =
+  let engine = Engine.create () in
+  List.iter
+    (fun b ->
+      ignore (Engine.summary engine ~toolchain ~program ~input b))
+    some_builds;
+  let cache = Engine.cache engine in
+  Alcotest.(check int) "six distinct entries" 6 (Cache.length cache);
+  let path = Filename.temp_file "ft_cache" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cache.save cache ~path;
+      let reloaded = Cache.load ~path in
+      Alcotest.(check bool) "save/load round-trip is bit-exact" true
+        (Cache.bindings cache = Cache.bindings reloaded))
+
+let test_cache_load_rejects_garbage () =
+  let path = Filename.temp_file "ft_cache" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a cache\n";
+      close_out oc;
+      match Cache.load ~path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "garbage accepted")
+
+let test_cache_hit_counting () =
+  let engine = Engine.create () in
+  let build = List.hd some_builds in
+  let summary () = Engine.summary engine ~toolchain ~program ~input build in
+  let first = summary () in
+  let again = summary () in
+  let third = summary () in
+  Alcotest.(check bool) "hits return the same summary" true
+    (first = again && again = third);
+  let s = Telemetry.snapshot (Engine.telemetry engine) in
+  Alcotest.(check int) "one miss" 1 s.Telemetry.cache_misses;
+  Alcotest.(check int) "two hits" 2 s.Telemetry.cache_hits;
+  Alcotest.(check int) "one build" 1 s.Telemetry.builds;
+  Alcotest.(check int) "one run" 1 s.Telemetry.runs
+
+let test_preloaded_cache_changes_nothing () =
+  (* Warming an engine with a persisted cache must not change any measured
+     value — noise lives outside the cache. *)
+  let run ?cache () =
+    let engine = Engine.create ?cache () in
+    let session =
+      Tuner.make_session ~pool_size:25 ~engine ~platform ~program ~input
+        ~seed:321 ()
+    in
+    (Tuner.run_cfr ~top_x:5 session, engine)
+  in
+  let cold, engine = run () in
+  let path = Filename.temp_file "ft_cache" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cache.save (Engine.cache engine) ~path;
+      let warm, warm_engine = run ~cache:(Cache.load ~path) () in
+      Alcotest.(check bool) "warm result bit-identical" true
+        (cold.Result.speedup = warm.Result.speedup
+        && cold.Result.trace = warm.Result.trace);
+      let s = Telemetry.snapshot (Engine.telemetry warm_engine) in
+      Alcotest.(check int) "warm run never built" 0 s.Telemetry.builds)
+
+let test_key_sensitivity () =
+  let key build = Engine.key ~toolchain ~program ~input build in
+  let cv = Ft_flags.Cv.o3 in
+  let uniform = Engine.Uniform { cv; instrumented = false } in
+  let instrumented = Engine.Uniform { cv; instrumented = true } in
+  let assigned =
+    Engine.Assigned { assignment = [ ("m", cv) ]; instrumented = false }
+  in
+  Alcotest.(check bool) "instrumentation changes the key" false
+    (key uniform = key instrumented);
+  Alcotest.(check bool) "build kind changes the key" false
+    (key uniform = key assigned);
+  let other_input = Ft_prog.Input.with_steps input (input.Input.steps + 1) in
+  Alcotest.(check bool) "input changes the key" false
+    (key uniform = Engine.key ~toolchain ~program ~input:other_input uniform);
+  Alcotest.(check string) "assignment order does not change the key"
+    (Engine.key ~toolchain ~program ~input
+       (Engine.Assigned
+          { assignment = [ ("a", cv); ("b", Ft_flags.Cv.o2) ]; instrumented = false }))
+    (Engine.key ~toolchain ~program ~input
+       (Engine.Assigned
+          { assignment = [ ("b", Ft_flags.Cv.o2); ("a", cv) ]; instrumented = false }))
+
+(* --- telemetry -------------------------------------------------------------- *)
+
+let test_telemetry_progress_and_timers () =
+  let t = Telemetry.create () in
+  let seen = ref [] in
+  Telemetry.set_progress t (fun ~completed ~expected ->
+      seen := (completed, expected) :: !seen);
+  Telemetry.expect t 3;
+  Telemetry.tick t;
+  Telemetry.tick t;
+  Telemetry.tick t;
+  Alcotest.(check (list (pair int int)))
+    "ticks report completed/expected"
+    [ (3, 3); (2, 3); (1, 3) ]
+    !seen;
+  Telemetry.add_time t "phase" 1.5;
+  Telemetry.add_time t "phase" 0.5;
+  let s = Telemetry.snapshot t in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "timers accumulate"
+    [ ("phase", 2.0) ]
+    s.Telemetry.timers;
+  Telemetry.reset t;
+  let s = Telemetry.snapshot t in
+  Alcotest.(check int) "reset clears" 0 (List.length s.Telemetry.timers)
+
+let test_render_mentions_counters () =
+  let engine = Engine.create () in
+  ignore
+    (Engine.summary engine ~toolchain ~program ~input (List.hd some_builds));
+  let rendered = Telemetry.render (Engine.telemetry engine) in
+  Alcotest.(check bool) "render mentions builds" true
+    (Astring_contains.contains rendered "builds");
+  Alcotest.(check bool) "render mentions cache" true
+    (Astring_contains.contains rendered "cache")
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "pool order under stress fan-out" `Quick
+        test_pool_preserves_order;
+      Alcotest.test_case "pool submit list" `Quick test_pool_submit_list;
+      Alcotest.test_case "pool failure propagation" `Quick
+        test_pool_propagates_failure;
+      Alcotest.test_case "pool rejects jobs=0" `Quick test_pool_rejects_bad_jobs;
+      Alcotest.test_case "collection parallel determinism" `Quick
+        test_collection_parallel_bit_identical;
+      Alcotest.test_case "run_all parallel determinism" `Quick
+        test_run_all_parallel_bit_identical;
+      Alcotest.test_case "worker count independence" `Quick
+        test_worker_count_does_not_leak_into_streams;
+      Alcotest.test_case "cache save/load round-trip" `Quick
+        test_cache_roundtrip;
+      Alcotest.test_case "cache rejects garbage" `Quick
+        test_cache_load_rejects_garbage;
+      Alcotest.test_case "cache hit counting" `Quick test_cache_hit_counting;
+      Alcotest.test_case "preloaded cache changes nothing" `Quick
+        test_preloaded_cache_changes_nothing;
+      Alcotest.test_case "cache key sensitivity" `Quick test_key_sensitivity;
+      Alcotest.test_case "telemetry progress and timers" `Quick
+        test_telemetry_progress_and_timers;
+      Alcotest.test_case "telemetry render" `Quick test_render_mentions_counters;
+    ] )

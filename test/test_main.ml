@@ -11,6 +11,7 @@ let () =
       Suite_compiler.suite;
       Suite_machine.suite;
       Suite_caliper_outline.suite;
+      Suite_engine.suite;
       Suite_core.suite;
       Suite_baselines.suite;
       Suite_opentuner.suite;
