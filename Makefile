@@ -1,7 +1,7 @@
 DUNE ?= dune
 FUNCY = $(DUNE) exec --no-build bin/funcy.exe --
 
-.PHONY: all build test smoke check clean
+.PHONY: all build test smoke smoke-faults check clean
 
 all: build
 
@@ -19,7 +19,27 @@ smoke: build
 	cmp _build/smoke-j1.out _build/smoke-j4.out
 	@echo "smoke OK: --jobs 4 output bit-identical to --jobs 1"
 
-check: build test smoke
+# Fault-layer smoke (see DESIGN.md section 9):
+#   1. an armed fault model keeps --jobs 4 byte-identical to --jobs 1;
+#   2. a run killed mid-search by --die-after resumes from its checkpoint
+#      to output byte-identical to an uninterrupted run.
+smoke-faults: build
+	$(FUNCY) tune -b swim -a cfr -k 120 --faults --fault-seed 7 --jobs 1 \
+	  > _build/smoke-faults-j1.out
+	$(FUNCY) tune -b swim -a cfr -k 120 --faults --fault-seed 7 --jobs 4 \
+	  > _build/smoke-faults-j4.out
+	cmp _build/smoke-faults-j1.out _build/smoke-faults-j4.out
+	rm -f _build/smoke-faults.snap _build/smoke-faults.snap.quarantine
+	$(FUNCY) tune -b swim -a cfr -k 120 --faults --fault-seed 7 \
+	  --checkpoint _build/smoke-faults.snap --die-after 60 \
+	  > /dev/null 2>/dev/null; test $$? -eq 99
+	$(FUNCY) tune -b swim -a cfr -k 120 --faults --fault-seed 7 \
+	  --checkpoint _build/smoke-faults.snap > _build/smoke-faults-resumed.out
+	cmp _build/smoke-faults-resumed.out _build/smoke-faults-j1.out
+	rm -f _build/smoke-faults.snap _build/smoke-faults.snap.quarantine
+	@echo "smoke-faults OK: fault schedule jobs-independent, kill-and-resume bit-identical"
+
+check: build test smoke smoke-faults
 
 clean:
 	$(DUNE) clean

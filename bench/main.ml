@@ -1,13 +1,20 @@
 (* The benchmark harness: regenerates every table and figure of the paper
    (run with no arguments for all of them, or name experiments:
    tab1 tab2 fig1 fig5a fig5b fig5c fig6 fig7a fig7b fig8 fig9 tab3
-   ablations micro engine).
+   ablations faults micro engine).
 
    Flags (anywhere on the command line):
      --jobs N | -j N   size of the evaluation-engine worker pool
                        (default 1 = sequential; results are bit-identical
                        for any value)
      --stats           print engine telemetry at exit
+     --faults          arm the deterministic fault model for the lab engine
+     --fault-rate R    overall injected fault rate in [0,1] (default 0.1)
+     --fault-seed N    fault-schedule seed (default 1)
+     --timeout S       simulated per-run wall-clock budget in seconds
+     --repeats N       measurements per configuration (robust aggregation)
+     --retries N       retry budget for transient faults (default 2)
+     --checkpoint P    snapshot the cache/quarantine to P; resume if P exists
 
    Absolute speedups come from the simulated tool-chain, so they are not
    expected to equal the paper's testbed numbers; the shapes (who wins,
@@ -24,7 +31,49 @@ module Table = Ft_util.Table
 
 let jobs = ref 1
 let stats = ref false
-let lab = lazy (Lab.create ~jobs:!jobs ())
+let faults = ref false
+let fault_rate = ref 0.1
+let fault_seed = ref 1
+let timeout = ref None
+let repeats = ref 1
+let retries = ref 2
+let checkpoint = ref None
+
+let policy () =
+  let base = Ft_engine.Engine.default_policy in
+  {
+    base with
+    Ft_engine.Engine.faults =
+      (if !faults then
+         Some (Ft_fault.Fault.make ~seed:!fault_seed ~rate:!fault_rate ())
+       else None);
+    timeout_s = Option.value ~default:base.Ft_engine.Engine.timeout_s !timeout;
+    max_retries = !retries;
+    repeats = !repeats;
+  }
+
+(* One engine for the whole lab; with --checkpoint it resumes from (and
+   periodically snapshots to) the given path. *)
+let make_engine () =
+  let open Ft_engine in
+  match !checkpoint with
+  | None -> Engine.create ~jobs:!jobs ~policy:(policy ()) ()
+  | Some path ->
+      let ck = Checkpoint.create ~path () in
+      let cache, quarantine =
+        match if Checkpoint.exists ck then Checkpoint.load ck else None with
+        | Some (cache, quarantine) ->
+            Printf.eprintf
+              "bench: resuming from %s (%d cached summaries, %d quarantined)\n%!"
+              path (Cache.length cache)
+              (Quarantine.length quarantine);
+            (cache, quarantine)
+        | None -> (Cache.create (), Quarantine.create ())
+      in
+      Engine.create ~jobs:!jobs ~cache ~quarantine ~policy:(policy ())
+        ~checkpoint:ck ()
+
+let lab = lazy (Lab.create ~engine:(make_engine ()) ())
 
 let banner name description =
   Printf.printf "\n=== %s — %s ===\n%!" name description
@@ -100,6 +149,15 @@ let run_ablations () =
   Table.print (Ablations.adaptive_budget l);
   Series.print (Ablations.elimination_variants l);
   Table.print (Ablations.critical_flags_table l)
+
+let run_faults () =
+  banner "faults"
+    "search quality vs injected fault rate (retries, quarantine, best \
+     valid CV)";
+  Series.print
+    (Faults.run
+       ~telemetry:(Lab.telemetry (Lazy.force lab))
+       ~fault_seed:!fault_seed ~seed:42 ~pool_size:1000 ~jobs:!jobs ())
 
 (* --- Bechamel micro-benchmarks -------------------------------------- *)
 
@@ -251,21 +309,42 @@ let experiments =
     ("fig9", run_fig9);
     ("tab3", run_tab3);
     ("ablations", run_ablations);
+    ("faults", run_faults);
     ("micro", run_micro);
     ("engine", run_engine);
   ]
 
-(* "engine" benchmarks the engine itself on its own sessions, so running
-   every experiment does not include it by default. *)
+(* "engine" benchmarks the engine itself on its own sessions and "faults"
+   sweeps fault rates on per-rate engines, so running every experiment
+   does not include them by default. *)
 let default_experiments =
-  List.filter (fun (name, _) -> name <> "engine") experiments
+  List.filter
+    (fun (name, _) -> name <> "engine" && name <> "faults")
+    experiments
 
-let set_jobs s =
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      exit 2)
+    fmt
+
+let int_flag ~flag ~min_v cell s =
   match int_of_string_opt s with
-  | Some n when n >= 1 -> jobs := n
-  | _ ->
-      Printf.eprintf "bench: --jobs expects an integer >= 1, got '%s'\n" s;
-      exit 2
+  | Some n when n >= min_v -> cell := n
+  | _ -> usage_error "%s expects an integer >= %d, got '%s'" flag min_v s
+
+let set_jobs = int_flag ~flag:"--jobs" ~min_v:1 jobs
+
+let set_fault_rate s =
+  match float_of_string_opt s with
+  | Some r when r >= 0.0 && r <= 1.0 -> fault_rate := r
+  | _ -> usage_error "--fault-rate expects a float in [0,1], got '%s'" s
+
+let set_timeout s =
+  match float_of_string_opt s with
+  | Some t when t > 0.0 -> timeout := Some t
+  | _ -> usage_error "--timeout expects a positive float, got '%s'" s
 
 let parse_args argv =
   let rec go names = function
@@ -273,13 +352,37 @@ let parse_args argv =
     | "--stats" :: rest ->
         stats := true;
         go names rest
+    | "--faults" :: rest ->
+        faults := true;
+        go names rest
     | ("--jobs" | "-j") :: n :: rest ->
         set_jobs n;
+        go names rest
+    | "--fault-rate" :: r :: rest ->
+        set_fault_rate r;
+        go names rest
+    | "--fault-seed" :: n :: rest ->
+        int_flag ~flag:"--fault-seed" ~min_v:0 fault_seed n;
+        go names rest
+    | "--timeout" :: s :: rest ->
+        set_timeout s;
+        go names rest
+    | "--repeats" :: n :: rest ->
+        int_flag ~flag:"--repeats" ~min_v:1 repeats n;
+        go names rest
+    | "--retries" :: n :: rest ->
+        int_flag ~flag:"--retries" ~min_v:0 retries n;
+        go names rest
+    | "--checkpoint" :: path :: rest ->
+        checkpoint := Some path;
         go names rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
       ->
         set_jobs (String.sub arg 7 (String.length arg - 7));
         go names rest
+    | ("--fault-rate" | "--fault-seed" | "--timeout" | "--repeats"
+      | "--retries" | "--checkpoint" | "--jobs" | "-j") :: [] ->
+        usage_error "missing value for the last flag"
     | name :: rest -> go (name :: names) rest
   in
   go [] (List.tl (Array.to_list argv))
@@ -300,6 +403,8 @@ let () =
             (String.concat ", " (List.map fst experiments));
           exit 2)
     requested;
+  if Lazy.is_val lab then
+    Ft_engine.Engine.flush_checkpoint (Lab.engine (Lazy.force lab));
   if !stats then begin
     print_newline ();
     print_string (Ft_engine.Telemetry.render (Lab.telemetry (Lazy.force lab)))

@@ -11,6 +11,10 @@ open Cmdliner
 open Ft_prog
 module Result = Funcytuner.Result
 module Tuner = Funcytuner.Tuner
+module Engine = Ft_engine.Engine
+module Cache = Ft_engine.Cache
+module Quarantine = Ft_engine.Quarantine
+module Checkpoint = Ft_engine.Checkpoint
 
 let program_arg =
   let parse s =
@@ -55,11 +59,12 @@ let pool_t =
     & info [ "k"; "pool" ] ~docv:"K"
         ~doc:"Pre-sampled CV pool size / evaluation budget (default 1000).")
 
-let jobs_arg =
+let bounded_int_arg ~what ~min_v =
   let parse s =
     match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok n
-    | Some n -> Error (`Msg (Printf.sprintf "must be >= 1, got %d" n))
+    | Some n when n >= min_v -> Ok n
+    | Some n ->
+        Error (`Msg (Printf.sprintf "%s must be >= %d, got %d" what min_v n))
     | None ->
         Error (`Msg (Printf.sprintf "invalid value '%s', expected an integer" s))
   in
@@ -67,7 +72,8 @@ let jobs_arg =
 
 let jobs_t =
   Arg.(
-    value & opt jobs_arg 1
+    value
+    & opt (bounded_int_arg ~what:"jobs" ~min_v:1) 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Evaluation-engine worker domains (default 1 = sequential). \
@@ -83,6 +89,164 @@ let maybe_stats stats telemetry =
   if stats then (
     print_newline ();
     print_string (Ft_engine.Telemetry.render telemetry))
+
+(* --- fault / recovery / checkpoint flags ------------------------------- *)
+
+type resilience = {
+  faults : bool;
+  fault_rate : float;
+  fault_seed : int;
+  timeout : float option;
+  repeats : int;
+  retries : int;
+  checkpoint : string option;
+  die_after : int option;
+}
+
+let resilience_t =
+  let rate_arg =
+    let parse s =
+      match float_of_string_opt s with
+      | Some r when r >= 0.0 && r <= 1.0 -> Ok r
+      | Some r ->
+          Error (`Msg (Printf.sprintf "fault rate must be in [0,1], got %g" r))
+      | None ->
+          Error (`Msg (Printf.sprintf "invalid value '%s', expected a float" s))
+    in
+    Arg.conv (parse, fun fmt r -> Format.fprintf fmt "%g" r)
+  in
+  let timeout_arg =
+    let parse s =
+      match float_of_string_opt s with
+      | Some t when t > 0.0 -> Ok t
+      | Some t ->
+          Error (`Msg (Printf.sprintf "timeout must be positive, got %g" t))
+      | None ->
+          Error (`Msg (Printf.sprintf "invalid value '%s', expected a float" s))
+    in
+    Arg.conv (parse, fun fmt t -> Format.fprintf fmt "%g" t)
+  in
+  let faults_t =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Arm the deterministic fault-injection model: compile \
+             failures, crashes, wrong answers, hangs and timing outliers, \
+             all reproducible from $(b,--fault-seed) at any $(b,--jobs).")
+  in
+  let rate_t =
+    Arg.(
+      value & opt rate_arg 0.1
+      & info [ "fault-rate" ] ~docv:"R"
+          ~doc:"Overall injected fault rate in [0,1] (default 0.1).")
+  in
+  let fault_seed_t =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"Seed of the fault schedule (default 1).")
+  in
+  let timeout_t =
+    Arg.(
+      value
+      & opt (some timeout_arg) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-run (simulated) wall-clock budget; hung runs exceeding it \
+             are killed, retried if transient, then quarantined (default \
+             3600).")
+  in
+  let repeats_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"repeats" ~min_v:1) 1
+      & info [ "repeats" ] ~docv:"N"
+          ~doc:
+            "Measurements per configuration, aggregated by outlier-robust \
+             median selection (default 1).")
+  in
+  let retries_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"retries" ~min_v:0) 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry budget for transient crashes/timeouts (default 2).")
+  in
+  let checkpoint_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Periodically snapshot the measurement cache (and quarantine \
+             list) to $(docv); if $(docv) already exists, resume from it \
+             — a killed search re-run with the same arguments reaches a \
+             bit-identical result.")
+  in
+  let die_after_t =
+    Arg.(
+      value
+      & opt (some (bounded_int_arg ~what:"die-after" ~min_v:1)) None
+      & info [ "die-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook: flush the checkpoint and abort (exit 99) after \
+             $(docv) engine jobs, simulating a mid-search crash.")
+  in
+  let combine faults fault_rate fault_seed timeout repeats retries checkpoint
+      die_after =
+    { faults; fault_rate; fault_seed; timeout; repeats; retries; checkpoint;
+      die_after }
+  in
+  Term.(
+    const combine $ faults_t $ rate_t $ fault_seed_t $ timeout_t $ repeats_t
+    $ retries_t $ checkpoint_t $ die_after_t)
+
+let policy_of_resilience r =
+  let base = Engine.default_policy in
+  {
+    base with
+    Engine.faults =
+      (if r.faults then
+         Some (Ft_fault.Fault.make ~seed:r.fault_seed ~rate:r.fault_rate ())
+       else None);
+    timeout_s = Option.value ~default:base.Engine.timeout_s r.timeout;
+    max_retries = r.retries;
+    repeats = r.repeats;
+  }
+
+(* Build the engine the session (or lab) will evaluate through: arm the
+   policy and, with --checkpoint, attach the snapshot file — resuming from
+   it when it already exists.  Resume chatter goes to stderr so stdout
+   stays byte-comparable across resumed runs. *)
+let make_engine ~jobs r =
+  let policy = policy_of_resilience r in
+  match r.checkpoint with
+  | None -> Engine.create ~jobs ~policy ()
+  | Some path ->
+      let ck = Checkpoint.create ~path () in
+      let cache, quarantine =
+        match if Checkpoint.exists ck then Checkpoint.load ck else None with
+        | Some (cache, quarantine) ->
+            Printf.eprintf
+              "funcy: resuming from %s (%d cached summaries, %d quarantined)\n%!"
+              path (Cache.length cache)
+              (Quarantine.length quarantine);
+            (cache, quarantine)
+        | None -> (Cache.create (), Quarantine.create ())
+      in
+      Engine.create ~jobs ~cache ~quarantine ~policy ~checkpoint:ck ()
+
+let arm_die_after engine = function
+  | None -> ()
+  | Some n ->
+      Ft_engine.Telemetry.set_progress (Engine.telemetry engine)
+        (fun ~completed ~expected:_ ->
+          if completed >= n then begin
+            Engine.flush_checkpoint engine;
+            Printf.eprintf "funcy: --die-after %d: simulated crash\n%!" n;
+            exit 99
+          end)
 
 (* --- list ------------------------------------------------------------ *)
 
@@ -118,24 +282,38 @@ let profile_cmd =
 (* --- decisions -------------------------------------------------------- *)
 
 let decisions_cmd =
+  let cv_arg =
+    (* A dedicated converter so a typo yields a cmdliner usage error (with
+       exit code 124) instead of an uncaught exception and backtrace. *)
+    let parse s =
+      match Ft_flags.Cv.of_compact s with
+      | Some cv -> Ok cv
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "malformed compact CV '%s': expected dot-separated value \
+                   indices as printed by 'funcy tune' (e.g. the O3 default \
+                   is '%s')"
+                  s
+                  (Ft_flags.Cv.to_compact Ft_flags.Cv.o3)))
+    in
+    let print fmt cv =
+      Format.pp_print_string fmt (Ft_flags.Cv.to_compact cv)
+    in
+    Arg.conv (parse, print)
+  in
   let cv_t =
     Arg.(
       value
-      & opt (some string) None
+      & opt (some cv_arg) None
       & info [ "cv" ] ~docv:"COMPACT"
           ~doc:
             "Compact CV encoding (dot-separated value indices); defaults \
              to the O3 baseline.")
   in
   let run program platform cv_compact =
-    let cv =
-      match cv_compact with
-      | None -> Ft_flags.Cv.o3
-      | Some s -> (
-          match Ft_flags.Cv.of_compact s with
-          | Some cv -> cv
-          | None -> failwith "malformed compact CV")
-    in
+    let cv = Option.value ~default:Ft_flags.Cv.o3 cv_compact in
     let toolchain = Ft_machine.Toolchain.make platform in
     let input = Ft_suite.Suite.tuning_input platform program in
     let binary = Ft_machine.Toolchain.compile_uniform toolchain ~cv program in
@@ -214,18 +392,25 @@ let tune_cmd =
       value & opt int Funcytuner.Cfr.default_top_x
       & info [ "top-x" ] ~docv:"X" ~doc:"CFR space-focusing width.")
   in
-  let run program platform seed pool jobs stats algo top_x =
+  let run program platform seed pool jobs stats resilience algo top_x =
+    let engine = make_engine ~jobs resilience in
+    arm_die_after engine resilience.die_after;
     let session =
-      Tuner.make_session ~pool_size:pool ~jobs ~platform ~program
+      Tuner.make_session ~pool_size:pool ~engine ~platform ~program
         ~input:(Ft_suite.Suite.tuning_input platform program)
         ~seed ()
     in
     let ctx = session.Tuner.ctx in
-    Printf.printf "%s on %s: T_O3 = %.3f s, %d modules outlined\n\n"
+    Printf.printf "%s on %s: T_O3 = %.3f s, %d modules outlined\n"
       program.Program.name (Platform.name platform)
       ctx.Funcytuner.Context.baseline_s
       (Ft_outline.Outline.module_count session.Tuner.outline - 1);
+    (match (Engine.policy engine).Engine.faults with
+    | Some f -> Printf.printf "fault model: %s\n" (Ft_fault.Fault.describe f)
+    | None -> ());
+    print_newline ();
     Fun.protect ~finally:(fun () ->
+        Engine.flush_checkpoint engine;
         maybe_stats stats (Funcytuner.Context.telemetry ctx))
     @@ fun () ->
     match algo with
@@ -262,14 +447,21 @@ let tune_cmd =
         let toolchain = Ft_machine.Toolchain.make platform in
         let input = Ft_suite.Suite.tuning_input platform program in
         let ce =
-          Ft_baselines.Ce.run ~toolchain ~program ~input
-            ~rng:(Ft_util.Rng.create seed) ()
+          Ft_baselines.Ce.run
+            ?faults:(Engine.policy engine).Engine.faults ~toolchain ~program
+            ~input
+            ~rng:(Ft_util.Rng.create seed)
+            ()
         in
         Printf.printf
-          "CE: speedup %.3f over O3 after %d evaluations (%d eliminations)\n\
+          "CE: speedup %.3f over O3 after %d evaluations (%d eliminations%s)\n\
           \  final CV: %s\n"
           ce.Ft_baselines.Ce.speedup ce.Ft_baselines.Ce.evaluations
           (List.length ce.Ft_baselines.Ce.steps)
+          (if ce.Ft_baselines.Ce.failures > 0 then
+             Printf.sprintf ", %d trials lost to faults"
+               ce.Ft_baselines.Ce.failures
+           else "")
           (Ft_flags.Cv.render ce.Ft_baselines.Ce.cv)
     | `Pgo ->
         let toolchain = Ft_machine.Toolchain.make platform in
@@ -288,9 +480,15 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Run one auto-tuning algorithm")
     Term.(
       const run $ program_t $ platform_t $ seed_t $ pool_t $ jobs_t $ stats_t
-      $ algo_t $ top_x_t)
+      $ resilience_t $ algo_t $ top_x_t)
 
 (* --- experiment ------------------------------------------------------- *)
+
+let experiment_names =
+  [
+    "tab1"; "tab2"; "fig1"; "fig5a"; "fig5b"; "fig5c"; "fig6"; "fig7a";
+    "fig7b"; "fig8"; "fig9"; "tab3"; "ablations"; "faults";
+  ]
 
 let experiment_cmd =
   let csv_dir_t =
@@ -301,15 +499,30 @@ let experiment_cmd =
           ~doc:
             "Also write each figure-shaped experiment as CSV into $(docv)              (created if missing).")
   in
+  let experiment_arg =
+    (* Validated up front so a typo is a usage error with the valid names,
+       not an uncaught exception after the preceding experiments ran. *)
+    let parse s =
+      if List.mem s experiment_names then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown experiment '%s', expected one of: %s" s
+                (String.concat ", " experiment_names)))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
   let names_t =
     Arg.(
-      value & pos_all string []
+      value & pos_all experiment_arg []
       & info [] ~docv:"EXPERIMENT"
           ~doc:"fig1 fig5a fig5b fig5c fig6 fig7a fig7b fig8 fig9 tab1 tab2 \
-                tab3 ablations (default: fig5c).")
+                tab3 ablations faults (default: fig5c).")
   in
-  let run seed pool jobs stats csv_dir names =
-    let lab = Ft_experiments.Lab.create ~seed ~pool_size:pool ~jobs () in
+  let run seed pool jobs stats resilience csv_dir names =
+    let engine = make_engine ~jobs resilience in
+    arm_die_after engine resilience.die_after;
+    let lab = Ft_experiments.Lab.create ~seed ~pool_size:pool ~engine () in
     let open Ft_experiments in
     let emit name series =
       Series.print series;
@@ -319,8 +532,7 @@ let experiment_cmd =
           if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
           let path = Filename.concat dir (name ^ ".csv") in
           Csv.write ~path series;
-          Printf.printf "(wrote %s)
-" path
+          Printf.printf "(wrote %s)\n" path
     in
     let dispatch = function
       | "tab1" -> Ft_util.Table.print (Ft_suite.Suite.table1 ())
@@ -335,22 +547,32 @@ let experiment_cmd =
       | "fig8" -> emit "fig8" (Fig8.run lab)
       | "fig9" -> emit "fig9" (Casestudy.fig9 lab)
       | "tab3" -> Ft_util.Table.print (Casestudy.table3 lab)
+      | "faults" ->
+          emit "faults"
+            (Faults.run ~telemetry:(Lab.telemetry lab)
+               ~fault_seed:resilience.fault_seed ~seed ~pool_size:pool ~jobs
+               ())
       | "ablations" ->
           emit "topx" (Ablations.top_x_sweep lab);
           Ft_util.Table.print (Ablations.convergence lab);
           Ft_util.Table.print (Ablations.adaptive_budget lab);
           emit "elimination" (Ablations.elimination_variants lab);
           Ft_util.Table.print (Ablations.critical_flags_table lab)
-      | other -> failwith ("unknown experiment: " ^ other)
+      | _ ->
+          (* unreachable: names are validated by [experiment_arg] *)
+          assert false
     in
     Fun.protect ~finally:(fun () ->
+        Engine.flush_checkpoint engine;
         maybe_stats stats (Ft_experiments.Lab.telemetry lab))
     @@ fun () ->
     List.iter dispatch (match names with [] -> [ "fig5c" ] | n -> n)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate paper tables and figures")
-    Term.(const run $ seed_t $ pool_t $ jobs_t $ stats_t $ csv_dir_t $ names_t)
+    Term.(
+      const run $ seed_t $ pool_t $ jobs_t $ stats_t $ resilience_t
+      $ csv_dir_t $ names_t)
 
 let () =
   let doc = "FuncyTuner: per-loop compilation auto-tuning (ICPP'19 reproduction)" in

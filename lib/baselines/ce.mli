@@ -35,18 +35,26 @@ type t = {
   speedup : float;  (** vs the O3 baseline T_O3 *)
   steps : step list;  (** elimination order *)
   evaluations : int;
+  failures : int;
+      (** evaluations lost to injected faults — CE has no retry or
+          quarantine layer, so a faulted configuration simply yields no
+          measurement and can never be eliminated on *)
 }
 
 val run :
+  ?faults:Ft_fault.Fault.t ->
   toolchain:Ft_machine.Toolchain.t ->
   program:Ft_prog.Program.t ->
   input:Ft_prog.Input.t ->
   rng:Ft_util.Rng.t ->
   unit ->
   t
-(** Combined Elimination (the Fig. 1 algorithm). *)
+(** Combined Elimination (the Fig. 1 algorithm).  With [?faults], faulted
+    trials are dropped (counted in [failures]); if the all-on baseline
+    itself faults, the result degenerates to zero eliminations. *)
 
 val run_batch :
+  ?faults:Ft_fault.Fault.t ->
   toolchain:Ft_machine.Toolchain.t ->
   program:Ft_prog.Program.t ->
   input:Ft_prog.Input.t ->
@@ -56,6 +64,7 @@ val run_batch :
 (** Batch Elimination. *)
 
 val run_iterative :
+  ?faults:Ft_fault.Fault.t ->
   toolchain:Ft_machine.Toolchain.t ->
   program:Ft_prog.Program.t ->
   input:Ft_prog.Input.t ->

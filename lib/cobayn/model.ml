@@ -99,9 +99,13 @@ let tune t (ctx : Context.t) =
   let times =
     Array.init k (fun _ ->
         let cv = sample_cv t ~cluster rng in
-        (cv, Context.measure_uniform ctx ~rng cv))
+        match Context.try_measure_uniform ctx ~rng cv with
+        | Ft_engine.Engine.Ok m -> (cv, m.Ft_machine.Exec.elapsed_s)
+        | _ -> (cv, Float.infinity))
   in
-  let best_cv, _ = Array.to_list times |> Ft_util.Stats.min_by snd in
+  let best_cv, best_t = Array.to_list times |> Ft_util.Stats.min_by snd in
+  (* All K samples faulting leaves nothing learned: report O3. *)
+  let best_cv = if Float.is_finite best_t then best_cv else Cv.o3 in
   let best_seconds = Context.evaluate_uniform ctx best_cv in
   Result.make
     ~algorithm:(Printf.sprintf "COBAYN(%s)" (Features.variant_name t.variant))

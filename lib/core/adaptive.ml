@@ -1,4 +1,6 @@
 module Rng = Ft_util.Rng
+module Engine = Ft_engine.Engine
+module Exec = Ft_machine.Exec
 
 let default_patience = 150
 let default_min_gain = 0.002
@@ -19,7 +21,12 @@ let run ?(top_x = Cfr.default_top_x) ?(patience = default_patience)
       List.map (fun (m, pool) -> (m, Rng.choose rng pool)) pools
     in
     let t =
-      Fr.measure_assignment ctx collection.Collection.outline ~rng assignment
+      match
+        Fr.try_measure_assignment ctx collection.Collection.outline ~rng
+          assignment
+      with
+      | Engine.Ok m -> m.Exec.elapsed_s
+      | _ -> Float.infinity
     in
     times := t :: !times;
     (match !best with
@@ -29,14 +36,23 @@ let run ?(top_x = Cfr.default_top_x) ?(patience = default_patience)
     | Some (best_t, _) ->
         if t < best_t then best := Some (t, assignment);
         incr stale
-    | None -> best := Some (t, assignment))
+    | None ->
+        (* A faulted evaluation cannot seed the incumbent: patience must
+           start counting only once there is something to improve on. *)
+        if Float.is_finite t then best := Some (t, assignment))
   done;
   let best_seconds, configuration =
     match !best with
     | Some (_, a) ->
         ( Fr.evaluate_assignment ctx collection.Collection.outline a,
           Result.Per_module a )
-    | None -> invalid_arg "Adaptive.run: empty pool"
+    | None ->
+        if budget = 0 then invalid_arg "Adaptive.run: empty pool"
+        else
+          (* Every attempt faulted: report the O3 do-nothing assignment. *)
+          let a = Fr.o3_assignment collection.Collection.outline in
+          ( Fr.evaluate_assignment ctx collection.Collection.outline a,
+            Result.Per_module a )
   in
   Result.make ~algorithm:"CFR-adaptive" ~configuration
     ~baseline_s:ctx.Context.baseline_s ~evaluations:!spent

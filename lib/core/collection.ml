@@ -9,6 +9,7 @@ type t = {
   modules : string array;
   times : float array array;
   totals : float array;
+  valid : bool array;
 }
 
 let collect (ctx : Context.t) (outline : Outline.t) =
@@ -19,6 +20,7 @@ let collect (ctx : Context.t) (outline : Outline.t) =
   let k = Array.length ctx.Context.pool in
   let times = Array.make_matrix (Array.length modules) k 0.0 in
   let totals = Array.make k 0.0 in
+  let valid = Array.make k true in
   (* Each of the K uniform instrumented builds is an independent job with
      its own noise stream, so the collected matrix does not depend on
      worker count or completion order. *)
@@ -37,26 +39,40 @@ let collect (ctx : Context.t) (outline : Outline.t) =
       ctx.Context.pool
   in
   let engine = ctx.Context.engine in
-  let measurements =
+  let outcomes =
     Ft_engine.Telemetry.time (Engine.telemetry engine) "collect" (fun () ->
-        Engine.measure_batch engine ~toolchain:ctx.Context.toolchain ~outline
-          ~program:ctx.Context.program ~input:ctx.Context.input batch)
+        Engine.try_measure_batch engine ~toolchain:ctx.Context.toolchain
+          ~outline ~program:ctx.Context.program ~input:ctx.Context.input
+          batch)
   in
   Array.iteri
-    (fun i m ->
-      totals.(i) <- m.Exec.elapsed_s;
-      (* Only outlined loops carry Caliper annotations; everything else is
-         part of the residual, derived by subtraction as in the paper. *)
-      let hot_sum = ref 0.0 in
-      List.iteri
-        (fun j name ->
-          let s = List.assoc name m.Exec.region_samples in
-          times.(j + 1).(i) <- s;
-          hot_sum := !hot_sum +. s)
-        hot;
-      times.(0).(i) <- Float.max 0.0 (m.Exec.elapsed_s -. !hot_sum))
-    measurements;
-  { outline; pool = ctx.Context.pool; modules; times; totals }
+    (fun i outcome ->
+      match outcome with
+      | Engine.Ok m ->
+          totals.(i) <- m.Exec.elapsed_s;
+          (* Only outlined loops carry Caliper annotations; everything else
+             is part of the residual, derived by subtraction as in the
+             paper. *)
+          let hot_sum = ref 0.0 in
+          List.iteri
+            (fun j name ->
+              let s = List.assoc name m.Exec.region_samples in
+              times.(j + 1).(i) <- s;
+              hot_sum := !hot_sum +. s)
+            hot;
+          times.(0).(i) <- Float.max 0.0 (m.Exec.elapsed_s -. !hot_sum)
+      | _ ->
+          (* A faulted collection column contributes nothing: infinite
+             times keep the matrix shape (indices still line up with the
+             pool) while argmin/top-k sort the column dead last. *)
+          valid.(i) <- false;
+          totals.(i) <- Float.infinity;
+          Array.iter (fun row -> row.(i) <- Float.infinity) times)
+    outcomes;
+  { outline; pool = ctx.Context.pool; modules; times; totals; valid }
+
+let valid_count t =
+  Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 t.valid
 
 let module_index t name =
   let found = ref None in

@@ -17,10 +17,19 @@ type t = {
                                hot loops in outline order *)
   times : float array array;  (** [times.(j).(k)] = T[j][k] in seconds *)
   totals : float array;  (** end-to-end time of uniform build k *)
+  valid : bool array;
+      (** [valid.(k)] is false when pool CV k faulted during collection
+          (failed build, crash, miscompile or timeout); its column is
+          [infinity] everywhere so selection helpers ignore it *)
 }
 
 val collect : Context.t -> Ft_outline.Outline.t -> t
-(** K instrumented runs (one per pool CV). *)
+(** K instrumented runs (one per pool CV).  Under an armed fault model,
+    faulted columns are marked invalid instead of aborting the
+    collection. *)
+
+val valid_count : t -> int
+(** Number of pool CVs that survived collection. *)
 
 val module_index : t -> string -> int option
 (** Row of a module name. *)

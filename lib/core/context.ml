@@ -37,6 +37,11 @@ let measure_uniform t ~rng cv =
   in
   m.Exec.elapsed_s
 
+let try_measure_uniform t ~rng cv =
+  Engine.try_measure_one t.engine ~toolchain:t.toolchain ~program:t.program
+    ~input:t.input
+    { Engine.build = Engine.Uniform { cv; instrumented = false }; rng }
+
 let evaluate_uniform t cv =
   Engine.evaluate t.engine ~toolchain:t.toolchain ~program:t.program
     ~input:t.input

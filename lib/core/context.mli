@@ -49,6 +49,13 @@ val measure_uniform : t -> rng:Ft_util.Rng.t -> Ft_flags.Cv.t -> float
 (** Compile the whole program with one CV (traditional model), run it on
     the session input, return noisy end-to-end seconds. *)
 
+val try_measure_uniform :
+  t -> rng:Ft_util.Rng.t -> Ft_flags.Cv.t -> Ft_engine.Engine.job_outcome
+(** Outcome-typed {!measure_uniform}: under an armed fault model the CV
+    may fail to build, crash, miscompile or time out; searches treat any
+    non-[Ok] outcome as an unusable configuration rather than an
+    exception. *)
+
 val evaluate_uniform : t -> Ft_flags.Cv.t -> float
 (** Noise-free runtime of a whole-program build — used to {e report} a
     search's winner: selection happens on noisy measurements (as on real

@@ -11,14 +11,27 @@ let measure_assignment (ctx : Context.t) outline ~rng assignment =
   in
   m.Exec.elapsed_s
 
+let try_measure_assignment (ctx : Context.t) outline ~rng assignment =
+  Engine.try_measure_one ctx.Context.engine ~toolchain:ctx.Context.toolchain
+    ~outline ~program:ctx.Context.program ~input:ctx.Context.input
+    { Engine.build = Engine.Assigned { assignment; instrumented = false }; rng }
+
 let evaluate_assignment (ctx : Context.t) outline assignment =
   Engine.evaluate ctx.Context.engine ~toolchain:ctx.Context.toolchain ~outline
     ~program:ctx.Context.program ~input:ctx.Context.input
     (Engine.Assigned { assignment; instrumented = false })
 
+let o3_assignment outline =
+  List.map
+    (fun m -> (m, Ft_flags.Cv.o3))
+    (Outline.module_names outline)
+
 (* Shared skeleton of FR and CFR: sample K per-module assignments from
    [draw] (sequentially, on the search's own stream — sampling is cheap),
-   measure them as a batch of independent jobs, keep the earliest best. *)
+   measure them as a batch of independent jobs, keep the earliest best.
+   Faulted assignments score infinity, so they can never win; if every
+   single assignment faults, the search falls back to all-modules-O3 —
+   the configuration the user already had. *)
 let search_assignments (ctx : Context.t) outline ~algorithm ~label ~draw =
   let rng = Context.stream ctx label in
   let noise = Context.stream ctx (label ^ ":noise") in
@@ -34,20 +47,29 @@ let search_assignments (ctx : Context.t) outline ~algorithm ~label ~draw =
       assignments
   in
   let engine = ctx.Context.engine in
-  let measurements =
+  let outcomes =
     Ft_engine.Telemetry.time (Engine.telemetry engine) label (fun () ->
-        Engine.measure_batch engine ~toolchain:ctx.Context.toolchain ~outline
-          ~program:ctx.Context.program ~input:ctx.Context.input batch)
+        Engine.try_measure_batch engine ~toolchain:ctx.Context.toolchain
+          ~outline ~program:ctx.Context.program ~input:ctx.Context.input
+          batch)
   in
-  let times = Array.map (fun m -> m.Exec.elapsed_s) measurements in
+  let times =
+    Array.map
+      (function Engine.Ok m -> m.Exec.elapsed_s | _ -> Float.infinity)
+      outcomes
+  in
   if k = 0 then invalid_arg (algorithm ^ ": empty pool");
   let best = ref 0 in
   Array.iteri (fun i t -> if t < times.(!best) then best := i) times;
-  let configuration = Result.Per_module assignments.(!best) in
+  let winner =
+    if Float.is_finite times.(!best) then assignments.(!best)
+    else o3_assignment outline
+  in
+  let configuration = Result.Per_module winner in
   Result.make ~algorithm ~configuration ~baseline_s:ctx.Context.baseline_s
     ~evaluations:k
     ~trace:(Result.best_so_far (Array.to_list times))
-    ~best_seconds:(evaluate_assignment ctx outline assignments.(!best))
+    ~best_seconds:(evaluate_assignment ctx outline winner)
 
 let run (ctx : Context.t) outline =
   let modules = Outline.module_names outline in

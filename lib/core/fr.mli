@@ -20,6 +20,19 @@ val measure_assignment :
     on the session input; returns noisy seconds.  Shared by FR, greedy
     combination and CFR (they differ only in how assignments are chosen). *)
 
+val try_measure_assignment :
+  Context.t ->
+  Ft_outline.Outline.t ->
+  rng:Ft_util.Rng.t ->
+  (string * Ft_flags.Cv.t) list ->
+  Ft_engine.Engine.job_outcome
+(** Outcome-typed {!measure_assignment} for fault-aware callers. *)
+
+val o3_assignment :
+  Ft_outline.Outline.t -> (string * Ft_flags.Cv.t) list
+(** Every module at O3 — the do-nothing configuration searches fall back
+    to when every candidate they tried faulted. *)
+
 val evaluate_assignment :
   Context.t ->
   Ft_outline.Outline.t ->
@@ -39,5 +52,6 @@ val search_assignments :
 (** The sample-K-assignments-measure-batch skeleton shared by FR and CFR:
     draws K assignments sequentially from a [label]-derived stream, then
     measures them as one engine batch (each job on its own noise stream)
-    and keeps the earliest best.  @raise Invalid_argument on an empty
-    pool. *)
+    and keeps the earliest best.  Faulted assignments score infinity and
+    can never win; if {e all} K fault, the winner degrades to
+    {!o3_assignment}.  @raise Invalid_argument on an empty pool. *)

@@ -1,3 +1,5 @@
+module Engine = Ft_engine.Engine
+
 type t = {
   realized : Result.t;
   independent_seconds : float;
@@ -6,12 +8,31 @@ type t = {
 
 let run (ctx : Context.t) (collection : Collection.t) =
   let modules = Array.to_list collection.Collection.modules in
-  let assignment =
+  let outline = collection.Collection.outline in
+  let combined =
     List.map (fun m -> (m, Collection.best_cv_for collection m)) modules
   in
-  let seconds =
-    Fr.evaluate_assignment ctx collection.Collection.outline assignment
+  (* The per-module winners each survived collection, but their
+     combination is a new binary the fault model has never ruled on; under
+     an armed fault model, verify it before reporting it.  (Fault-free
+     engines skip the probe entirely, keeping the historical behaviour —
+     and RNG consumption — bit-identical.) *)
+  let combination_faulted =
+    match (Engine.policy (Context.engine ctx)).Engine.faults with
+    | None -> false
+    | Some _ -> (
+        match
+          Fr.try_measure_assignment ctx outline
+            ~rng:(Context.stream ctx "greedy:verify")
+            combined
+        with
+        | Engine.Ok _ -> false
+        | _ -> true)
   in
+  let assignment =
+    if combination_faulted then Fr.o3_assignment outline else combined
+  in
+  let seconds = Fr.evaluate_assignment ctx outline assignment in
   let realized =
     Result.make ~algorithm:"G.realized"
       ~configuration:(Result.Per_module assignment)

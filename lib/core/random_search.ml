@@ -14,16 +14,26 @@ let run (ctx : Context.t) =
       ctx.Context.pool
   in
   let engine = ctx.Context.engine in
-  let measurements =
+  let outcomes =
     Ft_engine.Telemetry.time (Engine.telemetry engine) "random" (fun () ->
-        Engine.measure_batch engine ~toolchain:ctx.Context.toolchain
+        Engine.try_measure_batch engine ~toolchain:ctx.Context.toolchain
           ~program:ctx.Context.program ~input:ctx.Context.input batch)
   in
-  let times = Array.map (fun m -> m.Exec.elapsed_s) measurements in
+  let times =
+    Array.map
+      (function Engine.Ok m -> m.Exec.elapsed_s | _ -> Float.infinity)
+      outcomes
+  in
   let best = Ft_util.Stats.argmin times in
+  (* Every pool CV faulting leaves nothing to pick: fall back to O3, the
+     build the user already had. *)
+  let winner =
+    if Float.is_finite times.(best) then ctx.Context.pool.(best)
+    else Ft_flags.Cv.o3
+  in
   Result.make ~algorithm:"Random"
-    ~configuration:(Result.Whole_program ctx.Context.pool.(best))
+    ~configuration:(Result.Whole_program winner)
     ~baseline_s:ctx.Context.baseline_s
     ~evaluations:(Array.length times)
     ~trace:(Result.best_so_far (Array.to_list times))
-    ~best_seconds:(Context.evaluate_uniform ctx ctx.Context.pool.(best))
+    ~best_seconds:(Context.evaluate_uniform ctx winner)

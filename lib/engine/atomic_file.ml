@@ -1,0 +1,18 @@
+let write ~path emit =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp"
+  in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        emit oc;
+        flush oc);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e

@@ -1,0 +1,12 @@
+(** Crash-safe file writes for engine persistence.
+
+    [write ~path emit] writes through [emit] into a fresh temporary file in
+    the {e same directory} as [path] (so the final rename never crosses a
+    filesystem) and atomically renames it over [path].  A crash at any
+    point leaves either the previous file intact or the complete new one —
+    never a truncated mixture — which is the property {!Cache.save},
+    {!Quarantine.save} and {!Checkpoint} snapshots rely on. *)
+
+val write : path:string -> (out_channel -> unit) -> unit
+(** @raise Sys_error as [open_out]/[Sys.rename] would; the temporary file
+    is removed on any failure. *)

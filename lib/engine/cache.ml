@@ -42,30 +42,39 @@ let entry_line key (s : Exec.summary) =
     s.Exec.sum_loops;
   Buffer.contents buf
 
-let parse_line line =
+(* A typed parse: every way a line can be malformed is reported as a
+   message rather than an exception, so [load] can decide to skip a bad
+   entry (corruption after a valid header) instead of aborting the whole
+   resume. *)
+let parse_entry line =
   match String.split_on_char '\t' line with
   | key :: total :: nonloop :: loops ->
-      let float_of field = float_of_string field in
-      let loop field =
-        match String.index_opt field '=' with
-        | Some i ->
-            ( String.sub field 0 i,
-              float_of (String.sub field (i + 1) (String.length field - i - 1)) )
-        | None -> failwith "loop field without '='"
+      let float_of what field k =
+        match float_of_string_opt field with
+        | Some f -> k f
+        | None -> Error (Printf.sprintf "unparsable %s %S" what field)
       in
-      ( key,
-        {
-          Exec.sum_total_s = float_of total;
-          sum_nonloop_s = float_of nonloop;
-          sum_loops = List.map loop loops;
-        } )
-  | _ -> failwith "truncated entry"
+      let rec parse_loops acc = function
+        | [] -> Ok (List.rev acc)
+        | field :: rest -> (
+            match String.index_opt field '=' with
+            | Some i ->
+                float_of "loop seconds"
+                  (String.sub field (i + 1) (String.length field - i - 1))
+                  (fun seconds ->
+                    parse_loops ((String.sub field 0 i, seconds) :: acc) rest)
+            | None -> Error "loop field without '='")
+      in
+      float_of "total" total (fun sum_total_s ->
+          float_of "nonloop" nonloop (fun sum_nonloop_s ->
+              match parse_loops [] loops with
+              | Ok sum_loops ->
+                  Ok (key, { Exec.sum_total_s; sum_nonloop_s; sum_loops })
+              | Error _ as e -> e))
+  | _ -> Error "truncated entry"
 
 let save t ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_file.write ~path (fun oc ->
       output_string oc (format_magic ^ "\n");
       List.iter
         (fun (key, summary) ->
@@ -73,24 +82,39 @@ let save t ~path =
           output_char oc '\n')
         (bindings t))
 
-let load ~path =
+exception Corrupt of { path : string; line : int; reason : string }
+
+let default_warn ~path ~line ~reason =
+  Printf.eprintf "warning: %s:%d: skipping malformed cache entry (%s)\n%!"
+    path line reason
+
+let load ?warn path =
+  let warn =
+    match warn with
+    | Some w -> w
+    | None -> fun ~line ~reason -> default_warn ~path ~line ~reason
+  in
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       (match input_line ic with
       | magic when magic = format_magic -> ()
-      | _ -> failwith ("Cache.load: not an engine cache file: " ^ path)
+      | _ ->
+          raise
+            (Corrupt { path; line = 1; reason = "not an engine cache file" })
       | exception End_of_file ->
-          failwith ("Cache.load: empty cache file: " ^ path));
+          raise (Corrupt { path; line = 1; reason = "empty file" }));
       let t = create () in
+      let line_no = ref 1 in
       (try
          while true do
            let line = input_line ic in
-           if line <> "" then begin
-             let key, summary = parse_line line in
-             Hashtbl.replace t.table key summary
-           end
+           incr line_no;
+           if line <> "" then
+             match parse_entry line with
+             | Ok (key, summary) -> Hashtbl.replace t.table key summary
+             | Error reason -> warn ~line:!line_no ~reason
          done
        with End_of_file -> ());
       t)

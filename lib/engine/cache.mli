@@ -33,9 +33,21 @@ val bindings : t -> (string * Ft_machine.Exec.summary) list
 (** All entries, sorted by key (deterministic; used by [save] and tests). *)
 
 val save : t -> path:string -> unit
-(** Write every entry to [path] (bit-exact float encoding).
+(** Write every entry to [path] (bit-exact float encoding), atomically:
+    the table is written to a temporary file in the same directory and
+    renamed over [path], so a crash mid-save can never leave a truncated
+    cache on disk ({!Atomic_file}).
     @raise Invalid_argument if a region name cannot be encoded. *)
 
-val load : path:string -> t
-(** Read a table written by {!save}.
-    @raise Failure on malformed input; [Sys_error] if unreadable. *)
+exception Corrupt of { path : string; line : int; reason : string }
+(** Raised by {!load} when the file is not an engine cache at all (missing
+    or invalid magic header), with the offending line number. *)
+
+val load : ?warn:(line:int -> reason:string -> unit) -> string -> t
+(** [load path] reads a table written by {!save}.  Malformed entries {e after} a valid
+    magic header (torn writes, bit rot) are skipped, reporting each to
+    [warn] with its line number and a reason (default: one warning line on
+    stderr), rather than aborting the load — a partially corrupt cache
+    still resumes everything that survived.
+    @raise Corrupt when the header is missing or wrong; [Sys_error] if the
+    file is unreadable. *)

@@ -1,0 +1,48 @@
+type t = {
+  path : string;
+  every : int;
+  lock : Mutex.t;
+  mutable pending : int;
+}
+
+let create ~path ?(every = 64) () =
+  if every < 1 then invalid_arg "Checkpoint.create: every must be >= 1";
+  { path; every; lock = Mutex.create (); pending = 0 }
+
+let path t = t.path
+let quarantine_path t = t.path ^ ".quarantine"
+let exists t = Sys.file_exists t.path
+
+let load ?warn t =
+  if not (exists t) then None
+  else
+    let cache = Cache.load ?warn t.path in
+    let quarantine =
+      if Sys.file_exists (quarantine_path t) then
+        Quarantine.load ?warn (quarantine_path t)
+      else Quarantine.create ()
+    in
+    Some (cache, quarantine)
+
+let save t ~cache ~quarantine =
+  Cache.save cache ~path:t.path;
+  Quarantine.save quarantine ~path:(quarantine_path t)
+
+let flush t ~cache ~quarantine =
+  Mutex.protect t.lock (fun () ->
+      t.pending <- 0;
+      save t ~cache ~quarantine)
+
+let tick t ~cache ~quarantine =
+  let due =
+    Mutex.protect t.lock (fun () ->
+        t.pending <- t.pending + 1;
+        if t.pending >= t.every then begin
+          t.pending <- 0;
+          true
+        end
+        else false)
+  in
+  (* Save outside the counter lock: Cache.save takes the cache lock and
+     can be slow; other workers may keep recording events meanwhile. *)
+  if due then save t ~cache ~quarantine

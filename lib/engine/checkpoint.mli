@@ -1,0 +1,44 @@
+(** Checkpoint/resume for long searches.
+
+    A checkpoint is a pair of atomic snapshots — the measurement {!Cache}
+    at [path] and the {!Quarantine} list at [path ^ ".quarantine"] —
+    refreshed every [every] state-changing engine events (new summaries
+    computed or keys quarantined).  Because every search is a
+    deterministic replay from its seed and the cache/quarantine only
+    remove redundant work (never change a value), resuming a killed
+    [funcy tune --checkpoint] is simply: reload both snapshots, re-run the
+    same command, and the search fast-forwards through everything already
+    measured to a bit-identical final result.
+
+    Snapshots are written with {!Atomic_file.write}, so a crash mid-save
+    leaves the previous snapshot intact. *)
+
+type t
+
+val create : path:string -> ?every:int -> unit -> t
+(** [every] (default 64) is the number of recorded events between
+    snapshots.  Nothing is written until the first event. *)
+
+val path : t -> string
+val quarantine_path : t -> string
+
+val exists : t -> bool
+(** Does a cache snapshot already exist on disk (i.e. can we resume)? *)
+
+val load :
+  ?warn:(line:int -> reason:string -> unit) ->
+  t ->
+  (Cache.t * Quarantine.t) option
+(** Reload the snapshots, or [None] when there is nothing to resume from.
+    A missing quarantine file (e.g. pre-fault checkpoints) yields an empty
+    quarantine.  Malformed entries are skipped through [warn].
+    @raise Cache.Corrupt / Quarantine.Corrupt if a file exists but is not
+    a snapshot at all. *)
+
+val tick : t -> cache:Cache.t -> quarantine:Quarantine.t -> unit
+(** Record one state-changing event; saves both snapshots atomically when
+    [every] events have accumulated since the last save.  Thread-safe. *)
+
+val flush : t -> cache:Cache.t -> quarantine:Quarantine.t -> unit
+(** Unconditional snapshot (called at the end of a run, and by the
+    [--die-after] crash hook just before the simulated kill). *)

@@ -1,10 +1,12 @@
 module Rng = Ft_util.Rng
+module Stats = Ft_util.Stats
 module Cv = Ft_flags.Cv
 module Platform = Ft_prog.Platform
 module Input = Ft_prog.Input
 module Toolchain = Ft_machine.Toolchain
 module Exec = Ft_machine.Exec
 module Outline = Ft_outline.Outline
+module Fault = Ft_fault.Fault
 
 type build =
   | Uniform of { cv : Cv.t; instrumented : bool }
@@ -12,20 +14,105 @@ type build =
 
 type job = { build : build; rng : Rng.t }
 
-type t = { jobs : int; cache : Cache.t; telemetry : Telemetry.t }
+type policy = {
+  faults : Fault.t option;
+  timeout_s : float;
+  max_retries : int;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  repeats : int;
+}
 
-let create ?(jobs = 1) ?cache ?telemetry () =
+let default_policy =
+  {
+    faults = None;
+    timeout_s = 3600.0;
+    max_retries = 2;
+    backoff_base_s = 0.1;
+    backoff_cap_s = 5.0;
+    repeats = 1;
+  }
+
+type job_outcome =
+  | Ok of Exec.measurement
+  | Build_failed of string
+  | Crashed of string
+  | Wrong_answer
+  | Timed_out of float
+
+exception Job_failed of job_outcome
+
+let elapsed = function
+  | Ok m -> Some m.Exec.elapsed_s
+  | Timed_out s -> Some s
+  | Build_failed _ | Crashed _ | Wrong_answer -> None
+
+let outcome_to_string = function
+  | Ok m -> Printf.sprintf "ok(%.4fs)" m.Exec.elapsed_s
+  | Build_failed m -> "build-failed(" ^ m ^ ")"
+  | Crashed d -> "crashed(" ^ d ^ ")"
+  | Wrong_answer -> "wrong-answer"
+  | Timed_out s -> Printf.sprintf "timed-out(%.1fs)" s
+
+(* Only terminal (quarantinable) outcomes map to a reason; [Ok] does not. *)
+let reason_of_outcome = function
+  | Ok _ -> None
+  | Build_failed m -> Some (Quarantine.Build_failed m)
+  | Crashed d -> Some (Quarantine.Crashed d)
+  | Wrong_answer -> Some Quarantine.Wrong_answer
+  | Timed_out s -> Some (Quarantine.Timed_out s)
+
+let outcome_of_reason = function
+  | Quarantine.Build_failed m -> Build_failed m
+  | Quarantine.Crashed d -> Crashed d
+  | Quarantine.Wrong_answer -> Wrong_answer
+  | Quarantine.Timed_out s -> Timed_out s
+
+type t = {
+  jobs : int;
+  cache : Cache.t;
+  telemetry : Telemetry.t;
+  policy : policy;
+  quarantine : Quarantine.t;
+  checkpoint : Checkpoint.t option;
+}
+
+let create ?(jobs = 1) ?cache ?telemetry ?(policy = default_policy)
+    ?quarantine ?checkpoint () =
   if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
+  if policy.repeats < 1 then
+    invalid_arg "Engine.create: policy.repeats must be >= 1";
+  if policy.max_retries < 0 then
+    invalid_arg "Engine.create: policy.max_retries must be >= 0";
+  if policy.timeout_s <= 0.0 then
+    invalid_arg "Engine.create: policy.timeout_s must be positive";
   {
     jobs;
     cache = (match cache with Some c -> c | None -> Cache.create ());
     telemetry =
       (match telemetry with Some t -> t | None -> Telemetry.create ());
+    policy;
+    quarantine =
+      (match quarantine with Some q -> q | None -> Quarantine.create ());
+    checkpoint;
   }
 
 let jobs t = t.jobs
 let cache t = t.cache
 let telemetry t = t.telemetry
+let policy t = t.policy
+let quarantine t = t.quarantine
+let checkpoint t = t.checkpoint
+
+let checkpoint_tick t =
+  match t.checkpoint with
+  | None -> ()
+  | Some ck -> Checkpoint.tick ck ~cache:t.cache ~quarantine:t.quarantine
+
+let flush_checkpoint t =
+  match t.checkpoint with
+  | None -> ()
+  | Some ck -> Checkpoint.flush ck ~cache:t.cache ~quarantine:t.quarantine
 
 let instrumented = function
   | Uniform { instrumented; _ } | Assigned { instrumented; _ } -> instrumented
@@ -64,6 +151,14 @@ let canonical_key ~(toolchain : Toolchain.t) ~(program : Ft_prog.Program.t)
 let key ~toolchain ~program ~input build =
   Cache.digest (canonical_key ~toolchain ~program ~input build)
 
+(* The (module, CV) pairs a build compiles, for the per-module ICE check.
+   A whole-program build is one compilation unit; per-module builds are
+   checked in sorted module order so the first ICE reported is stable. *)
+let compilations = function
+  | Uniform { cv; _ } -> [ ("<whole-program>", cv) ]
+  | Assigned { assignment; _ } ->
+      List.sort (fun (a, _) (b, _) -> String.compare a b) assignment
+
 let compile ~toolchain ?outline ~program build =
   match build with
   | Uniform { cv; instrumented } ->
@@ -101,14 +196,150 @@ let summary t ~toolchain ?outline ~program ~input build =
       Telemetry.run t.telemetry;
       let s = Exec.summarize run in
       Cache.add t.cache key s;
+      checkpoint_tick t;
       s
 
 let evaluate t ~toolchain ?outline ~program ~input build =
   (summary t ~toolchain ?outline ~program ~input build).Exec.sum_total_s
 
-let measure_one t ~toolchain ?outline ~program ~input { build; rng } =
-  let s = summary t ~toolchain ?outline ~program ~input build in
-  Exec.sample ~rng ~instrumented:(instrumented build) s
+(* -- the fault-aware measurement path ---------------------------------- *)
+
+let quarantine_add t key reason =
+  if Quarantine.find t.quarantine key = None then begin
+    Quarantine.add t.quarantine key reason;
+    Telemetry.quarantine t.telemetry;
+    checkpoint_tick t
+  end
+
+(* Simulated exponential backoff: recorded as wall-clock the policy would
+   have spent, without actually sleeping (faults are simulated; so is the
+   waiting). *)
+let backoff_s policy attempt =
+  Float.min policy.backoff_cap_s
+    (policy.backoff_base_s *. (2.0 ** float_of_int attempt))
+
+(* Draw the job's measurement: [repeats] samples from the job's private
+   stream, each possibly inflated into a heavy-tailed outlier by the fault
+   model, reduced to one robust representative.  With [repeats = 1] and no
+   fault model this is {e exactly} the historical single [Exec.sample] —
+   bit-compatibility with fault-free runs is load-bearing for the existing
+   determinism tests. *)
+let sample_measurement t ~key ~rng ~instrumented s =
+  let n = t.policy.repeats in
+  match (n, t.policy.faults) with
+  | 1, None -> Exec.sample ~rng ~instrumented s
+  | _ ->
+      let draw repeat =
+        let m = Exec.sample ~rng ~instrumented s in
+        match t.policy.faults with
+        | None -> m
+        | Some f -> (
+            match Fault.outlier f ~key ~repeat with
+            | None -> m
+            | Some factor ->
+                Telemetry.outlier t.telemetry;
+                { m with Exec.elapsed_s = m.Exec.elapsed_s *. factor })
+      in
+      (* Samples must be drawn in repeat order: they share the job stream. *)
+      let samples = Array.make n (draw 0) in
+      for i = 1 to n - 1 do
+        samples.(i) <- draw i
+      done;
+      samples.(Stats.robust_representative
+                 (Array.map (fun m -> m.Exec.elapsed_s) samples))
+
+let try_measure_one t ~toolchain ?outline ~program ~input { build; rng } =
+  let key_str = key ~toolchain ~program ~input build in
+  match Quarantine.find t.quarantine key_str with
+  | Some reason ->
+      Telemetry.quarantine_hit t.telemetry;
+      outcome_of_reason reason
+  | None -> (
+      let ice_module =
+        match t.policy.faults with
+        | None -> None
+        | Some f ->
+            List.find_map
+              (fun (module_name, cv) ->
+                if
+                  Fault.ice f ~program:program.Ft_prog.Program.name
+                    ~module_name cv
+                then Some module_name
+                else None)
+              (compilations build)
+      in
+      match ice_module with
+      | Some module_name ->
+          Telemetry.build_failure t.telemetry;
+          quarantine_add t key_str (Quarantine.Build_failed module_name);
+          Build_failed module_name
+      | None -> (
+          let s = summary t ~toolchain ?outline ~program ~input build in
+          match t.policy.faults with
+          | None ->
+              Ok
+                (sample_measurement t ~key:key_str ~rng
+                   ~instrumented:(instrumented build) s)
+          | Some f ->
+              let retry attempt k =
+                Telemetry.retry t.telemetry;
+                Telemetry.add_time t.telemetry "backoff"
+                  (backoff_s t.policy attempt);
+                k (attempt + 1)
+              in
+              let rec attempt_run attempt =
+                match Fault.run_fault f ~key:key_str ~attempt with
+                | Fault.Run_ok -> validate ()
+                | Fault.Crash { transient } ->
+                    Telemetry.crash t.telemetry;
+                    if transient && attempt < t.policy.max_retries then
+                      retry attempt attempt_run
+                    else begin
+                      let detail =
+                        if transient then "transient crash, retries exhausted"
+                        else "persistent crash"
+                      in
+                      quarantine_add t key_str (Quarantine.Crashed detail);
+                      Crashed detail
+                    end
+                | Fault.Hang { factor; transient } ->
+                    let elapsed_s = factor *. s.Exec.sum_total_s in
+                    if elapsed_s > t.policy.timeout_s then begin
+                      Telemetry.timeout t.telemetry;
+                      if transient && attempt < t.policy.max_retries then
+                        retry attempt attempt_run
+                      else begin
+                        quarantine_add t key_str
+                          (Quarantine.Timed_out elapsed_s);
+                        Timed_out elapsed_s
+                      end
+                    end
+                    else
+                      (* Slow but within budget: the run completed; its
+                         timing lands wherever the noise model puts it. *)
+                      validate ()
+                | Fault.Wrong_answer ->
+                    let expected = Exec.output_signature s in
+                    let observed =
+                      Fault.corrupt_signature ~key:key_str expected
+                    in
+                    if observed <> expected then begin
+                      Telemetry.wrong_answer t.telemetry;
+                      quarantine_add t key_str Quarantine.Wrong_answer;
+                      Wrong_answer
+                    end
+                    else validate ()
+              and validate () =
+                Ok
+                  (sample_measurement t ~key:key_str ~rng
+                     ~instrumented:(instrumented build) s)
+              in
+              attempt_run 0))
+
+let measure_one t ~toolchain ?outline ~program ~input job =
+  match try_measure_one t ~toolchain ?outline ~program ~input job with
+  | Ok m -> m
+  | outcome -> raise (Job_failed outcome)
 
 let measure_batch t ~toolchain ?outline ~program ~input jobs_array =
   Telemetry.expect t.telemetry (Array.length jobs_array);
@@ -122,3 +353,24 @@ let measure_batch t ~toolchain ?outline ~program ~input jobs_array =
 let measure_list t ~toolchain ?outline ~program ~input jobs =
   Array.to_list
     (measure_batch t ~toolchain ?outline ~program ~input (Array.of_list jobs))
+
+let try_measure_batch t ~toolchain ?outline ~program ~input jobs_array =
+  Telemetry.expect t.telemetry (Array.length jobs_array);
+  Pool.map_result ~jobs:t.jobs
+    (fun job ->
+      Fun.protect
+        ~finally:(fun () -> Telemetry.tick t.telemetry)
+        (fun () -> try_measure_one t ~toolchain ?outline ~program ~input job))
+    jobs_array
+  |> Array.map (function
+       | Stdlib.Ok outcome -> outcome
+       | Stdlib.Error e ->
+           (* An exception that escaped a worker is indistinguishable from
+              a crashed run as far as the search is concerned; record it so
+              the batch survives. *)
+           Crashed (Printexc.to_string e))
+
+let try_measure_list t ~toolchain ?outline ~program ~input jobs =
+  Array.to_list
+    (try_measure_batch t ~toolchain ?outline ~program ~input
+       (Array.of_list jobs))

@@ -21,7 +21,22 @@
     pure).  The only stochastic step — measurement noise — is drawn from
     the job's private [rng], never from shared state.  Hence each job's
     measurement is a pure function of the job description, and the pool
-    only ever changes {e when} a job runs, not what it computes. *)
+    only ever changes {e when} a job runs, not what it computes.
+
+    {2 Fault tolerance}
+
+    A {!policy} can arm a deterministic fault model
+    ({!Ft_fault.Fault}) and a recovery discipline around it: compile
+    failures and miscompiles are quarantined immediately (retrying cannot
+    fix a binary), transient crashes and timeouts are retried up to
+    [max_retries] times with capped exponential backoff (simulated — the
+    wait is recorded on the ["backoff"] timer, never slept), and repeated
+    measurements ([repeats]) are reduced to a robust representative that
+    rejects heavy-tailed outliers.  Because injected faults are pure
+    functions of the fault seed and the build's cache key, every outcome —
+    including which attempt a transient fault clears on — is bit-identical
+    at any [jobs] count, and a {!Quarantine} hit returns exactly what
+    re-evaluation would have computed. *)
 
 type build =
   | Uniform of { cv : Ft_flags.Cv.t; instrumented : bool }
@@ -37,17 +52,72 @@ type job = { build : build; rng : Ft_util.Rng.t }
 (** One unit of work: a build plus the private stream its measurement
     noise is drawn from. *)
 
+type policy = {
+  faults : Ft_fault.Fault.t option;
+      (** arm the fault model, or [None] for the perfect world (default) *)
+  timeout_s : float;  (** budget a (simulated) run may not exceed *)
+  max_retries : int;  (** attempts after the first, for transient faults *)
+  backoff_base_s : float;  (** first retry delay (simulated) *)
+  backoff_cap_s : float;  (** backoff ceiling (simulated) *)
+  repeats : int;  (** measurements per job, robustly aggregated *)
+}
+
+val default_policy : policy
+(** No faults, 3600 s timeout, 2 retries, 0.1 s base / 5 s cap backoff,
+    1 repeat — under which the engine is bit-identical to the
+    pre-fault-layer engine. *)
+
+type job_outcome =
+  | Ok of Ft_machine.Exec.measurement  (** a valid, validated measurement *)
+  | Build_failed of string  (** compiler ICE; payload is the module *)
+  | Crashed of string  (** runtime crash surviving all retries *)
+  | Wrong_answer  (** ran, but output validation failed (miscompile) *)
+  | Timed_out of float  (** killed at this simulated elapsed seconds *)
+
+exception Job_failed of job_outcome
+(** Raised by the fail-fast API ({!measure_one}/{!measure_batch}) for any
+    non-[Ok] outcome.  Never raised when the policy has no fault model. *)
+
+val elapsed : job_outcome -> float option
+(** Wall time of the job, where one is defined: the measurement's for
+    [Ok], the kill time for [Timed_out], [None] otherwise. *)
+
+val outcome_to_string : job_outcome -> string
+(** Short human-readable rendering, e.g. ["crashed(persistent crash)"]. *)
+
+val reason_of_outcome : job_outcome -> Quarantine.reason option
+(** The quarantine reason a terminal outcome records ([None] for [Ok]). *)
+
 type t
 
 val create :
-  ?jobs:int -> ?cache:Cache.t -> ?telemetry:Telemetry.t -> unit -> t
-(** [jobs] defaults to 1 (sequential).  A fresh cache and telemetry are
-    allocated unless shared ones are passed (e.g. one cache for a whole
-    experiment lab).  @raise Invalid_argument if [jobs < 1]. *)
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?telemetry:Telemetry.t ->
+  ?policy:policy ->
+  ?quarantine:Quarantine.t ->
+  ?checkpoint:Checkpoint.t ->
+  unit ->
+  t
+(** [jobs] defaults to 1 (sequential).  A fresh cache, telemetry and
+    quarantine are allocated unless shared ones are passed (e.g. one cache
+    for a whole experiment lab, or a quarantine reloaded from a
+    checkpoint).  When a [checkpoint] is attached, cache and quarantine
+    snapshots are refreshed as state accumulates and on {!flush_checkpoint}.
+    @raise Invalid_argument if [jobs < 1], [policy.repeats < 1],
+    [policy.max_retries < 0] or [policy.timeout_s <= 0]. *)
 
 val jobs : t -> int
 val cache : t -> Cache.t
 val telemetry : t -> Telemetry.t
+val policy : t -> policy
+val quarantine : t -> Quarantine.t
+val checkpoint : t -> Checkpoint.t option
+
+val flush_checkpoint : t -> unit
+(** Force a checkpoint snapshot now (no-op without an attached
+    checkpoint).  Called by the CLI at the end of a run and from its
+    simulated-kill hook. *)
 
 val key :
   toolchain:Ft_machine.Toolchain.t ->
@@ -56,7 +126,7 @@ val key :
   build ->
   string
 (** The content-addressed cache key of a build in an execution context
-    (exposed for tests). *)
+    (exposed for tests; also the structural key faults are drawn from). *)
 
 val summary :
   t ->
@@ -77,7 +147,8 @@ val evaluate :
   input:Ft_prog.Input.t ->
   build ->
   float
-(** [(summary ...).sum_total_s]: the cached noise-free end-to-end time. *)
+(** [(summary ...).sum_total_s]: the cached noise-free end-to-end time.
+    Never faulted — searches use it to confirm a winner. *)
 
 val measure_one :
   t ->
@@ -88,7 +159,19 @@ val measure_one :
   job ->
   Ft_machine.Exec.measurement
 (** One noisy measurement, drawn from the job's own stream on top of the
-    cached summary. *)
+    cached summary.  @raise Job_failed on any injected fault outcome. *)
+
+val try_measure_one :
+  t ->
+  toolchain:Ft_machine.Toolchain.t ->
+  ?outline:Ft_outline.Outline.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  job ->
+  job_outcome
+(** Outcome-typed version of {!measure_one}: quarantine lookup, per-module
+    ICE check, retry/backoff loop, output validation and robust repeat
+    aggregation, never raising for an injected fault. *)
 
 val measure_batch :
   t ->
@@ -98,9 +181,22 @@ val measure_batch :
   input:Ft_prog.Input.t ->
   job array ->
   Ft_machine.Exec.measurement array
-(** Measure a batch on the pool.  Results are in submission order and
-    bit-identical for any [jobs] setting (see the determinism argument
-    above).  Progress ticks fire per completed job. *)
+(** Measure a batch on the pool, fail-fast: the first [Job_failed]
+    aborts the batch (wrapped in {!Pool.Worker_failure}).  Results are in
+    submission order and bit-identical for any [jobs] setting (see the
+    determinism argument above).  Progress ticks fire per completed job. *)
+
+val try_measure_batch :
+  t ->
+  toolchain:Ft_machine.Toolchain.t ->
+  ?outline:Ft_outline.Outline.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  job array ->
+  job_outcome array
+(** Partial-results batch: every job yields its own {!job_outcome} in
+    submission order; injected faults (and even unexpected worker
+    exceptions, recorded as [Crashed]) never poison sibling jobs. *)
 
 val measure_list :
   t ->
@@ -111,3 +207,13 @@ val measure_list :
   job list ->
   Ft_machine.Exec.measurement list
 (** List version of {!measure_batch}. *)
+
+val try_measure_list :
+  t ->
+  toolchain:Ft_machine.Toolchain.t ->
+  ?outline:Ft_outline.Outline.t ->
+  program:Ft_prog.Program.t ->
+  input:Ft_prog.Input.t ->
+  job list ->
+  job_outcome list
+(** List version of {!try_measure_batch}. *)

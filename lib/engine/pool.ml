@@ -36,3 +36,10 @@ let map ~jobs f a =
 
 let submit ~jobs thunks =
   Array.to_list (map ~jobs (fun thunk -> thunk ()) (Array.of_list thunks))
+
+(* Partial-results mode: exceptions are captured per item, so one failed
+   job no longer poisons the batch — every other job still runs and keeps
+   its slot.  Built on [map] with an infallible wrapper, which also keeps
+   the fail-fast path of [map] itself untouched. *)
+let map_result ~jobs f a =
+  map ~jobs (fun x -> match f x with v -> Ok v | exception e -> Error e) a

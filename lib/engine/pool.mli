@@ -24,3 +24,9 @@ val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val submit : jobs:int -> (unit -> 'a) list -> 'a list
 (** Thunk-list version of {!map}; results are in submission order. *)
+
+val map_result : jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Partial-results mode: like {!map}, but each job's exception is
+    captured in its own slot ([Error e]) instead of aborting the batch, so
+    in-flight successes are preserved and ordering stays stable.  Never
+    raises {!Worker_failure}. *)

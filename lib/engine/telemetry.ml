@@ -4,6 +4,13 @@ type snapshot = {
   cache_hits : int;
   cache_misses : int;
   retries : int;
+  build_failures : int;
+  crashes : int;
+  wrong_answers : int;
+  timeouts : int;
+  outliers : int;
+  quarantined : int;
+  quarantine_hits : int;
   timers : (string * float) list;
 }
 
@@ -13,6 +20,13 @@ type t = {
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
   retries : int Atomic.t;
+  build_failures : int Atomic.t;
+  crashes : int Atomic.t;
+  wrong_answers : int Atomic.t;
+  timeouts : int Atomic.t;
+  outliers : int Atomic.t;
+  quarantined : int Atomic.t;
+  quarantine_hits : int Atomic.t;
   completed : int Atomic.t;
   expected : int Atomic.t;
   timers : (string, float) Hashtbl.t;
@@ -27,6 +41,13 @@ let create () =
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
     retries = Atomic.make 0;
+    build_failures = Atomic.make 0;
+    crashes = Atomic.make 0;
+    wrong_answers = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    outliers = Atomic.make 0;
+    quarantined = Atomic.make 0;
+    quarantine_hits = Atomic.make 0;
     completed = Atomic.make 0;
     expected = Atomic.make 0;
     timers = Hashtbl.create 8;
@@ -40,6 +61,13 @@ let reset t =
   Atomic.set t.cache_hits 0;
   Atomic.set t.cache_misses 0;
   Atomic.set t.retries 0;
+  Atomic.set t.build_failures 0;
+  Atomic.set t.crashes 0;
+  Atomic.set t.wrong_answers 0;
+  Atomic.set t.timeouts 0;
+  Atomic.set t.outliers 0;
+  Atomic.set t.quarantined 0;
+  Atomic.set t.quarantine_hits 0;
   Atomic.set t.completed 0;
   Atomic.set t.expected 0;
   Mutex.protect t.lock (fun () -> Hashtbl.reset t.timers)
@@ -50,6 +78,13 @@ let run t = bump t.runs
 let cache_hit t = bump t.cache_hits
 let cache_miss t = bump t.cache_misses
 let retry t = bump t.retries
+let build_failure t = bump t.build_failures
+let crash t = bump t.crashes
+let wrong_answer t = bump t.wrong_answers
+let timeout t = bump t.timeouts
+let outlier t = bump t.outliers
+let quarantine t = bump t.quarantined
+let quarantine_hit t = bump t.quarantine_hits
 
 let add_time t phase seconds =
   Mutex.protect t.lock (fun () ->
@@ -81,11 +116,21 @@ let snapshot t =
     cache_hits = Atomic.get t.cache_hits;
     cache_misses = Atomic.get t.cache_misses;
     retries = Atomic.get t.retries;
+    build_failures = Atomic.get t.build_failures;
+    crashes = Atomic.get t.crashes;
+    wrong_answers = Atomic.get t.wrong_answers;
+    timeouts = Atomic.get t.timeouts;
+    outliers = Atomic.get t.outliers;
+    quarantined = Atomic.get t.quarantined;
+    quarantine_hits = Atomic.get t.quarantine_hits;
     timers =
       Mutex.protect t.lock (fun () ->
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.timers []
           |> List.sort compare);
   }
+
+let faults (s : snapshot) =
+  s.build_failures + s.crashes + s.wrong_answers + s.timeouts
 
 let render t =
   let s = snapshot t in
@@ -103,6 +148,19 @@ let render t =
        s.cache_hits s.cache_misses hit_pct);
   if s.retries > 0 then
     Buffer.add_string b (Printf.sprintf "  retries     %d\n" s.retries);
+  if faults s > 0 || s.quarantined > 0 || s.outliers > 0 then begin
+    Buffer.add_string b
+      (Printf.sprintf
+         "  faults      %d (%d build failures, %d crashes, %d wrong \
+          answers, %d timeouts)\n"
+         (faults s) s.build_failures s.crashes s.wrong_answers s.timeouts);
+    Buffer.add_string b
+      (Printf.sprintf "  quarantine  %d vectors (%d hits avoided re-trying)\n"
+         s.quarantined s.quarantine_hits);
+    if s.outliers > 0 then
+      Buffer.add_string b
+        (Printf.sprintf "  outliers    %d injected measurements\n" s.outliers)
+  end;
   List.iter
     (fun (phase, seconds) ->
       Buffer.add_string b (Printf.sprintf "  %-11s %.3f s\n" phase seconds))

@@ -14,6 +14,13 @@ type snapshot = {
   cache_hits : int;
   cache_misses : int;
   retries : int;  (** jobs re-submitted after a transient failure *)
+  build_failures : int;  (** compile jobs rejected by the compiler (ICEs) *)
+  crashes : int;  (** runtime crashes observed (before any retry) *)
+  wrong_answers : int;  (** output-validation mismatches (miscompiles) *)
+  timeouts : int;  (** runs whose (simulated) elapsed time tripped the budget *)
+  outliers : int;  (** heavy-tailed measurement outliers injected *)
+  quarantined : int;  (** configurations added to the quarantine list *)
+  quarantine_hits : int;  (** evaluations skipped via the quarantine list *)
   timers : (string * float) list;  (** phase → accumulated wall seconds *)
 }
 
@@ -27,6 +34,13 @@ val run : t -> unit
 val cache_hit : t -> unit
 val cache_miss : t -> unit
 val retry : t -> unit
+val build_failure : t -> unit
+val crash : t -> unit
+val wrong_answer : t -> unit
+val timeout : t -> unit
+val outlier : t -> unit
+val quarantine : t -> unit
+val quarantine_hit : t -> unit
 
 val add_time : t -> string -> float -> unit
 (** Accumulate [seconds] onto a named phase timer. *)
@@ -48,5 +62,11 @@ val tick : t -> unit
 
 val snapshot : t -> snapshot
 
+val faults : snapshot -> int
+(** Total injected faults observed: build failures + crashes + wrong
+    answers + timeouts (outliers are degraded measurements, not faults). *)
+
 val render : t -> string
-(** Multi-line human-readable summary (the [--stats] output). *)
+(** Multi-line human-readable summary (the [--stats] output).  The fault /
+    quarantine block only appears when something actually failed, so
+    fault-free runs print exactly what they always did. *)

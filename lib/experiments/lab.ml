@@ -15,7 +15,8 @@ type t = {
   pgo_runs : (string, Ft_baselines.Pgo_driver.t) Hashtbl.t;
 }
 
-let create ?(seed = 42) ?(pool_size = 1000) ?(top_x = 20) ?(jobs = 1) () =
+let create ?(seed = 42) ?(pool_size = 1000) ?(top_x = 20) ?(jobs = 1) ?policy
+    ?engine () =
   {
     seed;
     pool_size;
@@ -24,7 +25,10 @@ let create ?(seed = 42) ?(pool_size = 1000) ?(top_x = 20) ?(jobs = 1) () =
        every (benchmark, platform) cell — keys embed program, platform and
        input, so cells never collide — and telemetry aggregates across the
        whole run. *)
-    engine = Ft_engine.Engine.create ~jobs ();
+    engine =
+      (match engine with
+      | Some e -> e
+      | None -> Ft_engine.Engine.create ~jobs ?policy ());
     sessions = Hashtbl.create 32;
     reports = Hashtbl.create 32;
     opentuner_runs = Hashtbl.create 8;

@@ -9,9 +9,20 @@
 
 type t
 
-val create : ?seed:int -> ?pool_size:int -> ?top_x:int -> ?jobs:int -> unit -> t
+val create :
+  ?seed:int ->
+  ?pool_size:int ->
+  ?top_x:int ->
+  ?jobs:int ->
+  ?policy:Ft_engine.Engine.policy ->
+  ?engine:Ft_engine.Engine.t ->
+  unit ->
+  t
 (** Defaults: seed 42, K = 1000, top-X = 20, jobs 1 (sequential engine).
-    All results are bit-identical for any [jobs] value. *)
+    All results are bit-identical for any [jobs] value.  [policy] arms the
+    lab engine's fault model / timeout / repeats; pass a pre-built
+    [engine] instead (e.g. with a checkpoint attached) to override
+    everything, in which case [jobs] and [policy] are ignored. *)
 
 val seed : t -> int
 val pool_size : t -> int

@@ -1,0 +1,85 @@
+(** Deterministic fault injection for the evaluation engine.
+
+    Real autotuning campaigns are not a perfect world: compilers ICE on
+    hostile flag combinations, miscompiled binaries crash or print wrong
+    answers, noisy machines hang or produce heavy-tailed timing outliers.
+    OpenTuner-style frameworks treat failing configurations as first-class
+    citizens, and the engine's recovery policy ({!Ft_engine.Engine}) needs a
+    reproducible adversary to be tested against.  This module is that
+    adversary: a seeded fault model whose every decision is a {e pure
+    function} of the fault seed and a structural key — never of wall-clock
+    time, worker scheduling or evaluation order — so a fault schedule is
+    bit-reproducible at any [--jobs N].
+
+    Determinism argument: each query seeds a private SplitMix64 stream with
+    a hash of [(fault seed, fault kind, structural key)] (the same
+    construction as {!Ft_machine.Quirk}).  Two engines with the same fault
+    seed therefore agree on every injected fault regardless of how many
+    workers evaluate the schedule or in which order, and a quarantine hit
+    returns exactly the outcome a re-evaluation would have computed. *)
+
+type t = {
+  seed : int;  (** the fault schedule seed ([--fault-seed]) *)
+  compile_fail_rate : float;
+      (** base probability that compiling one (module, CV) pair ICEs;
+          scaled up by the CV's {!hostility} *)
+  crash_rate : float;  (** probability a built binary crashes at runtime *)
+  wrong_answer_rate : float;
+      (** probability a binary is miscompiled: it runs to completion but
+          its output checksum fails validation *)
+  hang_rate : float;
+      (** probability a run hangs (simulated elapsed time is inflated by a
+          heavy-tailed factor and may trip the engine's timeout budget) *)
+  outlier_rate : float;
+      (** per-repeat probability that one timing measurement is a
+          heavy-tailed outlier (motivates [--repeats] aggregation) *)
+  transient_fraction : float;
+      (** fraction of crashes and hangs that are transient — they stop
+          firing after one or two retries; the rest persist forever *)
+}
+
+val make : ?seed:int -> ?rate:float -> unit -> t
+(** [make ~seed ~rate ()] distributes an overall injection rate over the
+    fault classes (compile 25 %, crash 25 %, wrong answer 15 %, hang 15 %
+    of [rate]; outliers at [rate] per repeat; 60 % of crashes/hangs
+    transient).  Defaults: [seed = 1], [rate = 0.1]. *)
+
+val describe : t -> string
+(** One-line human-readable summary (for [--stats] headers and logs). *)
+
+val hostility : Ft_flags.Cv.t -> float
+(** Multiplier (>= 1) applied to [compile_fail_rate] for a CV: aggressive
+    unrolling, forced 256-bit SIMD, speculative dependence analysis,
+    advanced instruction selection and extreme inliner budgets all make a
+    vector more likely to ICE — exactly the hostile corners a random
+    sampler keeps probing. *)
+
+val ice : t -> program:string -> module_name:string -> Ft_flags.Cv.t -> bool
+(** Does compiling [module_name] of [program] under this CV ICE?  Compile
+    faults are {e persistent}: the same triple always ICEs, so retrying is
+    pointless and the engine quarantines immediately. *)
+
+type run_fault =
+  | Run_ok  (** no fault injected on this attempt *)
+  | Crash of { transient : bool }  (** the binary crashed (e.g. SIGSEGV) *)
+  | Wrong_answer  (** ran to completion, output fails validation *)
+  | Hang of { factor : float; transient : bool }
+      (** simulated elapsed time is [factor] (heavy-tailed, >= 50) times
+          the nominal runtime; whether that trips depends on the engine's
+          timeout budget *)
+
+val run_fault : t -> key:string -> attempt:int -> run_fault
+(** The fault injected into run [attempt] (0-based) of the build identified
+    by [key] (the engine's content-addressed cache key).  The fault class
+    is drawn once per build; transient crashes/hangs stop firing after a
+    per-build number of attempts (1 or 2), persistent ones never do, and
+    wrong answers are always persistent (a miscompile is in the binary). *)
+
+val corrupt_signature : key:string -> int -> int
+(** The output checksum observed from a miscompiled run: a deterministic
+    corruption of the expected signature, guaranteed different from it —
+    this is what the engine's output-validation step compares against. *)
+
+val outlier : t -> key:string -> repeat:int -> float option
+(** [Some factor] (heavy-tailed, >= 1.5) when repeat [repeat] of build
+    [key] lands on a noisy-machine outlier, [None] otherwise. *)

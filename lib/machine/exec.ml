@@ -302,6 +302,15 @@ let summarize run =
     sum_loops = List.map (fun r -> (r.name, r.seconds)) run.loops;
   }
 
+let output_signature s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "%h:%h" s.sum_total_s s.sum_nonloop_s);
+  List.iter
+    (fun (name, seconds) ->
+      Buffer.add_string buf (Printf.sprintf ":%s=%h" name seconds))
+    s.sum_loops;
+  Rng.hash_string (Buffer.contents buf)
+
 let lognormal rng ~sigma =
   exp (Rng.gauss rng ~mu:0.0 ~sigma)
 

@@ -62,6 +62,13 @@ type summary = {
 
 val summarize : run -> summary
 
+val output_signature : summary -> int
+(** A checksum standing in for the program's numerical output: a hash of
+    the bit-exact summary.  The fault layer validates each run's observed
+    signature against this expected one; a miscompiled binary perturbs the
+    observed side, so the mismatch is how wrong-answer faults are
+    detected. *)
+
 val sample : rng:Ft_util.Rng.t -> instrumented:bool -> summary -> measurement
 (** Draw one noisy measurement from a noise-free summary.  [measure] is
     exactly [sample ~rng ~instrumented (summarize (evaluate ...))]; the

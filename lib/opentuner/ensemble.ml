@@ -1,5 +1,7 @@
 module Context = Funcytuner.Context
 module Result = Funcytuner.Result
+module Engine = Ft_engine.Engine
+module Exec = Ft_machine.Exec
 
 type t = {
   result : Result.t;
@@ -35,16 +37,25 @@ let run ?budget (ctx : Context.t) =
   let technique name =
     List.find (fun t -> t.Technique.name = name) techniques
   in
+  (* A faulted configuration still has to feed the techniques a cost —
+     their population arithmetic needs finite numbers — so it is charged a
+     flat 10× baseline penalty, steering every technique away from the
+     faulty region without ever being eligible to win. *)
+  let penalty = ctx.Context.baseline_s *. 10.0 in
   let best = ref None in
   let trace = ref [] in
   for _ = 1 to budget do
     let name = Bandit.select bandit in
     let tech = technique name in
     let cv = tech.Technique.propose () in
-    let cost = Context.measure_uniform ctx ~rng:measure_rng cv in
+    let cost, valid =
+      match Context.try_measure_uniform ctx ~rng:measure_rng cv with
+      | Engine.Ok m -> (m.Exec.elapsed_s, true)
+      | _ -> (penalty, false)
+    in
     tech.Technique.feedback cv cost;
     let improved =
-      match !best with Some (c, _) -> cost < c | None -> true
+      valid && match !best with Some (c, _) -> cost < c | None -> true
     in
     Bandit.reward bandit name improved;
     if improved then best := Some (cost, cv);
@@ -53,7 +64,11 @@ let run ?budget (ctx : Context.t) =
   let best_seconds, best_cv =
     match !best with
     | Some (_, cv) -> (Context.evaluate_uniform ctx cv, cv)
-    | None -> invalid_arg "Ensemble.run: zero budget"
+    | None ->
+        if budget = 0 then invalid_arg "Ensemble.run: zero budget"
+        else
+          (* Every proposal faulted: fall back to the O3 build. *)
+          (Context.evaluate_uniform ctx Ft_flags.Cv.o3, Ft_flags.Cv.o3)
   in
   let result =
     Result.make ~algorithm:"OpenTuner"

@@ -79,6 +79,32 @@ let top_k_indices k costs =
     idx;
   Array.to_list (Array.sub idx 0 k)
 
+let robust_representative a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.robust_representative: empty input";
+  if n = 1 then 0
+  else begin
+    let xs = Array.to_list a in
+    let med = median xs in
+    let mad = median (List.map (fun x -> Float.abs (x -. med)) xs) in
+    (* 3 median-absolute-deviations ≈ 4.5 σ for Gaussian noise: generous
+       enough never to clip honest jitter, tight enough to shed Pareto
+       tails.  A zero MAD (half the samples are identical) degrades to
+       "closest to the median", which those identical samples win. *)
+    let cutoff = 3.0 *. mad in
+    let best = ref (-1) in
+    let best_dist = ref infinity in
+    Array.iteri
+      (fun i x ->
+        let d = Float.abs (x -. med) in
+        if d <= cutoff && d < !best_dist then begin
+          best := i;
+          best_dist := d
+        end)
+      a;
+    if !best < 0 then argmin a else !best
+  end
+
 let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
 
 let speedup ~baseline t = baseline /. t

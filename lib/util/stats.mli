@@ -43,6 +43,15 @@ val top_k_indices : int -> float array -> int list
     array length.  This is the space-focusing primitive of CFR
     (Algorithm 1, line 11). *)
 
+val robust_representative : float array -> int
+(** Index of a robust representative of repeated measurements of one
+    quantity: the sample closest to the median among those within 3
+    median-absolute-deviations of it (lowest index on ties).  At least
+    half the samples are always within one MAD of the median, so a
+    survivor always exists; heavy-tailed outliers are rejected whenever
+    a majority of samples are honest.  Deterministic — no RNG.
+    @raise Invalid_argument on empty input. *)
+
 val clamp : lo:float -> hi:float -> float -> float
 (** Clamp a float into a closed interval. *)
 

@@ -62,6 +62,35 @@ let test_pool_propagates_failure () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "sequential failure swallowed"
 
+let test_pool_map_result_partial () =
+  (* One poisoned item must not take the batch down: every other result is
+     preserved, in submission order, with the failure carried as [Error]. *)
+  let work i = if i mod 17 = 13 then failwith (string_of_int i) else i * i in
+  let check jobs =
+    let results = Pool.map_result ~jobs work (Array.init 100 (fun i -> i)) in
+    Alcotest.(check int) "all slots filled" 100 (Array.length results);
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Ok v -> Alcotest.(check int) "ok slot in order" (i * i) v
+        | Error (Failure msg) ->
+            Alcotest.(check int) "failing index preserved" i
+              (int_of_string msg);
+            Alcotest.(check int) "only poisoned items fail" 13 (i mod 17)
+        | Error e -> Alcotest.fail (Printexc.to_string e))
+      results
+  in
+  check 1;
+  check 4
+
+let test_pool_map_result_matches_map_on_success () =
+  let work i = i + 1 in
+  let items = Array.init 50 (fun i -> i) in
+  let plain = Pool.map ~jobs:4 work items in
+  let wrapped = Pool.map_result ~jobs:4 work items in
+  Alcotest.(check bool) "same values modulo Ok" true
+    (Array.for_all2 (fun v r -> r = Ok v) plain wrapped)
+
 let test_pool_rejects_bad_jobs () =
   match Pool.map ~jobs:0 (fun i -> i) [| 1 |] with
   | exception Invalid_argument _ -> ()
@@ -134,7 +163,7 @@ let test_cache_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Cache.save cache ~path;
-      let reloaded = Cache.load ~path in
+      let reloaded = Cache.load path in
       Alcotest.(check bool) "save/load round-trip is bit-exact" true
         (Cache.bindings cache = Cache.bindings reloaded))
 
@@ -146,9 +175,56 @@ let test_cache_load_rejects_garbage () =
       let oc = open_out path in
       output_string oc "not a cache\n";
       close_out oc;
-      match Cache.load ~path with
-      | exception Failure _ -> ()
+      match Cache.load path with
+      | exception Cache.Corrupt { line; _ } ->
+          Alcotest.(check int) "rejected at the header line" 1 line
       | _ -> Alcotest.fail "garbage accepted")
+
+let test_cache_load_skips_malformed_entries () =
+  (* After a valid magic line, a torn entry (e.g. a crash mid-write before
+     Cache.save became atomic) is skipped and reported, not fatal. *)
+  let engine = Engine.create () in
+  List.iter
+    (fun b -> ignore (Engine.summary engine ~toolchain ~program ~input b))
+    some_builds;
+  let path = Filename.temp_file "ft_cache" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cache.save (Engine.cache engine) ~path;
+      let oc = open_out_gen [ Open_append ] 0o600 path in
+      output_string oc "torn\tentry\n";
+      close_out oc;
+      let warned = ref [] in
+      let reloaded =
+        Cache.load ~warn:(fun ~line ~reason -> warned := (line, reason) :: !warned) path
+      in
+      Alcotest.(check int) "valid entries survive" 6 (Cache.length reloaded);
+      Alcotest.(check int) "exactly one warning" 1 (List.length !warned);
+      Alcotest.(check int) "warning points at the torn line" 8
+        (fst (List.hd !warned)))
+
+let test_cache_save_is_atomic () =
+  (* The write goes through a temp file + rename: saving over an existing
+     file never leaves a *.tmp sibling behind. *)
+  let engine = Engine.create () in
+  List.iter
+    (fun b -> ignore (Engine.summary engine ~toolchain ~program ~input b))
+    some_builds;
+  let dir = Filename.temp_file "ft_atomic" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let path = Filename.concat dir "cache.tsv" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Cache.save (Engine.cache engine) ~path;
+      Cache.save (Engine.cache engine) ~path;
+      Alcotest.(check (list string))
+        "only the cache file remains" [ "cache.tsv" ]
+        (Array.to_list (Sys.readdir dir)))
 
 let test_cache_hit_counting () =
   let engine = Engine.create () in
@@ -182,7 +258,7 @@ let test_preloaded_cache_changes_nothing () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Cache.save (Engine.cache engine) ~path;
-      let warm, warm_engine = run ~cache:(Cache.load ~path) () in
+      let warm, warm_engine = run ~cache:(Cache.load path) () in
       Alcotest.(check bool) "warm result bit-identical" true
         (cold.Result.speedup = warm.Result.speedup
         && cold.Result.trace = warm.Result.trace);
@@ -256,6 +332,10 @@ let suite =
       Alcotest.test_case "pool submit list" `Quick test_pool_submit_list;
       Alcotest.test_case "pool failure propagation" `Quick
         test_pool_propagates_failure;
+      Alcotest.test_case "pool map_result keeps partial results" `Quick
+        test_pool_map_result_partial;
+      Alcotest.test_case "pool map_result = map on success" `Quick
+        test_pool_map_result_matches_map_on_success;
       Alcotest.test_case "pool rejects jobs=0" `Quick test_pool_rejects_bad_jobs;
       Alcotest.test_case "collection parallel determinism" `Quick
         test_collection_parallel_bit_identical;
@@ -267,6 +347,10 @@ let suite =
         test_cache_roundtrip;
       Alcotest.test_case "cache rejects garbage" `Quick
         test_cache_load_rejects_garbage;
+      Alcotest.test_case "cache skips malformed entries" `Quick
+        test_cache_load_skips_malformed_entries;
+      Alcotest.test_case "cache save is atomic" `Quick
+        test_cache_save_is_atomic;
       Alcotest.test_case "cache hit counting" `Quick test_cache_hit_counting;
       Alcotest.test_case "preloaded cache changes nothing" `Quick
         test_preloaded_cache_changes_nothing;
