@@ -1,7 +1,7 @@
 DUNE ?= dune
 FUNCY = $(DUNE) exec --no-build bin/funcy.exe --
 
-.PHONY: all build test smoke smoke-faults check clean
+.PHONY: all build test smoke smoke-faults smoke-trace golden check clean
 
 all: build
 
@@ -39,7 +39,29 @@ smoke-faults: build
 	rm -f _build/smoke-faults.snap _build/smoke-faults.snap.quarantine
 	@echo "smoke-faults OK: fault schedule jobs-independent, kill-and-resume bit-identical"
 
-check: build test smoke smoke-faults
+# Tracing smoke (see DESIGN.md section 10):
+#   1. a logical-clock trace of the same tune is byte-identical at
+#      --jobs 1 and --jobs 4 (schedule-independent observability);
+#   2. funcy report is a pure function of the trace file: rendering the
+#      same trace twice produces identical bytes.
+smoke-trace: build
+	$(FUNCY) tune -b swim -a cfr -k 120 --jobs 1 \
+	  --trace _build/smoke-trace-j1.jsonl --trace-clock logical > /dev/null
+	$(FUNCY) tune -b swim -a cfr -k 120 --jobs 4 \
+	  --trace _build/smoke-trace-j4.jsonl --trace-clock logical > /dev/null
+	cmp _build/smoke-trace-j1.jsonl _build/smoke-trace-j4.jsonl
+	$(FUNCY) report _build/smoke-trace-j1.jsonl > _build/smoke-trace-report1.out
+	$(FUNCY) report _build/smoke-trace-j1.jsonl > _build/smoke-trace-report2.out
+	cmp _build/smoke-trace-report1.out _build/smoke-trace-report2.out
+	@echo "smoke-trace OK: logical trace bytes jobs-independent, report reproducible"
+
+# Regenerate the golden CSV fixtures compared byte-for-byte by
+# `dune runtest` (test/suite_golden.ml).  Commit the diff deliberately:
+# a golden change means the search's observable behaviour changed.
+golden: build
+	$(FUNCY) experiment fig5c fig7a -k 12 --csv-dir test/golden
+
+check: build test smoke smoke-faults smoke-trace
 
 clean:
 	$(DUNE) clean

@@ -5,7 +5,8 @@
      profile      Caliper-profile a benchmark at O3 and show hot loops
      decisions    per-region code-generation decisions for a CV
      tune         run one tuning algorithm on one benchmark/platform
-     experiment   regenerate paper tables/figures (same ids as bench/main) *)
+     experiment   regenerate paper tables/figures (same ids as bench/main)
+     report       summarize a run from its --trace file *)
 
 open Cmdliner
 open Ft_prog
@@ -15,6 +16,7 @@ module Engine = Ft_engine.Engine
 module Cache = Ft_engine.Cache
 module Quarantine = Ft_engine.Quarantine
 module Checkpoint = Ft_engine.Checkpoint
+module Trace = Ft_obs.Trace
 
 let program_arg =
   let parse s =
@@ -89,6 +91,67 @@ let maybe_stats stats telemetry =
   if stats then (
     print_newline ();
     print_string (Ft_engine.Telemetry.render telemetry))
+
+(* --- run tracing flags ------------------------------------------------- *)
+
+type trace_spec = {
+  trace_path : string option;
+  trace_clock : Trace.clock;
+  trace_format : [ `Jsonl | `Chrome ];
+}
+
+let trace_spec_t =
+  let path_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record every engine and search event (jobs, cache decisions, \
+             faults, retries, phase spans) and write the trace to $(docv) \
+             at exit.  Without this flag not a single event is recorded \
+             and all output is byte-identical to an untraced run.")
+  in
+  let clock_t =
+    Arg.(
+      value
+      & opt (enum [ ("wall", Trace.Wall); ("logical", Trace.Logical) ])
+          Trace.Wall
+      & info [ "trace-clock" ] ~docv:"CLOCK"
+          ~doc:
+            "$(b,wall) (default) stamps events with elapsed seconds and \
+             records schedule-dependent detail (cache hit/miss split, \
+             builds, timers); $(b,logical) stamps canonical event order \
+             only, making the trace bytes reproducible at any $(b,--jobs) \
+             count.")
+  in
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+      & info [ "trace-format" ] ~docv:"FMT"
+          ~doc:
+            "$(b,jsonl) (default): one JSON event per line, readable by \
+             $(b,funcy report); $(b,chrome): a chrome://tracing / Perfetto \
+             trace_event file.")
+  in
+  let combine trace_path trace_clock trace_format =
+    { trace_path; trace_clock; trace_format }
+  in
+  Term.(const combine $ path_t $ clock_t $ format_t)
+
+let make_trace spec =
+  match spec.trace_path with
+  | None -> None
+  | Some _ -> Some (Trace.create ~clock:spec.trace_clock ())
+
+let export_trace spec trace =
+  match (spec.trace_path, trace) with
+  | Some path, Some t -> (
+      match spec.trace_format with
+      | `Jsonl -> Ft_obs.Export.write_jsonl t ~path
+      | `Chrome -> Ft_obs.Export.write_chrome t ~path)
+  | _ -> ()
 
 (* --- fault / recovery / checkpoint flags ------------------------------- *)
 
@@ -219,10 +282,10 @@ let policy_of_resilience r =
    policy and, with --checkpoint, attach the snapshot file — resuming from
    it when it already exists.  Resume chatter goes to stderr so stdout
    stays byte-comparable across resumed runs. *)
-let make_engine ~jobs r =
+let make_engine ~jobs ?trace r =
   let policy = policy_of_resilience r in
   match r.checkpoint with
-  | None -> Engine.create ~jobs ~policy ()
+  | None -> Engine.create ~jobs ~policy ?trace ()
   | Some path ->
       let ck = Checkpoint.create ~path () in
       let cache, quarantine =
@@ -232,18 +295,23 @@ let make_engine ~jobs r =
               "funcy: resuming from %s (%d cached summaries, %d quarantined)\n%!"
               path (Cache.length cache)
               (Quarantine.length quarantine);
+            Trace.checkpoint_loaded trace ~path ~entries:(Cache.length cache);
             (cache, quarantine)
         | None -> (Cache.create (), Quarantine.create ())
       in
-      Engine.create ~jobs ~cache ~quarantine ~policy ~checkpoint:ck ()
+      Engine.create ~jobs ~cache ~quarantine ~policy ~checkpoint:ck ?trace ()
 
-let arm_die_after engine = function
+(* The simulated crash still flushes the checkpoint and exports the trace
+   collected so far: a post-mortem [funcy report] on a crashed run is
+   precisely the observability story. *)
+let arm_die_after engine ?(on_die = fun () -> ()) = function
   | None -> ()
   | Some n ->
       Ft_engine.Telemetry.set_progress (Engine.telemetry engine)
         (fun ~completed ~expected:_ ->
           if completed >= n then begin
             Engine.flush_checkpoint engine;
+            on_die ();
             Printf.eprintf "funcy: --die-after %d: simulated crash\n%!" n;
             exit 99
           end)
@@ -392,9 +460,12 @@ let tune_cmd =
       value & opt int Funcytuner.Cfr.default_top_x
       & info [ "top-x" ] ~docv:"X" ~doc:"CFR space-focusing width.")
   in
-  let run program platform seed pool jobs stats resilience algo top_x =
-    let engine = make_engine ~jobs resilience in
-    arm_die_after engine resilience.die_after;
+  let run program platform seed pool jobs stats resilience tspec algo top_x =
+    let trace = make_trace tspec in
+    let engine = make_engine ~jobs ?trace resilience in
+    arm_die_after engine
+      ~on_die:(fun () -> export_trace tspec trace)
+      resilience.die_after;
     let session =
       Tuner.make_session ~pool_size:pool ~engine ~platform ~program
         ~input:(Ft_suite.Suite.tuning_input platform program)
@@ -411,6 +482,7 @@ let tune_cmd =
     print_newline ();
     Fun.protect ~finally:(fun () ->
         Engine.flush_checkpoint engine;
+        export_trace tspec trace;
         maybe_stats stats (Funcytuner.Context.telemetry ctx))
     @@ fun () ->
     match algo with
@@ -448,8 +520,8 @@ let tune_cmd =
         let input = Ft_suite.Suite.tuning_input platform program in
         let ce =
           Ft_baselines.Ce.run
-            ?faults:(Engine.policy engine).Engine.faults ~toolchain ~program
-            ~input
+            ?faults:(Engine.policy engine).Engine.faults ?trace ~toolchain
+            ~program ~input
             ~rng:(Ft_util.Rng.create seed)
             ()
         in
@@ -467,7 +539,7 @@ let tune_cmd =
         let toolchain = Ft_machine.Toolchain.make platform in
         let input = Ft_suite.Suite.tuning_input platform program in
         let pgo =
-          Ft_baselines.Pgo_driver.run ~toolchain ~program ~input
+          Ft_baselines.Pgo_driver.run ?trace ~toolchain ~program ~input
             ~rng:(Ft_util.Rng.create seed) ()
         in
         Printf.printf "PGO: speedup %.3f over O3%s\n"
@@ -480,7 +552,7 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Run one auto-tuning algorithm")
     Term.(
       const run $ program_t $ platform_t $ seed_t $ pool_t $ jobs_t $ stats_t
-      $ resilience_t $ algo_t $ top_x_t)
+      $ resilience_t $ trace_spec_t $ algo_t $ top_x_t)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -519,9 +591,12 @@ let experiment_cmd =
           ~doc:"fig1 fig5a fig5b fig5c fig6 fig7a fig7b fig8 fig9 tab1 tab2 \
                 tab3 ablations faults (default: fig5c).")
   in
-  let run seed pool jobs stats resilience csv_dir names =
-    let engine = make_engine ~jobs resilience in
-    arm_die_after engine resilience.die_after;
+  let run seed pool jobs stats resilience tspec csv_dir names =
+    let trace = make_trace tspec in
+    let engine = make_engine ~jobs ?trace resilience in
+    arm_die_after engine
+      ~on_die:(fun () -> export_trace tspec trace)
+      resilience.die_after;
     let lab = Ft_experiments.Lab.create ~seed ~pool_size:pool ~engine () in
     let open Ft_experiments in
     let emit name series =
@@ -564,6 +639,7 @@ let experiment_cmd =
     in
     Fun.protect ~finally:(fun () ->
         Engine.flush_checkpoint engine;
+        export_trace tspec trace;
         maybe_stats stats (Ft_experiments.Lab.telemetry lab))
     @@ fun () ->
     List.iter dispatch (match names with [] -> [ "fig5c" ] | n -> n)
@@ -572,7 +648,31 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate paper tables and figures")
     Term.(
       const run $ seed_t $ pool_t $ jobs_t $ stats_t $ resilience_t
-      $ csv_dir_t $ names_t)
+      $ trace_spec_t $ csv_dir_t $ names_t)
+
+(* --- report ------------------------------------------------------------ *)
+
+let report_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"A JSONL trace written by $(b,--trace) (default format).")
+  in
+  let run file =
+    match Ft_obs.Report.load file with
+    | Stdlib.Ok t -> print_string (Ft_obs.Report.render t)
+    | Stdlib.Error msg ->
+        Printf.eprintf "funcy report: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Summarize a traced run: per-phase breakdown, cache hit-rate, \
+          convergence curve, fault/retry table, derived engine counters")
+    Term.(const run $ file_t)
 
 let () =
   let doc = "FuncyTuner: per-loop compilation auto-tuning (ICPP'19 reproduction)" in
@@ -580,4 +680,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; profile_cmd; decisions_cmd; tune_cmd; experiment_cmd ]))
+          [
+            list_cmd; profile_cmd; decisions_cmd; tune_cmd; experiment_cmd;
+            report_cmd;
+          ]))

@@ -91,7 +91,8 @@ let make_env ~toolchain ~program ~input ~rng ~faults =
 let on_flags bits =
   Array.to_list Flag.all |> List.filter (fun id -> bits.(Flag.index id))
 
-let run_batch ?faults ~toolchain ~program ~input ~rng () =
+let run_batch ?faults ?trace ~toolchain ~program ~input ~rng () =
+  Ft_obs.Trace.span trace Ft_obs.Event.Search @@ fun () ->
   let env = make_env ~toolchain ~program ~input ~rng ~faults in
   let bits = Array.make Flag.count true in
   match measure env (Cv.of_bits bits) with
@@ -111,7 +112,9 @@ let run_batch ?faults ~toolchain ~program ~input ~rng () =
       List.iter (fun s -> bits.(Flag.index s.eliminated) <- false) steps;
       finish env ~algorithm:"BE" ~bits ~steps:(List.rev steps)
 
-let eliminate ~algorithm ~refine ?faults ~toolchain ~program ~input ~rng () =
+let eliminate ~algorithm ~refine ?faults ?trace ~toolchain ~program ~input
+    ~rng () =
+  Ft_obs.Trace.span trace Ft_obs.Event.Search @@ fun () ->
   let env = make_env ~toolchain ~program ~input ~rng ~faults in
   let bits = Array.make Flag.count true in
   match measure env (Cv.of_bits bits) with
@@ -153,10 +156,10 @@ let eliminate ~algorithm ~refine ?faults ~toolchain ~program ~input ~rng () =
       done;
       finish env ~algorithm ~bits ~steps:!steps
 
-let run_iterative ?faults ~toolchain ~program ~input ~rng () =
-  eliminate ~algorithm:"IE" ~refine:false ?faults ~toolchain ~program ~input
-    ~rng ()
+let run_iterative ?faults ?trace ~toolchain ~program ~input ~rng () =
+  eliminate ~algorithm:"IE" ~refine:false ?faults ?trace ~toolchain ~program
+    ~input ~rng ()
 
-let run ?faults ~toolchain ~program ~input ~rng () =
-  eliminate ~algorithm:"CE" ~refine:true ?faults ~toolchain ~program ~input
-    ~rng ()
+let run ?faults ?trace ~toolchain ~program ~input ~rng () =
+  eliminate ~algorithm:"CE" ~refine:true ?faults ?trace ~toolchain ~program
+    ~input ~rng ()

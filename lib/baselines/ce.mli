@@ -43,6 +43,7 @@ type t = {
 
 val run :
   ?faults:Ft_fault.Fault.t ->
+  ?trace:Ft_obs.Trace.t ->
   toolchain:Ft_machine.Toolchain.t ->
   program:Ft_prog.Program.t ->
   input:Ft_prog.Input.t ->
@@ -51,10 +52,13 @@ val run :
   t
 (** Combined Elimination (the Fig. 1 algorithm).  With [?faults], faulted
     trials are dropped (counted in [failures]); if the all-on baseline
-    itself faults, the result degenerates to zero eliminations. *)
+    itself faults, the result degenerates to zero eliminations.  With
+    [?trace] the whole elimination is bracketed in a [search] phase span
+    (CE bypasses the engine, so no per-job events are recorded). *)
 
 val run_batch :
   ?faults:Ft_fault.Fault.t ->
+  ?trace:Ft_obs.Trace.t ->
   toolchain:Ft_machine.Toolchain.t ->
   program:Ft_prog.Program.t ->
   input:Ft_prog.Input.t ->
@@ -65,6 +69,7 @@ val run_batch :
 
 val run_iterative :
   ?faults:Ft_fault.Fault.t ->
+  ?trace:Ft_obs.Trace.t ->
   toolchain:Ft_machine.Toolchain.t ->
   program:Ft_prog.Program.t ->
   input:Ft_prog.Input.t ->

@@ -15,12 +15,15 @@ type t = {
 }
 
 val run :
+  ?trace:Ft_obs.Trace.t ->
   toolchain:Ft_machine.Toolchain.t ->
   program:Ft_prog.Program.t ->
   input:Ft_prog.Input.t ->
   rng:Ft_util.Rng.t ->
   unit ->
   t
+(** With [?trace] the PGO protocol is bracketed in a [search] phase span
+    (it bypasses the engine, so no per-job events are recorded). *)
 
 val tuned_binary :
   toolchain:Ft_machine.Toolchain.t ->

@@ -97,11 +97,12 @@ let tune t (ctx : Context.t) =
   let rng = Context.stream ctx ("cobayn:" ^ Features.variant_name t.variant) in
   let k = Array.length ctx.Context.pool in
   let times =
-    Array.init k (fun _ ->
-        let cv = sample_cv t ~cluster rng in
-        match Context.try_measure_uniform ctx ~rng cv with
-        | Ft_engine.Engine.Ok m -> (cv, m.Ft_machine.Exec.elapsed_s)
-        | _ -> (cv, Float.infinity))
+    Ft_obs.Trace.span (Context.trace ctx) Ft_obs.Event.Search (fun () ->
+        Array.init k (fun _ ->
+            let cv = sample_cv t ~cluster rng in
+            match Context.try_measure_uniform ctx ~rng cv with
+            | Ft_engine.Engine.Ok m -> (cv, m.Ft_machine.Exec.elapsed_s)
+            | _ -> (cv, Float.infinity)))
   in
   let best_cv, best_t = Array.to_list times |> Ft_util.Stats.min_by snd in
   (* All K samples faulting leaves nothing learned: report O3. *)

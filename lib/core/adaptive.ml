@@ -9,12 +9,13 @@ let run ?(top_x = Cfr.default_top_x) ?(patience = default_patience)
     ?(min_gain = default_min_gain) (ctx : Context.t)
     (collection : Collection.t) =
   let rng = Context.stream ctx "cfr-adaptive" in
-  let pools = Cfr.pruned_pools ~top_x collection in
+  let pools = Cfr.traced_pruned_pools ~top_x ctx collection in
   let budget = Array.length ctx.Context.pool in
   let best = ref None in
   let times = ref [] in
   let stale = ref 0 in
   let spent = ref 0 in
+  Ft_obs.Trace.span (Context.trace ctx) Ft_obs.Event.Search (fun () ->
   while !spent < budget && !stale < patience do
     incr spent;
     let assignment =
@@ -40,7 +41,7 @@ let run ?(top_x = Cfr.default_top_x) ?(patience = default_patience)
         (* A faulted evaluation cannot seed the incumbent: patience must
            start counting only once there is something to improve on. *)
         if Float.is_finite t then best := Some (t, assignment))
-  done;
+  done);
   let best_seconds, configuration =
     match !best with
     | Some (_, a) ->

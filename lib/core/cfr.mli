@@ -22,3 +22,12 @@ val pruned_pools :
   ?top_x:int -> Collection.t -> (string * Ft_flags.Cv.t array) list
 (** The per-module pruned spaces (module name → top-X CVs, best first);
     exposed for tests and the case-study analysis. *)
+
+val traced_pruned_pools :
+  ?top_x:int ->
+  Context.t ->
+  Collection.t ->
+  (string * Ft_flags.Cv.t array) list
+(** {!pruned_pools} bracketed in an Algorithm-1 [prune] phase span, with
+    one {!Ft_obs.Event.Prune_kept} event per module recording the focused
+    pool width.  Identical result; shared by CFR and CFR-adaptive. *)

@@ -40,10 +40,11 @@ let collect (ctx : Context.t) (outline : Outline.t) =
   in
   let engine = ctx.Context.engine in
   let outcomes =
-    Ft_engine.Telemetry.time (Engine.telemetry engine) "collect" (fun () ->
-        Engine.try_measure_batch engine ~toolchain:ctx.Context.toolchain
-          ~outline ~program:ctx.Context.program ~input:ctx.Context.input
-          batch)
+    Ft_obs.Trace.span (Engine.trace engine) Ft_obs.Event.Collect (fun () ->
+        Engine.timed engine "collect" (fun () ->
+            Engine.try_measure_batch engine ~toolchain:ctx.Context.toolchain
+              ~outline ~program:ctx.Context.program ~input:ctx.Context.input
+              batch))
   in
   Array.iteri
     (fun i outcome ->

@@ -2,6 +2,7 @@ module Rng = Ft_util.Rng
 module Toolchain = Ft_machine.Toolchain
 module Exec = Ft_machine.Exec
 module Engine = Ft_engine.Engine
+module Trace = Ft_obs.Trace
 
 type t = {
   toolchain : Toolchain.t;
@@ -21,13 +22,15 @@ let make ?(pool_size = 1000) ?jobs ?engine ~toolchain ~program ~input ~seed ()
   let rng = Rng.create seed in
   let pool = Ft_flags.Space.sample_pool (Rng.of_label rng "pool") pool_size in
   let baseline_s =
-    Ft_caliper.Profiler.baseline_seconds ~toolchain ~program ~input
+    Trace.span (Engine.trace engine) Ft_obs.Event.Profile (fun () ->
+        Ft_caliper.Profiler.baseline_seconds ~toolchain ~program ~input)
   in
   { toolchain; program; input; pool; baseline_s; rng; engine }
 
 let stream t label = Rng.of_label t.rng label
 let engine t = t.engine
 let telemetry t = Engine.telemetry t.engine
+let trace t = Engine.trace t.engine
 
 let measure_uniform t ~rng cv =
   let m =

@@ -45,6 +45,9 @@ val engine : t -> Ft_engine.Engine.t
 val telemetry : t -> Ft_engine.Telemetry.t
 (** The session engine's telemetry (the [--stats] source). *)
 
+val trace : t -> Ft_obs.Trace.t option
+(** The session engine's trace buffer, if one is attached ([--trace]). *)
+
 val measure_uniform : t -> rng:Ft_util.Rng.t -> Ft_flags.Cv.t -> float
 (** Compile the whole program with one CV (traditional model), run it on
     the session input, return noisy end-to-end seconds. *)

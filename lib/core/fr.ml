@@ -48,10 +48,11 @@ let search_assignments (ctx : Context.t) outline ~algorithm ~label ~draw =
   in
   let engine = ctx.Context.engine in
   let outcomes =
-    Ft_engine.Telemetry.time (Engine.telemetry engine) label (fun () ->
-        Engine.try_measure_batch engine ~toolchain:ctx.Context.toolchain
-          ~outline ~program:ctx.Context.program ~input:ctx.Context.input
-          batch)
+    Ft_obs.Trace.span (Engine.trace engine) Ft_obs.Event.Search (fun () ->
+        Engine.timed engine label (fun () ->
+            Engine.try_measure_batch engine ~toolchain:ctx.Context.toolchain
+              ~outline ~program:ctx.Context.program ~input:ctx.Context.input
+              batch))
   in
   let times =
     Array.map

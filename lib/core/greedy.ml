@@ -7,6 +7,7 @@ type t = {
 }
 
 let run (ctx : Context.t) (collection : Collection.t) =
+  Ft_obs.Trace.span (Context.trace ctx) Ft_obs.Event.Search @@ fun () ->
   let modules = Array.to_list collection.Collection.modules in
   let outline = collection.Collection.outline in
   let combined =

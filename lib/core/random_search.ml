@@ -15,9 +15,10 @@ let run (ctx : Context.t) =
   in
   let engine = ctx.Context.engine in
   let outcomes =
-    Ft_engine.Telemetry.time (Engine.telemetry engine) "random" (fun () ->
-        Engine.try_measure_batch engine ~toolchain:ctx.Context.toolchain
-          ~program:ctx.Context.program ~input:ctx.Context.input batch)
+    Ft_obs.Trace.span (Engine.trace engine) Ft_obs.Event.Search (fun () ->
+        Engine.timed engine "random" (fun () ->
+            Engine.try_measure_batch engine ~toolchain:ctx.Context.toolchain
+              ~program:ctx.Context.program ~input:ctx.Context.input batch))
   in
   let times =
     Array.map

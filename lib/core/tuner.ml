@@ -15,9 +15,10 @@ let make_session ?pool_size ?threshold ?jobs ?engine ~platform ~program
     Context.make ?pool_size ?jobs ?engine ~toolchain ~program ~input ~seed ()
   in
   let outline =
-    Outline.outline ~toolchain ~program ~input ?threshold
-      ~rng:(Context.stream ctx "profile")
-      ()
+    Ft_obs.Trace.span (Context.trace ctx) Ft_obs.Event.Profile (fun () ->
+        Outline.outline ~toolchain ~program ~input ?threshold
+          ~rng:(Context.stream ctx "profile")
+          ())
   in
   { ctx; outline; collection = lazy (Collection.collect ctx outline) }
 

@@ -45,4 +45,5 @@ let tick t ~cache ~quarantine =
   in
   (* Save outside the counter lock: Cache.save takes the cache lock and
      can be slow; other workers may keep recording events meanwhile. *)
-  if due then save t ~cache ~quarantine
+  if due then save t ~cache ~quarantine;
+  due

@@ -35,9 +35,11 @@ val load :
     @raise Cache.Corrupt / Quarantine.Corrupt if a file exists but is not
     a snapshot at all. *)
 
-val tick : t -> cache:Cache.t -> quarantine:Quarantine.t -> unit
+val tick : t -> cache:Cache.t -> quarantine:Quarantine.t -> bool
 (** Record one state-changing event; saves both snapshots atomically when
-    [every] events have accumulated since the last save.  Thread-safe. *)
+    [every] events have accumulated since the last save (returning [true]
+    iff this call saved, so the engine can trace the save).
+    Thread-safe. *)
 
 val flush : t -> cache:Cache.t -> quarantine:Quarantine.t -> unit
 (** Unconditional snapshot (called at the end of a run, and by the

@@ -7,6 +7,7 @@ module Toolchain = Ft_machine.Toolchain
 module Exec = Ft_machine.Exec
 module Outline = Ft_outline.Outline
 module Fault = Ft_fault.Fault
+module Trace = Ft_obs.Trace
 
 type build =
   | Uniform of { cv : Cv.t; instrumented : bool }
@@ -54,6 +55,20 @@ let outcome_to_string = function
   | Wrong_answer -> "wrong-answer"
   | Timed_out s -> Printf.sprintf "timed-out(%.1fs)" s
 
+(* Payload-free outcome tag for trace events. *)
+let outcome_tag = function
+  | Ok _ -> "ok"
+  | Build_failed _ -> "build-failed"
+  | Crashed _ -> "crashed"
+  | Wrong_answer -> "wrong-answer"
+  | Timed_out _ -> "timed-out"
+
+let reason_tag = function
+  | Quarantine.Build_failed _ -> "build-failed"
+  | Quarantine.Crashed _ -> "crashed"
+  | Quarantine.Wrong_answer -> "wrong-answer"
+  | Quarantine.Timed_out _ -> "timed-out"
+
 (* Only terminal (quarantinable) outcomes map to a reason; [Ok] does not. *)
 let reason_of_outcome = function
   | Ok _ -> None
@@ -75,10 +90,11 @@ type t = {
   policy : policy;
   quarantine : Quarantine.t;
   checkpoint : Checkpoint.t option;
+  trace : Trace.t option;
 }
 
 let create ?(jobs = 1) ?cache ?telemetry ?(policy = default_policy)
-    ?quarantine ?checkpoint () =
+    ?quarantine ?checkpoint ?trace () =
   if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
   if policy.repeats < 1 then
     invalid_arg "Engine.create: policy.repeats must be >= 1";
@@ -95,6 +111,7 @@ let create ?(jobs = 1) ?cache ?telemetry ?(policy = default_policy)
     quarantine =
       (match quarantine with Some q -> q | None -> Quarantine.create ());
     checkpoint;
+    trace;
   }
 
 let jobs t = t.jobs
@@ -103,16 +120,32 @@ let telemetry t = t.telemetry
 let policy t = t.policy
 let quarantine t = t.quarantine
 let checkpoint t = t.checkpoint
+let trace t = t.trace
 
 let checkpoint_tick t =
   match t.checkpoint with
   | None -> ()
-  | Some ck -> Checkpoint.tick ck ~cache:t.cache ~quarantine:t.quarantine
+  | Some ck ->
+      if Checkpoint.tick ck ~cache:t.cache ~quarantine:t.quarantine then
+        Trace.checkpoint_saved t.trace ~path:(Checkpoint.path ck)
 
 let flush_checkpoint t =
   match t.checkpoint with
   | None -> ()
-  | Some ck -> Checkpoint.flush ck ~cache:t.cache ~quarantine:t.quarantine
+  | Some ck ->
+      Checkpoint.flush ck ~cache:t.cache ~quarantine:t.quarantine;
+      Trace.checkpoint_saved t.trace ~path:(Checkpoint.path ck)
+
+(* Time [f] onto a telemetry timer and mirror the accumulation into the
+   trace (wall clock only — durations are not deterministic facts). *)
+let timed t name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      Telemetry.add_time t.telemetry name dt;
+      Trace.timer t.trace ~name ~seconds:dt)
+    f
 
 let instrumented = function
   | Uniform { instrumented; _ } | Assigned { instrumented; _ } -> instrumented
@@ -181,19 +214,22 @@ let summary t ~toolchain ?outline ~program ~input build =
   match Cache.find t.cache key with
   | Some s ->
       Telemetry.cache_hit t.telemetry;
+      Trace.cache_lookup t.trace ~key ~hit:true;
       s
   | None ->
       Telemetry.cache_miss t.telemetry;
+      Trace.cache_lookup t.trace ~key ~hit:false;
       let binary =
-        Telemetry.time t.telemetry "build" (fun () ->
-            compile ~toolchain ?outline ~program build)
+        timed t "build" (fun () -> compile ~toolchain ?outline ~program build)
       in
       Telemetry.build t.telemetry;
+      Trace.build_done t.trace ~key;
       let run =
-        Telemetry.time t.telemetry "run" (fun () ->
+        timed t "run" (fun () ->
             Exec.evaluate ~arch:toolchain.Toolchain.arch ~input binary)
       in
       Telemetry.run t.telemetry;
+      Trace.run_done t.trace ~key;
       let s = Exec.summarize run in
       Cache.add t.cache key s;
       checkpoint_tick t;
@@ -208,6 +244,7 @@ let quarantine_add t key reason =
   if Quarantine.find t.quarantine key = None then begin
     Quarantine.add t.quarantine key reason;
     Telemetry.quarantine t.telemetry;
+    Trace.quarantine_added t.trace ~key ~reason:(reason_tag reason);
     checkpoint_tick t
   end
 
@@ -238,6 +275,7 @@ let sample_measurement t ~key ~rng ~instrumented s =
             | None -> m
             | Some factor ->
                 Telemetry.outlier t.telemetry;
+                Trace.outlier t.trace ~key;
                 { m with Exec.elapsed_s = m.Exec.elapsed_s *. factor })
       in
       (* Samples must be drawn in repeat order: they share the job stream. *)
@@ -248,11 +286,11 @@ let sample_measurement t ~key ~rng ~instrumented s =
       samples.(Stats.robust_representative
                  (Array.map (fun m -> m.Exec.elapsed_s) samples))
 
-let try_measure_one t ~toolchain ?outline ~program ~input { build; rng } =
-  let key_str = key ~toolchain ~program ~input build in
+let run_job t ~toolchain ?outline ~program ~input ~key_str { build; rng } =
   match Quarantine.find t.quarantine key_str with
   | Some reason ->
       Telemetry.quarantine_hit t.telemetry;
+      Trace.quarantine_hit t.trace ~key:key_str ~reason:(reason_tag reason);
       outcome_of_reason reason
   | None -> (
       let ice_module =
@@ -271,6 +309,7 @@ let try_measure_one t ~toolchain ?outline ~program ~input { build; rng } =
       match ice_module with
       | Some module_name ->
           Telemetry.build_failure t.telemetry;
+          Trace.fault t.trace ~key:key_str ~fault:"ice";
           quarantine_add t key_str (Quarantine.Build_failed module_name);
           Build_failed module_name
       | None -> (
@@ -283,8 +322,10 @@ let try_measure_one t ~toolchain ?outline ~program ~input { build; rng } =
           | Some f ->
               let retry attempt k =
                 Telemetry.retry t.telemetry;
-                Telemetry.add_time t.telemetry "backoff"
-                  (backoff_s t.policy attempt);
+                let wait = backoff_s t.policy attempt in
+                Telemetry.add_time t.telemetry "backoff" wait;
+                Trace.retry t.trace ~key:key_str ~attempt ~backoff_s:wait;
+                Trace.timer t.trace ~name:"backoff" ~seconds:wait;
                 k (attempt + 1)
               in
               let rec attempt_run attempt =
@@ -292,6 +333,7 @@ let try_measure_one t ~toolchain ?outline ~program ~input { build; rng } =
                 | Fault.Run_ok -> validate ()
                 | Fault.Crash { transient } ->
                     Telemetry.crash t.telemetry;
+                    Trace.fault t.trace ~key:key_str ~fault:"crash";
                     if transient && attempt < t.policy.max_retries then
                       retry attempt attempt_run
                     else begin
@@ -306,6 +348,7 @@ let try_measure_one t ~toolchain ?outline ~program ~input { build; rng } =
                     let elapsed_s = factor *. s.Exec.sum_total_s in
                     if elapsed_s > t.policy.timeout_s then begin
                       Telemetry.timeout t.telemetry;
+                      Trace.fault t.trace ~key:key_str ~fault:"timeout";
                       if transient && attempt < t.policy.max_retries then
                         retry attempt attempt_run
                       else begin
@@ -325,6 +368,7 @@ let try_measure_one t ~toolchain ?outline ~program ~input { build; rng } =
                     in
                     if observed <> expected then begin
                       Telemetry.wrong_answer t.telemetry;
+                      Trace.fault t.trace ~key:key_str ~fault:"wrong-answer";
                       quarantine_add t key_str Quarantine.Wrong_answer;
                       Wrong_answer
                     end
@@ -336,6 +380,14 @@ let try_measure_one t ~toolchain ?outline ~program ~input { build; rng } =
               in
               attempt_run 0))
 
+let try_measure_one t ~toolchain ?outline ~program ~input job =
+  let key_str = key ~toolchain ~program ~input job.build in
+  Trace.job_started t.trace ~key:key_str;
+  let outcome = run_job t ~toolchain ?outline ~program ~input ~key_str job in
+  Trace.job_finished t.trace ~key:key_str ~outcome:(outcome_tag outcome)
+    ~elapsed_s:(elapsed outcome);
+  outcome
+
 let measure_one t ~toolchain ?outline ~program ~input job =
   match try_measure_one t ~toolchain ?outline ~program ~input job with
   | Ok m -> m
@@ -343,12 +395,14 @@ let measure_one t ~toolchain ?outline ~program ~input job =
 
 let measure_batch t ~toolchain ?outline ~program ~input jobs_array =
   Telemetry.expect t.telemetry (Array.length jobs_array);
+  let batch = Trace.batch t.trace ~size:(Array.length jobs_array) in
   Pool.map ~jobs:t.jobs
-    (fun job ->
-      let m = measure_one t ~toolchain ?outline ~program ~input job in
-      Telemetry.tick t.telemetry;
-      m)
-    jobs_array
+    (fun (i, job) ->
+      Trace.in_job t.trace ~batch ~index:i (fun () ->
+          let m = measure_one t ~toolchain ?outline ~program ~input job in
+          Telemetry.tick t.telemetry;
+          m))
+    (Array.mapi (fun i job -> (i, job)) jobs_array)
 
 let measure_list t ~toolchain ?outline ~program ~input jobs =
   Array.to_list
@@ -356,12 +410,15 @@ let measure_list t ~toolchain ?outline ~program ~input jobs =
 
 let try_measure_batch t ~toolchain ?outline ~program ~input jobs_array =
   Telemetry.expect t.telemetry (Array.length jobs_array);
+  let batch = Trace.batch t.trace ~size:(Array.length jobs_array) in
   Pool.map_result ~jobs:t.jobs
-    (fun job ->
-      Fun.protect
-        ~finally:(fun () -> Telemetry.tick t.telemetry)
-        (fun () -> try_measure_one t ~toolchain ?outline ~program ~input job))
-    jobs_array
+    (fun (i, job) ->
+      Trace.in_job t.trace ~batch ~index:i (fun () ->
+          Fun.protect
+            ~finally:(fun () -> Telemetry.tick t.telemetry)
+            (fun () ->
+              try_measure_one t ~toolchain ?outline ~program ~input job)))
+    (Array.mapi (fun i job -> (i, job)) jobs_array)
   |> Array.map (function
        | Stdlib.Ok outcome -> outcome
        | Stdlib.Error e ->

@@ -97,6 +97,7 @@ val create :
   ?policy:policy ->
   ?quarantine:Quarantine.t ->
   ?checkpoint:Checkpoint.t ->
+  ?trace:Ft_obs.Trace.t ->
   unit ->
   t
 (** [jobs] defaults to 1 (sequential).  A fresh cache, telemetry and
@@ -104,6 +105,10 @@ val create :
     for a whole experiment lab, or a quarantine reloaded from a
     checkpoint).  When a [checkpoint] is attached, cache and quarantine
     snapshots are refreshed as state accumulates and on {!flush_checkpoint}.
+    When a [trace] is attached, every cache lookup, build, run, fault,
+    retry, quarantine decision and job completion is recorded as a typed
+    {!Ft_obs.Event} — with no trace, not a single extra instruction runs
+    on the job path.
     @raise Invalid_argument if [jobs < 1], [policy.repeats < 1],
     [policy.max_retries < 0] or [policy.timeout_s <= 0]. *)
 
@@ -113,6 +118,14 @@ val telemetry : t -> Telemetry.t
 val policy : t -> policy
 val quarantine : t -> Quarantine.t
 val checkpoint : t -> Checkpoint.t option
+val trace : t -> Ft_obs.Trace.t option
+
+val timed : t -> string -> (unit -> 'a) -> 'a
+(** [timed t name f] runs [f], accumulating its wall time both on the
+    telemetry timer [name] and (wall-clock traces only) as a trace
+    {!Ft_obs.Event.Timer} event, keeping the two stores derivable from
+    one another.  Used by the engine for ["build"]/["run"] and by the
+    search layers for their phase timers. *)
 
 val flush_checkpoint : t -> unit
 (** Force a checkpoint snapshot now (no-op without an attached

@@ -1,0 +1,187 @@
+type phase = Profile | Collect | Prune | Search
+
+let phase_name = function
+  | Profile -> "profile"
+  | Collect -> "collect"
+  | Prune -> "prune"
+  | Search -> "search"
+
+let phase_of_name = function
+  | "profile" -> Some Profile
+  | "collect" -> Some Collect
+  | "prune" -> Some Prune
+  | "search" -> Some Search
+  | _ -> None
+
+type t =
+  | Batch_submitted of { size : int }
+  | Job_started of { key : string }
+  | Job_finished of { key : string; outcome : string; elapsed_s : float option }
+  | Cache_query of { key : string }
+  | Cache_hit of { key : string }
+  | Cache_miss of { key : string }
+  | Build_done of { key : string }
+  | Run_done of { key : string }
+  | Fault_injected of { key : string; fault : string }
+  | Retry of { key : string; attempt : int; backoff_s : float }
+  | Outlier of { key : string }
+  | Quarantine_added of { key : string; reason : string }
+  | Quarantine_hit of { key : string; reason : string }
+  | Checkpoint_saved of { path : string }
+  | Checkpoint_loaded of { path : string; entries : int }
+  | Timer of { name : string; seconds : float }
+  | Phase_begin of { phase : phase }
+  | Phase_end of { phase : phase }
+  | Prune_kept of { module_name : string; kept : int }
+
+let name = function
+  | Batch_submitted _ -> "batch"
+  | Job_started _ -> "job_start"
+  | Job_finished _ -> "job_end"
+  | Cache_query _ -> "cache_query"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss _ -> "cache_miss"
+  | Build_done _ -> "build"
+  | Run_done _ -> "run"
+  | Fault_injected _ -> "fault"
+  | Retry _ -> "retry"
+  | Outlier _ -> "outlier"
+  | Quarantine_added _ -> "quarantine_add"
+  | Quarantine_hit _ -> "quarantine_hit"
+  | Checkpoint_saved _ -> "checkpoint_save"
+  | Checkpoint_loaded _ -> "checkpoint_load"
+  | Timer _ -> "timer"
+  | Phase_begin _ -> "phase_begin"
+  | Phase_end _ -> "phase_end"
+  | Prune_kept _ -> "prune"
+
+let fields = function
+  | Batch_submitted { size } -> [ ("size", Json.Int size) ]
+  | Job_started { key } -> [ ("key", Json.String key) ]
+  | Job_finished { key; outcome; elapsed_s } ->
+      [ ("key", Json.String key); ("outcome", Json.String outcome) ]
+      @ (match elapsed_s with
+        | Some s -> [ ("elapsed_s", Json.Float s) ]
+        | None -> [])
+  | Cache_query { key } | Cache_hit { key } | Cache_miss { key }
+  | Build_done { key } | Run_done { key } | Outlier { key } ->
+      [ ("key", Json.String key) ]
+  | Fault_injected { key; fault } ->
+      [ ("key", Json.String key); ("fault", Json.String fault) ]
+  | Retry { key; attempt; backoff_s } ->
+      [
+        ("key", Json.String key);
+        ("attempt", Json.Int attempt);
+        ("backoff_s", Json.Float backoff_s);
+      ]
+  | Quarantine_added { key; reason } | Quarantine_hit { key; reason } ->
+      [ ("key", Json.String key); ("reason", Json.String reason) ]
+  | Checkpoint_saved { path } -> [ ("path", Json.String path) ]
+  | Checkpoint_loaded { path; entries } ->
+      [ ("path", Json.String path); ("entries", Json.Int entries) ]
+  | Timer { name; seconds } ->
+      [ ("name", Json.String name); ("seconds", Json.Float seconds) ]
+  | Phase_begin { phase } | Phase_end { phase } ->
+      [ ("phase", Json.String (phase_name phase)) ]
+  | Prune_kept { module_name; kept } ->
+      [ ("module", Json.String module_name); ("kept", Json.Int kept) ]
+
+let of_json json =
+  let str field =
+    match Option.bind (Json.member field json) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field '%s'" field)
+  in
+  let int field =
+    match Option.bind (Json.member field json) Json.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "missing int field '%s'" field)
+  in
+  let num field =
+    match Option.bind (Json.member field json) Json.to_float with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "missing number field '%s'" field)
+  in
+  let phase field =
+    match str field with
+    | Error _ as e -> e
+    | Ok s -> (
+        match phase_of_name s with
+        | Some p -> Ok p
+        | None -> Error (Printf.sprintf "unknown phase '%s'" s))
+  in
+  let ( let* ) = Result.bind in
+  match str "ev" with
+  | Error _ -> Error "missing event tag 'ev'"
+  | Ok tag -> (
+      match tag with
+      | "batch" ->
+          let* size = int "size" in
+          Ok (Batch_submitted { size })
+      | "job_start" ->
+          let* key = str "key" in
+          Ok (Job_started { key })
+      | "job_end" ->
+          let* key = str "key" in
+          let* outcome = str "outcome" in
+          let elapsed_s =
+            Option.bind (Json.member "elapsed_s" json) Json.to_float
+          in
+          Ok (Job_finished { key; outcome; elapsed_s })
+      | "cache_query" ->
+          let* key = str "key" in
+          Ok (Cache_query { key })
+      | "cache_hit" ->
+          let* key = str "key" in
+          Ok (Cache_hit { key })
+      | "cache_miss" ->
+          let* key = str "key" in
+          Ok (Cache_miss { key })
+      | "build" ->
+          let* key = str "key" in
+          Ok (Build_done { key })
+      | "run" ->
+          let* key = str "key" in
+          Ok (Run_done { key })
+      | "fault" ->
+          let* key = str "key" in
+          let* fault = str "fault" in
+          Ok (Fault_injected { key; fault })
+      | "retry" ->
+          let* key = str "key" in
+          let* attempt = int "attempt" in
+          let* backoff_s = num "backoff_s" in
+          Ok (Retry { key; attempt; backoff_s })
+      | "outlier" ->
+          let* key = str "key" in
+          Ok (Outlier { key })
+      | "quarantine_add" ->
+          let* key = str "key" in
+          let* reason = str "reason" in
+          Ok (Quarantine_added { key; reason })
+      | "quarantine_hit" ->
+          let* key = str "key" in
+          let* reason = str "reason" in
+          Ok (Quarantine_hit { key; reason })
+      | "checkpoint_save" ->
+          let* path = str "path" in
+          Ok (Checkpoint_saved { path })
+      | "checkpoint_load" ->
+          let* path = str "path" in
+          let* entries = int "entries" in
+          Ok (Checkpoint_loaded { path; entries })
+      | "timer" ->
+          let* name = str "name" in
+          let* seconds = num "seconds" in
+          Ok (Timer { name; seconds })
+      | "phase_begin" ->
+          let* phase = phase "phase" in
+          Ok (Phase_begin { phase })
+      | "phase_end" ->
+          let* phase = phase "phase" in
+          Ok (Phase_end { phase })
+      | "prune" ->
+          let* module_name = str "module" in
+          let* kept = int "kept" in
+          Ok (Prune_kept { module_name; kept })
+      | tag -> Error (Printf.sprintf "unknown event tag '%s'" tag))

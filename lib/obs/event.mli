@@ -1,0 +1,72 @@
+(** The typed event vocabulary of the trace subsystem.
+
+    Every observable step of a tuning run — batch submission, job
+    start/finish, cache traffic, fault injection, retries, quarantine,
+    checkpoints, phase boundaries — is one of these constructors; the
+    {!Trace} buffer stamps them with an ordering key and the exporters
+    serialize them through {!to_json}/{!of_json}.
+
+    Event payloads carry only values that are pure functions of the run's
+    seeds (cache keys, fault kinds, attempt numbers, deterministic elapsed
+    seconds) — all wall-clock data lives in the {!Trace} stamp, never in
+    the event itself — so the same search always produces the same event
+    values at any worker count. *)
+
+type phase = Profile | Collect | Prune | Search
+(** Algorithm 1's phases: profile the O3 build and outline hot loops;
+    collect the per-loop runtime matrix; prune each module's space to its
+    top-X CVs; search the focused space end-to-end.  Searches that skip a
+    phase (e.g. Random skips prune) simply never open that span. *)
+
+val phase_name : phase -> string
+(** ["profile"] / ["collect"] / ["prune"] / ["search"]. *)
+
+val phase_of_name : string -> phase option
+
+type t =
+  | Batch_submitted of { size : int }
+      (** a batch of [size] jobs handed to the worker pool *)
+  | Job_started of { key : string }
+      (** one engine job began; [key] is its content-addressed cache key *)
+  | Job_finished of {
+      key : string;
+      outcome : string;  (** ["ok"], ["build-failed"], ["crashed"],
+                             ["wrong-answer"] or ["timed-out"] *)
+      elapsed_s : float option;
+          (** the measured (simulated) seconds where one exists *)
+    }
+  | Cache_query of { key : string }
+      (** logical-clock stand-in for hit/miss: {e which} worker misses is
+          a scheduling race, but the multiset of queried keys is not *)
+  | Cache_hit of { key : string }
+  | Cache_miss of { key : string }
+  | Build_done of { key : string }  (** compile+link actually performed *)
+  | Run_done of { key : string }  (** binary evaluation actually performed *)
+  | Fault_injected of {
+      key : string;
+      fault : string;
+          (** ["ice"], ["crash"], ["wrong-answer"] or ["timeout"] —
+              mirrors the {!Ft_engine.Telemetry} fault counters *)
+    }
+  | Retry of { key : string; attempt : int; backoff_s : float }
+  | Outlier of { key : string }  (** heavy-tailed measurement injected *)
+  | Quarantine_added of { key : string; reason : string }
+  | Quarantine_hit of { key : string; reason : string }
+  | Checkpoint_saved of { path : string }
+  | Checkpoint_loaded of { path : string; entries : int }
+  | Timer of { name : string; seconds : float }
+      (** one accumulation onto a telemetry timer (wall clock only) *)
+  | Phase_begin of { phase : phase }
+  | Phase_end of { phase : phase }
+  | Prune_kept of { module_name : string; kept : int }
+      (** space focusing kept [kept] CVs for this module (top-X) *)
+
+val name : t -> string
+(** The wire tag (the ["ev"] field), e.g. ["job_end"] or ["cache_hit"]. *)
+
+val fields : t -> (string * Json.t) list
+(** The payload fields, in fixed order, excluding ["ev"]. *)
+
+val of_json : Json.t -> (t, string) result
+(** Rebuild an event from an exported object (ignores unknown extra
+    fields such as ["ts"]); [Error] names the missing/malformed piece. *)

@@ -1,0 +1,72 @@
+let header t n =
+  Json.Obj
+    [
+      ("trace", Json.String "funcytuner/1");
+      ("clock", Json.String (Trace.clock_name (Trace.clock t)));
+      ("events", Json.Int n);
+    ]
+
+let jsonl_lines t =
+  let evs = Trace.events t in
+  let line i (st : Trace.stamped) =
+    let ts =
+      match Trace.clock t with
+      | Trace.Logical -> Json.Int i
+      | Trace.Wall -> Json.Float st.Trace.ts
+    in
+    Json.Obj
+      (("ts", ts)
+      :: ("ev", Json.String (Event.name st.Trace.event))
+      :: Event.fields st.Trace.event)
+  in
+  Json.to_string (header t (List.length evs))
+  :: List.mapi (fun i st -> Json.to_string (line i st)) evs
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_jsonl ~path t =
+  write_file path (String.concat "\n" (jsonl_lines t) ^ "\n")
+
+(* -- Chrome trace_event ------------------------------------------------ *)
+
+let chrome_string t =
+  let evs = Trace.events t in
+  let ts_us i (st : Trace.stamped) =
+    match Trace.clock t with
+    | Trace.Logical -> Json.Int i
+    | Trace.Wall -> Json.Float (st.Trace.ts *. 1e6)
+  in
+  let tid (st : Trace.stamped) =
+    if st.Trace.job < 0 then 0 else st.Trace.job + 1
+  in
+  let entry i (st : Trace.stamped) =
+    let common ph name extra =
+      Json.Obj
+        ([
+           ("name", Json.String name);
+           ("ph", Json.String ph);
+           ("ts", ts_us i st);
+           ("pid", Json.Int 1);
+           ("tid", Json.Int (tid st));
+         ]
+        @ extra)
+    in
+    match st.Trace.event with
+    | Event.Phase_begin { phase } -> common "B" (Event.phase_name phase) []
+    | Event.Phase_end { phase } -> common "E" (Event.phase_name phase) []
+    | e ->
+        common "i" (Event.name e)
+          [ ("s", Json.String "t"); ("args", Json.Obj (Event.fields e)) ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.mapi entry evs));
+         ("displayTimeUnit", Json.String "ms");
+       ])
+
+let write_chrome ~path t = write_file path (chrome_string t ^ "\n")

@@ -1,0 +1,31 @@
+(** Trace serialization: JSONL (the native format {!Report} reads back)
+    and Chrome [trace_event] JSON for [chrome://tracing] / Perfetto.
+
+    {2 JSONL}
+
+    Line 1 is a header object
+    [{"trace":"funcytuner/1","clock":...,"events":N}]; each further line
+    is one event: [{"ts":...,"ev":...,<payload fields>}].  Under a
+    logical clock [ts] is the event's ordinal in canonical order (an
+    int); under a wall clock it is seconds since trace creation.  All
+    rendering is deterministic, so logical-clock files are
+    byte-comparable across runs and worker counts.
+
+    {2 Chrome}
+
+    One [{"traceEvents":[...]}] object: phase spans become ["B"]/["E"]
+    duration events, everything else becomes an instant event with its
+    payload under ["args"].  Timestamps are microseconds (ordinals under
+    a logical clock); jobs are mapped to tids so per-job lanes separate
+    in the viewer. *)
+
+val jsonl_lines : Trace.t -> string list
+(** Header line followed by one line per event, canonical order, no
+    trailing newlines. *)
+
+val write_jsonl : path:string -> Trace.t -> unit
+(** Write {!jsonl_lines}, one per line, to [path]. *)
+
+val chrome_string : Trace.t -> string
+
+val write_chrome : path:string -> Trace.t -> unit

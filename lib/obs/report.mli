@@ -1,0 +1,54 @@
+(** Offline run summaries from exported traces — the [funcy report]
+    engine.
+
+    A report is computed purely from a JSONL trace file ({!Export}), so a
+    run can be analyzed on a different machine, long after the fact:
+
+    - per-phase breakdown (events, jobs, faults and — for wall-clock
+      traces — seconds per Algorithm-1 phase);
+    - cache hit-rate over time (from the hit/miss split, or re-derived
+      from [cache_query] first-occurrences for logical traces, which by
+      construction equals what a sequential run would have recorded);
+    - the convergence curve: best-so-far end-to-end seconds vs completed
+      evaluations;
+    - the fault/retry/quarantine table;
+    - per-loop focused pool sizes (CFR's top-X pruning decisions);
+    - the derived {!counters}, which for a wall-clock trace reproduce
+      {!Ft_engine.Telemetry.snapshot} exactly (asserted in the test
+      suite). *)
+
+type entry = { ts : float; event : Event.t }
+
+type t = { clock : string; entries : entry list }
+(** A parsed trace: entries in file (= canonical) order. *)
+
+val load : string -> (t, string) result
+(** Read a JSONL trace written by {!Export.write_jsonl}.  [Error]
+    explains the first malformed line, a missing/foreign header, or an
+    event-count mismatch with the header. *)
+
+type counters = {
+  builds : int;
+  runs : int;
+  cache_hits : int;
+  cache_misses : int;
+  retries : int;
+  build_failures : int;
+  crashes : int;
+  wrong_answers : int;
+  timeouts : int;
+  outliers : int;
+  quarantined : int;
+  quarantine_hits : int;
+  timers : (string * float) list;
+}
+(** Mirror of {!Ft_engine.Telemetry.snapshot}, recomputed from events. *)
+
+val derive : Event.t list -> counters
+(** Recompute telemetry from a trace.  Hits/misses come from the recorded
+    split when present, else from [cache_query] first-occurrence; builds
+    and runs fall back to the derived miss count when a logical trace
+    recorded no [build]/[run] events. *)
+
+val render : t -> string
+(** The multi-section plain-text report. *)

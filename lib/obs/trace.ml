@@ -1,0 +1,166 @@
+type clock = Wall | Logical
+
+let clock_name = function Wall -> "wall" | Logical -> "logical"
+
+let clock_of_name = function
+  | "wall" -> Some Wall
+  | "logical" -> Some Logical
+  | _ -> None
+
+type stamped = {
+  serial : int;
+  job : int;
+  seq : int;
+  ts : float;
+  event : Event.t;
+}
+
+type shard = { lock : Mutex.t; mutable events : stamped list }
+
+let shard_count = 16 (* power of two: sharded by domain id, below *)
+
+type t = {
+  clock : clock;
+  t0 : float;
+  next_serial : int Atomic.t;
+  shards : shard array;
+}
+
+let create ?(clock = Wall) () =
+  {
+    clock;
+    t0 = Unix.gettimeofday ();
+    next_serial = Atomic.make 0;
+    shards =
+      Array.init shard_count (fun _ ->
+          { lock = Mutex.create (); events = [] });
+  }
+
+let clock t = t.clock
+
+(* The active job scope of the current domain: (batch serial, job index,
+   per-job event counter).  Pool workers process jobs sequentially, so a
+   plain domain-local slot (saved/restored around each job) suffices. *)
+let job_scope : (int * int * int ref) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let record_stamped t st =
+  let shard =
+    t.shards.((Domain.self () :> int) land (shard_count - 1))
+  in
+  Mutex.protect shard.lock (fun () -> shard.events <- st :: shard.events)
+
+let now t = match t.clock with Wall -> Unix.gettimeofday () -. t.t0 | Logical -> 0.0
+
+let record t event =
+  let serial, job, seq =
+    match Domain.DLS.get job_scope with
+    | Some (batch, index, counter) ->
+        let s = !counter in
+        incr counter;
+        (batch, index, s)
+    | None -> (Atomic.fetch_and_add t.next_serial 1, -1, 0)
+  in
+  record_stamped t { serial; job; seq; ts = now t; event }
+
+let events t =
+  let all =
+    Array.fold_left
+      (fun acc shard ->
+        List.rev_append (Mutex.protect shard.lock (fun () -> shard.events)) acc)
+      [] t.shards
+  in
+  List.sort
+    (fun a b ->
+      match compare a.serial b.serial with
+      | 0 -> (
+          match compare a.job b.job with
+          | 0 -> compare a.seq b.seq
+          | c -> c)
+      | c -> c)
+    all
+
+let length t =
+  Array.fold_left
+    (fun acc shard ->
+      acc + Mutex.protect shard.lock (fun () -> List.length shard.events))
+    0 t.shards
+
+(* -- structure --------------------------------------------------------- *)
+
+let batch t ~size =
+  match t with
+  | None -> 0
+  | Some tr ->
+      let serial = Atomic.fetch_and_add tr.next_serial 1 in
+      (* job = -1 sorts the submission record ahead of the batch's jobs. *)
+      record_stamped tr
+        {
+          serial;
+          job = -1;
+          seq = 0;
+          ts = now tr;
+          event = Event.Batch_submitted { size };
+        };
+      serial
+
+let in_job t ~batch ~index f =
+  match t with
+  | None -> f ()
+  | Some _ ->
+      let saved = Domain.DLS.get job_scope in
+      Domain.DLS.set job_scope (Some (batch, index, ref 0));
+      Fun.protect ~finally:(fun () -> Domain.DLS.set job_scope saved) f
+
+let emit t e = match t with None -> () | Some tr -> record tr e
+
+let span t phase f =
+  match t with
+  | None -> f ()
+  | Some tr ->
+      record tr (Event.Phase_begin { phase });
+      Fun.protect ~finally:(fun () -> record tr (Event.Phase_end { phase })) f
+
+(* -- emission helpers -------------------------------------------------- *)
+
+let emit_wall t e =
+  match t with Some tr when tr.clock = Wall -> record tr e | _ -> ()
+
+let job_started t ~key = emit t (Event.Job_started { key })
+
+let job_finished t ~key ~outcome ~elapsed_s =
+  emit t (Event.Job_finished { key; outcome; elapsed_s })
+
+let cache_lookup t ~key ~hit =
+  match t with
+  | None -> ()
+  | Some tr ->
+      record tr
+        (match tr.clock with
+        | Wall -> if hit then Event.Cache_hit { key } else Event.Cache_miss { key }
+        | Logical -> Event.Cache_query { key })
+
+let build_done t ~key = emit_wall t (Event.Build_done { key })
+let run_done t ~key = emit_wall t (Event.Run_done { key })
+let fault t ~key ~fault = emit t (Event.Fault_injected { key; fault })
+
+let retry t ~key ~attempt ~backoff_s =
+  emit t (Event.Retry { key; attempt; backoff_s })
+
+let outlier t ~key = emit t (Event.Outlier { key })
+
+let quarantine_added t ~key ~reason =
+  emit_wall t (Event.Quarantine_added { key; reason })
+
+let quarantine_hit t ~key ~reason =
+  emit t (Event.Quarantine_hit { key; reason })
+
+let checkpoint_saved t ~path = emit_wall t (Event.Checkpoint_saved { path })
+
+let checkpoint_loaded t ~path ~entries =
+  emit_wall t (Event.Checkpoint_loaded { path; entries })
+
+let timer t ~name ~seconds = emit_wall t (Event.Timer { name; seconds })
+
+let prune_kept t ~module_name ~kept =
+  emit t (Event.Prune_kept { module_name; kept })

@@ -1,0 +1,121 @@
+(** The in-memory trace buffer: where events accumulate during a run.
+
+    {2 Recording}
+
+    A trace is shared by the main thread and every worker domain of the
+    engine pool.  To keep recording cheap and contention-free, events land
+    in one of a fixed set of mutex-sharded buffers keyed by the recording
+    domain; ordering is reconstructed afterwards (see below), never from
+    arrival time.
+
+    Every emission helper takes a [t option] and is a no-op on [None], so
+    call sites stay one-liners and a trace-less run executes the exact
+    code path it always did.
+
+    {2 Ordering and determinism}
+
+    Each event is stamped with a three-part key [(serial, job, seq)]:
+
+    - main-thread events draw [serial] from an atomic counter (the main
+      thread is sequential, so this order is deterministic) with
+      [job = -1];
+    - a batch handed to the pool takes {e one} serial for all its jobs;
+      within it each job is identified by its submission index [job], and
+      its events by a per-job sequence number [seq].
+
+    Sorting by this key yields the {e canonical order}: exactly the order
+    a sequential ([--jobs 1]) run would have recorded.  Because each
+    engine job's computation is a pure function of the job description,
+    the events a job emits are schedule-independent, so the sorted event
+    list — and hence the exported logical-clock trace bytes — is
+    bit-identical at any worker count.
+
+    {2 Clock modes}
+
+    [Wall] stamps events with monotonic seconds since trace creation and
+    additionally records the schedule-dependent events (hit/miss split,
+    builds/runs performed, timer accumulations, checkpoint saves) that
+    make the {!Ft_engine.Telemetry} counters derivable from the trace.
+    [Logical] suppresses those — cache lookups degrade to {!Event.Cache_query}
+    — and stamps nothing but the canonical order itself, making the
+    exported bytes reproducible. *)
+
+type clock = Wall | Logical
+
+val clock_name : clock -> string
+(** ["wall"] / ["logical"]. *)
+
+val clock_of_name : string -> clock option
+
+type t
+
+val create : ?clock:clock -> unit -> t
+(** A fresh, empty trace ([clock] defaults to [Wall]). *)
+
+val clock : t -> clock
+
+type stamped = {
+  serial : int;  (** main-thread sequence number, or the batch's *)
+  job : int;  (** submission index within the batch; [-1] on the main thread *)
+  seq : int;  (** per-job event sequence number *)
+  ts : float;  (** seconds since trace creation ([Wall]); [0.] in [Logical] *)
+  event : Event.t;
+}
+
+val events : t -> stamped list
+(** All recorded events in canonical [(serial, job, seq)] order. *)
+
+val length : t -> int
+
+(* -- structure: batches, job scopes, phase spans ----------------------- *)
+
+val batch : t option -> size:int -> int
+(** Record a {!Event.Batch_submitted} and return the batch serial to pass
+    to {!in_job} (0 when the trace is [None] — the value is then unused). *)
+
+val in_job : t option -> batch:int -> index:int -> (unit -> 'a) -> 'a
+(** Run a job's body with emissions attributed to [(batch, index)] via
+    domain-local state.  Scopes nest save/restore, so a sequential pool
+    running jobs on the main domain is handled too. *)
+
+val span : t option -> Event.phase -> (unit -> 'a) -> 'a
+(** Bracket [f] with {!Event.Phase_begin}/{!Event.Phase_end} (emitted even
+    if [f] raises). *)
+
+(* -- emission helpers (each a no-op on [None]) ------------------------- *)
+
+val job_started : t option -> key:string -> unit
+
+val job_finished :
+  t option -> key:string -> outcome:string -> elapsed_s:float option -> unit
+
+val cache_lookup : t option -> key:string -> hit:bool -> unit
+(** Records {!Event.Cache_hit}/{!Event.Cache_miss} under a [Wall] clock;
+    under [Logical] both sides collapse to {!Event.Cache_query}, because
+    which racing worker takes the miss is scheduling, not search. *)
+
+val build_done : t option -> key:string -> unit  (** [Wall] only *)
+
+val run_done : t option -> key:string -> unit  (** [Wall] only *)
+
+val fault : t option -> key:string -> fault:string -> unit
+
+val retry : t option -> key:string -> attempt:int -> backoff_s:float -> unit
+
+val outlier : t option -> key:string -> unit
+
+val quarantine_added : t option -> key:string -> reason:string -> unit
+(** [Wall] only: under workers racing on one faulty key, {e who} inserts
+    is scheduling (cf. {!cache_lookup}). *)
+
+val quarantine_hit : t option -> key:string -> reason:string -> unit
+
+val checkpoint_saved : t option -> path:string -> unit  (** [Wall] only *)
+
+val checkpoint_loaded : t option -> path:string -> entries:int -> unit
+(** [Wall] only *)
+
+val timer : t option -> name:string -> seconds:float -> unit
+(** [Wall] only: durations are wall-clock facts. *)
+
+val prune_kept : t option -> module_name:string -> kept:int -> unit

@@ -44,6 +44,7 @@ let run ?budget (ctx : Context.t) =
   let penalty = ctx.Context.baseline_s *. 10.0 in
   let best = ref None in
   let trace = ref [] in
+  Ft_obs.Trace.span (Context.trace ctx) Ft_obs.Event.Search (fun () ->
   for _ = 1 to budget do
     let name = Bandit.select bandit in
     let tech = technique name in
@@ -60,7 +61,7 @@ let run ?budget (ctx : Context.t) =
     Bandit.reward bandit name improved;
     if improved then best := Some (cost, cv);
     trace := cost :: !trace
-  done;
+  done);
   let best_seconds, best_cv =
     match !best with
     | Some (_, cv) -> (Context.evaluate_uniform ctx cv, cv)

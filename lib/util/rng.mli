@@ -21,6 +21,15 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val state : t -> int64
+(** The current 64-bit state word — the {e whole} generator.  Persist it
+    (e.g. in a checkpoint) and {!of_state} resumes the exact stream:
+    [of_state (state t)] produces the same outputs as [t] forever after. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a {!state} snapshot.  Unlike {!create}, the
+    argument is used verbatim, not re-mixed. *)
+
 val split : t -> t
 (** [split t] draws from [t] and returns a new generator whose stream is
     statistically independent of [t]'s subsequent output. *)

@@ -1,0 +1,39 @@
+(* Golden-file tests: the CSV bytes of two figure-shaped experiments are
+   pinned under test/golden/ and compared byte-for-byte against an
+   in-process regeneration with the same seed and pool size.
+
+   The files were produced by (and are regenerated with):
+
+     make golden
+     # = dune exec bin/funcy.exe -- experiment fig5c fig7a -k 12 \
+     #     --csv-dir test/golden
+
+   so any change to the sampling order, the search algorithms, the CSV
+   writer or the float formatting shows up as a reviewable golden diff. *)
+
+module Lab = Ft_experiments.Lab
+module Csv = Ft_experiments.Csv
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let lab = lazy (Lab.create ~seed:42 ~pool_size:12 ())
+
+let check_golden name series =
+  let path = Filename.concat "golden" name in
+  Alcotest.(check string) (name ^ " matches golden bytes") (read_file path)
+    (Csv.of_series series)
+
+let test_fig5c () =
+  check_golden "fig5c.csv"
+    (Ft_experiments.Fig5.panel (Lazy.force lab) Ft_prog.Platform.Broadwell)
+
+let test_fig7a () =
+  check_golden "fig7a.csv"
+    (Ft_experiments.Fig7.panel (Lazy.force lab) ~small:true)
+
+let suite =
+  ( "golden",
+    [
+      Alcotest.test_case "fig5c csv bytes" `Quick test_fig5c;
+      Alcotest.test_case "fig7a csv bytes" `Quick test_fig7a;
+    ] )

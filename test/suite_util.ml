@@ -246,6 +246,72 @@ let prop_shuffle_preserves_multiset =
       Rng.shuffle (Rng.create seed) a;
       List.sort compare (Array.to_list a) = List.sort compare xs)
 
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentile is monotone in p"
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 1 30) (float_range 0.0 100.0))
+        (float_range 0.0 100.0) (float_range 0.0 100.0))
+    (fun (xs, p1, p2) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile lo xs <= Stats.percentile hi xs +. 1e-9)
+
+let prop_robust_representative_within_mads =
+  QCheck.Test.make ~count:200
+    ~name:"robust_representative within 3 MADs of median"
+    QCheck.(array_of_size Gen.(int_range 1 30) (float_range 0.1 100.0))
+    (fun xs ->
+      let i = Stats.robust_representative xs in
+      let l = Array.to_list xs in
+      let med = Stats.median l in
+      let mad = Stats.median (List.map (fun x -> Float.abs (x -. med)) l) in
+      i >= 0
+      && i < Array.length xs
+      && Float.abs (xs.(i) -. med) <= (3.0 *. mad) +. 1e-9)
+
+let prop_geomean_le_mean =
+  QCheck.Test.make ~count:200 ~name:"geomean <= mean (AM-GM)"
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.1 10.0))
+    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9)
+
+let prop_label_streams_sibling_independent =
+  (* The stream behind a label must not depend on how much was already
+     drawn from any sibling label's stream — the property the engine's
+     per-job noise streams rely on for schedule independence. *)
+  QCheck.Test.make ~count:200 ~name:"of_label independent of sibling draws"
+    QCheck.(triple small_int (int_bound 16) (int_bound 16))
+    (fun (seed, before, after) ->
+      let r1 = Rng.create seed in
+      let sibling = Rng.of_label r1 "sibling" in
+      for _ = 1 to before do
+        ignore (Rng.int64 sibling)
+      done;
+      let a1 = Rng.of_label r1 "target" in
+      let x = Rng.int64 a1 in
+      let r2 = Rng.create seed in
+      let a2 = Rng.of_label r2 "target" in
+      let y = Rng.int64 a2 in
+      for _ = 1 to after do
+        ignore (Rng.int64 (Rng.of_label r2 "sibling"))
+      done;
+      x = y)
+
+let prop_rng_state_roundtrip =
+  (* The exact persistence path a checkpoint would use: state -> decimal
+     string -> of_state must resume the identical stream. *)
+  QCheck.Test.make ~count:200 ~name:"Rng state survives save/restore"
+    QCheck.(pair small_int (int_bound 50))
+    (fun (seed, advance) ->
+      let r = Rng.create seed in
+      for _ = 1 to advance do
+        ignore (Rng.int64 r)
+      done;
+      let persisted = Int64.to_string (Rng.state r) in
+      let r' = Rng.of_state (Int64.of_string persisted) in
+      let xs = List.init 20 (fun _ -> Rng.int64 r) in
+      let ys = List.init 20 (fun _ -> Rng.int64 r') in
+      xs = ys)
+
 let suite =
   ( "util",
     [
@@ -284,4 +350,9 @@ let suite =
       QCheck_alcotest.to_alcotest prop_geomean_between_min_max;
       QCheck_alcotest.to_alcotest prop_rng_float_in_range;
       QCheck_alcotest.to_alcotest prop_shuffle_preserves_multiset;
+      QCheck_alcotest.to_alcotest prop_percentile_monotone;
+      QCheck_alcotest.to_alcotest prop_robust_representative_within_mads;
+      QCheck_alcotest.to_alcotest prop_geomean_le_mean;
+      QCheck_alcotest.to_alcotest prop_label_streams_sibling_independent;
+      QCheck_alcotest.to_alcotest prop_rng_state_roundtrip;
     ] )

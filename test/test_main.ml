@@ -18,5 +18,7 @@ let () =
       Suite_opentuner.suite;
       Suite_cobayn.suite;
       Suite_experiments.suite;
+      Suite_obs.suite;
+      Suite_golden.suite;
       Suite_integration.suite;
     ]
