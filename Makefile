@@ -1,7 +1,8 @@
 DUNE ?= dune
 FUNCY = $(DUNE) exec --no-build bin/funcy.exe --
 
-.PHONY: all build test smoke smoke-faults smoke-trace golden check clean
+.PHONY: all build test smoke smoke-faults smoke-trace smoke-procs golden \
+        coverage check clean
 
 all: build
 
@@ -55,13 +56,50 @@ smoke-trace: build
 	cmp _build/smoke-trace-report1.out _build/smoke-trace-report2.out
 	@echo "smoke-trace OK: logical trace bytes jobs-independent, report reproducible"
 
+# Process-backend smoke (see DESIGN.md section 11):
+#   1. --backend processes --jobs 4 tune output AND its logical trace are
+#      byte-identical to --backend domains --jobs 1;
+#   2. they stay byte-identical when a worker is SIGKILLed mid-search
+#      (--kill-workers-after): the crashed job is retried bit-identically.
+smoke-procs: build
+	$(FUNCY) tune -b swim -a cfr -k 120 --jobs 1 \
+	  --trace _build/smoke-procs-d.jsonl --trace-clock logical \
+	  > _build/smoke-procs-d.out
+	$(FUNCY) tune -b swim -a cfr -k 120 --jobs 4 --backend processes \
+	  --trace _build/smoke-procs-p.jsonl --trace-clock logical \
+	  > _build/smoke-procs-p.out
+	cmp _build/smoke-procs-d.out _build/smoke-procs-p.out
+	cmp _build/smoke-procs-d.jsonl _build/smoke-procs-p.jsonl
+	$(FUNCY) tune -b swim -a cfr -k 120 --jobs 4 --backend processes \
+	  --kill-workers-after 3 \
+	  --trace _build/smoke-procs-k.jsonl --trace-clock logical \
+	  > _build/smoke-procs-k.out
+	cmp _build/smoke-procs-d.out _build/smoke-procs-k.out
+	cmp _build/smoke-procs-d.jsonl _build/smoke-procs-k.jsonl
+	@echo "smoke-procs OK: processes backend byte-identical to domains, even under worker kills"
+
+# Line coverage of `dune runtest` via bisect_ppx, which must be installed
+# (it is deliberately NOT a build dependency: the instrumentation stanzas
+# are inert unless dune is passed --instrument-with bisect_ppx, so default
+# builds cost nothing).  See test/README.md.
+coverage:
+	@command -v ocamlfind >/dev/null 2>&1 && ocamlfind query bisect_ppx \
+	  >/dev/null 2>&1 || \
+	  { echo "coverage: bisect_ppx is not installed (opam install bisect_ppx)"; \
+	    exit 1; }
+	rm -rf _coverage
+	BISECT_FILE=$(CURDIR)/_coverage/bisect $(DUNE) runtest --force \
+	  --instrument-with bisect_ppx
+	bisect-ppx-report html --coverage-path _coverage -o _coverage/html
+	bisect-ppx-report summary --coverage-path _coverage
+
 # Regenerate the golden CSV fixtures compared byte-for-byte by
 # `dune runtest` (test/suite_golden.ml).  Commit the diff deliberately:
 # a golden change means the search's observable behaviour changed.
 golden: build
 	$(FUNCY) experiment fig5c fig7a -k 12 --csv-dir test/golden
 
-check: build test smoke smoke-faults smoke-trace
+check: build test smoke smoke-faults smoke-trace smoke-procs
 
 clean:
 	$(DUNE) clean

@@ -7,6 +7,9 @@
      --jobs N | -j N   size of the evaluation-engine worker pool
                        (default 1 = sequential; results are bit-identical
                        for any value)
+     --backend NAME    evaluation substrate: domains (default) or
+                       processes (forked workers; crash-isolated, same
+                       results)
      --stats           print engine telemetry at exit
      --faults          arm the deterministic fault model for the lab engine
      --fault-rate R    overall injected fault rate in [0,1] (default 0.1)
@@ -30,6 +33,7 @@ open Ft_experiments
 module Table = Ft_util.Table
 
 let jobs = ref 1
+let backend = ref Ft_engine.Backend.default
 let stats = ref false
 let faults = ref false
 let fault_rate = ref 0.1
@@ -57,7 +61,7 @@ let policy () =
 let make_engine () =
   let open Ft_engine in
   match !checkpoint with
-  | None -> Engine.create ~jobs:!jobs ~policy:(policy ()) ()
+  | None -> Engine.create ~jobs:!jobs ~backend:!backend ~policy:(policy ()) ()
   | Some path ->
       let ck = Checkpoint.create ~path () in
       let cache, quarantine =
@@ -70,8 +74,8 @@ let make_engine () =
             (cache, quarantine)
         | None -> (Cache.create (), Quarantine.create ())
       in
-      Engine.create ~jobs:!jobs ~cache ~quarantine ~policy:(policy ())
-        ~checkpoint:ck ()
+      Engine.create ~jobs:!jobs ~backend:!backend ~cache ~quarantine
+        ~policy:(policy ()) ~checkpoint:ck ()
 
 let lab = lazy (Lab.create ~engine:(make_engine ()) ())
 
@@ -336,6 +340,11 @@ let int_flag ~flag ~min_v cell s =
 
 let set_jobs = int_flag ~flag:"--jobs" ~min_v:1 jobs
 
+let set_backend s =
+  match Ft_engine.Backend.of_name s with
+  | Some b -> backend := b
+  | None -> usage_error "--backend expects 'domains' or 'processes', got '%s'" s
+
 let set_fault_rate s =
   match float_of_string_opt s with
   | Some r when r >= 0.0 && r <= 1.0 -> fault_rate := r
@@ -357,6 +366,9 @@ let parse_args argv =
         go names rest
     | ("--jobs" | "-j") :: n :: rest ->
         set_jobs n;
+        go names rest
+    | "--backend" :: b :: rest ->
+        set_backend b;
         go names rest
     | "--fault-rate" :: r :: rest ->
         set_fault_rate r;
@@ -381,7 +393,7 @@ let parse_args argv =
         set_jobs (String.sub arg 7 (String.length arg - 7));
         go names rest
     | ("--fault-rate" | "--fault-seed" | "--timeout" | "--repeats"
-      | "--retries" | "--checkpoint" | "--jobs" | "-j") :: [] ->
+      | "--retries" | "--checkpoint" | "--jobs" | "-j" | "--backend") :: [] ->
         usage_error "missing value for the last flag"
     | name :: rest -> go (name :: names) rest
   in

@@ -78,8 +78,56 @@ let jobs_t =
     & opt (bounded_int_arg ~what:"jobs" ~min_v:1) 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Evaluation-engine worker domains (default 1 = sequential). \
+          "Evaluation-engine workers (default 1 = sequential). \
            Results are bit-identical for any value.")
+
+let backend_t =
+  let backend_arg =
+    let parse s =
+      match Ft_engine.Backend.of_name s with
+      | Some b -> Ok b
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown backend '%s', expected %s" s
+                  (String.concat " or "
+                     (List.map Ft_engine.Backend.to_name Ft_engine.Backend.all))))
+    in
+    let print fmt b =
+      Format.pp_print_string fmt (Ft_engine.Backend.to_name b)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt backend_arg Ft_engine.Backend.default
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Evaluation substrate: $(b,domains) (default; shared-memory OCaml \
+           domains) or $(b,processes) (a pool of forked workers — a \
+           crashing evaluation loses one worker, never the search).  Tune \
+           output and logical traces are byte-identical across backends.")
+
+let kill_workers_t =
+  Arg.(
+    value
+    & opt (some (bounded_int_arg ~what:"kill-workers-after" ~min_v:0)) None
+    & info [ "kill-workers-after" ] ~docv:"N"
+        ~doc:
+          "Testing hook ($(b,--backend processes) only): in each batch's \
+           first round, one worker SIGKILLs itself after completing \
+           $(docv) jobs, exercising crash recovery; results still match \
+           an uninterrupted run.")
+
+let shared_cache_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shared-cache" ] ~docv:"PATH"
+        ~doc:
+          "Share the measurement cache with concurrent funcy processes \
+           through $(docv): adopt its entries at startup and merge ours \
+           back at exit, under an exclusive file lock.")
 
 let stats_t =
   Arg.(
@@ -282,10 +330,10 @@ let policy_of_resilience r =
    policy and, with --checkpoint, attach the snapshot file — resuming from
    it when it already exists.  Resume chatter goes to stderr so stdout
    stays byte-comparable across resumed runs. *)
-let make_engine ~jobs ?trace r =
+let make_engine ~jobs ?backend ?kill_workers_after ?trace r =
   let policy = policy_of_resilience r in
   match r.checkpoint with
-  | None -> Engine.create ~jobs ~policy ?trace ()
+  | None -> Engine.create ~jobs ?backend ?kill_workers_after ~policy ?trace ()
   | Some path ->
       let ck = Checkpoint.create ~path () in
       let cache, quarantine =
@@ -299,7 +347,24 @@ let make_engine ~jobs ?trace r =
             (cache, quarantine)
         | None -> (Cache.create (), Quarantine.create ())
       in
-      Engine.create ~jobs ~cache ~quarantine ~policy ~checkpoint:ck ?trace ()
+      Engine.create ~jobs ?backend ?kill_workers_after ~cache ~quarantine
+        ~policy ~checkpoint:ck ?trace ()
+
+(* --shared-cache: one read-merge-write against the shared file at startup
+   (adopting whatever other processes committed) and one at exit
+   (publishing what this run measured).  Chatter goes to stderr so stdout
+   stays byte-comparable with unshared runs. *)
+let adopt_shared_cache engine = function
+  | None -> ()
+  | Some path ->
+      let adopted = Cache.sync (Engine.cache engine) ~path in
+      if adopted > 0 then
+        Printf.eprintf "funcy: adopted %d cached summaries from %s\n%!"
+          adopted path
+
+let publish_shared_cache engine = function
+  | None -> ()
+  | Some path -> ignore (Cache.sync (Engine.cache engine) ~path)
 
 (* The simulated crash still flushes the checkpoint and exports the trace
    collected so far: a post-mortem [funcy report] on a crashed run is
@@ -460,9 +525,14 @@ let tune_cmd =
       value & opt int Funcytuner.Cfr.default_top_x
       & info [ "top-x" ] ~docv:"X" ~doc:"CFR space-focusing width.")
   in
-  let run program platform seed pool jobs stats resilience tspec algo top_x =
+  let run program platform seed pool jobs backend kill_workers shared_cache
+      stats resilience tspec algo top_x =
     let trace = make_trace tspec in
-    let engine = make_engine ~jobs ?trace resilience in
+    let engine =
+      make_engine ~jobs ~backend ?kill_workers_after:kill_workers ?trace
+        resilience
+    in
+    adopt_shared_cache engine shared_cache;
     arm_die_after engine
       ~on_die:(fun () -> export_trace tspec trace)
       resilience.die_after;
@@ -482,6 +552,7 @@ let tune_cmd =
     print_newline ();
     Fun.protect ~finally:(fun () ->
         Engine.flush_checkpoint engine;
+        publish_shared_cache engine shared_cache;
         export_trace tspec trace;
         maybe_stats stats (Funcytuner.Context.telemetry ctx))
     @@ fun () ->
@@ -551,8 +622,9 @@ let tune_cmd =
   Cmd.v
     (Cmd.info "tune" ~doc:"Run one auto-tuning algorithm")
     Term.(
-      const run $ program_t $ platform_t $ seed_t $ pool_t $ jobs_t $ stats_t
-      $ resilience_t $ trace_spec_t $ algo_t $ top_x_t)
+      const run $ program_t $ platform_t $ seed_t $ pool_t $ jobs_t
+      $ backend_t $ kill_workers_t $ shared_cache_t $ stats_t $ resilience_t
+      $ trace_spec_t $ algo_t $ top_x_t)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -591,9 +663,14 @@ let experiment_cmd =
           ~doc:"fig1 fig5a fig5b fig5c fig6 fig7a fig7b fig8 fig9 tab1 tab2 \
                 tab3 ablations faults (default: fig5c).")
   in
-  let run seed pool jobs stats resilience tspec csv_dir names =
+  let run seed pool jobs backend kill_workers shared_cache stats resilience
+      tspec csv_dir names =
     let trace = make_trace tspec in
-    let engine = make_engine ~jobs ?trace resilience in
+    let engine =
+      make_engine ~jobs ~backend ?kill_workers_after:kill_workers ?trace
+        resilience
+    in
+    adopt_shared_cache engine shared_cache;
     arm_die_after engine
       ~on_die:(fun () -> export_trace tspec trace)
       resilience.die_after;
@@ -639,6 +716,7 @@ let experiment_cmd =
     in
     Fun.protect ~finally:(fun () ->
         Engine.flush_checkpoint engine;
+        publish_shared_cache engine shared_cache;
         export_trace tspec trace;
         maybe_stats stats (Ft_experiments.Lab.telemetry lab))
     @@ fun () ->
@@ -647,8 +725,9 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate paper tables and figures")
     Term.(
-      const run $ seed_t $ pool_t $ jobs_t $ stats_t $ resilience_t
-      $ trace_spec_t $ csv_dir_t $ names_t)
+      const run $ seed_t $ pool_t $ jobs_t $ backend_t $ kill_workers_t
+      $ shared_cache_t $ stats_t $ resilience_t $ trace_spec_t $ csv_dir_t
+      $ names_t)
 
 (* --- report ------------------------------------------------------------ *)
 

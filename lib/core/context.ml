@@ -14,10 +14,10 @@ type t = {
   engine : Engine.t;
 }
 
-let make ?(pool_size = 1000) ?jobs ?engine ~toolchain ~program ~input ~seed ()
-    =
+let make ?(pool_size = 1000) ?jobs ?backend ?engine ~toolchain ~program ~input
+    ~seed () =
   let engine =
-    match engine with Some e -> e | None -> Engine.create ?jobs ()
+    match engine with Some e -> e | None -> Engine.create ?jobs ?backend ()
   in
   let rng = Rng.create seed in
   let pool = Ft_flags.Space.sample_pool (Rng.of_label rng "pool") pool_size in

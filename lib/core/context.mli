@@ -22,6 +22,7 @@ type t = {
 val make :
   ?pool_size:int ->
   ?jobs:int ->
+  ?backend:Ft_engine.Backend.t ->
   ?engine:Ft_engine.Engine.t ->
   toolchain:Ft_machine.Toolchain.t ->
   program:Ft_prog.Program.t ->
@@ -33,8 +34,9 @@ val make :
     pool is drawn from a stream derived from [seed] alone, so two sessions
     with the same seed share the same pool regardless of evaluation
     order.  [jobs] (default 1 = sequential) sizes a fresh engine's worker
-    pool; pass [engine] instead to share one engine — cache and telemetry
-    included — across sessions.  Results are independent of both. *)
+    pool and [backend] (default domains) picks its execution substrate;
+    pass [engine] instead to share one engine — cache and telemetry
+    included — across sessions.  Results are independent of all three. *)
 
 val stream : t -> string -> Ft_util.Rng.t
 (** A labelled child stream (e.g. ["fr"], ["cfr:measure"]), independent of

@@ -8,11 +8,12 @@ type session = {
   collection : Collection.t Lazy.t;
 }
 
-let make_session ?pool_size ?threshold ?jobs ?engine ~platform ~program
-    ~input ~seed () =
+let make_session ?pool_size ?threshold ?jobs ?backend ?engine ~platform
+    ~program ~input ~seed () =
   let toolchain = Toolchain.make platform in
   let ctx =
-    Context.make ?pool_size ?jobs ?engine ~toolchain ~program ~input ~seed ()
+    Context.make ?pool_size ?jobs ?backend ?engine ~toolchain ~program ~input
+      ~seed ()
   in
   let outline =
     Ft_obs.Trace.span (Context.trace ctx) Ft_obs.Event.Profile (fun () ->

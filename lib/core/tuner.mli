@@ -17,6 +17,7 @@ val make_session :
   ?pool_size:int ->
   ?threshold:float ->
   ?jobs:int ->
+  ?backend:Ft_engine.Backend.t ->
   ?engine:Ft_engine.Engine.t ->
   platform:Ft_prog.Platform.t ->
   program:Ft_prog.Program.t ->
@@ -26,9 +27,10 @@ val make_session :
   session
 (** Profile at O3, outline hot loops (≥ [threshold], default 1 %), prepare
     the CV pool.  The collection happens on first use.  [jobs] (default 1)
-    sizes the evaluation engine's worker pool — reports are bit-identical
-    at any setting; [engine] shares an existing engine (cache + telemetry)
-    instead. *)
+    sizes the evaluation engine's worker pool and [backend] (default
+    domains) its execution substrate — reports are bit-identical at any
+    setting of either; [engine] shares an existing engine (cache +
+    telemetry) instead. *)
 
 type report = {
   random : Result.t;

@@ -1,0 +1,17 @@
+type t = Domains | Processes
+
+let default = Domains
+let all = [ Domains; Processes ]
+let to_name = function Domains -> "domains" | Processes -> "processes"
+
+let of_name = function
+  | "domains" -> Some Domains
+  | "processes" -> Some Processes
+  | _ -> None
+
+let describe = function
+  | Domains ->
+      "shared-memory worker domains (one process, OCaml 5 domains)"
+  | Processes ->
+      "forked worker processes (crash isolation, length-prefixed Marshal \
+       frames over pipes)"

@@ -1,0 +1,27 @@
+(** Which execution substrate runs a batch of engine jobs.
+
+    [Domains] (the default) is the original shared-memory {!Pool}: jobs
+    run on OCaml 5 domains inside the engine's process, sharing its
+    cache, quarantine, telemetry and trace directly.  [Processes] runs
+    each batch on a fixed-size {!Procpool} of forked workers: a crashing
+    or leaking evaluation takes down only its worker, never the search —
+    the failure surfaces as a typed {!Engine.job_outcome.Worker_crashed}
+    and flows through the engine's retry/quarantine machinery.  Both
+    backends compute bit-identical results (and byte-identical
+    logical-clock traces): the choice trades isolation and address-space
+    hygiene against fork/IPC overhead, never outcomes. *)
+
+type t = Domains | Processes
+
+val default : t
+(** [Domains] — single-process, so all historical output is unchanged. *)
+
+val all : t list
+
+val to_name : t -> string
+(** ["domains"] / ["processes"] (the [--backend] spelling). *)
+
+val of_name : string -> t option
+
+val describe : t -> string
+(** One-line human description for banners and [--help]. *)

@@ -94,27 +94,87 @@ let load ?warn path =
     | Some w -> w
     | None -> fun ~line ~reason -> default_warn ~path ~line ~reason
   in
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      (match input_line ic with
-      | magic when magic = format_magic -> ()
-      | _ ->
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* A line is trusted only once its terminating newline reached the disk:
+     truncation can only tear a file's tail, and a torn final line may
+     otherwise still parse — a float cut mid-digits is a different, valid
+     float.  [input_line] cannot see the missing terminator, hence the
+     whole-file read. *)
+  if contents = "" then raise (Corrupt { path; line = 1; reason = "empty file" });
+  let body_start =
+    match String.index_opt contents '\n' with
+    | None ->
+        let reason =
+          if contents = format_magic then "truncated header"
+          else "not an engine cache file"
+        in
+        raise (Corrupt { path; line = 1; reason })
+    | Some i ->
+        if String.sub contents 0 i <> format_magic then
           raise
-            (Corrupt { path; line = 1; reason = "not an engine cache file" })
-      | exception End_of_file ->
-          raise (Corrupt { path; line = 1; reason = "empty file" }));
-      let t = create () in
-      let line_no = ref 1 in
-      (try
-         while true do
-           let line = input_line ic in
-           incr line_no;
-           if line <> "" then
-             match parse_entry line with
-             | Ok (key, summary) -> Hashtbl.replace t.table key summary
-             | Error reason -> warn ~line:!line_no ~reason
-         done
-       with End_of_file -> ());
-      t)
+            (Corrupt { path; line = 1; reason = "not an engine cache file" });
+        i + 1
+  in
+  let t = create () in
+  let body =
+    String.sub contents body_start (String.length contents - body_start)
+  in
+  let lines = String.split_on_char '\n' body in
+  (* A newline-terminated body splits into a trailing "" sentinel; any
+     other final element is a torn line to be skipped, not parsed. *)
+  let last = List.length lines - 1 in
+  List.iteri
+    (fun idx line ->
+      if line <> "" then
+        let line_no = idx + 2 in
+        if idx = last then
+          warn ~line:line_no ~reason:"torn final line (missing newline)"
+        else
+          match parse_entry line with
+          | Ok (key, summary) -> Hashtbl.replace t.table key summary
+          | Error reason -> warn ~line:line_no ~reason)
+    lines;
+  t
+
+(* -- multi-process sharing ---------------------------------------------- *)
+
+let merge t ~from =
+  Mutex.protect from.lock (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) from.table [])
+  |> List.fold_left
+       (fun adopted (k, v) ->
+         Mutex.protect t.lock (fun () ->
+             if Hashtbl.mem t.table k then adopted
+             else begin
+               Hashtbl.replace t.table k v;
+               adopted + 1
+             end))
+       0
+
+(* Advisory exclusive lock on a sidecar ([path ^ ".lock"]), not on [path]
+   itself: [save] replaces [path] by rename, so a lock on the data file's
+   inode would guard a file that no longer exists.  The sidecar is
+   stable, empty, and shared by every process syncing against [path]. *)
+let with_file_lock ~path f =
+  let lock_path = path ^ ".lock" in
+  let fd = Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      Unix.close fd)
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      f ())
+
+let sync ?warn t ~path =
+  with_file_lock ~path (fun () ->
+      let adopted =
+        if Sys.file_exists path then merge t ~from:(load ?warn path) else 0
+      in
+      save t ~path;
+      adopted)

@@ -48,6 +48,28 @@ val load : ?warn:(line:int -> reason:string -> unit) -> string -> t
     magic header (torn writes, bit rot) are skipped, reporting each to
     [warn] with its line number and a reason (default: one warning line on
     stderr), rather than aborting the load — a partially corrupt cache
-    still resumes everything that survived.
-    @raise Corrupt when the header is missing or wrong; [Sys_error] if the
-    file is unreadable. *)
+    still resumes everything that survived.  A final line missing its
+    terminating newline is treated as torn and skipped too, {e even if it
+    would parse}: a float truncated mid-digits is a different valid
+    float, so only fully committed lines are trusted.
+    @raise Corrupt when the header is missing, wrong or truncated;
+    [Sys_error] if the file is unreadable. *)
+
+val merge : t -> from:t -> int
+(** Adopt every binding of [from] that [t] lacks (existing keys win —
+    values for equal keys are bit-identical by the determinism argument,
+    so precedence is moot).  Returns the number adopted. *)
+
+val with_file_lock : path:string -> (unit -> 'a) -> 'a
+(** Run [f] holding an exclusive advisory lock on [path ^ ".lock"]
+    (created on demand; blocks until granted; released even if [f]
+    raises).  The sidecar file, not [path] itself, carries the lock:
+    {!save} replaces [path] by rename, which would orphan a lock held on
+    the data file's own inode. *)
+
+val sync : ?warn:(line:int -> reason:string -> unit) -> t -> path:string -> int
+(** Read-merge-write [path] under {!with_file_lock}: adopt every on-disk
+    entry [t] lacks, then atomically save the union back.  The primitive
+    behind [--shared-cache] — any number of concurrent funcy processes
+    can sync against one file and every committed entry survives.
+    Returns the number of entries adopted {e from} the file. *)

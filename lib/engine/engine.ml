@@ -40,13 +40,14 @@ type job_outcome =
   | Crashed of string
   | Wrong_answer
   | Timed_out of float
+  | Worker_crashed of string
 
 exception Job_failed of job_outcome
 
 let elapsed = function
   | Ok m -> Some m.Exec.elapsed_s
   | Timed_out s -> Some s
-  | Build_failed _ | Crashed _ | Wrong_answer -> None
+  | Build_failed _ | Crashed _ | Wrong_answer | Worker_crashed _ -> None
 
 let outcome_to_string = function
   | Ok m -> Printf.sprintf "ok(%.4fs)" m.Exec.elapsed_s
@@ -54,6 +55,7 @@ let outcome_to_string = function
   | Crashed d -> "crashed(" ^ d ^ ")"
   | Wrong_answer -> "wrong-answer"
   | Timed_out s -> Printf.sprintf "timed-out(%.1fs)" s
+  | Worker_crashed d -> "worker-crashed(" ^ d ^ ")"
 
 (* Payload-free outcome tag for trace events. *)
 let outcome_tag = function
@@ -62,6 +64,7 @@ let outcome_tag = function
   | Crashed _ -> "crashed"
   | Wrong_answer -> "wrong-answer"
   | Timed_out _ -> "timed-out"
+  | Worker_crashed _ -> "worker-crashed"
 
 let reason_tag = function
   | Quarantine.Build_failed _ -> "build-failed"
@@ -69,13 +72,17 @@ let reason_tag = function
   | Quarantine.Wrong_answer -> "wrong-answer"
   | Quarantine.Timed_out _ -> "timed-out"
 
-(* Only terminal (quarantinable) outcomes map to a reason; [Ok] does not. *)
+(* Only terminal (quarantinable) outcomes map to a reason; [Ok] does not.
+   A worker crash shares the [Crashed] reason with a ["worker: "] prefix:
+   quarantine is a persisted format and the distinction is diagnostic,
+   not behavioral. *)
 let reason_of_outcome = function
   | Ok _ -> None
   | Build_failed m -> Some (Quarantine.Build_failed m)
   | Crashed d -> Some (Quarantine.Crashed d)
   | Wrong_answer -> Some Quarantine.Wrong_answer
   | Timed_out s -> Some (Quarantine.Timed_out s)
+  | Worker_crashed d -> Some (Quarantine.Crashed ("worker: " ^ d))
 
 let outcome_of_reason = function
   | Quarantine.Build_failed m -> Build_failed m
@@ -83,18 +90,31 @@ let outcome_of_reason = function
   | Quarantine.Wrong_answer -> Wrong_answer
   | Quarantine.Timed_out s -> Timed_out s
 
+(* What a forked worker has added to its (fork-private) cache and
+   quarantine copies, so the parent can adopt the entries from the
+   shipment.  Threaded as a field of [t] rather than a parameter so the
+   whole measurement path stays oblivious to which backend runs it. *)
+type journal = {
+  mutable j_cache : (string * Exec.summary) list;
+  mutable j_quar : (string * Quarantine.reason) list;
+}
+
 type t = {
   jobs : int;
+  backend : Backend.t;
+  kill_workers_after : int option;
   cache : Cache.t;
   telemetry : Telemetry.t;
   policy : policy;
   quarantine : Quarantine.t;
   checkpoint : Checkpoint.t option;
   trace : Trace.t option;
+  journal : journal option;
 }
 
-let create ?(jobs = 1) ?cache ?telemetry ?(policy = default_policy)
-    ?quarantine ?checkpoint ?trace () =
+let create ?(jobs = 1) ?(backend = Backend.default) ?kill_workers_after
+    ?cache ?telemetry ?(policy = default_policy) ?quarantine ?checkpoint
+    ?trace () =
   if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
   if policy.repeats < 1 then
     invalid_arg "Engine.create: policy.repeats must be >= 1";
@@ -102,8 +122,14 @@ let create ?(jobs = 1) ?cache ?telemetry ?(policy = default_policy)
     invalid_arg "Engine.create: policy.max_retries must be >= 0";
   if policy.timeout_s <= 0.0 then
     invalid_arg "Engine.create: policy.timeout_s must be positive";
+  (match kill_workers_after with
+  | Some k when k < 0 ->
+      invalid_arg "Engine.create: kill_workers_after must be >= 0"
+  | _ -> ());
   {
     jobs;
+    backend;
+    kill_workers_after;
     cache = (match cache with Some c -> c | None -> Cache.create ());
     telemetry =
       (match telemetry with Some t -> t | None -> Telemetry.create ());
@@ -112,9 +138,11 @@ let create ?(jobs = 1) ?cache ?telemetry ?(policy = default_policy)
       (match quarantine with Some q -> q | None -> Quarantine.create ());
     checkpoint;
     trace;
+    journal = None;
   }
 
 let jobs t = t.jobs
+let backend t = t.backend
 let cache t = t.cache
 let telemetry t = t.telemetry
 let policy t = t.policy
@@ -232,6 +260,9 @@ let summary t ~toolchain ?outline ~program ~input build =
       Trace.run_done t.trace ~key;
       let s = Exec.summarize run in
       Cache.add t.cache key s;
+      (match t.journal with
+      | Some j -> j.j_cache <- (key, s) :: j.j_cache
+      | None -> ());
       checkpoint_tick t;
       s
 
@@ -243,6 +274,9 @@ let evaluate t ~toolchain ?outline ~program ~input build =
 let quarantine_add t key reason =
   if Quarantine.find t.quarantine key = None then begin
     Quarantine.add t.quarantine key reason;
+    (match t.journal with
+    | Some j -> j.j_quar <- (key, reason) :: j.j_quar
+    | None -> ());
     Telemetry.quarantine t.telemetry;
     Trace.quarantine_added t.trace ~key ~reason:(reason_tag reason);
     checkpoint_tick t
@@ -393,39 +427,181 @@ let measure_one t ~toolchain ?outline ~program ~input job =
   | Ok m -> m
   | outcome -> raise (Job_failed outcome)
 
+(* -- the process backend ------------------------------------------------ *)
+
+(* Everything a forked worker must send home with a job's outcome.  Only
+   plain data: the parent's stores are unreachable from a child (fork
+   copies them), so each job runs against a {e shadow} engine — fresh
+   telemetry, a fresh trace of the same clock, no checkpoint, a journal —
+   and the parent replays the deltas.  A worker that dies before its
+   shipment is written leaves no partial effect anywhere: crashed
+   attempts are invisible, which is exactly the retry semantics the
+   logical-trace byte-identity argument needs. *)
+type shipment = {
+  sh_outcome : job_outcome;
+  sh_cache : (string * Exec.summary) list;
+  sh_quar : (string * Quarantine.reason) list;
+  sh_tel : Telemetry.snapshot;
+  sh_trace : (float * Trace.stamped list) option;
+}
+
+let worker_shipment t ~toolchain ?outline ~program ~input ~batch (i, job) =
+  let shadow_trace =
+    Option.map (fun tr -> Trace.create ~clock:(Trace.clock tr) ()) t.trace
+  in
+  let j = { j_cache = []; j_quar = [] } in
+  let t' =
+    {
+      t with
+      telemetry = Telemetry.create ();
+      trace = shadow_trace;
+      checkpoint = None;
+      journal = Some j;
+    }
+  in
+  let outcome =
+    Trace.in_job shadow_trace ~batch ~index:i (fun () ->
+        try_measure_one t' ~toolchain ?outline ~program ~input job)
+  in
+  {
+    sh_outcome = outcome;
+    sh_cache = List.rev j.j_cache;
+    sh_quar = List.rev j.j_quar;
+    sh_tel = Telemetry.snapshot t'.telemetry;
+    sh_trace =
+      Option.map (fun tr -> (Trace.epoch tr, Trace.events tr)) shadow_trace;
+  }
+
+(* Replay one worker's deltas onto the parent's stores.  Adoption is
+   conditional on absence: a sibling worker (blind to this one's fork
+   image) may have already computed the same key — the values are
+   bit-identical by the determinism argument, so first-in wins.  The
+   progress tick comes last so a [--die-after] checkpoint flush already
+   contains the merged entries. *)
+let merge_shipment t sh =
+  List.iter
+    (fun (k, s) -> if Cache.find t.cache k = None then Cache.add t.cache k s)
+    sh.sh_cache;
+  List.iter
+    (fun (k, r) ->
+      if Quarantine.find t.quarantine k = None then Quarantine.add t.quarantine k r)
+    sh.sh_quar;
+  Telemetry.absorb t.telemetry sh.sh_tel;
+  (match (t.trace, sh.sh_trace) with
+  | Some tr, Some (epoch, stamps) -> Trace.inject tr ~epoch stamps
+  | _ -> ());
+  checkpoint_tick t;
+  Telemetry.tick t.telemetry
+
+(* Run a batch on the process pool.  Crashed jobs are re-run in fresh
+   pool rounds — never in-parent: a job that deterministically kills its
+   worker must stay isolated — up to [max_retries] times; exhaustion
+   surfaces as [Worker_crashed] and quarantines the key.  The chaos hook
+   is armed only on the first round, so the retried job's re-run is
+   never re-killed and the run converges to the uninterrupted result. *)
+let process_outcomes t ~toolchain ?outline ~program ~input jobs_array =
+  let n = Array.length jobs_array in
+  Telemetry.expect t.telemetry n;
+  let batch = Trace.batch t.trace ~size:n in
+  let outcomes = Array.make n None in
+  let f = worker_shipment t ~toolchain ?outline ~program ~input ~batch in
+  let run_round ~chaos indices =
+    let idx = Array.of_list indices in
+    let items = Array.map (fun i -> (i, jobs_array.(i))) idx in
+    let on_result _slot = function
+      | Stdlib.Ok sh -> merge_shipment t sh
+      | Stdlib.Error _ -> ()
+    in
+    let kill = if chaos then t.kill_workers_after else None in
+    let res =
+      Procpool.map ~workers:t.jobs ~on_result ?kill_first_worker_after:kill f
+        items
+    in
+    let crashed = ref [] in
+    Array.iteri
+      (fun slot r ->
+        let i = idx.(slot) in
+        match r with
+        | Stdlib.Ok sh -> outcomes.(i) <- Some sh.sh_outcome
+        | Stdlib.Error (Procpool.Raised msg) ->
+            (* Parity with the domains backend: an exception that escaped
+               a healthy worker is a crashed run, not a crashed worker. *)
+            outcomes.(i) <- Some (Crashed msg);
+            Telemetry.tick t.telemetry
+        | Stdlib.Error (Procpool.Crashed c) ->
+            let detail = Procpool.crash_to_string c in
+            Telemetry.worker_crash t.telemetry;
+            Trace.worker_crashed t.trace ~detail;
+            crashed := (i, detail) :: !crashed)
+      res;
+    List.rev !crashed
+  in
+  let rec rounds attempt ~chaos indices =
+    match run_round ~chaos indices with
+    | [] -> ()
+    | crashed when attempt < t.policy.max_retries ->
+        rounds (attempt + 1) ~chaos:false (List.map fst crashed)
+    | crashed ->
+        List.iter
+          (fun (i, detail) ->
+            let key_str =
+              key ~toolchain ~program ~input jobs_array.(i).build
+            in
+            quarantine_add t key_str
+              (Quarantine.Crashed ("worker: " ^ detail));
+            outcomes.(i) <- Some (Worker_crashed detail);
+            Telemetry.tick t.telemetry)
+          crashed
+  in
+  if n > 0 then rounds 0 ~chaos:true (List.init n Fun.id);
+  Array.map (function Some o -> o | None -> assert false) outcomes
+
+(* -- batch entry points ------------------------------------------------- *)
+
 let measure_batch t ~toolchain ?outline ~program ~input jobs_array =
-  Telemetry.expect t.telemetry (Array.length jobs_array);
-  let batch = Trace.batch t.trace ~size:(Array.length jobs_array) in
-  Pool.map ~jobs:t.jobs
-    (fun (i, job) ->
-      Trace.in_job t.trace ~batch ~index:i (fun () ->
-          let m = measure_one t ~toolchain ?outline ~program ~input job in
-          Telemetry.tick t.telemetry;
-          m))
-    (Array.mapi (fun i job -> (i, job)) jobs_array)
+  match t.backend with
+  | Backend.Processes ->
+      process_outcomes t ~toolchain ?outline ~program ~input jobs_array
+      |> Array.map (function
+           | Ok m -> m
+           | outcome -> raise (Pool.Worker_failure (Job_failed outcome)))
+  | Backend.Domains ->
+      Telemetry.expect t.telemetry (Array.length jobs_array);
+      let batch = Trace.batch t.trace ~size:(Array.length jobs_array) in
+      Pool.map ~jobs:t.jobs
+        (fun (i, job) ->
+          Trace.in_job t.trace ~batch ~index:i (fun () ->
+              let m = measure_one t ~toolchain ?outline ~program ~input job in
+              Telemetry.tick t.telemetry;
+              m))
+        (Array.mapi (fun i job -> (i, job)) jobs_array)
 
 let measure_list t ~toolchain ?outline ~program ~input jobs =
   Array.to_list
     (measure_batch t ~toolchain ?outline ~program ~input (Array.of_list jobs))
 
 let try_measure_batch t ~toolchain ?outline ~program ~input jobs_array =
-  Telemetry.expect t.telemetry (Array.length jobs_array);
-  let batch = Trace.batch t.trace ~size:(Array.length jobs_array) in
-  Pool.map_result ~jobs:t.jobs
-    (fun (i, job) ->
-      Trace.in_job t.trace ~batch ~index:i (fun () ->
-          Fun.protect
-            ~finally:(fun () -> Telemetry.tick t.telemetry)
-            (fun () ->
-              try_measure_one t ~toolchain ?outline ~program ~input job)))
-    (Array.mapi (fun i job -> (i, job)) jobs_array)
-  |> Array.map (function
-       | Stdlib.Ok outcome -> outcome
-       | Stdlib.Error e ->
-           (* An exception that escaped a worker is indistinguishable from
-              a crashed run as far as the search is concerned; record it so
-              the batch survives. *)
-           Crashed (Printexc.to_string e))
+  match t.backend with
+  | Backend.Processes ->
+      process_outcomes t ~toolchain ?outline ~program ~input jobs_array
+  | Backend.Domains ->
+      Telemetry.expect t.telemetry (Array.length jobs_array);
+      let batch = Trace.batch t.trace ~size:(Array.length jobs_array) in
+      Pool.map_result ~jobs:t.jobs
+        (fun (i, job) ->
+          Trace.in_job t.trace ~batch ~index:i (fun () ->
+              Fun.protect
+                ~finally:(fun () -> Telemetry.tick t.telemetry)
+                (fun () ->
+                  try_measure_one t ~toolchain ?outline ~program ~input job)))
+        (Array.mapi (fun i job -> (i, job)) jobs_array)
+      |> Array.map (function
+           | Stdlib.Ok outcome -> outcome
+           | Stdlib.Error e ->
+               (* An exception that escaped a worker is indistinguishable
+                  from a crashed run as far as the search is concerned;
+                  record it so the batch survives. *)
+               Crashed (Printexc.to_string e))
 
 let try_measure_list t ~toolchain ?outline ~program ~input jobs =
   Array.to_list

@@ -73,6 +73,11 @@ type job_outcome =
   | Crashed of string  (** runtime crash surviving all retries *)
   | Wrong_answer  (** ran, but output validation failed (miscompile) *)
   | Timed_out of float  (** killed at this simulated elapsed seconds *)
+  | Worker_crashed of string
+      (** processes backend only: the {e worker process} evaluating this
+          job died (signal, nonzero exit, torn IPC frame) on every
+          attempt the retry budget allowed; payload is the last crash
+          detail.  Quarantined as [Crashed ("worker: " ^ detail)]. *)
 
 exception Job_failed of job_outcome
 (** Raised by the fail-fast API ({!measure_one}/{!measure_batch}) for any
@@ -92,6 +97,8 @@ type t
 
 val create :
   ?jobs:int ->
+  ?backend:Backend.t ->
+  ?kill_workers_after:int ->
   ?cache:Cache.t ->
   ?telemetry:Telemetry.t ->
   ?policy:policy ->
@@ -100,19 +107,28 @@ val create :
   ?trace:Ft_obs.Trace.t ->
   unit ->
   t
-(** [jobs] defaults to 1 (sequential).  A fresh cache, telemetry and
-    quarantine are allocated unless shared ones are passed (e.g. one cache
-    for a whole experiment lab, or a quarantine reloaded from a
-    checkpoint).  When a [checkpoint] is attached, cache and quarantine
-    snapshots are refreshed as state accumulates and on {!flush_checkpoint}.
-    When a [trace] is attached, every cache lookup, build, run, fault,
-    retry, quarantine decision and job completion is recorded as a typed
-    {!Ft_obs.Event} — with no trace, not a single extra instruction runs
-    on the job path.
+(** [jobs] defaults to 1 (sequential).  [backend] (default
+    {!Backend.Domains}) selects the execution substrate for batches:
+    {!Backend.Processes} runs each batch on a {!Procpool} of forked
+    workers, whose crashes surface as typed [Worker_crashed] outcomes
+    instead of taking the search down.  [kill_workers_after] arms the
+    deterministic chaos hook (processes backend only): on each batch's
+    {e first} round, the first worker SIGKILLs itself after completing
+    that many jobs — the crash path's test harness.  A fresh cache,
+    telemetry and quarantine are allocated unless shared ones are passed
+    (e.g. one cache for a whole experiment lab, or a quarantine reloaded
+    from a checkpoint).  When a [checkpoint] is attached, cache and
+    quarantine snapshots are refreshed as state accumulates and on
+    {!flush_checkpoint}.  When a [trace] is attached, every cache lookup,
+    build, run, fault, retry, quarantine decision and job completion is
+    recorded as a typed {!Ft_obs.Event} — with no trace, not a single
+    extra instruction runs on the job path.
     @raise Invalid_argument if [jobs < 1], [policy.repeats < 1],
-    [policy.max_retries < 0] or [policy.timeout_s <= 0]. *)
+    [policy.max_retries < 0], [policy.timeout_s <= 0] or
+    [kill_workers_after < 0]. *)
 
 val jobs : t -> int
+val backend : t -> Backend.t
 val cache : t -> Cache.t
 val telemetry : t -> Telemetry.t
 val policy : t -> policy
@@ -196,8 +212,11 @@ val measure_batch :
   Ft_machine.Exec.measurement array
 (** Measure a batch on the pool, fail-fast: the first [Job_failed]
     aborts the batch (wrapped in {!Pool.Worker_failure}).  Results are in
-    submission order and bit-identical for any [jobs] setting (see the
-    determinism argument above).  Progress ticks fire per completed job. *)
+    submission order and bit-identical for any [jobs] setting {e and
+    either backend} (see the determinism argument above).  Progress ticks
+    fire per completed job.  On the processes backend the whole batch
+    runs before the first failure (in submission order) is raised —
+    isolation makes aborting siblings pointless. *)
 
 val try_measure_batch :
   t ->
@@ -209,7 +228,11 @@ val try_measure_batch :
   job_outcome array
 (** Partial-results batch: every job yields its own {!job_outcome} in
     submission order; injected faults (and even unexpected worker
-    exceptions, recorded as [Crashed]) never poison sibling jobs. *)
+    exceptions, recorded as [Crashed]) never poison sibling jobs.  On the
+    processes backend a {e dying worker} doesn't either: its in-flight
+    job is re-run on a fresh worker up to [policy.max_retries] times
+    (bit-identically, by determinism), then surfaces as
+    [Worker_crashed]. *)
 
 val measure_list :
   t ->

@@ -1,0 +1,34 @@
+(** Length-prefixed Marshal framing for the process pool's pipes.
+
+    One frame = an 8-byte big-endian payload length + the [Marshal]
+    bytes of a single value.  The explicit length lets {!read}
+    distinguish a clean end-of-stream from a {e torn} frame — the
+    signature of a peer that died mid-write — which {!Procpool} maps
+    into its crash taxonomy.
+
+    Only plain data ever crosses a pipe (job indices, outcomes, trace
+    events, telemetry snapshots): the job {e closure} is inherited by
+    [fork], never marshalled, so values containing custom blocks
+    (mutexes, channels) stay on their side of the pipe by construction. *)
+
+type error = [ `Eof | `Torn of string ]
+(** [`Eof]: the stream ended exactly on a frame boundary (peer closed or
+    exited cleanly).  [`Torn]: it ended — or desynchronized — inside a
+    frame (short header/payload, implausible length, unmarshalable
+    bytes): the peer must be presumed dead and the stream unusable. *)
+
+val error_to_string : error -> string
+
+val max_frame_bytes : int
+(** Frames above this length are rejected as [`Torn] ("implausible
+    frame length"): an out-of-phase length prefix must not become an
+    allocation that kills the reader too. *)
+
+val write : Unix.file_descr -> 'a -> unit
+(** Marshal one value as a frame.  Short writes and [EINTR] are
+    retried; [EPIPE] (peer already dead) escapes as [Unix_error] for
+    the caller's crash handling. *)
+
+val read : Unix.file_descr -> ('a, error) result
+(** Read one frame.  The ['a] is the caller's protocol contract, as
+    with [Marshal.from_channel]. *)

@@ -1,0 +1,64 @@
+(** A fixed-size pool of forked worker processes — the crash-isolated
+    sibling of the domain {!Pool}.
+
+    {!map} forks its workers {e after} the closure and job array exist,
+    so both sides of the protocol share them through fork-time memory
+    and the pipes carry only plain data ({!Ipc} frames: job indices
+    down, [(index, payload)] replies up).  Scheduling is dynamic — each
+    worker is fed the next unclaimed index as it goes idle — and results
+    land by submission index, like the domain pool.
+
+    {2 Crash taxonomy}
+
+    A worker can die by signal (OOM kill, SIGSEGV, the chaos hook), by
+    nonzero exit, or by desynchronizing its reply stream (a torn frame).
+    All three surface the same way: the worker's in-flight job finishes
+    as [Error (Crashed { pid; detail })], the worker is reaped, and the
+    pool forks a replacement (bounded by a respawn budget, since a
+    systematically lethal closure must not fork-bomb).  Jobs that were
+    never fed are unaffected; jobs already completed keep their results.
+    The pool never re-runs a crashed job itself — that retry decision
+    (and its determinism argument) belongs to {!Engine}.
+
+    {b Fork vs. domains}: the runtime refuses [Unix.fork] in any process
+    that has ever spawned a domain, so a process must commit to one
+    backend before any [jobs > 1] domain work runs ([jobs = 1] on the
+    domain pool is strictly sequential and spawns none).  The CLI's
+    [--backend] flag satisfies this naturally; tests that mix backends
+    run in separate binaries ([test/test_backend.ml]). *)
+
+type crash = { pid : int; detail : string }
+(** [detail] is human-readable: ["killed by SIGKILL"], ["exited 3"],
+    ["torn frame: short payload (12/96 bytes); killed by SIGKILL"]. *)
+
+type failure =
+  | Raised of string
+      (** the closure raised inside a healthy worker; payload is
+          [Printexc.to_string] of the exception (the worker survives) *)
+  | Crashed of crash  (** the worker process itself died *)
+
+val crash_to_string : crash -> string
+val failure_to_string : failure -> string
+
+val map :
+  workers:int ->
+  ?on_result:(int -> ('b, failure) result -> unit) ->
+  ?kill_first_worker_after:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, failure) result array
+(** [map ~workers f a] runs [f] over [a] on up to [workers] forked
+    processes and returns per-index results in submission order.
+
+    [on_result] is invoked in the {e parent}, once per index, as each
+    reply frame (or crash) arrives — the engine uses it to merge worker
+    shipments and advance progress mid-batch.
+
+    [kill_first_worker_after:k] is the deterministic chaos hook: the
+    first worker spawned SIGKILLs itself when fed its [(k+1)]-th job
+    (i.e. after completing [k]), once per [map] call — exercising the
+    whole crash path (in-flight job loss, reap, respawn) on demand.
+
+    The closure and array are captured by fork, so [f] may close over
+    anything; only its {e result} must be Marshal-safe plain data.
+    @raise Invalid_argument if [workers < 1]. *)

@@ -8,6 +8,7 @@ type snapshot = {
   crashes : int;
   wrong_answers : int;
   timeouts : int;
+  worker_crashes : int;
   outliers : int;
   quarantined : int;
   quarantine_hits : int;
@@ -24,6 +25,7 @@ type t = {
   crashes : int Atomic.t;
   wrong_answers : int Atomic.t;
   timeouts : int Atomic.t;
+  worker_crashes : int Atomic.t;
   outliers : int Atomic.t;
   quarantined : int Atomic.t;
   quarantine_hits : int Atomic.t;
@@ -45,6 +47,7 @@ let create () =
     crashes = Atomic.make 0;
     wrong_answers = Atomic.make 0;
     timeouts = Atomic.make 0;
+    worker_crashes = Atomic.make 0;
     outliers = Atomic.make 0;
     quarantined = Atomic.make 0;
     quarantine_hits = Atomic.make 0;
@@ -65,6 +68,7 @@ let reset t =
   Atomic.set t.crashes 0;
   Atomic.set t.wrong_answers 0;
   Atomic.set t.timeouts 0;
+  Atomic.set t.worker_crashes 0;
   Atomic.set t.outliers 0;
   Atomic.set t.quarantined 0;
   Atomic.set t.quarantine_hits 0;
@@ -82,6 +86,7 @@ let build_failure t = bump t.build_failures
 let crash t = bump t.crashes
 let wrong_answer t = bump t.wrong_answers
 let timeout t = bump t.timeouts
+let worker_crash t = bump t.worker_crashes
 let outlier t = bump t.outliers
 let quarantine t = bump t.quarantined
 let quarantine_hit t = bump t.quarantine_hits
@@ -120,6 +125,7 @@ let snapshot t =
     crashes = Atomic.get t.crashes;
     wrong_answers = Atomic.get t.wrong_answers;
     timeouts = Atomic.get t.timeouts;
+    worker_crashes = Atomic.get t.worker_crashes;
     outliers = Atomic.get t.outliers;
     quarantined = Atomic.get t.quarantined;
     quarantine_hits = Atomic.get t.quarantine_hits;
@@ -128,6 +134,27 @@ let snapshot t =
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.timers []
           |> List.sort compare);
   }
+
+(* Fold a worker process's shipped snapshot into this telemetry — the
+   processes backend's counterpart of workers bumping shared atomics
+   directly.  Additive by construction: every counter in a shipment was
+   earned by work the parent never saw. *)
+let absorb t (s : snapshot) =
+  let addc counter n = ignore (Atomic.fetch_and_add counter n) in
+  addc t.builds s.builds;
+  addc t.runs s.runs;
+  addc t.cache_hits s.cache_hits;
+  addc t.cache_misses s.cache_misses;
+  addc t.retries s.retries;
+  addc t.build_failures s.build_failures;
+  addc t.crashes s.crashes;
+  addc t.wrong_answers s.wrong_answers;
+  addc t.timeouts s.timeouts;
+  addc t.worker_crashes s.worker_crashes;
+  addc t.outliers s.outliers;
+  addc t.quarantined s.quarantined;
+  addc t.quarantine_hits s.quarantine_hits;
+  List.iter (fun (phase, seconds) -> add_time t phase seconds) s.timers
 
 let faults (s : snapshot) =
   s.build_failures + s.crashes + s.wrong_answers + s.timeouts
@@ -148,6 +175,10 @@ let render t =
        s.cache_hits s.cache_misses hit_pct);
   if s.retries > 0 then
     Buffer.add_string b (Printf.sprintf "  retries     %d\n" s.retries);
+  if s.worker_crashes > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "  workers     %d crashed (isolated and retried)\n"
+         s.worker_crashes);
   if faults s > 0 || s.quarantined > 0 || s.outliers > 0 then begin
     Buffer.add_string b
       (Printf.sprintf

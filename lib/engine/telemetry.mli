@@ -18,6 +18,9 @@ type snapshot = {
   crashes : int;  (** runtime crashes observed (before any retry) *)
   wrong_answers : int;  (** output-validation mismatches (miscompiles) *)
   timeouts : int;  (** runs whose (simulated) elapsed time tripped the budget *)
+  worker_crashes : int;
+      (** process-backend workers that died mid-job (signal, exit, torn
+          frame) — counted per crashed attempt, before any retry *)
   outliers : int;  (** heavy-tailed measurement outliers injected *)
   quarantined : int;  (** configurations added to the quarantine list *)
   quarantine_hits : int;  (** evaluations skipped via the quarantine list *)
@@ -38,6 +41,7 @@ val build_failure : t -> unit
 val crash : t -> unit
 val wrong_answer : t -> unit
 val timeout : t -> unit
+val worker_crash : t -> unit
 val outlier : t -> unit
 val quarantine : t -> unit
 val quarantine_hit : t -> unit
@@ -61,6 +65,11 @@ val tick : t -> unit
 (** Mark one job complete and fire the progress callback, if any. *)
 
 val snapshot : t -> snapshot
+
+val absorb : t -> snapshot -> unit
+(** Add every counter (and timer) of a shipped worker snapshot onto [t].
+    The processes backend's merge step: workers count into a private
+    telemetry and ship the snapshot home with their result. *)
 
 val faults : snapshot -> int
 (** Total injected faults observed: build failures + crashes + wrong

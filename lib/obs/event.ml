@@ -27,6 +27,7 @@ type t =
   | Outlier of { key : string }
   | Quarantine_added of { key : string; reason : string }
   | Quarantine_hit of { key : string; reason : string }
+  | Worker_crashed of { detail : string }
   | Checkpoint_saved of { path : string }
   | Checkpoint_loaded of { path : string; entries : int }
   | Timer of { name : string; seconds : float }
@@ -48,6 +49,7 @@ let name = function
   | Outlier _ -> "outlier"
   | Quarantine_added _ -> "quarantine_add"
   | Quarantine_hit _ -> "quarantine_hit"
+  | Worker_crashed _ -> "worker_crash"
   | Checkpoint_saved _ -> "checkpoint_save"
   | Checkpoint_loaded _ -> "checkpoint_load"
   | Timer _ -> "timer"
@@ -76,6 +78,7 @@ let fields = function
       ]
   | Quarantine_added { key; reason } | Quarantine_hit { key; reason } ->
       [ ("key", Json.String key); ("reason", Json.String reason) ]
+  | Worker_crashed { detail } -> [ ("detail", Json.String detail) ]
   | Checkpoint_saved { path } -> [ ("path", Json.String path) ]
   | Checkpoint_loaded { path; entries } ->
       [ ("path", Json.String path); ("entries", Json.Int entries) ]
@@ -163,6 +166,9 @@ let of_json json =
           let* key = str "key" in
           let* reason = str "reason" in
           Ok (Quarantine_hit { key; reason })
+      | "worker_crash" ->
+          let* detail = str "detail" in
+          Ok (Worker_crashed { detail })
       | "checkpoint_save" ->
           let* path = str "path" in
           Ok (Checkpoint_saved { path })

@@ -52,6 +52,10 @@ type t =
   | Outlier of { key : string }  (** heavy-tailed measurement injected *)
   | Quarantine_added of { key : string; reason : string }
   | Quarantine_hit of { key : string; reason : string }
+  | Worker_crashed of { detail : string }
+      (** a process-backend worker died mid-job (wall clock only: crash
+          timing is scheduling, and crashed attempts are retried to the
+          same logical events, so logical traces never mention them) *)
   | Checkpoint_saved of { path : string }
   | Checkpoint_loaded of { path : string; entries : int }
   | Timer of { name : string; seconds : float }

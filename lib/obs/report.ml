@@ -90,6 +90,7 @@ type counters = {
   crashes : int;
   wrong_answers : int;
   timeouts : int;
+  worker_crashes : int;
   outliers : int;
   quarantined : int;
   quarantine_hits : int;
@@ -154,6 +155,8 @@ let derive events =
     crashes = fault "crash";
     wrong_answers = fault "wrong-answer";
     timeouts = fault "timeout";
+    worker_crashes =
+      count (function Event.Worker_crashed _ -> true | _ -> false);
     outliers = count (function Event.Outlier _ -> true | _ -> false);
     quarantined =
       count (function Event.Quarantine_added _ -> true | _ -> false);
@@ -311,7 +314,8 @@ let render_convergence buf t =
 
 let render_faults buf (c : counters) =
   let total = c.build_failures + c.crashes + c.wrong_answers + c.timeouts in
-  if total > 0 || c.retries > 0 || c.quarantine_hits > 0 then begin
+  if total > 0 || c.retries > 0 || c.quarantine_hits > 0 || c.worker_crashes > 0
+  then begin
     section buf "Faults and recovery:";
     let table = Table.create ~title:"" [ "event"; "count" ] in
     List.iter
@@ -322,6 +326,7 @@ let render_faults buf (c : counters) =
         ("crashes", c.crashes);
         ("wrong answers", c.wrong_answers);
         ("timeouts", c.timeouts);
+        ("worker crashes", c.worker_crashes);
         ("retries", c.retries);
         ("outlier measurements", c.outliers);
         ("quarantined", c.quarantined);

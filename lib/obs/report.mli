@@ -37,6 +37,7 @@ type counters = {
   crashes : int;
   wrong_answers : int;
   timeouts : int;
+  worker_crashes : int;
   outliers : int;
   quarantined : int;
   quarantine_hits : int;

@@ -63,6 +63,20 @@ let record t event =
   in
   record_stamped t { serial; job; seq; ts = now t; event }
 
+let epoch t = t.t0
+
+(* Adopt events recorded by a worker process's shadow trace.  The
+   shipment's stamps already carry the canonical (serial, job, seq) key —
+   the parent allocated the batch serial before forking — so adoption is
+   order-free; only wall timestamps need rebasing from the shadow's epoch
+   onto ours (logical stamps are 0 on both sides). *)
+let inject t ~epoch:e0 stamps =
+  let dt = match t.clock with Wall -> e0 -. t.t0 | Logical -> 0.0 in
+  List.iter
+    (fun st ->
+      record_stamped t (if dt = 0.0 then st else { st with ts = st.ts +. dt }))
+    stamps
+
 let events t =
   let all =
     Array.fold_left
@@ -154,6 +168,8 @@ let quarantine_added t ~key ~reason =
 
 let quarantine_hit t ~key ~reason =
   emit t (Event.Quarantine_hit { key; reason })
+
+let worker_crashed t ~detail = emit_wall t (Event.Worker_crashed { detail })
 
 let checkpoint_saved t ~path = emit_wall t (Event.Checkpoint_saved { path })
 

@@ -65,6 +65,18 @@ type stamped = {
 val events : t -> stamped list
 (** All recorded events in canonical [(serial, job, seq)] order. *)
 
+val epoch : t -> float
+(** The trace's creation time (absolute [Unix.gettimeofday]), i.e. what
+    [Wall] timestamps are relative to.  A worker process ships this with
+    its events so {!inject} can rebase them onto the parent's epoch. *)
+
+val inject : t -> epoch:float -> stamped list -> unit
+(** Adopt stamps recorded by a worker's shadow trace (processes backend).
+    The canonical keys are preserved verbatim — the parent allocated the
+    batch serial before forking, so they already sort correctly — and
+    [Wall] timestamps are rebased from the shadow's [epoch] onto this
+    trace's; [Logical] stamps are untouched (all zero). *)
+
 val length : t -> int
 
 (* -- structure: batches, job scopes, phase spans ----------------------- *)
@@ -109,6 +121,10 @@ val quarantine_added : t option -> key:string -> reason:string -> unit
     is scheduling (cf. {!cache_lookup}). *)
 
 val quarantine_hit : t option -> key:string -> reason:string -> unit
+
+val worker_crashed : t option -> detail:string -> unit
+(** [Wall] only: a crashed attempt is retried to the same logical events,
+    so logical traces stay byte-identical across backends and kills. *)
 
 val checkpoint_saved : t option -> path:string -> unit  (** [Wall] only *)
 

@@ -1,0 +1,52 @@
+(* Shared helpers for the test suites — one home for the small utilities
+   every suite_*.ml used to re-invent. *)
+
+(* Substring test (no external string library needed). *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else
+    let rec at i =
+      if i + n > h then false
+      else if String.sub haystack i n = needle then true
+      else at (i + 1)
+    in
+    at 0
+
+(* A fresh path in a throwaway temp directory, for tests exercising
+   on-disk persistence (cache files, checkpoints, traces). *)
+let temp_path prefix suffix =
+  let path = Filename.temp_file ("funcytuner-" ^ prefix) suffix in
+  Sys.remove path;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let remove_if_exists path = if Sys.file_exists path then Sys.remove path
+
+(* A fresh empty directory under the system temp dir; the caller owns
+   cleanup (tests that crash leave it for the OS to reap). *)
+let temp_dir prefix =
+  let path = Filename.temp_file ("funcytuner-" ^ prefix) ".d" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun name -> remove_tree (Filename.concat path name))
+      (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path

@@ -1,0 +1,488 @@
+(* Tests for the process-isolated evaluation backend (DESIGN.md section 11):
+   the Procpool crash taxonomy, the differential property that the
+   processes backend is byte-identical to the domains backend — results
+   AND logical traces, at any --jobs, even while workers are being
+   SIGKILLed mid-batch — and QCheck crash-injection properties for the
+   Atomic_file/Cache persistence layer the multi-process mode rests on. *)
+
+open Ft_prog
+module Backend = Ft_engine.Backend
+module Procpool = Ft_engine.Procpool
+module Atomic_file = Ft_engine.Atomic_file
+module Cache = Ft_engine.Cache
+module Quarantine = Ft_engine.Quarantine
+module Engine = Ft_engine.Engine
+module Telemetry = Ft_engine.Telemetry
+module Exec = Ft_machine.Exec
+module Trace = Ft_obs.Trace
+module Export = Ft_obs.Export
+module Tuner = Funcytuner.Tuner
+module Rng = Ft_util.Rng
+
+let swim = Option.get (Ft_suite.Suite.find "swim")
+let platform = Platform.Broadwell
+let toolchain = Ft_machine.Toolchain.make platform
+let input = Ft_suite.Suite.tuning_input platform swim
+
+(* --- Backend naming ---------------------------------------------------- *)
+
+let test_backend_names () =
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        ("of_name round-trips " ^ Backend.to_name b)
+        true
+        (Backend.of_name (Backend.to_name b) = Some b))
+    Backend.all;
+  Alcotest.(check bool) "garbage rejected" true
+    (Backend.of_name "threads" = None);
+  Alcotest.(check bool) "default is domains" true
+    (Backend.default = Backend.Domains)
+
+(* --- Procpool: the forked worker pool --------------------------------- *)
+
+let ok_exn = function
+  | Stdlib.Ok v -> v
+  | Stdlib.Error f -> Alcotest.fail (Procpool.failure_to_string f)
+
+let test_procpool_map_in_order () =
+  (* Uneven per-item work, so a dynamic schedule reorders completions:
+     results must still land by submission index, at any worker count. *)
+  let items = Array.init 100 (fun i -> i) in
+  let work i =
+    let spins = if i mod 9 = 0 then 20000 else 100 in
+    let acc = ref i in
+    for _ = 1 to spins do
+      acc := (!acc * 31) mod 65537
+    done;
+    (i, i * i)
+  in
+  List.iter
+    (fun workers ->
+      let results = Procpool.map ~workers work items in
+      Alcotest.(check int) "all slots filled" 100 (Array.length results);
+      Array.iteri
+        (fun idx r ->
+          let i, sq = ok_exn r in
+          Alcotest.(check int) "submission order preserved" idx i;
+          Alcotest.(check int) "value correct" (idx * idx) sq)
+        results)
+    [ 1; 4 ]
+
+let test_procpool_raised_is_isolated () =
+  (* A raising closure poisons only its own slot; the worker survives to
+     take more jobs (no respawn needed, no sibling loss). *)
+  let work i = if i mod 13 = 7 then failwith (string_of_int i) else i + 1 in
+  let results = Procpool.map ~workers:3 work (Array.init 80 (fun i -> i)) in
+  Array.iteri
+    (fun i -> function
+      | Stdlib.Ok v -> Alcotest.(check int) "healthy slot" (i + 1) v
+      | Stdlib.Error (Procpool.Raised msg) ->
+          Alcotest.(check int) "raising index only" 7 (i mod 13);
+          Alcotest.(check bool) "original exception carried" true
+            (Test_helpers.contains msg (string_of_int i))
+      | Stdlib.Error (Procpool.Crashed c) ->
+          Alcotest.fail ("raise escalated to crash: " ^ Procpool.crash_to_string c))
+    results
+
+let test_procpool_on_result_once_per_index () =
+  let seen = ref [] in
+  let results =
+    Procpool.map ~workers:4
+      ~on_result:(fun i r -> seen := (i, Stdlib.Result.is_ok r) :: !seen)
+      (fun i -> i * 2)
+      (Array.init 50 (fun i -> i))
+  in
+  Alcotest.(check int) "all results" 50 (Array.length results);
+  let indices = List.sort compare (List.map fst !seen) in
+  Alcotest.(check (list int))
+    "on_result fired exactly once per index"
+    (List.init 50 (fun i -> i))
+    indices;
+  Alcotest.(check bool) "all reported ok" true (List.for_all snd !seen)
+
+let test_procpool_kill_surfaces_as_crash () =
+  (* The chaos hook: the first worker SIGKILLs itself after completing
+     two jobs.  Its in-flight job must surface as Crashed (with the
+     signal named), every other job must still complete on the respawned
+     or surviving workers. *)
+  let results =
+    Procpool.map ~workers:2 ~kill_first_worker_after:2
+      (fun i -> i * 3)
+      (Array.init 30 (fun i -> i))
+  in
+  let crashed = ref 0 in
+  Array.iteri
+    (fun i -> function
+      | Stdlib.Ok v -> Alcotest.(check int) "survivor correct" (i * 3) v
+      | Stdlib.Error (Procpool.Crashed { detail; _ }) ->
+          incr crashed;
+          Alcotest.(check bool) "signal named in detail" true
+            (Test_helpers.contains detail "SIGKILL")
+      | Stdlib.Error (Procpool.Raised msg) ->
+          Alcotest.fail ("kill surfaced as Raised: " ^ msg))
+    results;
+  Alcotest.(check int) "exactly the in-flight job is lost" 1 !crashed
+
+let test_procpool_rejects_bad_workers () =
+  match Procpool.map ~workers:0 (fun i -> i) [| 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "workers=0 accepted"
+
+(* --- differential: processes backend vs domains backend ---------------- *)
+
+(* One full tune under a given backend and jobs count, with a logical
+   trace attached: returns the algorithm's result and the trace bytes.
+   The engine is created explicitly so the trace and telemetry are ours
+   to inspect. *)
+let run_algo ?kill_workers_after ~backend ~jobs algo =
+  let trace = Trace.create ~clock:Trace.Logical () in
+  let engine = Engine.create ~jobs ~backend ?kill_workers_after ~trace () in
+  let session =
+    Tuner.make_session ~pool_size:24 ~engine ~platform ~program:swim
+      ~input ~seed:42 ()
+  in
+  let result =
+    match algo with
+    | `Cfr -> Tuner.run_cfr session
+    | `Fr -> Funcytuner.Fr.run session.Tuner.ctx session.Tuner.outline
+    | `Random -> Funcytuner.Random_search.run session.Tuner.ctx
+  in
+  let bytes = String.concat "\n" (Export.jsonl_lines trace) ^ "\n" in
+  (result, bytes, engine)
+
+let check_differential algo name =
+  let base_result, base_bytes, _ =
+    run_algo ~backend:Backend.Domains ~jobs:1 algo
+  in
+  List.iter
+    (fun jobs ->
+      let result, bytes, _ =
+        run_algo ~backend:Backend.Processes ~jobs algo
+      in
+      let tag = Printf.sprintf "%s -j%d" name jobs in
+      Alcotest.(check bool)
+        (tag ^ ": result bit-identical to domains -j1")
+        true (result = base_result);
+      Alcotest.(check string)
+        (tag ^ ": logical trace byte-identical to domains -j1")
+        base_bytes bytes)
+    [ 1; 2; 4 ]
+
+let test_differential_cfr () = check_differential `Cfr "cfr"
+let test_differential_fr () = check_differential `Fr "fr"
+let test_differential_random () = check_differential `Random "random"
+
+let test_differential_survives_worker_kills () =
+  (* The acceptance property end-to-end: SIGKILL a worker on the first
+     round of every batch, and the tune must still be byte-identical —
+     result and logical trace — to an uninterrupted domains -j1 run,
+     with the crashes visible in telemetry (and only there). *)
+  let base_result, base_bytes, _ =
+    run_algo ~backend:Backend.Domains ~jobs:1 `Cfr
+  in
+  let result, bytes, engine =
+    run_algo ~backend:Backend.Processes ~jobs:4 ~kill_workers_after:3 `Cfr
+  in
+  Alcotest.(check bool) "result identical despite kills" true
+    (result = base_result);
+  Alcotest.(check string) "logical trace identical despite kills"
+    base_bytes bytes;
+  let s = Telemetry.snapshot (Engine.telemetry engine) in
+  Alcotest.(check bool) "the kills actually happened" true
+    (s.Telemetry.worker_crashes > 0)
+
+let sample_jobs n =
+  let rng = Rng.create 11 in
+  Array.init n (fun i ->
+      {
+        Engine.build =
+          Engine.Uniform { cv = Ft_flags.Space.sample rng; instrumented = false };
+        rng = Rng.of_label rng (string_of_int i);
+      })
+
+let test_worker_crash_exhausts_to_outcome () =
+  (* With no retry budget, a killed worker's job must surface as the
+     typed Worker_crashed outcome — quarantined, counted, and isolated
+     from its siblings. *)
+  let policy = { Engine.default_policy with Engine.max_retries = 0 } in
+  let engine =
+    Engine.create ~jobs:2 ~backend:Backend.Processes ~kill_workers_after:0
+      ~policy ()
+  in
+  let outcomes =
+    Engine.try_measure_batch engine ~toolchain ~program:swim ~input
+      (sample_jobs 8)
+  in
+  let crashed = ref 0 in
+  Array.iter
+    (function
+      | Engine.Worker_crashed detail ->
+          incr crashed;
+          Alcotest.(check bool) "crash detail carried" true
+            (String.length detail > 0)
+      | Engine.Ok _ -> ()
+      | o -> Alcotest.fail ("unexpected outcome: " ^ Engine.outcome_to_string o))
+    outcomes;
+  Alcotest.(check int) "exactly the in-flight job is lost" 1 !crashed;
+  let s = Telemetry.snapshot (Engine.telemetry engine) in
+  Alcotest.(check int) "telemetry counts the crash" 1
+    s.Telemetry.worker_crashes;
+  Alcotest.(check bool) "crashed key quarantined" true
+    (Quarantine.length (Engine.quarantine engine) > 0)
+
+let test_worker_crash_retries_recover () =
+  (* Default policy: the chaos kill on round 0 is absorbed by the retry
+     rounds, so every outcome is Ok and bit-identical to domains.  Each
+     engine gets a freshly sampled job array: the rng streams inside are
+     mutable, so sharing one array across runs would skew the noise. *)
+  let domains = Engine.create ~jobs:1 () in
+  let expected =
+    Engine.try_measure_batch domains ~toolchain ~program:swim ~input
+      (sample_jobs 12)
+  in
+  let engine =
+    Engine.create ~jobs:3 ~backend:Backend.Processes ~kill_workers_after:1 ()
+  in
+  let got =
+    Engine.try_measure_batch engine ~toolchain ~program:swim ~input
+      (sample_jobs 12)
+  in
+  Alcotest.(check bool) "retried batch bit-identical to domains" true
+    (got = expected);
+  let s = Telemetry.snapshot (Engine.telemetry engine) in
+  Alcotest.(check int) "one crash recorded" 1 s.Telemetry.worker_crashes;
+  Alcotest.(check int) "no crash survives to quarantine" 0
+    (Quarantine.length (Engine.quarantine engine))
+
+let test_worker_crashes_derivable_from_trace () =
+  (* Crashes are wall-trace events like every other counter: deriving
+     counters from the trace must reproduce telemetry exactly, kills
+     included (the processes-backend extension of suite_obs's
+     check_counters property). *)
+  let trace = Trace.create ~clock:Trace.Wall () in
+  let engine =
+    Engine.create ~jobs:3 ~backend:Backend.Processes ~kill_workers_after:1
+      ~trace ()
+  in
+  ignore
+    (Engine.try_measure_batch engine ~toolchain ~program:swim ~input
+       (sample_jobs 12));
+  let s = Telemetry.snapshot (Engine.telemetry engine) in
+  let d =
+    Ft_obs.Report.derive
+      (List.map (fun st -> st.Trace.event) (Trace.events trace))
+  in
+  Alcotest.(check bool) "kills happened" true (s.Telemetry.worker_crashes > 0);
+  Alcotest.(check int) "worker_crashes derivable from wall trace"
+    s.Telemetry.worker_crashes d.Ft_obs.Report.worker_crashes
+
+(* --- shared cache across processes ------------------------------------ *)
+
+let summary_of_seed seed =
+  {
+    Exec.sum_total_s = float_of_int (seed mod 97) +. 0.5;
+    sum_nonloop_s = float_of_int (seed mod 13) +. 0.25;
+    sum_loops = [ ("calc1", float_of_int seed /. 7.0) ];
+  }
+
+let test_cache_sync_concurrent_writers () =
+  (* Four forked children race Cache.sync against one file, each bringing
+     disjoint entries; the advisory lock must serialize the read-merge-
+     write cycles so the final file is the exact union. *)
+  let dir = Test_helpers.temp_dir "cache-sync" in
+  let path = Filename.concat dir "shared.cache" in
+  let entries_of child =
+    List.init 25 (fun k -> (Printf.sprintf "child-%d-key-%d" child k, summary_of_seed (child * 100 + k)))
+  in
+  flush stdout;
+  flush stderr;
+  let pids =
+    List.init 4 (fun child ->
+        match Unix.fork () with
+        | 0 ->
+            (* In the child: never return into Alcotest — _exit always. *)
+            (try
+               let c = Cache.create () in
+               List.iter (fun (k, s) -> Cache.add c k s) (entries_of child);
+               ignore (Cache.sync c ~path);
+               Unix._exit 0
+             with _ -> Unix._exit 1)
+        | pid -> pid)
+  in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> Alcotest.fail "a syncing child failed")
+    pids;
+  let merged = Cache.load ~warn:(fun ~line:_ ~reason:_ -> ()) path in
+  Alcotest.(check int) "every child's entries survive" 100
+    (Cache.length merged);
+  List.iter
+    (fun child ->
+      List.iter
+        (fun (k, s) ->
+          Alcotest.(check bool) ("entry survives: " ^ k) true
+            (Cache.find merged k = Some s))
+        (entries_of child))
+    [ 0; 1; 2; 3 ];
+  Test_helpers.remove_tree dir
+
+(* --- QCheck crash injection: Atomic_file and Cache persistence --------- *)
+
+let loop_name_gen =
+  QCheck.Gen.(
+    map
+      (fun (a, b) -> Printf.sprintf "loop_%c%d" (Char.chr (97 + (a mod 26))) b)
+      (pair (int_bound 25) (int_bound 99)))
+
+let summary_gen =
+  QCheck.Gen.(
+    map
+      (fun (total, nonloop, loops) ->
+        { Exec.sum_total_s = total; sum_nonloop_s = nonloop; sum_loops = loops })
+      (triple (float_bound_exclusive 1000.0) (float_bound_exclusive 100.0)
+         (list_size (int_bound 4) (pair loop_name_gen (float_bound_exclusive 50.0)))))
+
+let cache_entries_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 30)
+      (pair (map Cache.digest (string_size (int_range 1 20))) summary_gen))
+
+let cache_entries_arb =
+  QCheck.make ~print:(fun l -> Printf.sprintf "<%d entries>" (List.length l))
+    cache_entries_gen
+
+let cache_of entries =
+  let c = Cache.create () in
+  List.iter (fun (k, s) -> Cache.add c k s) entries;
+  c
+
+let quiet_load path = Cache.load ~warn:(fun ~line:_ ~reason:_ -> ()) path
+
+let prop_truncation_never_corrupts =
+  (* Chop a saved cache at an arbitrary byte: load must either reject the
+     file outright (header torn: Corrupt) or return a strict subset of
+     the committed entries — never a corrupted or invented one. *)
+  QCheck.Test.make ~count:60 ~name:"truncated cache file never corrupts a read"
+    QCheck.(pair cache_entries_arb (int_bound 10_000))
+    (fun (entries, cut_seed) ->
+      let dir = Test_helpers.temp_dir "trunc" in
+      let path = Filename.concat dir "c.cache" in
+      Fun.protect
+        ~finally:(fun () -> Test_helpers.remove_tree dir)
+        (fun () ->
+          let original = cache_of entries in
+          Cache.save original ~path;
+          let bytes = Test_helpers.read_file path in
+          let cut = cut_seed mod (String.length bytes + 1) in
+          Test_helpers.write_file path (String.sub bytes 0 cut);
+          match quiet_load path with
+          | exception Cache.Corrupt _ ->
+              (* Acceptable only while the header itself is torn. *)
+              cut < String.length "ft-engine-cache/1\n"
+          | recovered ->
+              List.for_all
+                (fun (k, s) -> Cache.find original k = Some s)
+                (Cache.bindings recovered)))
+
+let prop_leftover_tmp_files_ignored =
+  (* Stale temporaries from crashed writers may litter the directory; a
+     load of the committed file must not see them. *)
+  QCheck.Test.make ~count:30 ~name:"leftover .tmp files never affect a load"
+    cache_entries_arb
+    (fun entries ->
+      let dir = Test_helpers.temp_dir "tmplitter" in
+      let path = Filename.concat dir "c.cache" in
+      Fun.protect
+        ~finally:(fun () -> Test_helpers.remove_tree dir)
+        (fun () ->
+          let original = cache_of entries in
+          Cache.save original ~path;
+          List.iter
+            (fun i ->
+              Test_helpers.write_file
+                (Filename.concat dir (Printf.sprintf ".c.cache%d.tmp" i))
+                "torn garbage\x00not a cache")
+            [ 0; 1; 2 ];
+          let recovered = quiet_load path in
+          Cache.bindings recovered = Cache.bindings original))
+
+let prop_crashed_writer_keeps_snapshot =
+  (* An emit that raises mid-write (a "crash" of the writer) must leave
+     the previously committed snapshot byte-intact and clean up its
+     temporary. *)
+  QCheck.Test.make ~count:60 ~name:"torn atomic write keeps last snapshot"
+    QCheck.(pair cache_entries_arb (int_bound 500))
+    (fun (entries, partial) ->
+      let dir = Test_helpers.temp_dir "tornwrite" in
+      let path = Filename.concat dir "c.cache" in
+      Fun.protect
+        ~finally:(fun () -> Test_helpers.remove_tree dir)
+        (fun () ->
+          Cache.save (cache_of entries) ~path;
+          let committed = Test_helpers.read_file path in
+          (match
+             Atomic_file.write ~path (fun oc ->
+                 output_string oc (String.make partial 'x');
+                 raise Exit)
+           with
+          | exception Exit -> ()
+          | () -> failwith "emit crash swallowed");
+          let survives = Test_helpers.read_file path = committed in
+          let no_litter =
+            Array.for_all
+              (fun name -> not (Filename.check_suffix name ".tmp"))
+              (Sys.readdir dir)
+          in
+          survives && no_litter))
+
+let prop_save_load_roundtrip_bit_exact =
+  QCheck.Test.make ~count:60 ~name:"save/load round-trip is bit-exact"
+    cache_entries_arb
+    (fun entries ->
+      let dir = Test_helpers.temp_dir "roundtrip" in
+      let path = Filename.concat dir "c.cache" in
+      Fun.protect
+        ~finally:(fun () -> Test_helpers.remove_tree dir)
+        (fun () ->
+          let original = cache_of entries in
+          Cache.save original ~path;
+          Cache.bindings (quiet_load path) = Cache.bindings original))
+
+let suite =
+  ( "backend",
+    [
+      Alcotest.test_case "backend names round-trip" `Quick test_backend_names;
+      Alcotest.test_case "procpool preserves order" `Quick
+        test_procpool_map_in_order;
+      Alcotest.test_case "procpool isolates raised exceptions" `Quick
+        test_procpool_raised_is_isolated;
+      Alcotest.test_case "procpool on_result once per index" `Quick
+        test_procpool_on_result_once_per_index;
+      Alcotest.test_case "procpool kill surfaces as crash" `Quick
+        test_procpool_kill_surfaces_as_crash;
+      Alcotest.test_case "procpool rejects workers=0" `Quick
+        test_procpool_rejects_bad_workers;
+      Alcotest.test_case "cfr differential (jobs 1/2/4)" `Quick
+        test_differential_cfr;
+      Alcotest.test_case "fr differential (jobs 1/2/4)" `Quick
+        test_differential_fr;
+      Alcotest.test_case "random differential (jobs 1/2/4)" `Quick
+        test_differential_random;
+      Alcotest.test_case "differential survives worker kills" `Quick
+        test_differential_survives_worker_kills;
+      Alcotest.test_case "worker crash exhausts to typed outcome" `Quick
+        test_worker_crash_exhausts_to_outcome;
+      Alcotest.test_case "worker crash retries recover bit-identically" `Quick
+        test_worker_crash_retries_recover;
+      Alcotest.test_case "worker crashes derivable from wall trace" `Quick
+        test_worker_crashes_derivable_from_trace;
+      Alcotest.test_case "concurrent Cache.sync writers union" `Quick
+        test_cache_sync_concurrent_writers;
+      QCheck_alcotest.to_alcotest prop_truncation_never_corrupts;
+      QCheck_alcotest.to_alcotest prop_leftover_tmp_files_ignored;
+      QCheck_alcotest.to_alcotest prop_crashed_writer_keeps_snapshot;
+      QCheck_alcotest.to_alcotest prop_save_load_roundtrip_bit_exact;
+    ] )

@@ -320,9 +320,9 @@ let test_render_mentions_counters () =
     (Engine.summary engine ~toolchain ~program ~input (List.hd some_builds));
   let rendered = Telemetry.render (Engine.telemetry engine) in
   Alcotest.(check bool) "render mentions builds" true
-    (Astring_contains.contains rendered "builds");
+    (Test_helpers.contains rendered "builds");
   Alcotest.(check bool) "render mentions cache" true
-    (Astring_contains.contains rendered "cache")
+    (Test_helpers.contains rendered "cache")
 
 let suite =
   ( "engine",

@@ -34,7 +34,7 @@ let test_series_validation () =
 let test_series_render () =
   let text = Ft_util.Table.render (Series.to_table sample) in
   Alcotest.(check bool) "renders values" true
-    (Astring_contains.contains text "8.000")
+    (Test_helpers.contains text "8.000")
 
 let test_csv_export () =
   let csv = Ft_experiments.Csv.of_series sample in
@@ -42,7 +42,7 @@ let test_csv_export () =
   Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
   Alcotest.(check string) "header" ",A,B" (List.hd lines);
   Alcotest.(check bool) "values present" true
-    (Astring_contains.contains csv "8.000000")
+    (Test_helpers.contains csv "8.000000")
 
 let test_csv_escaping () =
   let tricky =
@@ -50,9 +50,9 @@ let test_csv_escaping () =
   in
   let csv = Ft_experiments.Csv.of_series tricky in
   Alcotest.(check bool) "comma quoted" true
-    (Astring_contains.contains csv "\"a,b\"");
+    (Test_helpers.contains csv "\"a,b\"");
   Alcotest.(check bool) "quote doubled" true
-    (Astring_contains.contains csv "\"q\"\"q\"")
+    (Test_helpers.contains csv "\"q\"\"q\"")
 
 (* --- Lab (shared, reduced budget) --------------------------------------- *)
 
@@ -129,9 +129,9 @@ let test_tab3_contains_o3_row () =
   let l = Lazy.force lab in
   let text = Ft_util.Table.render (Ft_experiments.Casestudy.table3 l) in
   Alcotest.(check bool) "O3 row present" true
-    (Astring_contains.contains text "O3 baseline");
+    (Test_helpers.contains text "O3 baseline");
   Alcotest.(check bool) "kernel ratios present" true
-    (Astring_contains.contains text "6.3")
+    (Test_helpers.contains text "6.3")
 
 let test_fig7_row_width () =
   let l = Lazy.force lab in

@@ -243,9 +243,9 @@ let test_explain_boundedness_names () =
 
 let test_explain_render () =
   let text = Ft_machine.Explain.render (o3_run ()) in
-  Alcotest.(check bool) "mentions dt" true (Astring_contains.contains text "dt");
+  Alcotest.(check bool) "mentions dt" true (Test_helpers.contains text "dt");
   Alcotest.(check bool) "mentions derating" true
-    (Astring_contains.contains text "derating")
+    (Test_helpers.contains text "derating")
 
 let prop_measure_positive =
   QCheck.Test.make ~count:30 ~name:"measured times are positive"

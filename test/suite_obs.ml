@@ -78,6 +78,7 @@ let check_counters ~msg (s : Telemetry.snapshot) (d : Report.counters) =
   ck "outliers" s.Telemetry.outliers d.Report.outliers;
   ck "quarantined" s.Telemetry.quarantined d.Report.quarantined;
   ck "quarantine_hits" s.Telemetry.quarantine_hits d.Report.quarantine_hits;
+  ck "worker_crashes" s.Telemetry.worker_crashes d.Report.worker_crashes;
   let sorted l = List.sort compare l in
   Alcotest.(check (list (pair string (float 1e-9))))
     (msg ^ ": timers") (sorted s.Telemetry.timers) (sorted d.Report.timers)
@@ -146,7 +147,7 @@ let test_load_rejects_garbage () =
   match with_temp_file truncated (fun path -> Report.load path) with
   | Error msg ->
       Alcotest.(check bool) "mentions the count mismatch" true
-        (Astring_contains.contains msg "5")
+        (Test_helpers.contains msg "5")
   | Ok _ -> Alcotest.fail "truncated trace accepted"
 
 let test_chrome_export_parses () =
@@ -173,7 +174,7 @@ let test_report_sections () =
       List.iter
         (fun needle ->
           Alcotest.(check bool) ("section: " ^ needle) true
-            (Astring_contains.contains rendered needle))
+            (Test_helpers.contains rendered needle))
         [
           "Per-phase breakdown";
           "Cache hit-rate over time";

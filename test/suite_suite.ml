@@ -121,9 +121,9 @@ let test_tables_render () =
   let t1 = Ft_util.Table.render (Suite.table1 ()) in
   let t2 = Ft_util.Table.render (Suite.table2 ()) in
   Alcotest.(check bool) "table1 mentions swim" true
-    (Astring_contains.contains t1 "363.swim");
+    (Test_helpers.contains t1 "363.swim");
   Alcotest.(check bool) "table2 mentions processor flags" true
-    (Astring_contains.contains t2 "-xCORE-AVX2")
+    (Test_helpers.contains t2 "-xCORE-AVX2")
 
 let test_balance_calibration_is_exact () =
   (* Re-calibrating an already-calibrated program is a no-op to within

@@ -188,7 +188,7 @@ let test_table_render () =
   let s = Table.render t in
   Alcotest.(check bool) "title present" true (String.length s > 0);
   Alcotest.(check bool) "contains alpha" true
-    (Astring_contains.contains s "alpha")
+    (Test_helpers.contains s "alpha")
 
 let test_table_too_wide () =
   let t = Table.create ~title:"T" [ "one" ] in
