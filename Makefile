@@ -1,8 +1,8 @@
 DUNE ?= dune
 FUNCY = $(DUNE) exec --no-build bin/funcy.exe --
 
-.PHONY: all build test smoke smoke-faults smoke-trace smoke-procs golden \
-        coverage check clean
+.PHONY: all build test smoke smoke-faults smoke-trace smoke-procs \
+        smoke-selfcheck golden coverage check clean
 
 all: build
 
@@ -30,14 +30,16 @@ smoke-faults: build
 	$(FUNCY) tune -b swim -a cfr -k 120 --faults --fault-seed 7 --jobs 4 \
 	  > _build/smoke-faults-j4.out
 	cmp _build/smoke-faults-j1.out _build/smoke-faults-j4.out
-	rm -f _build/smoke-faults.snap _build/smoke-faults.snap.quarantine
+	rm -f _build/smoke-faults.snap _build/smoke-faults.snap.quarantine \
+	  _build/smoke-faults.snap.commit
 	$(FUNCY) tune -b swim -a cfr -k 120 --faults --fault-seed 7 \
 	  --checkpoint _build/smoke-faults.snap --die-after 60 \
 	  > /dev/null 2>/dev/null; test $$? -eq 99
 	$(FUNCY) tune -b swim -a cfr -k 120 --faults --fault-seed 7 \
 	  --checkpoint _build/smoke-faults.snap > _build/smoke-faults-resumed.out
 	cmp _build/smoke-faults-resumed.out _build/smoke-faults-j1.out
-	rm -f _build/smoke-faults.snap _build/smoke-faults.snap.quarantine
+	rm -f _build/smoke-faults.snap _build/smoke-faults.snap.quarantine \
+	  _build/smoke-faults.snap.commit
 	@echo "smoke-faults OK: fault schedule jobs-independent, kill-and-resume bit-identical"
 
 # Tracing smoke (see DESIGN.md section 10):
@@ -78,6 +80,17 @@ smoke-procs: build
 	cmp _build/smoke-procs-d.jsonl _build/smoke-procs-k.jsonl
 	@echo "smoke-procs OK: processes backend byte-identical to domains, even under worker kills"
 
+# Checkpoint/resume equivalence oracle (see DESIGN.md section 12): for
+# each algorithm, run uninterrupted, then kill-and-resume at several
+# evaluation boundaries, and require byte-identical results, caches,
+# quarantines and normalized logical traces — on both backends, with the
+# fault model armed on the processes leg.
+smoke-selfcheck: build
+	$(FUNCY) selfcheck -b swim -k 60 --jobs 2
+	$(FUNCY) selfcheck -b swim -k 60 --jobs 4 --backend processes \
+	  --faults --fault-seed 7
+	@echo "smoke-selfcheck OK: kill-and-resume equivalent to uninterrupted runs"
+
 # Line coverage of `dune runtest` via bisect_ppx, which must be installed
 # (it is deliberately NOT a build dependency: the instrumentation stanzas
 # are inert unless dune is passed --instrument-with bisect_ppx, so default
@@ -99,7 +112,7 @@ coverage:
 golden: build
 	$(FUNCY) experiment fig5c fig7a -k 12 --csv-dir test/golden
 
-check: build test smoke smoke-faults smoke-trace smoke-procs
+check: build test smoke smoke-faults smoke-trace smoke-procs smoke-selfcheck
 
 clean:
 	$(DUNE) clean

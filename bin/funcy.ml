@@ -5,6 +5,7 @@
      profile      Caliper-profile a benchmark at O3 and show hot loops
      decisions    per-region code-generation decisions for a CV
      tune         run one tuning algorithm on one benchmark/platform
+     selfcheck    differential checkpoint/resume equivalence oracle
      experiment   regenerate paper tables/figures (same ids as bench/main)
      report       summarize a run from its --trace file *)
 
@@ -626,6 +627,121 @@ let tune_cmd =
       $ backend_t $ kill_workers_t $ shared_cache_t $ stats_t $ resilience_t
       $ trace_spec_t $ algo_t $ top_x_t)
 
+(* --- selfcheck --------------------------------------------------------- *)
+
+(* Byte-exact rendering of a search result for the differential oracle:
+   floats in %h so two runs compare equal exactly when their results are
+   bit-identical, never merely close. *)
+let render_result_exact (r : Result.t) =
+  let compact_config = function
+    | Result.Whole_program cv -> "uniform:" ^ Ft_flags.Cv.to_compact cv
+    | Result.Per_module assignment ->
+        String.concat ","
+          (List.map
+             (fun (m, cv) -> m ^ "=" ^ Ft_flags.Cv.to_compact cv)
+             assignment)
+  in
+  Printf.sprintf "%s|%h|%h|%d|%s|%s" r.Result.algorithm r.Result.best_seconds
+    r.Result.speedup r.Result.evaluations
+    (compact_config r.Result.configuration)
+    (String.concat "," (List.map (Printf.sprintf "%h") r.Result.trace))
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun name -> remove_tree (Filename.concat path name))
+      (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_scratch_dir f =
+  let path = Filename.temp_file "funcy-selfcheck" ".d" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  Fun.protect ~finally:(fun () -> remove_tree path) (fun () -> f path)
+
+let selfcheck_cmd =
+  let algos = [ ("cfr", `Cfr); ("fr", `Fr); ("random", `Random) ] in
+  let algos_t =
+    Arg.(
+      value
+      & opt_all (enum algos) []
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:
+            "Search to check: cfr, fr or random (repeatable; default: all \
+             three).")
+  in
+  let kill_at_t =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "kill-at" ] ~docv:"N,..."
+          ~doc:
+            "Evaluation boundaries to kill at (comma-separated), clamped \
+             to the reference run's range.  Default: the first, a middle \
+             and the last boundary.")
+  in
+  let run program platform seed pool jobs backend kill_workers resilience
+      algos_selected kill_at =
+    let policy = policy_of_resilience resilience in
+    let input = Ft_suite.Suite.tuning_input platform program in
+    let algos_selected =
+      match algos_selected with [] -> [ `Cfr; `Fr; `Random ] | l -> l
+    in
+    with_scratch_dir @@ fun scratch ->
+    let failures =
+      List.filter
+        (fun algo ->
+          let name =
+            match algo with `Cfr -> "cfr" | `Fr -> "fr" | `Random -> "random"
+          in
+          let label =
+            Printf.sprintf "%s (%s on %s, seed %d, jobs %d, backend %s)" name
+              program.Program.name
+              (Platform.short_name platform)
+              seed jobs
+              (Ft_engine.Backend.to_name backend)
+          in
+          let make_engine ~cache ~quarantine ~checkpoint ~trace =
+            Engine.create ~jobs ~backend ?kill_workers_after:kill_workers
+              ~cache ~quarantine ~policy ?checkpoint ?trace ()
+          in
+          let search engine =
+            let session =
+              Tuner.make_session ~pool_size:pool ~engine ~platform ~program
+                ~input ~seed ()
+            in
+            render_result_exact
+              (match algo with
+              | `Cfr -> Tuner.run_cfr session
+              | `Fr -> Funcytuner.Fr.run session.Tuner.ctx session.Tuner.outline
+              | `Random -> Funcytuner.Random_search.run session.Tuner.ctx)
+          in
+          let outcome =
+            Ft_engine.Selfcheck.run ?kill_points:kill_at ~scratch ~label
+              ~make_engine ~search ()
+          in
+          print_string (Ft_engine.Selfcheck.render outcome);
+          not (Ft_engine.Selfcheck.passed outcome))
+        algos_selected
+    in
+    if failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "selfcheck"
+       ~doc:
+         "Differential checkpoint/resume equivalence oracle: for each \
+          selected search, compare an uninterrupted run against runs \
+          killed at several evaluation boundaries and resumed from their \
+          checkpoints (plus a cache-merge round-trip), asserting \
+          byte-identical results, caches, quarantines and normalized \
+          logical traces.  Exits 1 on any divergence.  $(b,--checkpoint) \
+          and $(b,--die-after) are managed internally and ignored here.")
+    Term.(
+      const run $ program_t $ platform_t $ seed_t $ pool_t $ jobs_t
+      $ backend_t $ kill_workers_t $ resilience_t $ algos_t $ kill_at_t)
+
 (* --- experiment ------------------------------------------------------- *)
 
 let experiment_names =
@@ -760,6 +876,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; profile_cmd; decisions_cmd; tune_cmd; experiment_cmd;
-            report_cmd;
+            list_cmd; profile_cmd; decisions_cmd; tune_cmd; selfcheck_cmd;
+            experiment_cmd; report_cmd;
           ]))

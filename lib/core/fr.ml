@@ -60,10 +60,12 @@ let search_assignments (ctx : Context.t) outline ~algorithm ~label ~draw =
       outcomes
   in
   if k = 0 then invalid_arg (algorithm ^ ": empty pool");
-  let best = ref 0 in
-  Array.iteri (fun i t -> if t < times.(!best) then best := i) times;
+  (* Stats.argmin, not a bare [<] scan: same first-on-ties winner, but a
+     NaN sneaking into the times (it cannot, today — faults score
+     infinity) fails loudly instead of silently handing index 0 the win. *)
+  let best = Ft_util.Stats.argmin times in
   let winner =
-    if Float.is_finite times.(!best) then assignments.(!best)
+    if Float.is_finite times.(best) then assignments.(best)
     else o3_assignment outline
   in
   let configuration = Result.Per_module winner in

@@ -51,7 +51,11 @@ let parse_entry line =
   | key :: total :: nonloop :: loops ->
       let float_of what field k =
         match float_of_string_opt field with
-        | Some f -> k f
+        (* Summaries are noise-free wall seconds, always finite; a "nan"
+           or "inf" here is bit rot or a hand-edit, and admitting it would
+           poison every Stats reduction downstream.  Skip the entry. *)
+        | Some f when Float.is_finite f -> k f
+        | Some _ -> Error (Printf.sprintf "non-finite %s %S" what field)
         | None -> Error (Printf.sprintf "unparsable %s %S" what field)
       in
       let rec parse_loops acc = function

@@ -104,6 +104,8 @@ let set_progress t callback = t.progress <- Some callback
 
 let expect t n = ignore (Atomic.fetch_and_add t.expected n)
 
+let completed t = Atomic.get t.completed
+
 let tick t =
   let completed = 1 + Atomic.fetch_and_add t.completed 1 in
   match t.progress with

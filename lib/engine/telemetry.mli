@@ -64,6 +64,11 @@ val expect : t -> int -> unit
 val tick : t -> unit
 (** Mark one job complete and fire the progress callback, if any. *)
 
+val completed : t -> int
+(** Jobs completed so far (the running count {!tick} maintains).  The
+    selfcheck oracle reads this off a finished reference run to derive
+    its kill points. *)
+
 val snapshot : t -> snapshot
 
 val absorb : t -> snapshot -> unit

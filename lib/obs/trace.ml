@@ -180,3 +180,40 @@ let timer t ~name ~seconds = emit_wall t (Event.Timer { name; seconds })
 
 let prune_kept t ~module_name ~kept =
   emit t (Event.Prune_kept { module_name; kept })
+
+(* -- resume-invariant normalization ------------------------------------ *)
+
+(* Project an event onto the resume-invariant skeleton (see the .mli for
+   the rule-by-rule rationale), or [None] to drop it. *)
+let normalize_event = function
+  (* Wall-only schedule detail: which worker took the miss, performed the
+     build, saved the snapshot... is scheduling, not search. *)
+  | Event.Cache_hit { key } | Event.Cache_miss { key } ->
+      Some (Event.Cache_query { key })
+  | Event.Build_done _ | Event.Run_done _ | Event.Timer _
+  | Event.Checkpoint_saved _ | Event.Checkpoint_loaded _
+  | Event.Quarantine_added _ | Event.Worker_crashed _ -> None
+  (* The documented resume boundary: a key whose fault verdict was
+     snapshotted replays as one Quarantine_hit instead of the original
+     Fault_injected/Retry sequence — same verdict, different evidence. *)
+  | Event.Fault_injected _ | Event.Retry _ | Event.Quarantine_hit _ -> None
+  | e -> Some e
+
+let resume_invariant st = Option.is_some (normalize_event st.event)
+
+let normalized_lines ?(is_quarantined = fun _ -> false) t =
+  List.filter_map
+    (fun st ->
+      match normalize_event st.event with
+      | None -> None
+      (* A key that ends the run quarantined only queried the cache on the
+         runs that derived its verdict the hard way (fresh fault path),
+         never on the runs that replayed the verdict from a snapshot —
+         the one cache-query asymmetry resume can produce.  The verdict
+         itself stays: its Job_finished outcome must and does agree. *)
+      | Some (Event.Cache_query { key }) when is_quarantined key -> None
+      | Some e ->
+          Some
+            (Json.to_string
+               (Json.Obj (("ev", Json.String (Event.name e)) :: Event.fields e))))
+    (events t)

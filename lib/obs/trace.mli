@@ -135,3 +135,43 @@ val timer : t option -> name:string -> seconds:float -> unit
 (** [Wall] only: durations are wall-clock facts. *)
 
 val prune_kept : t option -> module_name:string -> kept:int -> unit
+
+(** {2 Resume-invariant normalization}
+
+    The selfcheck oracle compares the trace of an uninterrupted run with
+    the trace of a killed-and-resumed one.  Those traces are {e not}
+    byte-identical, for exactly two documented reasons, and normalization
+    removes exactly them:
+
+    - {b schedule detail}: the [Wall]-only events (hit/miss split, builds,
+      runs, timers, checkpoint saves/loads, quarantine insertions, worker
+      crashes) depend on what the cache already held and who raced whom —
+      [Cache_hit]/[Cache_miss] are collapsed to {!Event.Cache_query}, the
+      rest are dropped (a [Logical] trace never records them anyway);
+    - {b the resume boundary}: a key whose fault verdict was quarantined
+      before the kill replays after resume as a single [Quarantine_hit]
+      where the original run recorded the [Fault_injected]/[Retry]
+      evidence for the same verdict — all three are dropped, leaving the
+      schedule-independent [Job_finished] outcome (which must and does
+      agree) to carry the comparison.  For the same reason, [Cache_query]
+      events whose key satisfies [is_quarantined] (the caller passes the
+      run's {e final} quarantine membership — itself compared separately,
+      byte-for-byte) are dropped: deriving a crash/timeout/miscompile
+      verdict queries the cache on the way to the fault, replaying it
+      from a snapshot does not.
+
+    Everything else — batch structure, job starts/finishes with outcomes,
+    cache queries, outlier degradations, phase spans, prune decisions —
+    must be byte-identical between a fresh and a resumed run, at any
+    [--jobs] count, on either backend. *)
+
+val resume_invariant : stamped -> bool
+(** Does this event's {e kind} survive normalization?  (The per-key
+    [Cache_query] rule needs quarantine context this predicate does not
+    have; it treats all cache queries as invariant.) *)
+
+val normalized_lines : ?is_quarantined:(string -> bool) -> t -> string list
+(** The resume-invariant skeleton of the trace: events in canonical
+    order, filtered and projected as above, each rendered as a compact
+    JSON line (no stamps — sequence numbers shift where events were
+    dropped, and position in the list already encodes the order). *)

@@ -2,12 +2,24 @@ let require_nonempty name = function
   | [] -> invalid_arg (name ^ ": empty input")
   | _ -> ()
 
+(* NaN is rejected, never ordered: under [<] it silently loses every
+   comparison (poisoning argmin/min_by towards whatever came first) and
+   under [Float.compare] it sorts below -infinity (poisoning medians and
+   percentiles towards the NaN).  A NaN reaching a reduction is always an
+   upstream bug — e.g. a torn measurement line — so fail loudly. *)
+let require_not_nan name x =
+  if Float.is_nan x then invalid_arg (name ^ ": NaN input")
+
+let require_no_nan name xs = List.iter (require_not_nan name) xs
+
 let mean xs =
   require_nonempty "Stats.mean" xs;
+  require_no_nan "Stats.mean" xs;
   List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let geomean xs =
   require_nonempty "Stats.geomean" xs;
+  require_no_nan "Stats.geomean" xs;
   let add_log acc x =
     if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value"
     else acc +. log x
@@ -16,6 +28,7 @@ let geomean xs =
 
 let stddev xs =
   require_nonempty "Stats.stddev" xs;
+  require_no_nan "Stats.stddev" xs;
   match xs with
   | [ _ ] -> 0.0
   | _ ->
@@ -24,16 +37,20 @@ let stddev xs =
       let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
       sqrt (ss /. (n -. 1.0))
 
-let sorted xs = List.sort compare xs
+(* [Float.compare], not the polymorphic [compare]: a total order on
+   floats by specification, rather than by accident of representation. *)
+let sorted xs = List.sort Float.compare xs
 
 let median xs =
   require_nonempty "Stats.median" xs;
+  require_no_nan "Stats.median" xs;
   let a = Array.of_list (sorted xs) in
   let n = Array.length a in
   if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
 let percentile p xs =
   require_nonempty "Stats.percentile" xs;
+  require_no_nan "Stats.percentile" xs;
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
   let a = Array.of_list (sorted xs) in
   let n = Array.length a in
@@ -48,34 +65,51 @@ let percentile p xs =
 let min_by key = function
   | [] -> invalid_arg "Stats.min_by: empty input"
   | x :: xs ->
-      let better best candidate =
-        if key candidate < key best then candidate else best
+      let checked_key c =
+        let k = key c in
+        require_not_nan "Stats.min_by" k;
+        k
       in
+      let better best candidate =
+        if Float.compare (checked_key candidate) (key best) < 0 then candidate
+        else best
+      in
+      ignore (checked_key x);
       List.fold_left better x xs
 
 let max_by key = function
   | [] -> invalid_arg "Stats.max_by: empty input"
   | x :: xs ->
-      let better best candidate =
-        if key candidate > key best then candidate else best
+      let checked_key c =
+        let k = key c in
+        require_not_nan "Stats.max_by" k;
+        k
       in
+      let better best candidate =
+        if Float.compare (checked_key candidate) (key best) > 0 then candidate
+        else best
+      in
+      ignore (checked_key x);
       List.fold_left better x xs
 
 let argmin a =
   if Array.length a = 0 then invalid_arg "Stats.argmin: empty input";
+  require_not_nan "Stats.argmin" a.(0);
   let best = ref 0 in
   for i = 1 to Array.length a - 1 do
-    if a.(i) < a.(!best) then best := i
+    require_not_nan "Stats.argmin" a.(i);
+    if Float.compare a.(i) a.(!best) < 0 then best := i
   done;
   !best
 
 let top_k_indices k costs =
+  Array.iter (require_not_nan "Stats.top_k_indices") costs;
   let n = Array.length costs in
   let k = max 0 (min k n) in
   let idx = Array.init n (fun i -> i) in
   Array.sort
     (fun i j ->
-      match compare costs.(i) costs.(j) with 0 -> compare i j | c -> c)
+      match Float.compare costs.(i) costs.(j) with 0 -> compare i j | c -> c)
     idx;
   Array.to_list (Array.sub idx 0 k)
 
@@ -86,6 +120,8 @@ let robust_representative a =
   else begin
     let xs = Array.to_list a in
     let med = median xs in
+    if not (Float.is_finite med) then argmin a
+    else begin
     let mad = median (List.map (fun x -> Float.abs (x -. med)) xs) in
     (* 3 median-absolute-deviations ≈ 4.5 σ for Gaussian noise: generous
        enough never to clip honest jitter, tight enough to shed Pareto
@@ -103,6 +139,7 @@ let robust_representative a =
         end)
       a;
     if !best < 0 then argmin a else !best
+    end
   end
 
 let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x

@@ -2,46 +2,53 @@
 
     The paper reports geometric-mean speedups (Figs. 5–8), per-run standard
     deviations (§4.1) and best-of-K selections; these helpers implement those
-    reductions once, with explicit behaviour on empty input. *)
+    reductions once, with explicit behaviour on empty input.
+
+    Every reduction that orders or averages floats rejects NaN with
+    [Invalid_argument]: NaN loses every [<] comparison and sorts below
+    [-infinity] under [Float.compare], so letting one in (e.g. from a torn
+    measurement line) would silently poison medians, percentiles and
+    argmins.  Infinities are legitimate inputs (faulted evaluations score
+    [infinity]) and order as usual. *)
 
 val mean : float list -> float
-(** Arithmetic mean.  @raise Invalid_argument on empty input. *)
+(** Arithmetic mean.  @raise Invalid_argument on empty or NaN input. *)
 
 val geomean : float list -> float
 (** Geometric mean of strictly positive values, computed in log space so
     K = 1000 products do not overflow.
-    @raise Invalid_argument on empty input or any value [<= 0]. *)
+    @raise Invalid_argument on empty input, NaN, or any value [<= 0]. *)
 
 val stddev : float list -> float
 (** Sample standard deviation (n-1 denominator; 0 for singletons).
     @raise Invalid_argument on empty input. *)
 
 val median : float list -> float
-(** Median (mean of middle pair for even lengths).
-    @raise Invalid_argument on empty input. *)
+(** Median (mean of middle pair for even lengths), ordered by
+    [Float.compare].  @raise Invalid_argument on empty or NaN input. *)
 
 val percentile : float -> float list -> float
 (** [percentile p xs] for [p] in [0,100], nearest-rank with linear
-    interpolation.  @raise Invalid_argument on empty input or p outside
-    [0,100]. *)
+    interpolation.  @raise Invalid_argument on empty input, NaN, or p
+    outside [0,100]. *)
 
 val min_by : ('a -> float) -> 'a list -> 'a
 (** Element minimizing the key; first winner on ties.
-    @raise Invalid_argument on empty input. *)
+    @raise Invalid_argument on empty input or a NaN key. *)
 
 val max_by : ('a -> float) -> 'a list -> 'a
 (** Element maximizing the key; first winner on ties.
-    @raise Invalid_argument on empty input. *)
+    @raise Invalid_argument on empty input or a NaN key. *)
 
 val argmin : float array -> int
 (** Index of the smallest element; first on ties.
-    @raise Invalid_argument on empty input. *)
+    @raise Invalid_argument on empty or NaN input. *)
 
 val top_k_indices : int -> float array -> int list
 (** [top_k_indices k costs] are the indices of the [k] smallest costs in
     ascending cost order (ties broken by index).  [k] is clamped to the
     array length.  This is the space-focusing primitive of CFR
-    (Algorithm 1, line 11). *)
+    (Algorithm 1, line 11).  @raise Invalid_argument on NaN input. *)
 
 val robust_representative : float array -> int
 (** Index of a robust representative of repeated measurements of one

@@ -302,8 +302,9 @@ let with_checkpoint_path f =
   Fun.protect
     ~finally:(fun () ->
       Sys.remove path;
-      let qp = path ^ ".quarantine" in
-      if Sys.file_exists qp then Sys.remove qp)
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path ^ ".quarantine"; path ^ ".commit" ])
     (fun () -> f path)
 
 let test_checkpoint_roundtrip () =
@@ -351,6 +352,97 @@ let test_checkpoint_resume_bit_identical () =
   let s = Telemetry.snapshot (Engine.telemetry resumed_engine) in
   Alcotest.(check bool) "resume fast-forwards through snapshotted work" true
     (s.Telemetry.cache_hits > 0)
+
+(* --- the checkpoint commit protocol ----------------------------------- *)
+
+exception Simulated_crash
+
+let test_commit_write_order () =
+  with_checkpoint_path @@ fun path ->
+  let stages = ref [] in
+  let ck =
+    Checkpoint.create ~path ~on_write:(fun s -> stages := s :: !stages) ()
+  in
+  let cache = Cache.create () and quarantine = Quarantine.create () in
+  Checkpoint.flush ck ~cache ~quarantine;
+  Checkpoint.flush ck ~cache ~quarantine;
+  Alcotest.(check (list string)) "quarantine, then cache, then commit"
+    [ "quarantine"; "cache"; "commit"; "quarantine"; "cache"; "commit" ]
+    (List.rev !stages)
+
+let test_torn_save_is_caught () =
+  (* Deliberately reintroduce the pre-protocol bug: crash between the
+     quarantine and cache writes, pairing a newer quarantine with an older
+     cache on disk, and check that load reports the tear (and that the
+     safe tear direction holds: the survivor carries the NEWER
+     quarantine). *)
+  with_checkpoint_path @@ fun path ->
+  let crash = ref false in
+  let on_write stage =
+    if !crash && stage = "quarantine" then raise Simulated_crash
+  in
+  let ck = Checkpoint.create ~path ~on_write () in
+  let cache = Cache.create () and quarantine = Quarantine.create () in
+  Quarantine.add quarantine "key-a" Quarantine.Wrong_answer;
+  Checkpoint.flush ck ~cache ~quarantine;
+  Quarantine.add quarantine "key-b" (Quarantine.Crashed "sig11");
+  crash := true;
+  (try Checkpoint.flush ck ~cache ~quarantine
+   with Simulated_crash -> ());
+  let warnings = ref [] in
+  let warn ~line:_ ~reason = warnings := reason :: !warnings in
+  (match Checkpoint.load ~warn ck with
+  | None -> Alcotest.fail "a torn checkpoint must still load"
+  | Some (_, q) ->
+      Alcotest.(check int) "survivor carries the newer quarantine" 2
+        (Quarantine.length q));
+  Alcotest.(check bool) "the tear is reported" true
+    (List.exists
+       (fun r -> Test_helpers.contains r "torn checkpoint: quarantine")
+       !warnings)
+
+let test_missing_commit_record_warns () =
+  with_checkpoint_path @@ fun path ->
+  let ck = Checkpoint.create ~path () in
+  Checkpoint.flush ck ~cache:(Cache.create ())
+    ~quarantine:(Quarantine.create ());
+  Sys.remove (Checkpoint.commit_path ck);
+  let warnings = ref [] in
+  let warn ~line:_ ~reason = warnings := reason :: !warnings in
+  (match Checkpoint.load ~warn ck with
+  | None -> Alcotest.fail "a pre-protocol snapshot must still load"
+  | Some _ -> ());
+  Alcotest.(check bool) "pre-protocol snapshot is flagged" true
+    (List.exists
+       (fun r -> Test_helpers.contains r "no commit record")
+       !warnings)
+
+let test_concurrent_tick_saves_serialize () =
+  (* Four domains racing [tick ~every:1]: every save transaction must run
+     to completion before the next begins — the stage log is a sequence of
+     complete quarantine/cache/commit triples, never interleaved. *)
+  with_checkpoint_path @@ fun path ->
+  let stages = ref [] in
+  let lock = Mutex.create () in
+  let on_write s = Mutex.protect lock (fun () -> stages := s :: !stages) in
+  let ck = Checkpoint.create ~path ~every:1 ~on_write () in
+  let cache = Cache.create () and quarantine = Quarantine.create () in
+  let ticker () =
+    for _ = 1 to 25 do
+      ignore (Checkpoint.tick ck ~cache ~quarantine : bool)
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn ticker) in
+  List.iter Domain.join domains;
+  let rec well_formed = function
+    | [] -> true
+    | "quarantine" :: "cache" :: "commit" :: rest -> well_formed rest
+    | _ -> false
+  in
+  let log = List.rev !stages in
+  Alcotest.(check bool) "save transactions never interleave" true
+    (well_formed log);
+  Alcotest.(check int) "every due tick saved" (3 * 100) (List.length log)
 
 (* --- the searches under fire ------------------------------------------ *)
 
@@ -449,6 +541,14 @@ let suite =
         test_checkpoint_roundtrip;
       Alcotest.test_case "checkpoint resume bit-identical" `Quick
         test_checkpoint_resume_bit_identical;
+      Alcotest.test_case "commit protocol write order" `Quick
+        test_commit_write_order;
+      Alcotest.test_case "torn save caught by commit record" `Quick
+        test_torn_save_is_caught;
+      Alcotest.test_case "missing commit record warns" `Quick
+        test_missing_commit_record_warns;
+      Alcotest.test_case "concurrent tick saves serialize" `Quick
+        test_concurrent_tick_saves_serialize;
       Alcotest.test_case "searches complete under faults" `Quick
         test_searches_complete_under_faults;
       Alcotest.test_case "searches deterministic under faults" `Quick

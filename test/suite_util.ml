@@ -147,7 +147,9 @@ let test_stddev () =
 
 let test_median () =
   check_float "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
-  check_float "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+  check_float "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  check_float "infinities welcome" 1.0
+    (Stats.median [ Float.neg_infinity; 1.0; Float.infinity ])
 
 let test_percentile () =
   let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
@@ -312,6 +314,57 @@ let prop_rng_state_roundtrip =
       let ys = List.init 20 (fun _ -> Rng.int64 r') in
       xs = ys)
 
+(* --- NaN rejection ----------------------------------------------------- *)
+
+(* A NaN loses every [<] comparison and sorts below -infinity under
+   [Float.compare], so one reaching a Stats aggregate would silently
+   poison the result — or, worse, WIN an argmin.  The module's contract
+   is to reject NaN loudly; these properties splice one into a
+   well-formed input at a random position and require the raise.
+   (Infinities stay legitimate: faulted evaluations score infinity.) *)
+
+let raises_invalid f =
+  match f () with _ -> false | exception Invalid_argument _ -> true
+
+let nan_list_arb =
+  QCheck.(
+    map
+      (fun (xs, at) ->
+        let at = at mod (List.length xs + 1) in
+        List.filteri (fun i _ -> i < at) xs
+        @ [ Float.nan ]
+        @ List.filteri (fun i _ -> i >= at) xs)
+      (pair
+         (list_of_size Gen.(int_range 0 15) (float_range (-50.0) 50.0))
+         small_nat))
+
+let prop_aggregates_reject_nan =
+  QCheck.Test.make ~count:200 ~name:"mean/median/percentile reject NaN"
+    nan_list_arb (fun xs ->
+      raises_invalid (fun () -> Stats.mean xs)
+      && raises_invalid (fun () -> Stats.median xs)
+      && raises_invalid (fun () -> Stats.percentile 50.0 xs)
+      && raises_invalid (fun () -> Stats.stddev xs))
+
+let prop_selectors_reject_nan =
+  QCheck.Test.make ~count:200 ~name:"argmin/min_by/top_k reject NaN"
+    nan_list_arb (fun xs ->
+      let a = Array.of_list xs in
+      raises_invalid (fun () -> Stats.argmin a)
+      && raises_invalid (fun () -> Stats.min_by Fun.id xs)
+      && raises_invalid (fun () -> Stats.max_by Fun.id xs)
+      && raises_invalid (fun () -> Stats.top_k_indices 3 a))
+
+let prop_median_permutation_invariant =
+  (* [sorted] uses the total order [Float.compare]; on NaN-free input the
+     aggregate must not depend on presentation order. *)
+  QCheck.Test.make ~count:200 ~name:"median invariant under permutation"
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let m = Stats.median xs in
+      Stats.median (List.rev xs) = m
+      && Stats.median (List.sort Float.compare xs) = m)
+
 let suite =
   ( "util",
     [
@@ -355,4 +408,7 @@ let suite =
       QCheck_alcotest.to_alcotest prop_geomean_le_mean;
       QCheck_alcotest.to_alcotest prop_label_streams_sibling_independent;
       QCheck_alcotest.to_alcotest prop_rng_state_roundtrip;
+      QCheck_alcotest.to_alcotest prop_aggregates_reject_nan;
+      QCheck_alcotest.to_alcotest prop_selectors_reject_nan;
+      QCheck_alcotest.to_alcotest prop_median_permutation_invariant;
     ] )

@@ -4,4 +4,6 @@
    domains-backend baseline at jobs = 1 (which is strictly sequential —
    no domain is ever created) so Procpool's forks stay legal. *)
 
-let () = Alcotest.run "funcytuner-backend" [ Suite_backend.suite ]
+let () =
+  Alcotest.run "funcytuner-backend"
+    [ Suite_backend.suite; Suite_selfcheck.suite_processes ]

@@ -13,6 +13,7 @@ let () =
       Suite_caliper_outline.suite;
       Suite_engine.suite;
       Suite_fault.suite;
+      Suite_selfcheck.suite;
       Suite_core.suite;
       Suite_baselines.suite;
       Suite_opentuner.suite;
