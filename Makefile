@@ -2,7 +2,7 @@ DUNE ?= dune
 FUNCY = $(DUNE) exec --no-build bin/funcy.exe --
 
 .PHONY: all build test smoke smoke-faults smoke-trace smoke-procs \
-        smoke-selfcheck golden coverage check clean
+        smoke-selfcheck smoke-serve golden coverage check clean
 
 all: build
 
@@ -91,6 +91,34 @@ smoke-selfcheck: build
 	  --faults --fault-seed 7
 	@echo "smoke-selfcheck OK: kill-and-resume equivalent to uninterrupted runs"
 
+# Tuning-service smoke (see DESIGN.md section 13):
+#   1. a daemon comes up and a served result is byte-identical to the
+#      result block of a solo `funcy tune` with the same spec;
+#   2. a zipfian loadgen burst completes with zero protocol errors and
+#      zero byte divergence (loadgen exits 1 otherwise);
+#   3. a protocol shutdown drains the daemon cleanly (exit 0), and
+#      `funcy report` renders the server section from its trace.
+smoke-serve: build
+	rm -f _build/smoke-serve.sock
+	$(FUNCY) serve -s _build/smoke-serve.sock --jobs 2 \
+	  --trace _build/smoke-serve.jsonl > _build/smoke-serve-daemon.out \
+	  2> _build/smoke-serve-daemon.err & echo $$! > _build/smoke-serve.pid
+	$(FUNCY) client -s _build/smoke-serve.sock --wait 10 --quiet \
+	  -b swim -a cfr --seed 42 -k 120 > _build/smoke-serve-client.out
+	$(FUNCY) tune -b swim -a cfr --seed 42 -k 120 \
+	  > _build/smoke-serve-solo.out
+	sed -n '/^CFR: speedup/,$$p' _build/smoke-serve-solo.out \
+	  > _build/smoke-serve-solo-block.out
+	cmp _build/smoke-serve-client.out _build/smoke-serve-solo-block.out
+	$(FUNCY) loadgen -s _build/smoke-serve.sock --clients 120 --zipf 1.1 \
+	  > _build/smoke-serve-loadgen.out
+	$(FUNCY) client -s _build/smoke-serve.sock --shutdown > /dev/null
+	for i in `seq 1 100`; do \
+	  kill -0 `cat _build/smoke-serve.pid` 2>/dev/null || break; sleep 0.1; done; \
+	  ! kill -0 `cat _build/smoke-serve.pid` 2>/dev/null
+	$(FUNCY) report _build/smoke-serve.jsonl | grep -q "Server requests"
+	@echo "smoke-serve OK: served bytes = solo bytes, loadgen clean, drained on shutdown"
+
 # Line coverage of `dune runtest` via bisect_ppx, which must be installed
 # (it is deliberately NOT a build dependency: the instrumentation stanzas
 # are inert unless dune is passed --instrument-with bisect_ppx, so default
@@ -112,7 +140,8 @@ coverage:
 golden: build
 	$(FUNCY) experiment fig5c fig7a -k 12 --csv-dir test/golden
 
-check: build test smoke smoke-faults smoke-trace smoke-procs smoke-selfcheck
+check: build test smoke smoke-faults smoke-trace smoke-procs smoke-selfcheck \
+       smoke-serve
 
 clean:
 	$(DUNE) clean

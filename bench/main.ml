@@ -18,6 +18,10 @@
      --repeats N       measurements per configuration (robust aggregation)
      --retries N       retry budget for transient faults (default 2)
      --checkpoint P    snapshot the cache/quarantine to P; resume if P exists
+     --json            instead of experiments, take a machine-readable
+                       performance snapshot (solo-tune wall/evals-per-sec/
+                       cache hit rate + a loadgen burst against a forked
+                       daemon) and write it to BENCH_<rev>.json
 
    Absolute speedups come from the simulated tool-chain, so they are not
    expected to equal the paper's testbed numbers; the shapes (who wins,
@@ -298,6 +302,137 @@ let run_engine () =
     (Ft_engine.Telemetry.render
        (Funcytuner.Context.telemetry par_session.Funcytuner.Tuner.ctx))
 
+(* --- bench --json: machine-readable performance snapshot -------------- *)
+
+let json_out = ref false
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "dev"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "dev")
+
+(* The daemon child is forked before any engine exists in this process
+   (fork after spawning domains is undefined), runs a jobs=1 engine of
+   its own, and exits when the parent's shutdown request drains it. *)
+let fork_daemon ~socket_path =
+  match Unix.fork () with
+  | 0 ->
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      Unix.dup2 devnull Unix.stdout;
+      Unix.close devnull;
+      let engine = Ft_engine.Engine.create ~jobs:1 ~policy:(policy ()) () in
+      let runner = Ft_serve.Runner.make ~engine in
+      ignore
+        (Ft_serve.Server.serve
+           ~telemetry:(Ft_engine.Engine.telemetry engine)
+           (Ft_serve.Server.default_config ~socket_path)
+           runner);
+      Stdlib.exit 0
+  | pid -> pid
+
+let run_json_bench () =
+  let module Json = Ft_obs.Json in
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "funcy-bench-%d.sock" (Unix.getpid ()))
+  in
+  let daemon = fork_daemon ~socket_path in
+  (* 1. solo tune: wall clock, evaluation rate, cache hit rate *)
+  let platform = Ft_prog.Platform.Broadwell in
+  let program = Option.get (Ft_suite.Suite.find "363.swim") in
+  let input = Ft_suite.Suite.tuning_input platform program in
+  let engine =
+    Ft_engine.Engine.create ~jobs:!jobs ~backend:!backend ~policy:(policy ()) ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let session =
+    Funcytuner.Tuner.make_session ~pool_size:300 ~engine ~platform ~program
+      ~input ~seed:42 ()
+  in
+  let result = Funcytuner.Tuner.run_cfr session in
+  let tune_wall = Unix.gettimeofday () -. t0 in
+  let snap = Ft_engine.Telemetry.snapshot (Ft_engine.Engine.telemetry engine) in
+  let lookups =
+    snap.Ft_engine.Telemetry.cache_hits + snap.Ft_engine.Telemetry.cache_misses
+  in
+  let hit_rate =
+    if lookups = 0 then 0.0
+    else float_of_int snap.Ft_engine.Telemetry.cache_hits /. float_of_int lookups
+  in
+  note "tune (swim/bdw cfr, K=300): %.3f s wall, %d evaluations (%.0f/s), \
+        cache hit rate %.1f%%"
+    tune_wall result.Funcytuner.Result.evaluations
+    (float_of_int result.Funcytuner.Result.evaluations /. tune_wall)
+    (100.0 *. hit_rate);
+  (* 2. loadgen burst against the forked daemon *)
+  (match Ft_serve.Client.ping ~retry_for:10.0 socket_path with
+  | Ok () -> ()
+  | Error f ->
+      Printf.eprintf "bench: daemon never came up: %s\n"
+        (Ft_serve.Client.failure_to_string f);
+      exit 1);
+  let lg = Ft_serve.Loadgen.run (Ft_serve.Loadgen.default_config ~socket_path) in
+  print_string (Ft_serve.Loadgen.render lg);
+  ignore (Ft_serve.Client.shutdown socket_path);
+  ignore (Unix.waitpid [] daemon);
+  if not (Ft_serve.Loadgen.passed lg) then begin
+    Printf.eprintf "bench: loadgen reported protocol errors or divergence\n";
+    exit 1
+  end;
+  let rev = git_rev () in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "funcytuner/bench/1");
+        ("rev", Json.String rev);
+        ("jobs", Json.Int !jobs);
+        ( "tune",
+          Json.Obj
+            [
+              ("benchmark", Json.String program.Ft_prog.Program.name);
+              ("algorithm", Json.String "cfr");
+              ("pool", Json.Int 300);
+              ("wall_s", Json.Float tune_wall);
+              ("evaluations", Json.Int result.Funcytuner.Result.evaluations);
+              ( "evals_per_sec",
+                Json.Float
+                  (float_of_int result.Funcytuner.Result.evaluations
+                  /. tune_wall) );
+              ("cache_hit_rate", Json.Float hit_rate);
+            ] );
+        ( "loadgen",
+          Json.Obj
+            [
+              ("clients", Json.Int 200);
+              ("concurrency", Json.Int 64);
+              ("zipf_s", Json.Float 1.1);
+              ("completed", Json.Int lg.Ft_serve.Loadgen.completed);
+              ("fresh", Json.Int lg.Ft_serve.Loadgen.fresh);
+              ("coalesced", Json.Int lg.Ft_serve.Loadgen.coalesced);
+              ("cached", Json.Int lg.Ft_serve.Loadgen.cached);
+              ("rejected", Json.Int lg.Ft_serve.Loadgen.rejected);
+              ("errors", Json.Int lg.Ft_serve.Loadgen.errors);
+              ("coalesce_rate", Json.Float lg.Ft_serve.Loadgen.coalesce_rate);
+              ("wall_s", Json.Float lg.Ft_serve.Loadgen.wall_s);
+              ("throughput_rps", Json.Float lg.Ft_serve.Loadgen.throughput);
+              ("latency_p50_s", Json.Float lg.Ft_serve.Loadgen.latency_p50);
+              ("latency_p90_s", Json.Float lg.Ft_serve.Loadgen.latency_p90);
+              ("latency_p99_s", Json.Float lg.Ft_serve.Loadgen.latency_p99);
+              ("latency_max_s", Json.Float lg.Ft_serve.Loadgen.latency_max);
+            ] );
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" path
+
 let experiments =
   [
     ("tab1", run_tab1);
@@ -364,6 +499,9 @@ let parse_args argv =
     | "--faults" :: rest ->
         faults := true;
         go names rest
+    | "--json" :: rest ->
+        json_out := true;
+        go names rest
     | ("--jobs" | "-j") :: n :: rest ->
         set_jobs n;
         go names rest
@@ -400,11 +538,15 @@ let parse_args argv =
   go [] (List.tl (Array.to_list argv))
 
 let () =
+  let names = parse_args Sys.argv in
+  if !json_out then begin
+    if names <> [] then
+      usage_error "--json takes no experiment names (it is its own suite)";
+    run_json_bench ();
+    exit 0
+  end;
   let requested =
-    match parse_args Sys.argv with
-    | [] -> List.map fst default_experiments
-    | names -> names
-  in
+    match names with [] -> List.map fst default_experiments | names -> names in
   let t0 = Sys.time () in
   List.iter
     (fun name ->

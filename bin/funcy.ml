@@ -483,20 +483,9 @@ let decisions_cmd =
 
 (* --- tune ------------------------------------------------------------- *)
 
-let print_result (r : Result.t) =
-  Printf.printf "%s: speedup %.3f over O3 (%s) after %d evaluations\n"
-    r.Result.algorithm r.Result.speedup
-    (Ft_util.Table.fmt_pct r.Result.speedup)
-    r.Result.evaluations;
-  match r.Result.configuration with
-  | Result.Whole_program cv ->
-      Printf.printf "  winning CV: %s\n" (Ft_flags.Cv.render cv)
-  | Result.Per_module assignment ->
-      Printf.printf "  winning per-module assignment:\n";
-      List.iter
-        (fun (m, cv) ->
-          Printf.printf "    %-20s %s\n" m (Ft_flags.Cv.render cv))
-        assignment
+(* The same bytes the tuning server returns for this search — the
+   byte-identity half of the serve contract lives in [Result.render]. *)
+let print_result (r : Result.t) = print_string (Result.render r)
 
 let tune_cmd =
   let algo_t =
@@ -869,6 +858,348 @@ let report_cmd =
           convergence curve, fault/retry table, derived engine counters")
     Term.(const run $ file_t)
 
+(* --- serve / client / loadgen ------------------------------------------ *)
+
+module Serve = Ft_serve.Server
+module Sproto = Ft_serve.Protocol
+module Sclient = Ft_serve.Client
+
+let socket_t =
+  Arg.(
+    value & opt string "funcy.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket the tuning daemon listens on (default \
+           funcy.sock in the current directory).")
+
+let serve_cmd =
+  let max_queue_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"max-queue" ~min_v:1) 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: waiting requests beyond $(docv) are \
+             rejected with a typed queue_full backpressure response \
+             (default 256).")
+  in
+  let progress_every_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"progress-every" ~min_v:1) 25
+      & info [ "progress-every" ] ~docv:"N"
+          ~doc:
+            "Engine jobs between streamed progress heartbeats (default \
+             25); sockets are drained on every job regardless, so \
+             requests coalesce onto an in-flight search.")
+  in
+  let run socket max_queue progress_every jobs backend kill_workers stats
+      resilience tspec =
+    let trace = make_trace tspec in
+    let engine =
+      make_engine ~jobs ~backend ?kill_workers_after:kill_workers ?trace
+        resilience
+    in
+    let telemetry = Engine.telemetry engine in
+    let runner = Ft_serve.Runner.make ~engine in
+    let config =
+      { (Serve.default_config ~socket_path:socket) with max_queue;
+        progress_every }
+    in
+    let counters =
+      Fun.protect ~finally:(fun () ->
+          export_trace tspec trace;
+          maybe_stats stats telemetry)
+      @@ fun () ->
+      Serve.serve ?trace ~telemetry
+        ~on_ready:(fun () ->
+          Printf.eprintf "funcy serve: listening on %s\n%!" socket)
+        config runner
+    in
+    print_endline "funcy serve: drained; lifetime counters:";
+    List.iter (fun (k, v) -> Printf.printf "  %-18s %d\n" k v) counters
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tuning-as-a-service daemon: concurrent requests for \
+          the same search coalesce onto one in-flight execution, \
+          tenants are served round-robin, and completed searches are \
+          memoized.  Stop with a shutdown request (or SIGTERM): the \
+          daemon drains its queue and exits.")
+    Term.(
+      const run $ socket_t $ max_queue_t $ progress_every_t $ jobs_t
+      $ backend_t $ kill_workers_t $ stats_t $ resilience_t $ trace_spec_t)
+
+let wait_t =
+  let wait_arg =
+    let parse s =
+      match float_of_string_opt s with
+      | Some w when w >= 0.0 -> Ok w
+      | _ -> Error (`Msg (Printf.sprintf "invalid wait '%s'" s))
+    in
+    Arg.conv (parse, fun fmt w -> Format.fprintf fmt "%g" w)
+  in
+  Arg.(
+    value & opt wait_arg 5.0
+    & info [ "wait" ] ~docv:"SECONDS"
+        ~doc:
+          "Keep retrying an absent/refusing socket for $(docv) seconds \
+           before giving up (default 5; the daemon may still be \
+           starting).")
+
+let client_cmd =
+  let algo_t =
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (a, a)) Ft_serve.Runner.algorithms))
+          "cfr"
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:
+            "One of: cfr, cfr-adaptive, fr, random (the searches the \
+             service accepts; default cfr).")
+  in
+  let top_x_t =
+    Arg.(
+      value
+      & opt (some (bounded_int_arg ~what:"top-x" ~min_v:1)) None
+      & info [ "top-x" ] ~docv:"X"
+          ~doc:"CFR space-focusing width (default: the algorithm's).")
+  in
+  let tenant_t =
+    Arg.(
+      value & opt string "cli"
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"Tenant the request is accounted to (default cli).")
+  in
+  let id_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID"
+          ~doc:"Request id (default: derived from the process id).")
+  in
+  let quiet_t =
+    Arg.(
+      value & flag
+      & info [ "quiet" ]
+          ~doc:"Suppress the lifecycle chatter on stderr; print only the \
+                result.")
+  in
+  let ping_t =
+    Arg.(
+      value & flag
+      & info [ "ping" ]
+          ~doc:"Instead of tuning, check the daemon is alive and exit.")
+  in
+  let stats_t =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Instead of tuning, print the daemon's lifetime counters.")
+  in
+  let shutdown_t =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:
+            "Instead of tuning, ask the daemon to drain its queue and \
+             exit.")
+  in
+  let run socket program platform seed pool algo top_x tenant id wait quiet
+      ping stats shutdown =
+    let fail failure =
+      Printf.eprintf "funcy client: %s\n" (Sclient.failure_to_string failure);
+      exit 1
+    in
+    if ping then (
+      match Sclient.ping ~retry_for:wait socket with
+      | Stdlib.Ok () -> print_endline "pong"; exit 0
+      | Stdlib.Error failure -> fail failure);
+    if stats then (
+      match Sclient.stats ~retry_for:wait socket with
+      | Stdlib.Ok counters ->
+          List.iter (fun (k, v) -> Printf.printf "%-18s %d\n" k v) counters;
+          exit 0
+      | Stdlib.Error failure -> fail failure);
+    if shutdown then (
+      match Sclient.shutdown ~retry_for:wait socket with
+      | Stdlib.Ok () -> print_endline "daemon draining"; exit 0
+      | Stdlib.Error failure -> fail failure);
+    let program =
+      match program with
+      | Some p -> p
+      | None ->
+          Printf.eprintf
+            "funcy client: required option --benchmark is missing\n";
+          exit 2
+    in
+    let spec =
+      {
+        Sproto.benchmark = program.Program.name;
+        platform = Platform.short_name platform;
+        algorithm = algo;
+        seed;
+        pool;
+        top_x;
+      }
+    in
+    let id =
+      match id with Some i -> i | None -> Printf.sprintf "cli-%d" (Unix.getpid ())
+    in
+    let say fmt = Printf.ksprintf (fun s -> if not quiet then Printf.eprintf "funcy client: %s\n%!" s) fmt in
+    let on_event = function
+      | Sproto.Admitted { queue_depth; _ } ->
+          say "admitted (queue depth %d)" queue_depth
+      | Sproto.Coalesced { leader; _ } ->
+          say "coalesced onto in-flight request %s" leader
+      | Sproto.Started _ -> say "search started"
+      | Sproto.Progress { ticks; _ } -> say "%d engine jobs" ticks
+      | _ -> ()
+    in
+    match
+      Sclient.tune ~retry_for:wait ~on_event ~socket_path:socket ~id ~tenant
+        spec
+    with
+    | Stdlib.Ok payload ->
+        say "%s result, group of %d, search ran %.2f s"
+          (Sproto.origin_to_string payload.Sproto.origin)
+          payload.Sproto.group_size payload.Sproto.run_s;
+        print_string payload.Sproto.text
+    | Stdlib.Error failure ->
+        Printf.eprintf "funcy client: %s\n" (Sclient.failure_to_string failure);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Submit one tune request to a running daemon, stream its \
+          lifecycle to stderr, and print the result — byte-identical \
+          to the result block of a solo $(b,funcy tune) with the same \
+          arguments.")
+    Term.(
+      const run $ socket_t
+      $ Arg.(
+          value
+          & opt (some program_arg) None
+          & info [ "b"; "benchmark" ] ~docv:"NAME"
+              ~doc:
+                "Benchmark (lulesh, cl, amg, optewe, bwaves, fma3d, swim). \
+                 Required unless $(b,--ping), $(b,--stats) or \
+                 $(b,--shutdown) is given.")
+      $ platform_t $ seed_t $ pool_t $ algo_t $ top_x_t $ tenant_t $ id_t
+      $ wait_t $ quiet_t $ ping_t $ stats_t $ shutdown_t)
+
+let loadgen_cmd =
+  let clients_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"clients" ~min_v:0) 200
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Total synthetic requests to play (default 200).")
+  in
+  let concurrency_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"concurrency" ~min_v:1) 64
+      & info [ "concurrency" ] ~docv:"N"
+          ~doc:"In-flight connection window (default 64).")
+  in
+  let tenants_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"tenants" ~min_v:1) 4
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:"Synthetic tenants, assigned uniformly (default 4).")
+  in
+  let zipf_t =
+    let zipf_arg =
+      let parse s =
+        match float_of_string_opt s with
+        | Some z when z >= 0.0 -> Ok z
+        | _ -> Error (`Msg (Printf.sprintf "invalid zipf exponent '%s'" s))
+      in
+      Arg.conv (parse, fun fmt z -> Format.fprintf fmt "%g" z)
+    in
+    Arg.(
+      value & opt zipf_arg 1.1
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:
+            "Zipf popularity exponent over the (benchmark, seed) \
+             catalog: 0 is uniform, larger concentrates load on a few \
+             hot searches (default 1.1).")
+  in
+  let seeds_per_benchmark_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"seeds-per-benchmark" ~min_v:1) 3
+      & info [ "seeds-per-benchmark" ] ~docv:"N"
+          ~doc:"Tune seeds 0..N-1 per benchmark in the catalog (default 3).")
+  in
+  let algo_t =
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (a, a)) Ft_serve.Runner.algorithms))
+          "cfr-adaptive"
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:"Search every request asks for (default cfr-adaptive).")
+  in
+  let lg_pool_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"pool" ~min_v:1) 60
+      & info [ "k"; "pool" ] ~docv:"K"
+          ~doc:"CV pool size / evaluation budget per search (default 60).")
+  in
+  let benchmarks_t =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "benchmarks" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated benchmark catalog (default: the whole \
+             suite).")
+  in
+  let run socket clients concurrency tenants zipf seed seeds_per_benchmark
+      algo pool platform benchmarks wait =
+    (match Sclient.ping ~retry_for:wait socket with
+    | Stdlib.Ok () -> ()
+    | Stdlib.Error failure ->
+        Printf.eprintf "funcy loadgen: no daemon on %s: %s\n" socket
+          (Sclient.failure_to_string failure);
+        exit 1);
+    let config =
+      {
+        Ft_serve.Loadgen.socket_path = socket;
+        clients;
+        concurrency;
+        tenants;
+        zipf_s = zipf;
+        seed;
+        benchmarks;
+        seeds_per_benchmark;
+        algorithm = algo;
+        platform = Platform.short_name platform;
+        pool;
+      }
+    in
+    let outcome = Ft_serve.Loadgen.run config in
+    print_string (Ft_serve.Loadgen.render outcome);
+    if not (Ft_serve.Loadgen.passed outcome) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Flood a running daemon with synthetic clients under zipfian \
+          program popularity, report throughput, latency percentiles \
+          and the coalescing mix, and verify that every coalesced \
+          result is byte-identical.  Exits non-zero on any protocol \
+          error or divergent result.")
+    Term.(
+      const run $ socket_t $ clients_t $ concurrency_t $ tenants_t $ zipf_t
+      $ seed_t $ seeds_per_benchmark_t $ algo_t $ lg_pool_t $ platform_t
+      $ benchmarks_t $ wait_t)
+
 let () =
   let doc = "FuncyTuner: per-loop compilation auto-tuning (ICPP'19 reproduction)" in
   let info = Cmd.info "funcy" ~version:"1.0.0" ~doc in
@@ -877,5 +1208,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; profile_cmd; decisions_cmd; tune_cmd; selfcheck_cmd;
-            experiment_cmd; report_cmd;
+            experiment_cmd; report_cmd; serve_cmd; client_cmd; loadgen_cmd;
           ]))

@@ -22,6 +22,28 @@ let make ~algorithm ~configuration ~baseline_s ~evaluations ~trace
     trace;
   }
 
+(* The one canonical rendering of a search outcome: `funcy tune` prints
+   it, and the tuning server ships the same bytes to every client of a
+   coalesced search — byte-identity between a served result and a solo
+   run is part of the serve contract, so there must be exactly one
+   formatter. *)
+let render r =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "%s: speedup %.3f over O3 (%s) after %d evaluations\n"
+    r.algorithm r.speedup
+    (Ft_util.Table.fmt_pct r.speedup)
+    r.evaluations;
+  (match r.configuration with
+  | Whole_program cv ->
+      Printf.bprintf buf "  winning CV: %s\n" (Ft_flags.Cv.render cv)
+  | Per_module assignment ->
+      Buffer.add_string buf "  winning per-module assignment:\n";
+      List.iter
+        (fun (m, cv) ->
+          Printf.bprintf buf "    %-20s %s\n" m (Ft_flags.Cv.render cv))
+        assignment);
+  Buffer.contents buf
+
 let best_so_far series =
   let folder (best, acc) x =
     let best' = match best with None -> x | Some b -> Float.min b x in

@@ -34,6 +34,12 @@ val make :
   best_seconds:float ->
   t
 
+val render : t -> string
+(** The canonical human-readable rendering (headline line plus winning
+    configuration), newline-terminated.  [funcy tune] prints exactly
+    this, and the tuning server returns exactly this to clients, so a
+    served result is byte-identical to a solo run's output. *)
+
 val best_so_far : float list -> float list
 (** Prefix-minimum of a measurement series — helper for traces. *)
 

@@ -1,11 +1,11 @@
-(* Length-prefixed Marshal framing over pipe file descriptors.
+(* Marshal framing over the process pool's pipes, as a thin veneer over
+   the shared {!Ft_framing.Framing} codec (one length-prefixed frame =
+   one Marshal value).  This module only folds the framing layer's
+   richer error taxonomy into the two-way distinction Procpool's crash
+   handling is written against: a clean end-of-stream versus everything
+   that means "the peer must be presumed dead". *)
 
-   Every frame is an 8-byte big-endian payload length followed by the
-   Marshal bytes of one value.  The reader can therefore always tell a
-   clean end-of-stream (EOF exactly on a frame boundary — the peer
-   closed its end or exited) from a *torn* frame (EOF or garbage inside
-   a frame — the peer died mid-write, or the stream desynchronized),
-   which is the distinction the process pool's crash taxonomy needs. *)
+module Framing = Ft_framing.Framing
 
 type error = [ `Eof | `Torn of string ]
 
@@ -13,56 +13,16 @@ let error_to_string = function
   | `Eof -> "eof"
   | `Torn detail -> "torn frame: " ^ detail
 
-(* A frame larger than this is a protocol error, not a payload: it means
-   the length prefix was read out of phase (or the stream is garbage),
-   and trying to allocate it would take the parent down with the worker. *)
-let max_frame_bytes = 256 * 1024 * 1024
+let max_frame_bytes = Framing.default_max_bytes
 
-let rec write_all fd buf ofs len =
-  if len > 0 then begin
-    let n =
-      try Unix.write fd buf ofs len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd buf (ofs + n) (len - n)
-  end
-
-let write fd v =
-  let payload = Marshal.to_bytes v [] in
-  let len = Bytes.length payload in
-  let header = Bytes.create 8 in
-  Bytes.set_int64_be header 0 (Int64.of_int len);
-  write_all fd header 0 8;
-  write_all fd payload 0 len
-
-(* Read exactly [len] bytes, reporting how many arrived before EOF. *)
-let really_read fd len =
-  let buf = Bytes.create len in
-  let rec go ofs =
-    if ofs >= len then Ok buf
-    else
-      match Unix.read fd buf ofs (len - ofs) with
-      | 0 -> Error ofs
-      | n -> go (ofs + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
-      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-          Error ofs
-  in
-  go 0
+let write fd v = Framing.write_value fd v
 
 let read fd =
-  match really_read fd 8 with
-  | Error 0 -> Error `Eof
-  | Error k -> Error (`Torn (Printf.sprintf "short header (%d/8 bytes)" k))
-  | Ok header -> (
-      let len = Int64.to_int (Bytes.get_int64_be header 0) in
-      if len < 0 || len > max_frame_bytes then
-        Error (`Torn (Printf.sprintf "implausible frame length %d" len))
-      else
-        match really_read fd len with
-        | Error k ->
-            Error (`Torn (Printf.sprintf "short payload (%d/%d bytes)" k len))
-        | Ok payload -> (
-            match Marshal.from_bytes payload 0 with
-            | v -> Ok v
-            | exception _ -> Error (`Torn "unmarshalable payload")))
+  match Framing.read_value ~max_bytes:max_frame_bytes fd with
+  | Ok v -> Ok v
+  | Error Framing.Eof -> Error `Eof
+  | Error (Framing.Torn { context; got; expected }) ->
+      Error (`Torn (Printf.sprintf "short %s (%d/%d bytes)" context got expected))
+  | Error (Framing.Oversized { claimed; _ }) ->
+      Error (`Torn (Printf.sprintf "implausible frame length %d" claimed))
+  | Error (Framing.Garbled reason) -> Error (`Torn reason)

@@ -1,10 +1,12 @@
 (** Length-prefixed Marshal framing for the process pool's pipes.
 
     One frame = an 8-byte big-endian payload length + the [Marshal]
-    bytes of a single value.  The explicit length lets {!read}
-    distinguish a clean end-of-stream from a {e torn} frame — the
-    signature of a peer that died mid-write — which {!Procpool} maps
-    into its crash taxonomy.
+    bytes of a single value, on the shared {!Ft_framing.Framing} wire
+    format (this module is a veneer over it — the tuning server speaks
+    the same frames with JSON payloads).  The explicit length lets
+    {!read} distinguish a clean end-of-stream from a {e torn} frame —
+    the signature of a peer that died mid-write — which {!Procpool}
+    maps into its crash taxonomy.
 
     Only plain data ever crosses a pipe (job indices, outcomes, trace
     events, telemetry snapshots): the job {e closure} is inherited by

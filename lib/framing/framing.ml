@@ -1,0 +1,168 @@
+(* Length-prefixed framing: 8-byte big-endian payload length, then the
+   payload.  See the .mli for the clean-EOF / torn-frame distinction
+   this format exists to make. *)
+
+type error =
+  | Eof
+  | Torn of { context : string; got : int; expected : int }
+  | Oversized of { claimed : int; limit : int }
+  | Garbled of string
+
+let error_to_string = function
+  | Eof -> "eof"
+  | Torn { context; got; expected } when expected < 0 ->
+      Printf.sprintf "torn frame: stream ended holding %d mid-%s bytes" got
+        context
+  | Torn { context; got; expected } ->
+      Printf.sprintf "torn frame: short %s (%d/%d bytes)" context got expected
+  | Oversized { claimed; limit } ->
+      Printf.sprintf "oversized frame: %d bytes claimed (limit %d)" claimed
+        limit
+  | Garbled reason -> "garbled frame: " ^ reason
+
+(* A frame larger than this is a protocol error, not a payload: it means
+   the length prefix was read out of phase (or the stream is garbage),
+   and trying to allocate it would take the reader down with the peer. *)
+let default_max_bytes = 256 * 1024 * 1024
+
+let header_bytes = 8
+
+let rec write_all fd buf ofs len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf ofs len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (ofs + n) (len - n)
+  end
+
+let write_bytes fd payload =
+  let len = Bytes.length payload in
+  let header = Bytes.create header_bytes in
+  Bytes.set_int64_be header 0 (Int64.of_int len);
+  write_all fd header 0 header_bytes;
+  write_all fd payload 0 len
+
+(* Read exactly [len] bytes, reporting how many arrived before EOF. *)
+let really_read fd len =
+  let buf = Bytes.create len in
+  let rec go ofs =
+    if ofs >= len then Ok buf
+    else
+      match Unix.read fd buf ofs (len - ofs) with
+      | 0 -> Error ofs
+      | n -> go (ofs + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          Error ofs
+  in
+  go 0
+
+let check_length ~limit len =
+  if len < 0 then
+    Error (Garbled (Printf.sprintf "negative frame length %d" len))
+  else if len > limit then Error (Oversized { claimed = len; limit })
+  else Ok len
+
+let read_bytes ?(max_bytes = default_max_bytes) fd =
+  match really_read fd header_bytes with
+  | Error 0 -> Error Eof
+  | Error k -> Error (Torn { context = "header"; got = k; expected = header_bytes })
+  | Ok header -> (
+      match
+        check_length ~limit:max_bytes
+          (Int64.to_int (Bytes.get_int64_be header 0))
+      with
+      | Error _ as e -> e
+      | Ok len -> (
+          match really_read fd len with
+          | Error k -> Error (Torn { context = "payload"; got = k; expected = len })
+          | Ok payload -> Ok payload))
+
+let write_value fd v = write_bytes fd (Marshal.to_bytes v [])
+
+let read_value ?max_bytes fd =
+  match read_bytes ?max_bytes fd with
+  | Error _ as e -> e
+  | Ok payload -> (
+      match Marshal.from_bytes payload 0 with
+      | v -> Ok v
+      | exception _ -> Error (Garbled "unmarshalable payload"))
+
+module Decoder = struct
+  type t = {
+    max_bytes : int;
+    buf : Buffer.t;  (* raw accumulated bytes, frames not yet extracted *)
+  }
+
+  let create ?(max_bytes = default_max_bytes) () =
+    { max_bytes; buf = Buffer.create 4096 }
+
+  let buffered t = Buffer.length t.buf
+
+  type pumped = {
+    frames : bytes list;
+    state : [ `Open | `Closed | `Error of error ];
+  }
+
+  (* Extract every complete frame from the buffer, keeping the tail. *)
+  let extract t =
+    let data = Buffer.to_bytes t.buf in
+    let total = Bytes.length data in
+    let rec go ofs acc =
+      if total - ofs < header_bytes then Ok (ofs, List.rev acc)
+      else
+        match
+          check_length ~limit:t.max_bytes
+            (Int64.to_int (Bytes.get_int64_be data ofs))
+        with
+        | Error e -> Error (List.rev acc, e)
+        | Ok len ->
+            if total - ofs - header_bytes < len then Ok (ofs, List.rev acc)
+            else
+              go
+                (ofs + header_bytes + len)
+                (Bytes.sub data (ofs + header_bytes) len :: acc)
+    in
+    match go 0 [] with
+    | Ok (consumed, frames) ->
+        Buffer.clear t.buf;
+        Buffer.add_subbytes t.buf data consumed (total - consumed);
+        Ok frames
+    | Error _ as e ->
+        Buffer.clear t.buf;
+        e
+
+  let chunk_bytes = 65536
+
+  let pump t fd =
+    let scratch = Bytes.create chunk_bytes in
+    match Unix.read fd scratch 0 chunk_bytes with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        { frames = []; state = `Open }
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        let held = buffered t in
+        if held = 0 then { frames = []; state = `Closed }
+        else
+          {
+            frames = [];
+            state =
+              `Error (Torn { context = "payload"; got = held; expected = -1 });
+          }
+    | 0 ->
+        (* EOF: clean only if no partial frame is held back. *)
+        let held = buffered t in
+        if held = 0 then { frames = []; state = `Closed }
+        else
+          {
+            frames = [];
+            state =
+              `Error (Torn { context = "frame"; got = held; expected = -1 });
+          }
+    | n -> (
+        Buffer.add_subbytes t.buf scratch 0 n;
+        match extract t with
+        | Ok frames -> { frames; state = `Open }
+        | Error (frames, e) -> { frames; state = `Error e })
+end

@@ -34,6 +34,13 @@ type t =
   | Phase_begin of { phase : phase }
   | Phase_end of { phase : phase }
   | Prune_kept of { module_name : string; kept : int }
+  | Request_received of { id : string; tenant : string; fingerprint : string }
+  | Request_admitted of { id : string; queue_depth : int }
+  | Request_coalesced of { id : string; leader : string }
+  | Request_cached of { id : string }
+  | Request_rejected of { id : string; reason : string }
+  | Group_started of { fingerprint : string; members : int }
+  | Group_finished of { fingerprint : string; members : int; run_s : float }
 
 let name = function
   | Batch_submitted _ -> "batch"
@@ -56,6 +63,13 @@ let name = function
   | Phase_begin _ -> "phase_begin"
   | Phase_end _ -> "phase_end"
   | Prune_kept _ -> "prune"
+  | Request_received _ -> "req_recv"
+  | Request_admitted _ -> "req_admit"
+  | Request_coalesced _ -> "req_coalesce"
+  | Request_cached _ -> "req_cached"
+  | Request_rejected _ -> "req_reject"
+  | Group_started _ -> "group_start"
+  | Group_finished _ -> "group_end"
 
 let fields = function
   | Batch_submitted { size } -> [ ("size", Json.Int size) ]
@@ -88,6 +102,27 @@ let fields = function
       [ ("phase", Json.String (phase_name phase)) ]
   | Prune_kept { module_name; kept } ->
       [ ("module", Json.String module_name); ("kept", Json.Int kept) ]
+  | Request_received { id; tenant; fingerprint } ->
+      [
+        ("id", Json.String id);
+        ("tenant", Json.String tenant);
+        ("fingerprint", Json.String fingerprint);
+      ]
+  | Request_admitted { id; queue_depth } ->
+      [ ("id", Json.String id); ("queue_depth", Json.Int queue_depth) ]
+  | Request_coalesced { id; leader } ->
+      [ ("id", Json.String id); ("leader", Json.String leader) ]
+  | Request_cached { id } -> [ ("id", Json.String id) ]
+  | Request_rejected { id; reason } ->
+      [ ("id", Json.String id); ("reason", Json.String reason) ]
+  | Group_started { fingerprint; members } ->
+      [ ("fingerprint", Json.String fingerprint); ("members", Json.Int members) ]
+  | Group_finished { fingerprint; members; run_s } ->
+      [
+        ("fingerprint", Json.String fingerprint);
+        ("members", Json.Int members);
+        ("run_s", Json.Float run_s);
+      ]
 
 let of_json json =
   let str field =
@@ -190,4 +225,33 @@ let of_json json =
           let* module_name = str "module" in
           let* kept = int "kept" in
           Ok (Prune_kept { module_name; kept })
+      | "req_recv" ->
+          let* id = str "id" in
+          let* tenant = str "tenant" in
+          let* fingerprint = str "fingerprint" in
+          Ok (Request_received { id; tenant; fingerprint })
+      | "req_admit" ->
+          let* id = str "id" in
+          let* queue_depth = int "queue_depth" in
+          Ok (Request_admitted { id; queue_depth })
+      | "req_coalesce" ->
+          let* id = str "id" in
+          let* leader = str "leader" in
+          Ok (Request_coalesced { id; leader })
+      | "req_cached" ->
+          let* id = str "id" in
+          Ok (Request_cached { id })
+      | "req_reject" ->
+          let* id = str "id" in
+          let* reason = str "reason" in
+          Ok (Request_rejected { id; reason })
+      | "group_start" ->
+          let* fingerprint = str "fingerprint" in
+          let* members = int "members" in
+          Ok (Group_started { fingerprint; members })
+      | "group_end" ->
+          let* fingerprint = str "fingerprint" in
+          let* members = int "members" in
+          let* run_s = num "run_s" in
+          Ok (Group_finished { fingerprint; members; run_s })
       | tag -> Error (Printf.sprintf "unknown event tag '%s'" tag))

@@ -64,6 +64,27 @@ type t =
   | Phase_end of { phase : phase }
   | Prune_kept of { module_name : string; kept : int }
       (** space focusing kept [kept] CVs for this module (top-X) *)
+  | Request_received of { id : string; tenant : string; fingerprint : string }
+      (** server: a tune request arrived, keyed by its content-addressed
+          program fingerprint *)
+  | Request_admitted of { id : string; queue_depth : int }
+      (** server: the request opened a fresh search group; [queue_depth]
+          is the number of requests pending after admission *)
+  | Request_coalesced of { id : string; leader : string }
+      (** server: the request joined the pending or in-flight group led
+          by request [leader] (single-flight dedup) *)
+  | Request_cached of { id : string }
+      (** server: served from the completed-result memo without
+          scheduling *)
+  | Request_rejected of { id : string; reason : string }
+      (** server: typed admission-control rejection (["queue_full"],
+          ["draining"], ["unsupported: ..."], ["bad_version ..."]) *)
+  | Group_started of { fingerprint : string; members : int }
+      (** server: a search group left the queue and began its (single)
+          search with [members] coalesced requests attached *)
+  | Group_finished of { fingerprint : string; members : int; run_s : float }
+      (** server: the group's search completed after [run_s] wall
+          seconds; every member receives the same result bytes *)
 
 val name : t -> string
 (** The wire tag (the ["ev"] field), e.g. ["job_end"] or ["cache_hit"]. *)

@@ -181,6 +181,31 @@ let timer t ~name ~seconds = emit_wall t (Event.Timer { name; seconds })
 let prune_kept t ~module_name ~kept =
   emit t (Event.Prune_kept { module_name; kept })
 
+(* Server request-lifecycle events.  Arrival order, coalescing and queue
+   depth are properties of live traffic, not of any one search, so they
+   are recorded under either clock (a server trace is never part of the
+   logical byte-identity contract). *)
+
+let request_received t ~id ~tenant ~fingerprint =
+  emit t (Event.Request_received { id; tenant; fingerprint })
+
+let request_admitted t ~id ~queue_depth =
+  emit t (Event.Request_admitted { id; queue_depth })
+
+let request_coalesced t ~id ~leader =
+  emit t (Event.Request_coalesced { id; leader })
+
+let request_cached t ~id = emit t (Event.Request_cached { id })
+
+let request_rejected t ~id ~reason =
+  emit t (Event.Request_rejected { id; reason })
+
+let group_started t ~fingerprint ~members =
+  emit t (Event.Group_started { fingerprint; members })
+
+let group_finished t ~fingerprint ~members ~run_s =
+  emit t (Event.Group_finished { fingerprint; members; run_s })
+
 (* -- resume-invariant normalization ------------------------------------ *)
 
 (* Project an event onto the resume-invariant skeleton (see the .mli for
@@ -197,6 +222,13 @@ let normalize_event = function
      snapshotted replays as one Quarantine_hit instead of the original
      Fault_injected/Retry sequence — same verdict, different evidence. *)
   | Event.Fault_injected _ | Event.Retry _ | Event.Quarantine_hit _ -> None
+  (* Server request-lifecycle events are live-traffic facts (arrival
+     order, coalescing, queue depth), not search facts: a resumed search
+     owes them nothing, so they are outside the invariant skeleton. *)
+  | Event.Request_received _ | Event.Request_admitted _
+  | Event.Request_coalesced _ | Event.Request_cached _
+  | Event.Request_rejected _ | Event.Group_started _
+  | Event.Group_finished _ -> None
   | e -> Some e
 
 let resume_invariant st = Option.is_some (normalize_event st.event)

@@ -136,6 +136,26 @@ val timer : t option -> name:string -> seconds:float -> unit
 
 val prune_kept : t option -> module_name:string -> kept:int -> unit
 
+(** {3 Server request-lifecycle events}
+
+    Emitted by {!Ft_serve.Server} at each step of a request's life
+    (receive → admit/coalesce/reject → group run → respond), under
+    either clock: they describe live traffic, which no determinism
+    contract covers, and [funcy report] renders them as the server
+    section.  All are dropped by {!normalized_lines}. *)
+
+val request_received :
+  t option -> id:string -> tenant:string -> fingerprint:string -> unit
+
+val request_admitted : t option -> id:string -> queue_depth:int -> unit
+val request_coalesced : t option -> id:string -> leader:string -> unit
+val request_cached : t option -> id:string -> unit
+val request_rejected : t option -> id:string -> reason:string -> unit
+val group_started : t option -> fingerprint:string -> members:int -> unit
+
+val group_finished :
+  t option -> fingerprint:string -> members:int -> run_s:float -> unit
+
 (** {2 Resume-invariant normalization}
 
     The selfcheck oracle compares the trace of an uninterrupted run with

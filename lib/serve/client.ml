@@ -1,0 +1,85 @@
+type failure =
+  | Rejected of Protocol.reject_reason
+  | Server_error of string
+  | Transport of string
+  | Protocol_violation of string
+
+let failure_to_string = function
+  | Rejected reason -> "rejected: " ^ Protocol.reject_reason_to_string reason
+  | Server_error msg -> "server error: " ^ msg
+  | Transport msg -> "transport: " ^ msg
+  | Protocol_violation msg -> "protocol violation: " ^ msg
+
+let connect ?(retry_for = 0.0) socket_path =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec go () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (((ECONNREFUSED | ENOENT) as e), _, _) ->
+        Unix.close fd;
+        if Unix.gettimeofday () < deadline then begin
+          ignore (Unix.select [] [] [] 0.05);
+          go ()
+        end
+        else Error (Transport (Unix.error_message e))
+    | exception Unix.Unix_error (e, _, _) ->
+        Unix.close fd;
+        Error (Transport (Unix.error_message e))
+  in
+  go ()
+
+let read_one fd =
+  match Protocol.read_response fd with
+  | Ok resp -> Ok resp
+  | Error (`Framing e) ->
+      Error (Transport (Ft_framing.Framing.error_to_string e))
+  | Error (`Decode e) ->
+      Error (Protocol_violation (Protocol.decode_error_to_string e))
+
+let with_connection ?retry_for socket_path f =
+  match connect ?retry_for socket_path with
+  | Error _ as e -> e
+  | Ok fd ->
+      Fun.protect ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () -> (
+      try f fd
+      with Unix.Unix_error (e, _, _) -> Error (Transport (Unix.error_message e)))
+
+let tune ?retry_for ?(on_event = fun _ -> ()) ~socket_path ~id ~tenant spec =
+  with_connection ?retry_for socket_path @@ fun fd ->
+  Protocol.write_request fd (Protocol.Tune { id; tenant; spec });
+  let rec await () =
+    match read_one fd with
+    | Error _ as e -> e
+    | Ok ((Protocol.Admitted _ | Coalesced _ | Started _ | Progress _) as ev) ->
+        on_event ev;
+        await ()
+    | Ok (Protocol.Result payload) -> Ok payload
+    | Ok (Protocol.Rejected { reason; _ }) -> Error (Rejected reason)
+    | Ok (Protocol.Server_error { message; _ }) -> Error (Server_error message)
+    | Ok (Protocol.Pong | Stats_reply _ | Bye) ->
+        Error (Protocol_violation "non-tune response to a tune request")
+  in
+  await ()
+
+let simple ?retry_for ~socket_path request ~expect =
+  with_connection ?retry_for socket_path @@ fun fd ->
+  Protocol.write_request fd request;
+  match read_one fd with Error _ as e -> e | Ok resp -> expect resp
+
+let ping ?retry_for socket_path =
+  simple ?retry_for ~socket_path Protocol.Ping ~expect:(function
+    | Protocol.Pong -> Ok ()
+    | _ -> Error (Protocol_violation "expected pong"))
+
+let stats ?retry_for socket_path =
+  simple ?retry_for ~socket_path Protocol.Stats ~expect:(function
+    | Protocol.Stats_reply counters -> Ok counters
+    | _ -> Error (Protocol_violation "expected stats_reply"))
+
+let shutdown ?retry_for socket_path =
+  simple ?retry_for ~socket_path Protocol.Shutdown ~expect:(function
+    | Protocol.Bye -> Ok ()
+    | _ -> Error (Protocol_violation "expected bye"))

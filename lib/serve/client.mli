@@ -1,0 +1,33 @@
+(** Blocking client for the tuning service.
+
+    One connection per call: connect, send the request, read responses
+    until the terminal one.  [retry_for] retries a refused/absent
+    socket for that many seconds (the daemon may still be binding) —
+    the connection itself, once made, is never retried. *)
+
+type failure =
+  | Rejected of Protocol.reject_reason  (** server said no (typed) *)
+  | Server_error of string  (** the search itself failed server-side *)
+  | Transport of string  (** connect/read/write failure, torn frame *)
+  | Protocol_violation of string  (** peer spoke something else *)
+
+val failure_to_string : failure -> string
+
+val tune :
+  ?retry_for:float ->
+  ?on_event:(Protocol.response -> unit) ->
+  socket_path:string ->
+  id:string ->
+  tenant:string ->
+  Protocol.tune_spec ->
+  (Protocol.result_payload, failure) result
+(** Submit one tune request; [on_event] observes each non-terminal
+    response ([Admitted]/[Coalesced]/[Started]/[Progress]) as it
+    streams in. *)
+
+val ping : ?retry_for:float -> string -> (unit, failure) result
+val stats : ?retry_for:float -> string -> ((string * int) list, failure) result
+
+val shutdown : ?retry_for:float -> string -> (unit, failure) result
+(** Ask the daemon to drain and exit (acknowledged with [Bye] before
+    the drain completes). *)

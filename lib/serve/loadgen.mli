@@ -1,0 +1,65 @@
+(** Synthetic load for the tuning daemon.
+
+    Plays [clients] one-shot tune requests against a running server,
+    keeping up to [concurrency] connections in flight from a single
+    event loop (no threads — the generator multiplexes its own
+    non-blocking sockets, so hundreds of clients fit in one process).
+
+    Program popularity is zipfian: the request stream samples a ranked
+    catalog of (benchmark, seed) pairs with weight [1/(rank+1)^zipf_s],
+    so a skewed workload hammers a few hot fingerprints — exactly the
+    regime single-flight coalescing exists for.  Tenants are assigned
+    uniformly.  The whole stream is deterministic in [seed].
+
+    Every completed request is checked against the first result text
+    seen for its fingerprint; any byte difference counts as
+    [inconsistent] — the generator doubles as a consistency oracle. *)
+
+type config = {
+  socket_path : string;
+  clients : int;  (** total requests to play *)
+  concurrency : int;  (** in-flight window (select-loop bound: keep < 1000) *)
+  tenants : int;
+  zipf_s : float;  (** skew exponent; 0 = uniform *)
+  seed : int;
+  benchmarks : string list;  (** catalog rows ([[]] = whole suite) *)
+  seeds_per_benchmark : int;  (** catalog columns: tune seeds 0.. *)
+  algorithm : string;
+  platform : string;
+  pool : int;
+}
+
+val default_config : socket_path:string -> config
+(** 200 clients, concurrency 64, 4 tenants, zipf 1.1, seed 7, whole
+    suite × 3 seeds, cfr-adaptive on bdw with pool 60. *)
+
+type outcome = {
+  completed : int;  (** requests that got a [Result] *)
+  fresh : int;
+  coalesced : int;
+  cached : int;
+  rejected : int;  (** typed server rejections (admission control) *)
+  errors : int;  (** transport/protocol failures — must be 0 *)
+  inconsistent : int;  (** results diverging per fingerprint — must be 0 *)
+  distinct_fingerprints : int;
+  wall_s : float;
+  throughput : float;  (** completed per wall second *)
+  latency_p50 : float;
+  latency_p90 : float;
+  latency_p99 : float;
+  latency_max : float;
+  coalesce_rate : float;
+      (** share of completed requests that did not pay for their own
+          search: (coalesced + cached) / completed *)
+}
+
+val run : config -> outcome
+
+val passed : outcome -> bool
+(** Zero [errors] and zero [inconsistent]: every request either
+    completed or was rejected in a typed way, and every coalesced
+    result matched its group byte-for-byte. *)
+
+val render : outcome -> string
+(** Human-readable block: mix, coalesce rate, throughput, latency
+    percentiles. *)

@@ -1,0 +1,133 @@
+(** The tuning service's wire protocol, version 1.
+
+    Requests and responses are single JSON objects (the JSONL schema of
+    the trace subsystem, {!Ft_obs.Json}), carried one-per-frame on the
+    {!Ft_framing.Framing} wire format.  Every message carries a ["v"]
+    version field; a server receiving any other version answers with a
+    typed {!response.Rejected} rather than guessing.
+
+    {2 Grammar}
+
+    Requests (client → server, one per connection for [tune]):
+    {v
+    {"v":1,"kind":"tune","id":ID,"tenant":T,
+     "benchmark":B,"platform":P,"algorithm":A,"seed":N,"pool":K[,"top_x":X]}
+    {"v":1,"kind":"ping"}
+    {"v":1,"kind":"stats"}
+    {"v":1,"kind":"shutdown"}
+    v}
+
+    Responses (server → client; a [tune] request streams zero or more
+    non-terminal events and exactly one terminal):
+    {v
+    non-terminal: {"v":1,"kind":"admitted","id":ID,"queue_depth":N}
+                  {"v":1,"kind":"coalesced","id":ID,"leader":LID}
+                  {"v":1,"kind":"started","id":ID}
+                  {"v":1,"kind":"progress","id":ID,"ticks":N}
+    terminal:     {"v":1,"kind":"result","id":ID,"fingerprint":F,
+                   "origin":"fresh"|"coalesced"|"cached","group_size":N,
+                   "speedup":S,"evaluations":E,"run_s":R,"text":TEXT}
+                  {"v":1,"kind":"rejected","id":ID,"reason":REASON[,...]}
+                  {"v":1,"kind":"error","id":ID,"message":M}
+                  {"v":1,"kind":"pong"} {"v":1,"kind":"stats_reply",...}
+                  {"v":1,"kind":"bye"}
+    v} *)
+
+val version : int
+(** The protocol version this build speaks: 1. *)
+
+type tune_spec = {
+  benchmark : string;  (** suite benchmark name, e.g. ["swim"] *)
+  platform : string;  (** platform short name: ["opteron"|"snb"|"bdw"] *)
+  algorithm : string;  (** ["cfr"|"cfr-adaptive"|"fr"|"random"] *)
+  seed : int;
+  pool : int;  (** CV pool size / evaluation budget *)
+  top_x : int option;  (** CFR space-focusing width (algorithm default) *)
+}
+
+val fingerprint : tune_spec -> string
+(** Content-addressed identity of the search a spec denotes (hex digest
+    of the canonical spec encoding, via {!Ft_engine.Cache.digest}).
+    Equal fingerprints ⇒ byte-identical results, by the engine's
+    determinism contract — which is what makes single-flight coalescing
+    and result memoization sound. *)
+
+type request =
+  | Tune of { id : string; tenant : string; spec : tune_spec }
+  | Ping
+  | Stats
+  | Shutdown  (** stop accepting, drain the queue, exit *)
+
+type reject_reason =
+  | Queue_full of { limit : int }  (** admission control: backpressure *)
+  | Draining  (** server is shutting down *)
+  | Unsupported of string  (** unknown benchmark/platform/algorithm/... *)
+  | Bad_version of { got : int }  (** request spoke another protocol version *)
+  | Malformed of string  (** frame was not a well-formed request *)
+
+val reject_reason_to_string : reject_reason -> string
+(** Stable wire encoding, e.g. ["queue_full"], ["bad_version 2"],
+    ["unsupported: unknown benchmark 'x'"] — also the trace payload. *)
+
+type origin = Fresh | Coalesced_with of string | Cached
+
+val origin_to_string : origin -> string
+(** ["fresh"] / ["coalesced"] / ["cached"] (the leader id travels in a
+    separate field). *)
+
+type result_payload = {
+  id : string;
+  fingerprint : string;
+  origin : origin;
+  group_size : int;  (** requests that shared this search's one execution *)
+  speedup : float;
+  evaluations : int;
+  run_s : float;  (** search wall seconds (0 for [Cached]) *)
+  text : string;  (** the result block, byte-identical to solo [funcy tune] *)
+}
+
+type response =
+  | Admitted of { id : string; queue_depth : int }
+  | Coalesced of { id : string; leader : string }
+  | Started of { id : string }
+  | Progress of { id : string; ticks : int }
+      (** engine jobs completed so far on this request's search *)
+  | Result of result_payload
+  | Rejected of { id : string; reason : reject_reason }
+  | Server_error of { id : string; message : string }
+  | Pong
+  | Stats_reply of (string * int) list  (** server counters, fixed order *)
+  | Bye  (** shutdown acknowledged *)
+
+type decode_error =
+  | Version_mismatch of { got : int }
+  | Malformed_frame of string
+
+val decode_error_to_string : decode_error -> string
+
+(* -- JSON codecs -------------------------------------------------------- *)
+
+val request_to_json : request -> Ft_obs.Json.t
+val request_of_json : Ft_obs.Json.t -> (request, decode_error) result
+val response_to_json : response -> Ft_obs.Json.t
+val response_of_json : Ft_obs.Json.t -> (response, decode_error) result
+
+(* -- framed transport --------------------------------------------------- *)
+
+val max_frame_bytes : int
+(** Protocol frames are small (requests ~200 B, results a few KiB); this
+    1 MiB ceiling rejects out-of-phase or hostile length prefixes long
+    before {!Ft_framing.Framing.default_max_bytes} would. *)
+
+val request_of_frame : bytes -> (request, decode_error) result
+val response_of_frame : bytes -> (response, decode_error) result
+
+val write_request : Unix.file_descr -> request -> unit
+(** One request as one frame.  Raises [Unix_error] if the peer is gone. *)
+
+val write_response : Unix.file_descr -> response -> unit
+
+val read_response :
+  Unix.file_descr ->
+  (response, [ `Framing of Ft_framing.Framing.error | `Decode of decode_error ]) result
+(** Blocking read of one response frame (the client side's loop). *)

@@ -1,0 +1,67 @@
+module Engine = Ft_engine.Engine
+module Telemetry = Ft_engine.Telemetry
+module Result = Funcytuner.Result
+module Tuner = Funcytuner.Tuner
+
+type t = {
+  validate : Protocol.tune_spec -> (unit, string) result;
+  run :
+    Protocol.tune_spec ->
+    tick:(unit -> unit) ->
+    (Scheduler.outcome, string) result;
+}
+
+let algorithms = [ "cfr"; "cfr-adaptive"; "fr"; "random" ]
+
+let validate (spec : Protocol.tune_spec) =
+  if Ft_suite.Suite.find spec.benchmark = None then
+    Error (Printf.sprintf "unknown benchmark '%s'" spec.benchmark)
+  else if Ft_prog.Platform.of_short_name spec.platform = None then
+    Error (Printf.sprintf "unknown platform '%s'" spec.platform)
+  else if not (List.mem spec.algorithm algorithms) then
+    Error (Printf.sprintf "unknown algorithm '%s'" spec.algorithm)
+  else if spec.pool < 1 then
+    Error (Printf.sprintf "pool must be positive, got %d" spec.pool)
+  else
+    match spec.top_x with
+    | Some x when x < 1 -> Error (Printf.sprintf "top_x must be positive, got %d" x)
+    | _ -> Ok ()
+
+let search ~engine (spec : Protocol.tune_spec) =
+  let program = Option.get (Ft_suite.Suite.find spec.benchmark) in
+  let platform = Option.get (Ft_prog.Platform.of_short_name spec.platform) in
+  let session =
+    Tuner.make_session ~pool_size:spec.pool ~engine ~platform ~program
+      ~input:(Ft_suite.Suite.tuning_input platform program)
+      ~seed:spec.seed ()
+  in
+  let top_x = Option.value ~default:Funcytuner.Cfr.default_top_x spec.top_x in
+  match spec.algorithm with
+  | "cfr" -> Tuner.run_cfr ~top_x session
+  | "cfr-adaptive" ->
+      Funcytuner.Adaptive.run ~top_x session.Tuner.ctx
+        (Lazy.force session.Tuner.collection)
+  | "fr" -> Funcytuner.Fr.run session.Tuner.ctx session.Tuner.outline
+  | "random" -> Funcytuner.Random_search.run session.Tuner.ctx
+  | other ->
+      (* unreachable behind [validate] *)
+      invalid_arg ("Runner.search: unsupported algorithm " ^ other)
+
+let make ~engine =
+  let telemetry = Engine.telemetry engine in
+  let run spec ~tick =
+    Telemetry.set_progress telemetry (fun ~completed:_ ~expected:_ -> tick ());
+    Fun.protect ~finally:(fun () ->
+        Telemetry.set_progress telemetry (fun ~completed:_ ~expected:_ -> ()))
+    @@ fun () ->
+    match search ~engine spec with
+    | result ->
+        Ok
+          {
+            Scheduler.text = Result.render result;
+            speedup = result.Result.speedup;
+            evaluations = result.Result.evaluations;
+          }
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  { validate; run }

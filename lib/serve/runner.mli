@@ -1,0 +1,31 @@
+(** The server's bridge to the tuning engine.
+
+    A runner validates specs against the suite catalog and executes
+    searches through one shared {!Ft_engine.Engine} — shared cache and
+    telemetry across requests is sound because the engine's determinism
+    contract makes search outcomes independent of cache warmth, so a
+    served result is byte-identical to a solo [funcy tune] run of the
+    same spec.  Tests substitute a fake runner to exercise the server's
+    coalescing and fairness without real searches. *)
+
+type t = {
+  validate : Protocol.tune_spec -> (unit, string) result;
+      (** Cheap admission check: the failure string becomes the
+          {!Protocol.Unsupported} reject reason. *)
+  run :
+    Protocol.tune_spec -> tick:(unit -> unit) -> (Scheduler.outcome, string) result;
+      (** Execute one search.  [tick] is invoked after every completed
+          engine job — the server's window for draining sockets mid-run,
+          which is what makes in-flight coalescing real. *)
+}
+
+val algorithms : string list
+(** Specs the service accepts: the searches whose solo [funcy tune]
+    output is exactly {!Ft_core.Result.render} — ["cfr"],
+    ["cfr-adaptive"], ["fr"], ["random"]. *)
+
+val make : engine:Ft_engine.Engine.t -> t
+(** A real runner over [engine].  [run] installs a telemetry progress
+    callback for the duration of each search (restoring none after) and
+    renders outcomes with {!Ft_core.Result.render}.  Search exceptions
+    are caught and surfaced as [Error]. *)

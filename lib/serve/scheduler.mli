@@ -1,0 +1,98 @@
+(** Single-flight coalescing and per-tenant fair scheduling.
+
+    The scheduler is the server's pure core: it never touches sockets,
+    which is what makes coalescing and fairness unit-testable without a
+    daemon.  Members are tagged with an arbitrary payload (the server
+    uses the client connection; tests use unit).
+
+    {2 Semantics}
+
+    - {b Coalescing}: requests are keyed by their spec's
+      {!Protocol.fingerprint}.  The first submitter of a fingerprint
+      opens a {e group} and becomes its leader; later submitters join
+      the group — whether it is still queued or already running — and
+      all members receive the one search's result.  Soundness rests on
+      the engine's determinism contract (equal spec ⇒ byte-identical
+      result), so sharing is observationally equivalent to running each
+      request alone.
+    - {b Memoization}: a completed group's outcome is remembered, so a
+      resubmitted fingerprint is answered without queueing at all.
+    - {b Fairness}: each group is owned by its leader's tenant.
+      {!next} serves tenants round-robin (oldest pending group of the
+      next tenant in the ring), so a tenant flooding the queue cannot
+      starve another tenant's single request.
+    - {b Admission control}: the total number of waiting members (every
+      submitted-but-unanswered request, across queued and running
+      groups) is bounded by [max_queue]; beyond it, {!submit} refuses
+      with {!Protocol.Queue_full}.  After {!drain}, every submission is
+      refused with {!Protocol.Draining}. *)
+
+type outcome = { text : string; speedup : float; evaluations : int }
+(** What a finished search hands back to every group member —
+    [text] is the {!Ft_core.Result.render} block. *)
+
+type 'a member = { id : string; tenant : string; payload : 'a }
+
+type 'a t
+
+val create : max_queue:int -> 'a t
+(** @raise Invalid_argument if [max_queue < 1]. *)
+
+type verdict =
+  | Fresh  (** opened a new group; the member is its leader *)
+  | Joined of { leader : string }  (** coalesced onto an existing group *)
+  | Memoized of outcome  (** answered from the completed-result memo *)
+  | Refused of Protocol.reject_reason
+
+val submit :
+  'a t -> spec:Protocol.tune_spec -> fingerprint:string -> 'a member -> verdict
+(** Admit, coalesce, memo-answer or refuse one request.  On [Fresh] and
+    [Joined] the member waits in its group until {!complete} or
+    {!fail}; on [Memoized] and [Refused] it is already answered and the
+    scheduler retains nothing. *)
+
+val refuse : 'a t -> Protocol.reject_reason -> verdict
+(** Count a rejection the server detected before the scheduler could
+    (validation failure, malformed frame, wrong protocol version), so
+    {!counters} reflects every request seen.  Returns [Refused]. *)
+
+val next : 'a t -> (Protocol.tune_spec * string) option
+(** Pick the next group to run — round-robin over tenants, oldest
+    pending group within the tenant — and mark it running.  Returns the
+    group's spec and fingerprint; [None] when no group is queued.
+    Members keep joining a running group until it completes. *)
+
+val members : 'a t -> fingerprint:string -> 'a member list
+(** A live group's members so far, in submission order (leader first);
+    [[]] for unknown fingerprints.  The server uses this for [Started]
+    and [Progress] fan-out while the group keeps gaining members. *)
+
+val complete : 'a t -> fingerprint:string -> outcome -> 'a member list
+(** Finish a running group: memoize its outcome and return the members
+    in submission order (leader first).  The group is gone afterwards. *)
+
+val fail : 'a t -> fingerprint:string -> 'a member list
+(** Abort a running group {e without} memoizing (the error is not a
+    result), returning its members for error delivery. *)
+
+val drop_member : 'a t -> fingerprint:string -> id:string -> unit
+(** Forget one waiting member (its client vanished).  A queued group
+    whose last member is dropped is cancelled outright. *)
+
+val drain : 'a t -> unit
+(** Stop admitting: every later {!submit} is [Refused Draining].
+    Queued and running groups still run to completion. *)
+
+val draining : 'a t -> bool
+
+val queue_depth : 'a t -> int
+(** Waiting members right now (the quantity [max_queue] bounds). *)
+
+val idle : 'a t -> bool
+(** No group queued or running. *)
+
+val counters : 'a t -> (string * int) list
+(** Lifetime counters in a fixed, documented order — the payload of
+    {!Protocol.Stats_reply}: [received], [admitted] (fresh groups),
+    [coalesced], [memoized], [rejected], [groups_completed],
+    [queue_depth]. *)

@@ -1,0 +1,312 @@
+module Framing = Ft_framing.Framing
+module Trace = Ft_obs.Trace
+module Telemetry = Ft_engine.Telemetry
+
+type config = {
+  socket_path : string;
+  max_queue : int;
+  backlog : int;
+  progress_every : int;
+}
+
+let default_config ~socket_path =
+  { socket_path; max_queue = 256; backlog = 64; progress_every = 25 }
+
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Framing.Decoder.t;
+  mutable waiting : (string * string) option;  (* fingerprint, request id *)
+  mutable alive : bool;
+}
+
+type state = {
+  config : config;
+  runner : Runner.t;
+  trace : Trace.t option;
+  telemetry : Telemetry.t option;
+  listener : Unix.file_descr;
+  sched : conn Scheduler.t;
+  mutable conns : conn list;
+  mutable stop : bool;
+  mutable running_fp : string option;
+  mutable run_ticks : int;
+  (* Engine progress callbacks may fire from worker domains, and the
+     tick-driven socket drain runs inside them; one lock serializes all
+     connection and scheduler mutation. *)
+  lock : Mutex.t;
+}
+
+let with_lock st f =
+  Mutex.lock st.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.lock) f
+
+let timed st name f =
+  match st.telemetry with None -> f () | Some t -> Telemetry.time t name f
+
+(* -- connection bookkeeping (callers hold the lock) --------------------- *)
+
+let close_conn st conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    st.conns <- List.filter (fun c -> c != conn) st.conns;
+    (match conn.waiting with
+    | Some (fingerprint, id) ->
+        conn.waiting <- None;
+        Scheduler.drop_member st.sched ~fingerprint ~id
+    | None -> ());
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Responses block until written: payloads are tiny and clients read
+   eagerly, so this cannot stall the loop in practice, and it spares the
+   loop a per-connection outbound queue.  A vanished peer just drops the
+   member. *)
+let write_resp st conn resp =
+  conn.alive
+  &&
+  try
+    Unix.clear_nonblock conn.fd;
+    Protocol.write_response conn.fd resp;
+    Unix.set_nonblock conn.fd;
+    true
+  with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | ENOTCONN), _, _) ->
+    close_conn st conn;
+    false
+
+let respond_and_close st conn resp =
+  ignore (write_resp st conn resp);
+  close_conn st conn
+
+(* -- request handling --------------------------------------------------- *)
+
+let reject st conn ~id reason =
+  ignore (Scheduler.refuse st.sched reason);
+  Trace.request_rejected st.trace ~id
+    ~reason:(Protocol.reject_reason_to_string reason);
+  respond_and_close st conn (Protocol.Rejected { id; reason })
+
+let handle_tune st conn ~id ~tenant spec =
+  let fingerprint = Protocol.fingerprint spec in
+  Trace.request_received st.trace ~id ~tenant ~fingerprint;
+  let verdict =
+    match st.runner.Runner.validate spec with
+    | Error msg -> Scheduler.refuse st.sched (Protocol.Unsupported msg)
+    | Ok () ->
+        Scheduler.submit st.sched ~spec ~fingerprint
+          { Scheduler.id; tenant; payload = conn }
+  in
+  match verdict with
+  | Scheduler.Fresh ->
+      conn.waiting <- Some (fingerprint, id);
+      let queue_depth = Scheduler.queue_depth st.sched in
+      Trace.request_admitted st.trace ~id ~queue_depth;
+      ignore (write_resp st conn (Protocol.Admitted { id; queue_depth }))
+  | Scheduler.Joined { leader } ->
+      conn.waiting <- Some (fingerprint, id);
+      Trace.request_coalesced st.trace ~id ~leader;
+      if write_resp st conn (Protocol.Coalesced { id; leader }) then
+        if st.running_fp = Some fingerprint then
+          ignore (write_resp st conn (Protocol.Started { id }))
+  | Scheduler.Memoized { text; speedup; evaluations } ->
+      Trace.request_cached st.trace ~id;
+      respond_and_close st conn
+        (Protocol.Result
+           {
+             id;
+             fingerprint;
+             origin = Protocol.Cached;
+             group_size = 1;
+             speedup;
+             evaluations;
+             run_s = 0.0;
+             text;
+           })
+  | Scheduler.Refused reason ->
+      Trace.request_rejected st.trace ~id
+        ~reason:(Protocol.reject_reason_to_string reason);
+      respond_and_close st conn (Protocol.Rejected { id; reason })
+
+let handle_frame st conn frame =
+  match Protocol.request_of_frame frame with
+  | Error (Protocol.Version_mismatch { got }) ->
+      reject st conn ~id:"?" (Protocol.Bad_version { got })
+  | Error (Protocol.Malformed_frame reason) ->
+      reject st conn ~id:"?" (Protocol.Malformed reason)
+  | Ok Protocol.Ping -> ignore (write_resp st conn Protocol.Pong)
+  | Ok Protocol.Stats ->
+      ignore
+        (write_resp st conn (Protocol.Stats_reply (Scheduler.counters st.sched)))
+  | Ok Protocol.Shutdown ->
+      st.stop <- true;
+      Scheduler.drain st.sched;
+      respond_and_close st conn Protocol.Bye
+  | Ok (Protocol.Tune { id; tenant; spec }) -> handle_tune st conn ~id ~tenant spec
+
+let pump_conn st conn =
+  let { Framing.Decoder.frames; state } =
+    Framing.Decoder.pump conn.decoder conn.fd
+  in
+  List.iter (fun f -> if conn.alive then handle_frame st conn f) frames;
+  match state with
+  | `Open -> ()
+  | `Closed -> close_conn st conn
+  | `Error e ->
+      if conn.alive then
+        reject st conn ~id:"?" (Protocol.Malformed (Framing.error_to_string e))
+
+let accept_new st =
+  let rec loop () =
+    match Unix.accept ~cloexec:true st.listener with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        st.conns <-
+          {
+            fd;
+            decoder = Framing.Decoder.create ~max_bytes:Protocol.max_frame_bytes ();
+            waiting = None;
+            alive = true;
+          }
+          :: st.conns;
+        loop ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+(* One drain step: wait up to [timeout] for socket activity, accept
+   every pending connection, pump every readable one.  Callers hold the
+   lock. *)
+let drain_sockets st ~timeout =
+  let conns = st.conns in
+  let fds = st.listener :: List.map (fun c -> c.fd) conns in
+  match Unix.select fds [] [] timeout with
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+  | readable, _, _ ->
+      if List.memq st.listener readable then accept_new st;
+      List.iter
+        (fun c -> if c.alive && List.memq c.fd readable then pump_conn st c)
+        conns
+
+(* -- group execution ---------------------------------------------------- *)
+
+let run_group st (spec, fingerprint) =
+  with_lock st (fun () ->
+      st.running_fp <- Some fingerprint;
+      st.run_ticks <- 0;
+      let members = Scheduler.members st.sched ~fingerprint in
+      Trace.group_started st.trace ~fingerprint ~members:(List.length members);
+      List.iter
+        (fun (m : conn Scheduler.member) ->
+          ignore (write_resp st m.payload (Protocol.Started { id = m.Scheduler.id })))
+        members);
+  let tick () =
+    with_lock st @@ fun () ->
+    st.run_ticks <- st.run_ticks + 1;
+    if st.run_ticks mod st.config.progress_every = 0 then
+      List.iter
+        (fun (m : conn Scheduler.member) ->
+          ignore
+            (write_resp st m.payload
+               (Protocol.Progress { id = m.Scheduler.id; ticks = st.run_ticks })))
+        (Scheduler.members st.sched ~fingerprint);
+    drain_sockets st ~timeout:0.0
+  in
+  let t0 = Unix.gettimeofday () in
+  let result = timed st "serve.run" (fun () -> st.runner.Runner.run spec ~tick) in
+  let run_s = Unix.gettimeofday () -. t0 in
+  with_lock st @@ fun () ->
+  st.running_fp <- None;
+  match result with
+  | Ok outcome ->
+      let members = Scheduler.complete st.sched ~fingerprint outcome in
+      let group_size = List.length members in
+      Trace.group_finished st.trace ~fingerprint ~members:group_size ~run_s;
+      let leader =
+        match members with m :: _ -> m.Scheduler.id | [] -> ""
+      in
+      List.iteri
+        (fun i (m : conn Scheduler.member) ->
+          let origin =
+            if i = 0 then Protocol.Fresh else Protocol.Coalesced_with leader
+          in
+          m.payload.waiting <- None;
+          respond_and_close st m.payload
+            (Protocol.Result
+               {
+                 id = m.Scheduler.id;
+                 fingerprint;
+                 origin;
+                 group_size;
+                 speedup = outcome.Scheduler.speedup;
+                 evaluations = outcome.Scheduler.evaluations;
+                 run_s;
+                 text = outcome.Scheduler.text;
+               }))
+        members
+  | Error message ->
+      let members = Scheduler.fail st.sched ~fingerprint in
+      Trace.group_finished st.trace ~fingerprint
+        ~members:(List.length members) ~run_s;
+      List.iter
+        (fun (m : conn Scheduler.member) ->
+          m.payload.waiting <- None;
+          respond_and_close st m.payload
+            (Protocol.Server_error { id = m.Scheduler.id; message }))
+        members
+
+(* -- lifecycle ---------------------------------------------------------- *)
+
+let serve ?trace ?telemetry ?on_ready config runner =
+  if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
+  let listener = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listener config.backlog;
+  Unix.set_nonblock listener;
+  let st =
+    {
+      config;
+      runner;
+      trace;
+      telemetry;
+      listener;
+      sched = Scheduler.create ~max_queue:config.max_queue;
+      conns = [];
+      stop = false;
+      running_fp = None;
+      run_ticks = 0;
+      lock = Mutex.create ();
+    }
+  in
+  let stop_now _ =
+    st.stop <- true;
+    Scheduler.drain st.sched
+  in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_now) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_now) in
+  Fun.protect ~finally:(fun () ->
+      Sys.set_signal Sys.sigpipe prev_pipe;
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int;
+      List.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        st.conns;
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      try Sys.remove config.socket_path with Sys_error _ -> ())
+  @@ fun () ->
+  (match on_ready with Some f -> f () | None -> ());
+  let rec loop () =
+    match with_lock st (fun () -> Scheduler.next st.sched) with
+    | Some group ->
+        run_group st group;
+        loop ()
+    | None ->
+        if st.stop && with_lock st (fun () -> Scheduler.idle st.sched) then ()
+        else begin
+          timed st "serve.wait" (fun () ->
+              with_lock st (fun () -> drain_sockets st ~timeout:0.2));
+          loop ()
+        end
+  in
+  loop ();
+  Scheduler.counters st.sched

@@ -1,0 +1,46 @@
+(** The tuning-as-a-service daemon.
+
+    One single-threaded event loop over a Unix-domain socket: clients
+    speak {!Protocol} v1 in {!Ft_framing.Framing} frames, requests
+    coalesce in a {!Scheduler}, and searches execute one at a time
+    through a {!Runner}.  Sockets are drained both between groups and
+    {e during} a search — the runner's [tick] callback re-enters the
+    drain (serialized by a mutex, since engine progress callbacks may
+    arrive from worker domains) — so a request arriving mid-search for
+    the in-flight fingerprint still joins that search's group.
+
+    Lifecycle per tune request:
+    receive → [Admitted]/[Coalesced]/[Result (cached)]/[Rejected] →
+    [Started] when its group is picked → [Progress] heartbeats →
+    terminal [Result] (or [Server_error]).  A client that disconnects
+    while waiting is dropped from its group.
+
+    Shutdown: a [Shutdown] request (answered with [Bye]) or
+    SIGTERM/SIGINT puts the scheduler into draining — new work is
+    refused, queued groups run to completion — then the loop exits. *)
+
+type config = {
+  socket_path : string;
+  max_queue : int;  (** admission bound on waiting requests *)
+  backlog : int;  (** [Unix.listen] backlog *)
+  progress_every : int;
+      (** engine jobs between [Progress] heartbeats (and socket drains
+          are attempted on every job regardless) *)
+}
+
+val default_config : socket_path:string -> config
+(** [max_queue] 256, [backlog] 64, [progress_every] 25. *)
+
+val serve :
+  ?trace:Ft_obs.Trace.t ->
+  ?telemetry:Ft_engine.Telemetry.t ->
+  ?on_ready:(unit -> unit) ->
+  config ->
+  Runner.t ->
+  (string * int) list
+(** Bind (replacing a stale socket file), listen, run to shutdown,
+    unlink the socket, and return the scheduler's lifetime counters.
+    [on_ready] fires once the socket is accepting — the hook tests and
+    scripts use instead of polling.  [telemetry] accumulates
+    [serve.wait] (blocked in select) and [serve.run] (searching)
+    timers; [trace] records the request lifecycle events. *)

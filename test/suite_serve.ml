@@ -1,0 +1,656 @@
+(* Tests for the serving stack, bottom-up: Framing (wire format and the
+   incremental decoder), Protocol (JSON codecs, version gate), Scheduler
+   (coalescing / fairness / admission as pure state), and — in
+   [suite_e2e], registered only in the fork-legal test binary — a real
+   daemon exercised over its socket: single-flight coalescing under
+   concurrency, mid-run joins, per-tenant fairness, backpressure,
+   drain semantics, and byte-identity of served results against a solo
+   search. *)
+
+module Framing = Ft_framing.Framing
+module Protocol = Ft_serve.Protocol
+module Scheduler = Ft_serve.Scheduler
+module Runner = Ft_serve.Runner
+module Server = Ft_serve.Server
+module Client = Ft_serve.Client
+module Json = Ft_obs.Json
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checks = check Alcotest.string
+let checkb = check Alcotest.bool
+
+(* --- framing ----------------------------------------------------------- *)
+
+let sockpair () =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (a, b)
+
+let test_framing_roundtrip () =
+  let a, b = sockpair () in
+  let payloads = [ ""; "x"; String.make 70000 'q'; "{\"k\":1}" ] in
+  List.iter (fun p -> Framing.write_bytes a (Bytes.of_string p)) payloads;
+  List.iter
+    (fun expected ->
+      match Framing.read_bytes b with
+      | Ok got -> checks "payload" expected (Bytes.to_string got)
+      | Error e -> Alcotest.failf "read failed: %s" (Framing.error_to_string e))
+    payloads;
+  Unix.close a;
+  (match Framing.read_bytes b with
+  | Error Framing.Eof -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected clean Eof after close");
+  Unix.close b
+
+let test_framing_torn () =
+  let a, b = sockpair () in
+  (* a full header promising 100 bytes, then only 10, then death *)
+  let header = Bytes.create 8 in
+  Bytes.set_int64_be header 0 100L;
+  ignore (Unix.write a header 0 8);
+  ignore (Unix.write_substring a (String.make 10 'z') 0 10);
+  Unix.close a;
+  (match Framing.read_bytes b with
+  | Error (Framing.Torn { got = 10; expected = 100; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Framing.error_to_string e)
+  | Ok _ -> Alcotest.fail "torn frame read succeeded");
+  Unix.close b
+
+let test_framing_oversized () =
+  let a, b = sockpair () in
+  let header = Bytes.create 8 in
+  Bytes.set_int64_be header 0 (Int64.of_int (10 * 1024 * 1024));
+  ignore (Unix.write a header 0 8);
+  (match Framing.read_bytes ~max_bytes:1024 b with
+  | Error (Framing.Oversized { claimed; limit = 1024 }) ->
+      checki "claimed" (10 * 1024 * 1024) claimed
+  | Error e -> Alcotest.failf "wrong error: %s" (Framing.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized frame read succeeded");
+  Unix.close a;
+  Unix.close b
+
+(* The decoder must reassemble frames from arbitrarily fragmented reads:
+   drip a 3-frame stream through a nonblocking socket one odd-sized
+   chunk at a time. *)
+let test_decoder_reassembly () =
+  let a, b = sockpair () in
+  Unix.set_nonblock b;
+  let payloads = [ "alpha"; String.make 9000 'w'; "" ] in
+  let buf = Buffer.create 16384 in
+  List.iter
+    (fun p ->
+      let h = Bytes.create 8 in
+      Bytes.set_int64_be h 0 (Int64.of_int (String.length p));
+      Buffer.add_bytes buf h;
+      Buffer.add_string buf p)
+    payloads;
+  let stream = Buffer.contents buf in
+  let dec = Framing.Decoder.create () in
+  let got = ref [] in
+  let closed = ref false in
+  let pos = ref 0 in
+  while not !closed do
+    (if !pos < String.length stream then begin
+       let n = min 577 (String.length stream - !pos) in
+       ignore (Unix.write_substring a stream !pos n);
+       pos := !pos + n;
+       if !pos >= String.length stream then Unix.close a
+     end);
+    let { Framing.Decoder.frames; state } = Framing.Decoder.pump dec b in
+    got := !got @ List.map Bytes.to_string frames;
+    match state with
+    | `Open -> ()
+    | `Closed -> closed := true
+    | `Error e -> Alcotest.failf "decoder error: %s" (Framing.error_to_string e)
+  done;
+  check (Alcotest.list Alcotest.string) "frames" payloads !got;
+  Unix.close b
+
+(* --- protocol ---------------------------------------------------------- *)
+
+let spec ?(algorithm = "cfr") ?(seed = 1) ?top_x benchmark =
+  { Protocol.benchmark; platform = "bdw"; algorithm; seed; pool = 10; top_x }
+
+let roundtrip_request r =
+  match Protocol.request_of_json (Protocol.request_to_json r) with
+  | Ok r' -> checkb "request roundtrip" true (r = r')
+  | Error e -> Alcotest.failf "decode failed: %s" (Protocol.decode_error_to_string e)
+
+let roundtrip_response r =
+  match Protocol.response_of_json (Protocol.response_to_json r) with
+  | Ok r' -> checkb "response roundtrip" true (r = r')
+  | Error e -> Alcotest.failf "decode failed: %s" (Protocol.decode_error_to_string e)
+
+let test_protocol_roundtrip () =
+  List.iter roundtrip_request
+    [
+      Protocol.Tune { id = "r1"; tenant = "t0"; spec = spec "swim" };
+      Protocol.Tune
+        { id = "r2"; tenant = "t1"; spec = spec ~top_x:5 ~seed:9 "lulesh" };
+      Protocol.Ping;
+      Protocol.Stats;
+      Protocol.Shutdown;
+    ];
+  List.iter roundtrip_response
+    [
+      Protocol.Admitted { id = "r1"; queue_depth = 3 };
+      Protocol.Coalesced { id = "r2"; leader = "r1" };
+      Protocol.Started { id = "r1" };
+      Protocol.Progress { id = "r1"; ticks = 50 };
+      Protocol.Result
+        {
+          id = "r1";
+          fingerprint = "abc";
+          origin = Protocol.Fresh;
+          group_size = 4;
+          speedup = 1.25;
+          evaluations = 100;
+          run_s = 0.5;
+          text = "CFR: speedup 1.250\n  line two\n";
+        };
+      Protocol.Result
+        {
+          id = "r2";
+          fingerprint = "abc";
+          origin = Protocol.Coalesced_with "r1";
+          group_size = 4;
+          speedup = 1.25;
+          evaluations = 100;
+          run_s = 0.5;
+          text = "t\n";
+        };
+      Protocol.Rejected
+        { id = "r3"; reason = Protocol.Queue_full { limit = 64 } };
+      Protocol.Rejected { id = "r4"; reason = Protocol.Draining };
+      Protocol.Rejected
+        { id = "r5"; reason = Protocol.Unsupported "unknown benchmark 'x'" };
+      Protocol.Rejected { id = "r6"; reason = Protocol.Bad_version { got = 9 } };
+      Protocol.Rejected { id = "r7"; reason = Protocol.Malformed "not json" };
+      Protocol.Server_error { id = "r8"; message = "boom" };
+      Protocol.Pong;
+      Protocol.Stats_reply [ ("received", 10); ("admitted", 2) ];
+      Protocol.Bye;
+    ]
+
+let test_protocol_version_gate () =
+  let wrong = Json.Obj [ ("v", Json.Int 99); ("kind", Json.String "ping") ] in
+  (match Protocol.request_of_json wrong with
+  | Error (Protocol.Version_mismatch { got = 99 }) -> ()
+  | _ -> Alcotest.fail "v=99 not flagged as version mismatch");
+  let missing = Json.Obj [ ("kind", Json.String "ping") ] in
+  (match Protocol.request_of_json missing with
+  | Error (Protocol.Malformed_frame _) -> ()
+  | _ -> Alcotest.fail "missing v not flagged as malformed");
+  match Protocol.request_of_frame (Bytes.of_string "not json at all") with
+  | Error (Protocol.Malformed_frame _) -> ()
+  | _ -> Alcotest.fail "garbage frame not flagged as malformed"
+
+let test_fingerprint () =
+  let base = spec "swim" in
+  checks "stable" (Protocol.fingerprint base) (Protocol.fingerprint (spec "swim"));
+  let variants =
+    [
+      spec "lulesh";
+      spec ~seed:2 "swim";
+      spec ~algorithm:"fr" "swim";
+      spec ~top_x:3 "swim";
+      { base with Protocol.pool = 11 };
+      { base with Protocol.platform = "snb" };
+    ]
+  in
+  List.iter
+    (fun v ->
+      checkb "distinct" true
+        (Protocol.fingerprint base <> Protocol.fingerprint v))
+    variants
+
+(* --- scheduler --------------------------------------------------------- *)
+
+let member id tenant = { Scheduler.id; tenant; payload = () }
+
+let submit sched ?(tenant = "t") s id =
+  Scheduler.submit sched ~spec:s ~fingerprint:(Protocol.fingerprint s)
+    (member id tenant)
+
+let outcome text = { Scheduler.text; speedup = 1.5; evaluations = 10 }
+
+let test_scheduler_coalescing () =
+  let sched = Scheduler.create ~max_queue:16 in
+  let s = spec "swim" in
+  (match submit sched s "a" with
+  | Scheduler.Fresh -> ()
+  | _ -> Alcotest.fail "first submit not Fresh");
+  (match submit sched s "b" with
+  | Scheduler.Joined { leader = "a" } -> ()
+  | _ -> Alcotest.fail "second submit not Joined onto a");
+  (* joining survives the group going in-flight *)
+  (match Scheduler.next sched with
+  | Some (_, fp) -> checks "fp" (Protocol.fingerprint s) fp
+  | None -> Alcotest.fail "no group to run");
+  (match submit sched s "c" with
+  | Scheduler.Joined { leader = "a" } -> ()
+  | _ -> Alcotest.fail "mid-run submit not Joined");
+  let members =
+    Scheduler.complete sched ~fingerprint:(Protocol.fingerprint s)
+      (outcome "T\n")
+  in
+  check (Alcotest.list Alcotest.string) "submission order" [ "a"; "b"; "c" ]
+    (List.map (fun m -> m.Scheduler.id) members);
+  (* a resubmission is answered from the memo without queueing *)
+  (match submit sched s "d" with
+  | Scheduler.Memoized { text = "T\n"; _ } -> ()
+  | _ -> Alcotest.fail "resubmit not Memoized");
+  checkb "idle" true (Scheduler.idle sched);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "counters"
+    [
+      ("received", 4); ("admitted", 1); ("coalesced", 2); ("memoized", 1);
+      ("rejected", 0); ("groups_completed", 1); ("queue_depth", 0);
+    ]
+    (Scheduler.counters sched)
+
+let test_scheduler_admission () =
+  let sched = Scheduler.create ~max_queue:2 in
+  ignore (submit sched (spec "swim") "a");
+  ignore (submit sched (spec "lulesh") "b");
+  (match submit sched (spec "cl") "c" with
+  | Scheduler.Refused (Protocol.Queue_full { limit = 2 }) -> ()
+  | _ -> Alcotest.fail "third waiting request not refused");
+  (* draining refuses everything, even known fingerprints *)
+  Scheduler.drain sched;
+  (match submit sched (spec "swim") "d" with
+  | Scheduler.Refused Protocol.Draining -> ()
+  | _ -> Alcotest.fail "post-drain submit not refused");
+  checki "rejected" 2 (List.assoc "rejected" (Scheduler.counters sched))
+
+let test_scheduler_fairness () =
+  let sched = Scheduler.create ~max_queue:64 in
+  (* tenant a floods four distinct searches, then b and c one each *)
+  ignore (submit sched ~tenant:"a" (spec ~seed:1 "swim") "a1");
+  ignore (submit sched ~tenant:"a" (spec ~seed:2 "swim") "a2");
+  ignore (submit sched ~tenant:"a" (spec ~seed:3 "swim") "a3");
+  ignore (submit sched ~tenant:"a" (spec ~seed:4 "swim") "a4");
+  ignore (submit sched ~tenant:"b" (spec ~seed:1 "cl") "b1");
+  ignore (submit sched ~tenant:"c" (spec ~seed:1 "amg") "c1");
+  let order = ref [] in
+  let rec drain_all () =
+    match Scheduler.next sched with
+    | None -> ()
+    | Some (_, fp) ->
+        let leader =
+          match Scheduler.members sched ~fingerprint:fp with
+          | m :: _ -> m.Scheduler.id
+          | [] -> "?"
+        in
+        order := leader :: !order;
+        ignore (Scheduler.complete sched ~fingerprint:fp (outcome "T\n"));
+        drain_all ()
+  in
+  drain_all ();
+  (* round-robin over tenants: the flooding tenant gets one slot per
+     turn of the ring, so b1 and c1 run long before a's backlog clears *)
+  check (Alcotest.list Alcotest.string) "round-robin order"
+    [ "a1"; "b1"; "c1"; "a2"; "a3"; "a4" ]
+    (List.rev !order)
+
+let test_scheduler_drop () =
+  let sched = Scheduler.create ~max_queue:8 in
+  let s = spec "swim" in
+  let fp = Protocol.fingerprint s in
+  ignore (submit sched s "a");
+  ignore (submit sched s "b");
+  Scheduler.drop_member sched ~fingerprint:fp ~id:"a";
+  checki "depth after drop" 1 (Scheduler.queue_depth sched);
+  Scheduler.drop_member sched ~fingerprint:fp ~id:"b";
+  (* last member gone while still queued: the group is cancelled *)
+  checkb "idle" true (Scheduler.idle sched);
+  checkb "nothing to run" true (Scheduler.next sched = None)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "framing roundtrip + clean eof" `Quick
+        test_framing_roundtrip;
+      Alcotest.test_case "framing torn frame" `Quick test_framing_torn;
+      Alcotest.test_case "framing oversized prefix" `Quick
+        test_framing_oversized;
+      Alcotest.test_case "decoder reassembles split frames" `Quick
+        test_decoder_reassembly;
+      Alcotest.test_case "protocol json roundtrip" `Quick
+        test_protocol_roundtrip;
+      Alcotest.test_case "protocol version gate" `Quick
+        test_protocol_version_gate;
+      Alcotest.test_case "fingerprint canonicalization" `Quick
+        test_fingerprint;
+      Alcotest.test_case "scheduler single-flight coalescing" `Quick
+        test_scheduler_coalescing;
+      Alcotest.test_case "scheduler admission control" `Quick
+        test_scheduler_admission;
+      Alcotest.test_case "scheduler per-tenant round-robin" `Quick
+        test_scheduler_fairness;
+      Alcotest.test_case "scheduler drops vanished members" `Quick
+        test_scheduler_drop;
+    ] )
+
+(* --- end-to-end daemon tests (fork-legal binary only) ------------------ *)
+
+(* A deterministic fake runner: [ticks] engine jobs of [tick_sleep]
+   seconds each, result text derived from the spec.  Slow enough that
+   the e2e tests can join searches mid-run. *)
+let fake_runner ?(ticks = 40) ?(tick_sleep = 0.005) () =
+  {
+    Runner.validate =
+      (fun s ->
+        if s.Protocol.benchmark = "bad" then Error "unknown benchmark 'bad'"
+        else Ok ());
+    run =
+      (fun s ~tick ->
+        for _ = 1 to ticks do
+          Unix.sleepf tick_sleep;
+          tick ()
+        done;
+        Ok
+          {
+            Scheduler.text =
+              Printf.sprintf "RESULT %s seed %d\n" s.Protocol.benchmark
+                s.Protocol.seed;
+            speedup = 1.5;
+            evaluations = ticks;
+          });
+  }
+
+let with_daemon ?(max_queue = 256) runner f =
+  let socket_path = Filename.temp_file "funcy-serve" ".sock" in
+  Sys.remove socket_path;
+  match Unix.fork () with
+  | 0 ->
+      (* Child: serve until drained.  Unix._exit, never Stdlib.exit —
+         the child inherited the parent's channel buffers (and
+         Alcotest's at_exit) and must run neither. *)
+      (try
+         ignore
+           (Server.serve
+              { (Server.default_config ~socket_path) with max_queue;
+                progress_every = 10 }
+              runner)
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      Fun.protect ~finally:(fun () ->
+          (match Client.shutdown ~retry_for:1.0 socket_path with
+          | Ok () -> ()
+          | Error _ -> ( try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()));
+          ignore (Unix.waitpid [] pid);
+          try Sys.remove socket_path with Sys_error _ -> ())
+      @@ fun () ->
+      (match Client.ping ~retry_for:10.0 socket_path with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "daemon never came up: %s" (Client.failure_to_string e));
+      f socket_path
+
+(* Raw parallel clients: open a connection and park the request, read
+   the streamed responses later.  The daemon serves all of them
+   concurrently; reading sequentially afterwards does not change what
+   it did. *)
+let park socket_path ?(tenant = "t0") s id =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  Protocol.write_request fd (Protocol.Tune { id; tenant; spec = s });
+  fd
+
+let read_terminal fd =
+  let rec go events =
+    match Protocol.read_response fd with
+    | Error (`Framing e) ->
+        Alcotest.failf "stream died: %s" (Framing.error_to_string e)
+    | Error (`Decode e) ->
+        Alcotest.failf "undecodable: %s" (Protocol.decode_error_to_string e)
+    | Ok ((Protocol.Admitted _ | Coalesced _ | Started _ | Progress _) as ev)
+      ->
+        go (ev :: events)
+    | Ok terminal -> (List.rev events, terminal)
+  in
+  let r = go [] in
+  Unix.close fd;
+  r
+
+let expect_result = function
+  | _, Protocol.Result p -> p
+  | _, Protocol.Rejected { reason; _ } ->
+      Alcotest.failf "rejected: %s" (Protocol.reject_reason_to_string reason)
+  | _ -> Alcotest.fail "no result"
+
+let test_e2e_coalescing () =
+  with_daemon (fake_runner ()) @@ fun sock ->
+  let s = spec "swim" in
+  let n = 8 in
+  let fds =
+    List.init n (fun i -> park sock s (Printf.sprintf "r%d" i))
+  in
+  let results = List.map (fun fd -> expect_result (read_terminal fd)) fds in
+  let texts = List.map (fun p -> p.Protocol.text) results in
+  List.iter (fun t -> checks "identical text" (List.hd texts) t) texts;
+  checki "fresh results" 1
+    (List.length
+       (List.filter (fun p -> p.Protocol.origin = Protocol.Fresh) results));
+  checki "coalesced results" (n - 1)
+    (List.length
+       (List.filter
+          (fun p ->
+            match p.Protocol.origin with
+            | Protocol.Coalesced_with _ -> true
+            | _ -> false)
+          results));
+  List.iter (fun p -> checki "group size" n p.Protocol.group_size) results;
+  (* exactly one search ran: the daemon's own counters say so *)
+  match Client.stats sock with
+  | Ok counters ->
+      checki "admitted" 1 (List.assoc "admitted" counters);
+      checki "coalesced" (n - 1) (List.assoc "coalesced" counters);
+      checki "groups_completed" 1 (List.assoc "groups_completed" counters)
+  | Error e -> Alcotest.failf "stats failed: %s" (Client.failure_to_string e)
+
+let test_e2e_midrun_join () =
+  with_daemon (fake_runner ~ticks:120 ~tick_sleep:0.005 ()) @@ fun sock ->
+  let s = spec "swim" in
+  let leader = park sock s "leader" in
+  (* wait until the search is actually running *)
+  let rec await_started () =
+    match Protocol.read_response leader with
+    | Ok (Protocol.Started _) -> ()
+    | Ok (Protocol.Admitted _) -> await_started ()
+    | Ok _ | Error _ -> Alcotest.fail "leader did not reach Started"
+  in
+  await_started ();
+  (* now join the in-flight search *)
+  let joiner = park sock s "joiner" in
+  let jp = expect_result (read_terminal joiner) in
+  (match jp.Protocol.origin with
+  | Protocol.Coalesced_with "leader" -> ()
+  | o -> Alcotest.failf "joiner origin %s" (Protocol.origin_to_string o));
+  checki "group of two" 2 jp.Protocol.group_size;
+  let lp = expect_result (read_terminal leader) in
+  checkb "leader fresh" true (lp.Protocol.origin = Protocol.Fresh);
+  checks "same bytes" lp.Protocol.text jp.Protocol.text
+
+(* Flooding tenant a queues five searches before tenant b submits one;
+   round-robin must complete b's long before a's backlog.  Arrival
+   times are compared, so the assertion survives a slow machine: if b
+   were starved its result would arrive last, making the margin ~0. *)
+let test_e2e_fairness () =
+  with_daemon (fake_runner ~ticks:10 ~tick_sleep:0.005 ()) @@ fun sock ->
+  let flood =
+    List.init 5 (fun i ->
+        park sock ~tenant:"a" (spec ~seed:(i + 1) "swim")
+          (Printf.sprintf "a%d" i))
+  in
+  let b = park sock ~tenant:"b" (spec ~seed:1 "cl") "b0" in
+  ignore (expect_result (read_terminal b));
+  let t_b = Unix.gettimeofday () in
+  List.iter (fun fd -> ignore (expect_result (read_terminal fd))) flood;
+  let t_last_a = Unix.gettimeofday () in
+  checkb "b finished well before the flood cleared" true
+    (t_last_a -. t_b > 0.05)
+
+let test_e2e_rejections () =
+  with_daemon ~max_queue:2 (fake_runner ~ticks:60 ~tick_sleep:0.005 ())
+  @@ fun sock ->
+  (* unsupported spec: typed Unsupported reject *)
+  (match Client.tune ~socket_path:sock ~id:"x" ~tenant:"t" (spec "bad") with
+  | Error (Client.Rejected (Protocol.Unsupported _)) -> ()
+  | _ -> Alcotest.fail "invalid spec not rejected as unsupported");
+  (* backpressure: two waiting requests fill the queue; a third bounces *)
+  let w1 = park sock (spec ~seed:1 "swim") "w1" in
+  let w2 = park sock (spec ~seed:2 "swim") "w2" in
+  ignore (Unix.select [] [] [] 0.1);
+  (match Client.tune ~socket_path:sock ~id:"w3" ~tenant:"t" (spec ~seed:3 "swim") with
+  | Error (Client.Rejected (Protocol.Queue_full { limit = 2 })) -> ()
+  | Ok _ -> Alcotest.fail "over-quota request admitted"
+  | Error f -> Alcotest.failf "wrong failure: %s" (Client.failure_to_string f));
+  (* raw protocol garbage: typed Malformed reject, connection survives
+     server-side bookkeeping *)
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  Framing.write_bytes fd (Bytes.of_string "this is not json");
+  (match Protocol.read_response fd with
+  | Ok (Protocol.Rejected { reason = Protocol.Malformed _; _ }) -> ()
+  | _ -> Alcotest.fail "garbage frame not rejected as malformed");
+  Unix.close fd;
+  (* wrong protocol version: typed Bad_version reject *)
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  Framing.write_bytes fd
+    (Bytes.of_string (Json.to_string
+       (Json.Obj [ ("v", Json.Int 9); ("kind", Json.String "ping") ])));
+  (match Protocol.read_response fd with
+  | Ok (Protocol.Rejected { reason = Protocol.Bad_version { got = 9 }; _ }) ->
+      ()
+  | _ -> Alcotest.fail "wrong version not rejected as bad_version");
+  Unix.close fd;
+  ignore (expect_result (read_terminal w1));
+  ignore (expect_result (read_terminal w2))
+
+let test_e2e_drain () =
+  with_daemon (fake_runner ~ticks:80 ~tick_sleep:0.005 ()) @@ fun sock ->
+  let running = park sock (spec ~seed:1 "swim") "r0" in
+  ignore (Unix.select [] [] [] 0.1);
+  (* shutdown while the search runs: acknowledged immediately ... *)
+  (match Client.shutdown sock with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "shutdown failed: %s" (Client.failure_to_string e));
+  (* ... new work is refused as draining ... *)
+  (match Client.tune ~socket_path:sock ~id:"late" ~tenant:"t" (spec ~seed:2 "swim") with
+  | Error (Client.Rejected Protocol.Draining) -> ()
+  | Error (Client.Transport _) ->
+      (* the daemon may already have exited — equally a refusal *)
+      ()
+  | _ -> Alcotest.fail "post-shutdown request not refused");
+  (* ... and the in-flight search still completes for its client *)
+  let p = expect_result (read_terminal running) in
+  checks "drained result" "RESULT swim seed 1\n" p.Protocol.text
+
+(* Like [with_daemon], but the runner (and its engine) is built only in
+   the daemon child, so the parent stays domain-free and fork-legal. *)
+let with_daemon_lazy make_runner f =
+  let socket_path = Filename.temp_file "funcy-serve" ".sock" in
+  Sys.remove socket_path;
+  match Unix.fork () with
+  | 0 ->
+      (try
+         ignore
+           (Server.serve (Server.default_config ~socket_path) (make_runner ()))
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      Fun.protect ~finally:(fun () ->
+          (match Client.shutdown ~retry_for:1.0 socket_path with
+          | Ok () -> ()
+          | Error _ -> ( try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()));
+          ignore (Unix.waitpid [] pid);
+          try Sys.remove socket_path with Sys_error _ -> ())
+      @@ fun () ->
+      (match Client.ping ~retry_for:30.0 socket_path with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "daemon never came up: %s" (Client.failure_to_string e));
+      f socket_path
+
+(* The serve contract: a served result is byte-identical to the same
+   search run solo, and a memoized replay returns the same bytes with
+   origin=cached.  Runs the real runner (engine jobs=1, fork-legal). *)
+let test_e2e_byte_identity () =
+  let real () = Runner.make ~engine:(Ft_engine.Engine.create ~jobs:1 ()) in
+  let s =
+    { Protocol.benchmark = "swim"; platform = "bdw"; algorithm = "cfr";
+      seed = 42; pool = 80; top_x = None }
+  in
+  let served, cached =
+    with_daemon_lazy real @@ fun sock ->
+    let p1 =
+      match Client.tune ~socket_path:sock ~id:"c1" ~tenant:"t" s with
+      | Ok p -> p
+      | Error e -> Alcotest.failf "tune failed: %s" (Client.failure_to_string e)
+    in
+    let p2 =
+      match Client.tune ~socket_path:sock ~id:"c2" ~tenant:"t" s with
+      | Ok p -> p
+      | Error e -> Alcotest.failf "tune failed: %s" (Client.failure_to_string e)
+    in
+    (p1, p2)
+  in
+  checkb "replay cached" true (cached.Protocol.origin = Protocol.Cached);
+  checks "replay bytes" served.Protocol.text cached.Protocol.text;
+  (* solo reference, computed only after every fork is done *)
+  let program = Option.get (Ft_suite.Suite.find "swim") in
+  let platform = Ft_prog.Platform.Broadwell in
+  let session =
+    Funcytuner.Tuner.make_session ~pool_size:80
+      ~engine:(Ft_engine.Engine.create ~jobs:1 ())
+      ~platform ~program
+      ~input:(Ft_suite.Suite.tuning_input platform program)
+      ~seed:42 ()
+  in
+  let solo =
+    Funcytuner.Result.render
+      (Funcytuner.Tuner.run_cfr ~top_x:Funcytuner.Cfr.default_top_x session)
+  in
+  checks "served = solo bytes" solo served.Protocol.text
+
+(* A small in-process loadgen burst against a fake daemon: zero errors,
+   zero divergence, coalescing doing its job under zipfian skew. *)
+let test_e2e_loadgen () =
+  with_daemon (fake_runner ~ticks:5 ~tick_sleep:0.002 ()) @@ fun sock ->
+  let config =
+    {
+      (Ft_serve.Loadgen.default_config ~socket_path:sock) with
+      Ft_serve.Loadgen.clients = 80;
+      concurrency = 20;
+      benchmarks = [ "swim"; "cl"; "amg" ];
+      seeds_per_benchmark = 2;
+    }
+  in
+  let o = Ft_serve.Loadgen.run config in
+  checki "all completed" 80 Ft_serve.Loadgen.(o.completed);
+  checki "no errors" 0 Ft_serve.Loadgen.(o.errors);
+  checki "no divergence" 0 Ft_serve.Loadgen.(o.inconsistent);
+  checkb "coalescing helped" true (Ft_serve.Loadgen.(o.coalesce_rate) > 0.5)
+
+let suite_e2e =
+  ( "serve-e2e",
+    [
+      Alcotest.test_case "single-flight coalescing over the wire" `Quick
+        test_e2e_coalescing;
+      Alcotest.test_case "mid-run join of an in-flight search" `Quick
+        test_e2e_midrun_join;
+      Alcotest.test_case "per-tenant fairness under flooding" `Quick
+        test_e2e_fairness;
+      Alcotest.test_case "typed rejections (unsupported/backpressure/\
+                          malformed/version)" `Quick test_e2e_rejections;
+      Alcotest.test_case "graceful drain on shutdown" `Quick test_e2e_drain;
+      Alcotest.test_case "served result byte-identical to solo tune" `Quick
+        test_e2e_byte_identity;
+      Alcotest.test_case "loadgen burst: zero errors, coalesced" `Quick
+        test_e2e_loadgen;
+    ] )

@@ -6,4 +6,4 @@
 
 let () =
   Alcotest.run "funcytuner-backend"
-    [ Suite_backend.suite; Suite_selfcheck.suite_processes ]
+    [ Suite_backend.suite; Suite_selfcheck.suite_processes; Suite_serve.suite_e2e ]

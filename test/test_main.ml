@@ -20,6 +20,7 @@ let () =
       Suite_cobayn.suite;
       Suite_experiments.suite;
       Suite_obs.suite;
+      Suite_serve.suite;
       Suite_golden.suite;
       Suite_integration.suite;
     ]
