@@ -2,7 +2,7 @@ DUNE ?= dune
 FUNCY = $(DUNE) exec --no-build bin/funcy.exe --
 
 .PHONY: all build test smoke smoke-faults smoke-trace smoke-procs \
-        smoke-selfcheck smoke-serve golden coverage check clean
+        smoke-selfcheck smoke-serve smoke-recover golden coverage check clean
 
 all: build
 
@@ -119,6 +119,33 @@ smoke-serve: build
 	$(FUNCY) report _build/smoke-serve.jsonl | grep -q "Server requests"
 	@echo "smoke-serve OK: served bytes = solo bytes, loadgen clean, drained on shutdown"
 
+# Crash-recovery smoke (see DESIGN.md section 14): a supervised daemon
+# with a durable journal SIGKILLs itself (chaos hook) after every 5th
+# accepted request; a reconnecting zipfian loadgen burst must still
+# complete every request with zero errors and zero byte divergence
+# (loadgen exits 1 otherwise) while riding out the restarts, the
+# daemon's counters must admit to the restarts it survived, and a
+# protocol shutdown must drain the final generation cleanly.
+smoke-recover: build
+	rm -rf _build/smoke-recover && mkdir -p _build/smoke-recover
+	$(FUNCY) serve -s _build/smoke-recover/sock \
+	  --state-dir _build/smoke-recover/state --supervise \
+	  --die-after-requests 5 --jobs 2 \
+	  > _build/smoke-recover/daemon.out 2> _build/smoke-recover/daemon.err \
+	  & echo $$! > _build/smoke-recover/pid
+	$(FUNCY) loadgen -s _build/smoke-recover/sock --reconnect \
+	  --clients 12 --concurrency 6 -k 60 --zipf 1.1 \
+	  > _build/smoke-recover/loadgen.out
+	grep -q "reconnects" _build/smoke-recover/loadgen.out
+	$(FUNCY) client -s _build/smoke-recover/sock --stats \
+	  > _build/smoke-recover/stats.out
+	grep -Eq "restarts +[1-9]" _build/smoke-recover/stats.out
+	$(FUNCY) client -s _build/smoke-recover/sock --shutdown > /dev/null
+	for i in `seq 1 100`; do \
+	  kill -0 `cat _build/smoke-recover/pid` 2>/dev/null || break; sleep 0.1; done; \
+	  ! kill -0 `cat _build/smoke-recover/pid` 2>/dev/null
+	@echo "smoke-recover OK: supervised restarts survived, loadgen consistent, drained cleanly"
+
 # Line coverage of `dune runtest` via bisect_ppx, which must be installed
 # (it is deliberately NOT a build dependency: the instrumentation stanzas
 # are inert unless dune is passed --instrument-with bisect_ppx, so default
@@ -141,7 +168,7 @@ golden: build
 	$(FUNCY) experiment fig5c fig7a -k 12 --csv-dir test/golden
 
 check: build test smoke smoke-faults smoke-trace smoke-procs smoke-selfcheck \
-       smoke-serve
+       smoke-serve smoke-recover
 
 clean:
 	$(DUNE) clean

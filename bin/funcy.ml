@@ -671,8 +671,58 @@ let selfcheck_cmd =
              to the reference run's range.  Default: the first, a middle \
              and the last boundary.")
   in
+  let serve_t =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Instead of the checkpoint/resume oracle, run the \
+             kill-restart equivalence oracle for the tuning service: a \
+             supervised, journalled daemon is SIGKILLed at every \
+             request boundary and mid-search, clients \
+             reconnect-and-resume, and every delivered result must be \
+             byte-identical to an unkilled daemon's and to a solo run; \
+             a spec that keeps crashing the daemon must end as a typed \
+             poisoned rejection.  Exits 1 on any divergence.")
+  in
+  (* The service-side oracle: forked supervised daemons, so it must run
+     before this process spawns any domain. *)
+  let run_serve_oracle program platform seed pool jobs backend resilience =
+    let policy = policy_of_resilience resilience in
+    with_scratch_dir @@ fun scratch ->
+    let make_runner ~state_dir =
+      let make_engine ?cache ?quarantine ?checkpoint () =
+        Engine.create ~jobs ~backend ?cache ?quarantine ~policy ?checkpoint ()
+      in
+      Ft_serve.Runner.make_durable ~make_engine ~state_dir ~checkpoint_every:8
+        ()
+    in
+    let spec s =
+      {
+        Ft_serve.Protocol.benchmark = program.Program.name;
+        platform = Platform.short_name platform;
+        algorithm = "cfr";
+        seed = s;
+        pool;
+        top_x = None;
+      }
+    in
+    let specs =
+      [ ("sc-1", "t0", spec seed); ("sc-2", "t1", spec (seed + 1)) ]
+    in
+    let outcome =
+      Ft_serve.Servecheck.run ~scratch ~make_runner ~specs
+        ~poison:("sc-poison", "t0", spec (seed + 2))
+        ()
+    in
+    print_string (Ft_serve.Servecheck.render outcome);
+    if not (Ft_serve.Servecheck.passed outcome) then exit 1
+  in
   let run program platform seed pool jobs backend kill_workers resilience
-      algos_selected kill_at =
+      algos_selected kill_at serve =
+    if serve then run_serve_oracle program platform seed pool jobs backend
+      resilience
+    else begin
     let policy = policy_of_resilience resilience in
     let input = Ft_suite.Suite.tuning_input platform program in
     let algos_selected =
@@ -716,6 +766,7 @@ let selfcheck_cmd =
         algos_selected
     in
     if failures <> [] then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "selfcheck"
@@ -725,11 +776,14 @@ let selfcheck_cmd =
           killed at several evaluation boundaries and resumed from their \
           checkpoints (plus a cache-merge round-trip), asserting \
           byte-identical results, caches, quarantines and normalized \
-          logical traces.  Exits 1 on any divergence.  $(b,--checkpoint) \
-          and $(b,--die-after) are managed internally and ignored here.")
+          logical traces.  With $(b,--serve), check the tuning service's \
+          kill-restart equivalence instead.  Exits 1 on any divergence.  \
+          $(b,--checkpoint) and $(b,--die-after) are managed internally \
+          and ignored here.")
     Term.(
       const run $ program_t $ platform_t $ seed_t $ pool_t $ jobs_t
-      $ backend_t $ kill_workers_t $ resilience_t $ algos_t $ kill_at_t)
+      $ backend_t $ kill_workers_t $ resilience_t $ algos_t $ kill_at_t
+      $ serve_t)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -893,31 +947,130 @@ let serve_cmd =
              25); sockets are drained on every job regardless, so \
              requests coalesce onto an in-flight search.")
   in
+  let state_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable state directory (created if missing): a \
+             write-ahead request journal plus per-search checkpoint \
+             snapshots.  A daemon restarted on the same $(docv) replays \
+             unfinished requests, answers completed fingerprints from \
+             the durable memo, resumes half-finished searches from \
+             their checkpoints, and quarantines specs that keep \
+             crashing it.")
+  in
+  let die_after_requests_t =
+    Arg.(
+      value
+      & opt (some (bounded_int_arg ~what:"die-after-requests" ~min_v:1)) None
+      & info [ "die-after-requests" ] ~docv:"N"
+          ~doc:
+            "Chaos hook: SIGKILL the daemon the instant the $(docv)th \
+             accepted request of each boot is acknowledged.  Under \
+             $(b,--supervise) with $(b,--state-dir) this exercises \
+             crash recovery deterministically.")
+  in
+  let poison_threshold_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"poison-threshold" ~min_v:1) 3
+      & info [ "poison-threshold" ] ~docv:"K"
+          ~doc:
+            "Journalled daemon crashes during one fingerprint's search \
+             before that fingerprint is quarantined and answered with a \
+             typed poisoned rejection (default 3).")
+  in
+  let checkpoint_every_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"checkpoint-every" ~min_v:1) 32
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--state-dir): snapshot a running search's cache \
+             every $(docv) state-changing events (default 32).")
+  in
+  let supervise_t =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Run the daemon in a forked child under a crash monitor: \
+             an abnormal death (crash, SIGKILL) is respawned with \
+             capped exponential backoff up to $(b,--respawn-budget) \
+             times; a clean drain ends the supervisor.")
+  in
+  let respawn_budget_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"respawn-budget" ~min_v:0) 16
+      & info [ "respawn-budget" ] ~docv:"N"
+          ~doc:"Respawns the supervisor allows (default 16).")
+  in
   let run socket max_queue progress_every jobs backend kill_workers stats
-      resilience tspec =
-    let trace = make_trace tspec in
-    let engine =
-      make_engine ~jobs ~backend ?kill_workers_after:kill_workers ?trace
-        resilience
+      resilience tspec state_dir die_after_requests poison_threshold
+      checkpoint_every supervise respawn_budget =
+    (* Everything engine-flavoured happens inside [daemon] so that under
+       --supervise the forking supervisor parent never spawns a domain. *)
+    let daemon ~generation:_ =
+      let trace = make_trace tspec in
+      let telemetry, runner =
+        match state_dir with
+        | None ->
+            let engine =
+              make_engine ~jobs ~backend ?kill_workers_after:kill_workers
+                ?trace resilience
+            in
+            (Engine.telemetry engine, Ft_serve.Runner.make ~engine)
+        | Some dir ->
+            let policy = policy_of_resilience resilience in
+            let make_engine ?cache ?quarantine ?checkpoint () =
+              Engine.create ~jobs ~backend ?kill_workers_after:kill_workers
+                ?cache ?quarantine ~policy ?checkpoint ?trace ()
+            in
+            ( Ft_engine.Telemetry.create (),
+              Ft_serve.Runner.make_durable ~make_engine ~state_dir:dir
+                ~checkpoint_every () )
+      in
+      let config =
+        {
+          (Serve.default_config ~socket_path:socket) with
+          max_queue;
+          progress_every;
+          state_dir;
+          die_after_requests;
+          poison_threshold;
+        }
+      in
+      let counters =
+        Fun.protect ~finally:(fun () ->
+            export_trace tspec trace;
+            maybe_stats stats telemetry)
+        @@ fun () ->
+        Serve.serve ?trace ~telemetry
+          ~on_ready:(fun () ->
+            Printf.eprintf "funcy serve: listening on %s\n%!" socket)
+          config runner
+      in
+      print_endline "funcy serve: drained; lifetime counters:";
+      List.iter (fun (k, v) -> Printf.printf "  %-18s %d\n" k v) counters;
+      0
     in
-    let telemetry = Engine.telemetry engine in
-    let runner = Ft_serve.Runner.make ~engine in
-    let config =
-      { (Serve.default_config ~socket_path:socket) with max_queue;
-        progress_every }
-    in
-    let counters =
-      Fun.protect ~finally:(fun () ->
-          export_trace tspec trace;
-          maybe_stats stats telemetry)
-      @@ fun () ->
-      Serve.serve ?trace ~telemetry
-        ~on_ready:(fun () ->
-          Printf.eprintf "funcy serve: listening on %s\n%!" socket)
-        config runner
-    in
-    print_endline "funcy serve: drained; lifetime counters:";
-    List.iter (fun (k, v) -> Printf.printf "  %-18s %d\n" k v) counters
+    if supervise then begin
+      let config =
+        { Ft_serve.Supervisor.default_config with respawn_budget }
+      in
+      let outcome =
+        Ft_serve.Supervisor.run
+          ~on_exit:(fun ~generation status ->
+            Printf.eprintf "funcy serve: generation %d %s\n%!" generation
+              (Ft_serve.Supervisor.exit_status_to_string status))
+          config daemon
+      in
+      if not outcome.Ft_serve.Supervisor.clean then exit 1
+    end
+    else ignore (daemon ~generation:0)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -925,11 +1078,17 @@ let serve_cmd =
          "Run the tuning-as-a-service daemon: concurrent requests for \
           the same search coalesce onto one in-flight execution, \
           tenants are served round-robin, and completed searches are \
-          memoized.  Stop with a shutdown request (or SIGTERM): the \
-          daemon drains its queue and exits.")
+          memoized.  With $(b,--state-dir) every accepted request is \
+          journalled before acknowledgement and a restarted daemon \
+          picks up exactly where the dead one stopped; add \
+          $(b,--supervise) to restart it automatically.  Stop with a \
+          shutdown request (or SIGTERM): the daemon drains its queue \
+          and exits.")
     Term.(
       const run $ socket_t $ max_queue_t $ progress_every_t $ jobs_t
-      $ backend_t $ kill_workers_t $ stats_t $ resilience_t $ trace_spec_t)
+      $ backend_t $ kill_workers_t $ stats_t $ resilience_t $ trace_spec_t
+      $ state_dir_t $ die_after_requests_t $ poison_threshold_t
+      $ checkpoint_every_t $ supervise_t $ respawn_budget_t)
 
 let wait_t =
   let wait_arg =
@@ -1006,8 +1165,28 @@ let client_cmd =
             "Instead of tuning, ask the daemon to drain its queue and \
              exit.")
   in
+  let deadline_ms_t =
+    Arg.(
+      value
+      & opt (some (bounded_int_arg ~what:"deadline-ms" ~min_v:1)) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Ask the server to answer within $(docv) milliseconds; a \
+             request still waiting past that is rejected with a typed \
+             deadline_exceeded response (protocol v2).")
+  in
+  let reconnect_t =
+    Arg.(
+      value & flag
+      & info [ "reconnect" ]
+          ~doc:
+            "If the daemon dies mid-stream, reconnect and resend the \
+             same request id (idempotent against a $(b,--state-dir) \
+             daemon's journal) instead of failing — rides out \
+             supervised restarts.")
+  in
   let run socket program platform seed pool algo top_x tenant id wait quiet
-      ping stats shutdown =
+      ping stats shutdown deadline_ms reconnect =
     let fail failure =
       Printf.eprintf "funcy client: %s\n" (Sclient.failure_to_string failure);
       exit 1
@@ -1057,9 +1236,13 @@ let client_cmd =
       | Sproto.Progress { ticks; _ } -> say "%d engine jobs" ticks
       | _ -> ()
     in
+    let submit =
+      if reconnect then Sclient.tune_persistent ~attempts:8
+      else Sclient.tune
+    in
     match
-      Sclient.tune ~retry_for:wait ~on_event ~socket_path:socket ~id ~tenant
-        spec
+      submit ~retry_for:wait ?deadline_ms ~on_event ~socket_path:socket ~id
+        ~tenant spec
     with
     | Stdlib.Ok payload ->
         say "%s result, group of %d, search ran %.2f s"
@@ -1088,7 +1271,8 @@ let client_cmd =
                  Required unless $(b,--ping), $(b,--stats) or \
                  $(b,--shutdown) is given.")
       $ platform_t $ seed_t $ pool_t $ algo_t $ top_x_t $ tenant_t $ id_t
-      $ wait_t $ quiet_t $ ping_t $ stats_t $ shutdown_t)
+      $ wait_t $ quiet_t $ ping_t $ stats_t $ shutdown_t $ deadline_ms_t
+      $ reconnect_t)
 
 let loadgen_cmd =
   let clients_t =
@@ -1160,8 +1344,25 @@ let loadgen_cmd =
             "Comma-separated benchmark catalog (default: the whole \
              suite).")
   in
+  let reconnect_t =
+    Arg.(
+      value & flag
+      & info [ "reconnect" ]
+          ~doc:
+            "Resume requests whose stream died without a terminal \
+             response by resending the same id after a short backoff — \
+             rides out supervised daemon restarts; broken streams then \
+             count as reconnects, not errors.")
+  in
+  let max_attempts_t =
+    Arg.(
+      value
+      & opt (bounded_int_arg ~what:"max-attempts" ~min_v:1) 10
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Sends per request under $(b,--reconnect) (default 10).")
+  in
   let run socket clients concurrency tenants zipf seed seeds_per_benchmark
-      algo pool platform benchmarks wait =
+      algo pool platform benchmarks wait reconnect max_attempts =
     (match Sclient.ping ~retry_for:wait socket with
     | Stdlib.Ok () -> ()
     | Stdlib.Error failure ->
@@ -1181,6 +1382,8 @@ let loadgen_cmd =
         algorithm = algo;
         platform = Platform.short_name platform;
         pool;
+        reconnect;
+        max_attempts;
       }
     in
     let outcome = Ft_serve.Loadgen.run config in
@@ -1198,7 +1401,7 @@ let loadgen_cmd =
     Term.(
       const run $ socket_t $ clients_t $ concurrency_t $ tenants_t $ zipf_t
       $ seed_t $ seeds_per_benchmark_t $ algo_t $ lg_pool_t $ platform_t
-      $ benchmarks_t $ wait_t)
+      $ benchmarks_t $ wait_t $ reconnect_t $ max_attempts_t)
 
 let () =
   let doc = "FuncyTuner: per-loop compilation auto-tuning (ICPP'19 reproduction)" in

@@ -565,16 +565,18 @@ let measure_batch t ~toolchain ?outline ~program ~input jobs_array =
       |> Array.map (function
            | Ok m -> m
            | outcome -> raise (Pool.Worker_failure (Job_failed outcome)))
-  | Backend.Domains ->
+  | Backend.Domains -> (
       Telemetry.expect t.telemetry (Array.length jobs_array);
       let batch = Trace.batch t.trace ~size:(Array.length jobs_array) in
-      Pool.map ~jobs:t.jobs
-        (fun (i, job) ->
-          Trace.in_job t.trace ~batch ~index:i (fun () ->
-              let m = measure_one t ~toolchain ?outline ~program ~input job in
-              Telemetry.tick t.telemetry;
-              m))
-        (Array.mapi (fun i job -> (i, job)) jobs_array)
+      try
+        Pool.map ~jobs:t.jobs
+          (fun (i, job) ->
+            Trace.in_job t.trace ~batch ~index:i (fun () ->
+                let m = measure_one t ~toolchain ?outline ~program ~input job in
+                Telemetry.tick t.telemetry;
+                m))
+          (Array.mapi (fun i job -> (i, job)) jobs_array)
+      with Pool.Worker_failure e when Pool.fatal e -> raise e)
 
 let measure_list t ~toolchain ?outline ~program ~input jobs =
   Array.to_list
@@ -587,14 +589,21 @@ let try_measure_batch t ~toolchain ?outline ~program ~input jobs_array =
   | Backend.Domains ->
       Telemetry.expect t.telemetry (Array.length jobs_array);
       let batch = Trace.batch t.trace ~size:(Array.length jobs_array) in
-      Pool.map_result ~jobs:t.jobs
-        (fun (i, job) ->
-          Trace.in_job t.trace ~batch ~index:i (fun () ->
-              Fun.protect
-                ~finally:(fun () -> Telemetry.tick t.telemetry)
-                (fun () ->
-                  try_measure_one t ~toolchain ?outline ~program ~input job)))
-        (Array.mapi (fun i job -> (i, job)) jobs_array)
+      (try
+         Pool.map_result ~jobs:t.jobs
+           (fun (i, job) ->
+             Trace.in_job t.trace ~batch ~index:i (fun () ->
+                 Fun.protect
+                   ~finally:(fun () -> Telemetry.tick t.telemetry)
+                   (fun () ->
+                     try_measure_one t ~toolchain ?outline ~program ~input job)))
+           (Array.mapi (fun i job -> (i, job)) jobs_array)
+       with
+      (* A fatal exception (cancellation, runtime collapse) must surface
+         as itself, not as the pool's wrapper, so the layer that raised
+         it — e.g. a server cancelling a search from its progress tick —
+         can catch exactly what it threw. *)
+      | Pool.Worker_failure e when Pool.fatal e -> raise e)
       |> Array.map (function
            | Stdlib.Ok outcome -> outcome
            | Stdlib.Error e ->

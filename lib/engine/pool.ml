@@ -1,5 +1,15 @@
 exception Worker_failure of exn
 
+exception Abort of string
+
+(* Exceptions that must never be demoted to a per-job outcome: the
+   asynchronous runtime failures (retrying cannot help and swallowing
+   them hides a dying process) and [Abort], the deliberate
+   whole-computation cancellation signal. *)
+let fatal = function
+  | Out_of_memory | Stack_overflow | Sys.Break | Abort _ -> true
+  | _ -> false
+
 let sequential_map f a = Array.map f a
 
 let parallel_map ~workers f a =
@@ -40,6 +50,11 @@ let submit ~jobs thunks =
 (* Partial-results mode: exceptions are captured per item, so one failed
    job no longer poisons the batch — every other job still runs and keeps
    its slot.  Built on [map] with an infallible wrapper, which also keeps
-   the fail-fast path of [map] itself untouched. *)
+   the fail-fast path of [map] itself untouched.  Fatal exceptions are
+   exempt from capture: they escape (wrapped in [Worker_failure] on the
+   parallel path) so cancellation and runtime collapse abort the batch. *)
 let map_result ~jobs f a =
-  map ~jobs (fun x -> match f x with v -> Ok v | exception e -> Error e) a
+  map ~jobs
+    (fun x ->
+      match f x with v -> Ok v | exception e when not (fatal e) -> Error e)
+    a

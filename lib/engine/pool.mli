@@ -17,6 +17,16 @@ exception Worker_failure of exn
 (** Raised by {!map}/{!submit} after all workers have joined, wrapping the
     first exception any job raised.  Remaining queued jobs are abandoned. *)
 
+exception Abort of string
+(** Deliberate whole-computation cancellation.  Raise it from a job (or
+    from a progress callback running inside one) to abandon the batch:
+    it is {!fatal}, so {!map_result} will not capture it as a per-item
+    [Error]. *)
+
+val fatal : exn -> bool
+(** Exceptions no layer may demote to a per-job outcome: [Out_of_memory],
+    [Stack_overflow], [Sys.Break] and {!Abort}. *)
+
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f a] applies [f] to every element on up to [jobs] workers
     and returns results in submission order.
@@ -28,5 +38,6 @@ val submit : jobs:int -> (unit -> 'a) list -> 'a list
 val map_result : jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
 (** Partial-results mode: like {!map}, but each job's exception is
     captured in its own slot ([Error e]) instead of aborting the batch, so
-    in-flight successes are preserved and ordering stays stable.  Never
-    raises {!Worker_failure}. *)
+    in-flight successes are preserved and ordering stays stable.  Only
+    {!fatal} exceptions abort the batch (raising {!Worker_failure} from
+    the parallel path, or escaping directly when sequential). *)

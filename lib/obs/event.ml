@@ -41,6 +41,10 @@ type t =
   | Request_rejected of { id : string; reason : string }
   | Group_started of { fingerprint : string; members : int }
   | Group_finished of { fingerprint : string; members : int; run_s : float }
+  | Group_cancelled of { fingerprint : string }
+  | Request_expired of { id : string }
+  | Request_replayed of { id : string; fingerprint : string }
+  | Server_recovered of { restarts : int; replayed : int; poisoned : int }
 
 let name = function
   | Batch_submitted _ -> "batch"
@@ -70,6 +74,10 @@ let name = function
   | Request_rejected _ -> "req_reject"
   | Group_started _ -> "group_start"
   | Group_finished _ -> "group_end"
+  | Group_cancelled _ -> "group_cancel"
+  | Request_expired _ -> "req_expire"
+  | Request_replayed _ -> "req_replay"
+  | Server_recovered _ -> "server_recover"
 
 let fields = function
   | Batch_submitted { size } -> [ ("size", Json.Int size) ]
@@ -122,6 +130,16 @@ let fields = function
         ("fingerprint", Json.String fingerprint);
         ("members", Json.Int members);
         ("run_s", Json.Float run_s);
+      ]
+  | Group_cancelled { fingerprint } -> [ ("fingerprint", Json.String fingerprint) ]
+  | Request_expired { id } -> [ ("id", Json.String id) ]
+  | Request_replayed { id; fingerprint } ->
+      [ ("id", Json.String id); ("fingerprint", Json.String fingerprint) ]
+  | Server_recovered { restarts; replayed; poisoned } ->
+      [
+        ("restarts", Json.Int restarts);
+        ("replayed", Json.Int replayed);
+        ("poisoned", Json.Int poisoned);
       ]
 
 let of_json json =
@@ -254,4 +272,19 @@ let of_json json =
           let* members = int "members" in
           let* run_s = num "run_s" in
           Ok (Group_finished { fingerprint; members; run_s })
+      | "group_cancel" ->
+          let* fingerprint = str "fingerprint" in
+          Ok (Group_cancelled { fingerprint })
+      | "req_expire" ->
+          let* id = str "id" in
+          Ok (Request_expired { id })
+      | "req_replay" ->
+          let* id = str "id" in
+          let* fingerprint = str "fingerprint" in
+          Ok (Request_replayed { id; fingerprint })
+      | "server_recover" ->
+          let* restarts = int "restarts" in
+          let* replayed = int "replayed" in
+          let* poisoned = int "poisoned" in
+          Ok (Server_recovered { restarts; replayed; poisoned })
       | tag -> Error (Printf.sprintf "unknown event tag '%s'" tag))

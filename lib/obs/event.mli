@@ -85,6 +85,17 @@ type t =
   | Group_finished of { fingerprint : string; members : int; run_s : float }
       (** server: the group's search completed after [run_s] wall
           seconds; every member receives the same result bytes *)
+  | Group_cancelled of { fingerprint : string }
+      (** server: the group was abandoned — every subscriber
+          disconnected or expired before its search finished *)
+  | Request_expired of { id : string }
+      (** server: the request's [deadline_ms] elapsed while it waited *)
+  | Request_replayed of { id : string; fingerprint : string }
+      (** server: restart recovery re-enqueued this journaled request
+          from a previous incarnation *)
+  | Server_recovered of { restarts : int; replayed : int; poisoned : int }
+      (** server: one boot's journal replay — prior incarnations seen,
+          unfinished requests re-enqueued, fingerprints crash-quarantined *)
 
 val name : t -> string
 (** The wire tag (the ["ev"] field), e.g. ["job_end"] or ["cache_hit"]. *)

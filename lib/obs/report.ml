@@ -394,6 +394,24 @@ let render_serve buf t =
           | _ -> None)
         events
     in
+    let cancelled =
+      count (function Event.Group_cancelled _ -> true | _ -> false)
+    in
+    let expired =
+      count (function Event.Request_expired _ -> true | _ -> false)
+    in
+    let replays =
+      count (function Event.Request_replayed _ -> true | _ -> false)
+    in
+    (* One Server_recovered per boot; the last one carries the totals. *)
+    let recovery =
+      List.fold_left
+        (fun acc -> function
+          | Event.Server_recovered { restarts; replayed; poisoned } ->
+              Some (restarts, replayed, poisoned)
+          | _ -> acc)
+        None events
+    in
     let tenants = Hashtbl.create 8 in
     let tenant_order = ref [] in
     List.iter
@@ -421,6 +439,22 @@ let render_serve buf t =
     Buffer.add_string buf
       (Printf.sprintf "  result-cache hits  %d (%.1f%%)\n" cached
          (pct cached received));
+    (match recovery with
+    | Some (restarts, replayed, poisoned) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  recovery    %d restarts, %d requests replayed, %d poisoned specs\n"
+             restarts
+             (max replayed replays)
+             poisoned)
+    | None ->
+        if replays > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "  recovery    %d requests replayed\n" replays));
+    if expired > 0 || cancelled > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "  abandoned   %d expired requests, %d cancelled groups\n"
+           expired cancelled);
     if rejections <> [] then begin
       let by_reason = Hashtbl.create 4 in
       List.iter

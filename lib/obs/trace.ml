@@ -206,6 +206,15 @@ let group_started t ~fingerprint ~members =
 let group_finished t ~fingerprint ~members ~run_s =
   emit t (Event.Group_finished { fingerprint; members; run_s })
 
+let group_cancelled t ~fingerprint = emit t (Event.Group_cancelled { fingerprint })
+let request_expired t ~id = emit t (Event.Request_expired { id })
+
+let request_replayed t ~id ~fingerprint =
+  emit t (Event.Request_replayed { id; fingerprint })
+
+let server_recovered t ~restarts ~replayed ~poisoned =
+  emit t (Event.Server_recovered { restarts; replayed; poisoned })
+
 (* -- resume-invariant normalization ------------------------------------ *)
 
 (* Project an event onto the resume-invariant skeleton (see the .mli for
@@ -228,7 +237,9 @@ let normalize_event = function
   | Event.Request_received _ | Event.Request_admitted _
   | Event.Request_coalesced _ | Event.Request_cached _
   | Event.Request_rejected _ | Event.Group_started _
-  | Event.Group_finished _ -> None
+  | Event.Group_finished _ | Event.Group_cancelled _
+  | Event.Request_expired _ | Event.Request_replayed _
+  | Event.Server_recovered _ -> None
   | e -> Some e
 
 let resume_invariant st = Option.is_some (normalize_event st.event)

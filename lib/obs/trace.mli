@@ -156,6 +156,13 @@ val group_started : t option -> fingerprint:string -> members:int -> unit
 val group_finished :
   t option -> fingerprint:string -> members:int -> run_s:float -> unit
 
+val group_cancelled : t option -> fingerprint:string -> unit
+val request_expired : t option -> id:string -> unit
+val request_replayed : t option -> id:string -> fingerprint:string -> unit
+
+val server_recovered :
+  t option -> restarts:int -> replayed:int -> poisoned:int -> unit
+
 (** {2 Resume-invariant normalization}
 
     The selfcheck oracle compares the trace of an uninterrupted run with

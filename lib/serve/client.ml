@@ -1,3 +1,5 @@
+module Rng = Ft_util.Rng
+
 type failure =
   | Rejected of Protocol.reject_reason
   | Server_error of string
@@ -10,24 +12,41 @@ let failure_to_string = function
   | Transport msg -> "transport: " ^ msg
   | Protocol_violation msg -> "protocol violation: " ^ msg
 
-let connect ?(retry_for = 0.0) socket_path =
+(* Connect retry backoff: capped exponential with deterministic seeded
+   jitter.  Attempt k sleeps base·2^k scaled by a uniform factor in
+   [0.5, 1.5), clamped to cap — the jitter de-synchronizes a herd of
+   clients all waiting for one daemon to (re)bind its socket, and the
+   seed keeps any one client's schedule reproducible. *)
+let backoff_base_s = 0.01
+let backoff_cap_s = 0.5
+
+let backoff_delay rng attempt =
+  let exp = backoff_base_s *. (2.0 ** float_of_int attempt) in
+  Float.min backoff_cap_s (exp *. (0.5 +. Rng.float rng 1.0))
+
+let backoff_schedule ~seed n =
+  let rng = Rng.create seed in
+  List.init n (fun k -> backoff_delay rng k)
+
+let connect ?(retry_for = 0.0) ?(seed = 0) socket_path =
   let deadline = Unix.gettimeofday () +. retry_for in
-  let rec go () =
+  let rng = Rng.create seed in
+  let rec go attempt =
     let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
     | () -> Ok fd
     | exception Unix.Unix_error (((ECONNREFUSED | ENOENT) as e), _, _) ->
         Unix.close fd;
         if Unix.gettimeofday () < deadline then begin
-          ignore (Unix.select [] [] [] 0.05);
-          go ()
+          ignore (Unix.select [] [] [] (backoff_delay rng attempt));
+          go (attempt + 1)
         end
         else Error (Transport (Unix.error_message e))
     | exception Unix.Unix_error (e, _, _) ->
         Unix.close fd;
         Error (Transport (Unix.error_message e))
   in
-  go ()
+  go 0
 
 let read_one fd =
   match Protocol.read_response fd with
@@ -37,8 +56,8 @@ let read_one fd =
   | Error (`Decode e) ->
       Error (Protocol_violation (Protocol.decode_error_to_string e))
 
-let with_connection ?retry_for socket_path f =
-  match connect ?retry_for socket_path with
+let with_connection ?retry_for ?seed socket_path f =
+  match connect ?retry_for ?seed socket_path with
   | Error _ as e -> e
   | Ok fd ->
       Fun.protect ~finally:(fun () ->
@@ -47,9 +66,10 @@ let with_connection ?retry_for socket_path f =
       try f fd
       with Unix.Unix_error (e, _, _) -> Error (Transport (Unix.error_message e)))
 
-let tune ?retry_for ?(on_event = fun _ -> ()) ~socket_path ~id ~tenant spec =
-  with_connection ?retry_for socket_path @@ fun fd ->
-  Protocol.write_request fd (Protocol.Tune { id; tenant; spec });
+let tune ?retry_for ?seed ?deadline_ms ?(on_event = fun _ -> ()) ~socket_path
+    ~id ~tenant spec =
+  with_connection ?retry_for ?seed socket_path @@ fun fd ->
+  Protocol.write_request fd (Protocol.Tune { id; tenant; spec; deadline_ms });
   let rec await () =
     match read_one fd with
     | Error _ as e -> e
@@ -63,6 +83,24 @@ let tune ?retry_for ?(on_event = fun _ -> ()) ~socket_path ~id ~tenant spec =
         Error (Protocol_violation "non-tune response to a tune request")
   in
   await ()
+
+(* Reconnect-and-resume: request ids are idempotent against the daemon's
+   journal and memo, so after a transport failure (daemon crashed, or
+   its supervisor is still respawning it) simply resending the same id
+   either joins the replayed ghost group or collects the memoized
+   result.  Only [Transport] failures are retried — a typed rejection or
+   server error is an answer. *)
+let tune_persistent ?(attempts = 8) ?(retry_for = 5.0) ?seed ?deadline_ms
+    ?on_event ~socket_path ~id ~tenant spec =
+  let rec go remaining =
+    match tune ~retry_for ?seed ?deadline_ms ?on_event ~socket_path ~id ~tenant
+            spec
+    with
+    | Error (Transport _) when remaining > 1 -> go (remaining - 1)
+    | result -> result
+  in
+  if attempts < 1 then invalid_arg "Client.tune_persistent: attempts < 1";
+  go attempts
 
 let simple ?retry_for ~socket_path request ~expect =
   with_connection ?retry_for socket_path @@ fun fd ->

@@ -2,8 +2,14 @@
 
     One connection per call: connect, send the request, read responses
     until the terminal one.  [retry_for] retries a refused/absent
-    socket for that many seconds (the daemon may still be binding) —
-    the connection itself, once made, is never retried. *)
+    socket for that many seconds (the daemon may still be binding or a
+    supervisor may be respawning it) under capped exponential backoff
+    with deterministic seeded jitter — attempt [k] sleeps
+    [min cap (base·2^k·(0.5 + u))] with [u] uniform in [[0,1)] drawn
+    from a {!Ft_util.Rng} seeded by [seed], so a herd of waiting
+    clients spreads out while any one client's schedule stays
+    reproducible.  The connection itself, once made, is never
+    retried. *)
 
 type failure =
   | Rejected of Protocol.reject_reason  (** server said no (typed) *)
@@ -13,8 +19,16 @@ type failure =
 
 val failure_to_string : failure -> string
 
+val backoff_schedule : seed:int -> int -> float list
+(** The first [n] connect-retry delays a client with this [seed] would
+    sleep, in order — exposed so the backoff law (exponential growth,
+    cap, jitter bounds, determinism) is unit-testable without a
+    socket. *)
+
 val tune :
   ?retry_for:float ->
+  ?seed:int ->
+  ?deadline_ms:int ->
   ?on_event:(Protocol.response -> unit) ->
   socket_path:string ->
   id:string ->
@@ -23,7 +37,30 @@ val tune :
   (Protocol.result_payload, failure) result
 (** Submit one tune request; [on_event] observes each non-terminal
     response ([Admitted]/[Coalesced]/[Started]/[Progress]) as it
-    streams in. *)
+    streams in.  [deadline_ms] asks the server to answer within that
+    many milliseconds or reject with [Deadline_exceeded] (protocol
+    v2). *)
+
+val tune_persistent :
+  ?attempts:int ->
+  ?retry_for:float ->
+  ?seed:int ->
+  ?deadline_ms:int ->
+  ?on_event:(Protocol.response -> unit) ->
+  socket_path:string ->
+  id:string ->
+  tenant:string ->
+  Protocol.tune_spec ->
+  (Protocol.result_payload, failure) result
+(** {!tune}, but a [Transport] failure (daemon crashed mid-stream, or
+    connect kept failing) reconnects and resends the {e same} [id] — up
+    to [attempts] times, each connect waiting up to [retry_for] seconds
+    (default 8 × 5s).  Request ids are idempotent against the daemon's
+    journal: the resend joins the replayed group or collects the
+    memoized result, so the delivered bytes match what an uninterrupted
+    daemon would have sent.  Typed rejections and server errors are
+    answers, never retried.
+    @raise Invalid_argument if [attempts < 1]. *)
 
 val ping : ?retry_for:float -> string -> (unit, failure) result
 val stats : ?retry_for:float -> string -> ((string * int) list, failure) result

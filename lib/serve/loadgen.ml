@@ -14,6 +14,8 @@ type config = {
   algorithm : string;
   platform : string;
   pool : int;
+  reconnect : bool;
+  max_attempts : int;
 }
 
 let default_config ~socket_path =
@@ -29,6 +31,8 @@ let default_config ~socket_path =
     algorithm = "cfr-adaptive";
     platform = "bdw";
     pool = 60;
+    reconnect = false;
+    max_attempts = 10;
   }
 
 type outcome = {
@@ -38,6 +42,7 @@ type outcome = {
   cached : int;
   rejected : int;
   errors : int;
+  reconnects : int;
   inconsistent : int;
   distinct_fingerprints : int;
   wall_s : float;
@@ -88,9 +93,23 @@ let pick rng cdf catalog =
 type flight = {
   fd : Unix.file_descr;
   decoder : Framing.Decoder.t;
+  id : string;
+  tenant : string;
+  spec : Protocol.tune_spec;
   fp : string;
   t0 : float;
+  attempts : int;
   mutable terminal : bool;
+}
+
+(* A request whose stream broke, waiting to be resent (same id). *)
+type retry = {
+  r_id : string;
+  r_tenant : string;
+  r_spec : Protocol.tune_spec;
+  r_t0 : float;
+  r_attempts : int;
+  r_at : float;  (* wall time before which we don't retry *)
 }
 
 type tally = {
@@ -100,14 +119,40 @@ type tally = {
   mutable cached : int;
   mutable rejected : int;
   mutable errors : int;
+  mutable reconnects : int;
   mutable inconsistent : int;
   mutable latencies : float list;
+  mutable retries : retry list;
   texts : (string, string) Hashtbl.t;  (* fingerprint → first result text *)
 }
 
 let finish flight =
   flight.terminal <- true;
   try Unix.close flight.fd with Unix.Unix_error _ -> ()
+
+let retry_delay attempts =
+  Float.min 0.5 (0.05 *. (2.0 ** float_of_int attempts))
+
+(* The stream died without a terminal response.  Under [reconnect] that
+   is the expected signature of a daemon crash: resend the same id after
+   a short backoff (ids are idempotent against the daemon's journal).
+   Otherwise it is a protocol error. *)
+let broken config tally flight =
+  if config.reconnect && flight.attempts + 1 < config.max_attempts then begin
+    tally.reconnects <- tally.reconnects + 1;
+    tally.retries <-
+      {
+        r_id = flight.id;
+        r_tenant = flight.tenant;
+        r_spec = flight.spec;
+        r_t0 = flight.t0;
+        r_attempts = flight.attempts + 1;
+        r_at = Unix.gettimeofday () +. retry_delay flight.attempts;
+      }
+      :: tally.retries
+  end
+  else tally.errors <- tally.errors + 1;
+  finish flight
 
 let handle_response tally flight = function
   | Protocol.Admitted _ | Coalesced _ | Started _ | Progress _ -> ()
@@ -131,7 +176,7 @@ let handle_response tally flight = function
       tally.errors <- tally.errors + 1;
       finish flight
 
-let pump tally flight =
+let pump config tally flight =
   let { Framing.Decoder.frames; state } =
     Framing.Decoder.pump flight.decoder flight.fd
   in
@@ -147,20 +192,14 @@ let pump tally flight =
   if not flight.terminal then
     match state with
     | `Open -> ()
-    | `Closed | `Error _ ->
-        (* the stream ended before a terminal response: protocol error *)
-        tally.errors <- tally.errors + 1;
-        finish flight
+    | `Closed | `Error _ -> broken config tally flight
 
-let launch config tally rng cdf catalog n =
-  let spec = pick rng cdf catalog in
-  let tenant = "t" ^ string_of_int (Rng.int rng config.tenants) in
-  let id = Printf.sprintf "r%05d" n in
-  let t0 = Unix.gettimeofday () in
+let send config tally ~id ~tenant ~t0 ~attempts spec =
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match
     Unix.connect fd (Unix.ADDR_UNIX config.socket_path);
-    Protocol.write_request fd (Protocol.Tune { id; tenant; spec })
+    Protocol.write_request fd
+      (Protocol.Tune { id; tenant; spec; deadline_ms = None })
   with
   | () ->
       Unix.set_nonblock fd;
@@ -168,14 +207,37 @@ let launch config tally rng cdf catalog n =
         {
           fd;
           decoder = Framing.Decoder.create ~max_bytes:Protocol.max_frame_bytes ();
+          id;
+          tenant;
+          spec;
           fp = Protocol.fingerprint spec;
           t0;
+          attempts;
           terminal = false;
         }
   | exception Unix.Unix_error _ ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      tally.errors <- tally.errors + 1;
+      if config.reconnect && attempts + 1 < config.max_attempts then begin
+        tally.reconnects <- tally.reconnects + 1;
+        tally.retries <-
+          {
+            r_id = id;
+            r_tenant = tenant;
+            r_spec = spec;
+            r_t0 = t0;
+            r_attempts = attempts + 1;
+            r_at = Unix.gettimeofday () +. retry_delay attempts;
+          }
+          :: tally.retries
+      end
+      else tally.errors <- tally.errors + 1;
       None
+
+let launch config tally rng cdf catalog n =
+  let spec = pick rng cdf catalog in
+  let tenant = "t" ^ string_of_int (Rng.int rng config.tenants) in
+  let id = Printf.sprintf "r%05d" n in
+  send config tally ~id ~tenant ~t0:(Unix.gettimeofday ()) ~attempts:0 spec
 
 let run config =
   if config.clients < 0 || config.concurrency < 1 then
@@ -191,33 +253,52 @@ let run config =
       cached = 0;
       rejected = 0;
       errors = 0;
+      reconnects = 0;
       inconsistent = 0;
       latencies = [];
+      retries = [];
       texts = Hashtbl.create 64;
     }
   in
   let launched = ref 0 in
   let in_flight = ref [] in
   let t_start = Unix.gettimeofday () in
-  while !launched < config.clients || !in_flight <> [] do
-    while List.length !in_flight < config.concurrency && !launched < config.clients do
+  while !launched < config.clients || !in_flight <> [] || tally.retries <> [] do
+    while
+      List.length !in_flight < config.concurrency && !launched < config.clients
+    do
       incr launched;
       match launch config tally rng cdf catalog !launched with
       | Some flight -> in_flight := flight :: !in_flight
       | None -> ()
     done;
+    (* Resend every broken request whose backoff has elapsed. *)
+    let now = Unix.gettimeofday () in
+    let due, not_due = List.partition (fun r -> r.r_at <= now) tally.retries in
+    tally.retries <- not_due;
+    List.iter
+      (fun r ->
+        match
+          send config tally ~id:r.r_id ~tenant:r.r_tenant ~t0:r.r_t0
+            ~attempts:r.r_attempts r.r_spec
+        with
+        | Some flight -> in_flight := flight :: !in_flight
+        | None -> ())
+      due;
     if !in_flight <> [] then begin
       let fds = List.map (fun f -> f.fd) !in_flight in
-      (match Unix.select fds [] [] 0.5 with
+      let timeout = if tally.retries <> [] then 0.05 else 0.5 in
+      (match Unix.select fds [] [] timeout with
       | exception Unix.Unix_error (EINTR, _, _) -> ()
       | readable, _, _ ->
           List.iter
             (fun f ->
               if (not f.terminal) && List.memq f.fd readable then
-                pump tally f)
+                pump config tally f)
             !in_flight);
       in_flight := List.filter (fun f -> not f.terminal) !in_flight
     end
+    else if tally.retries <> [] then ignore (Unix.select [] [] [] 0.05)
   done;
   let wall_s = Unix.gettimeofday () -. t_start in
   let pct p =
@@ -230,6 +311,7 @@ let run config =
     cached = tally.cached;
     rejected = tally.rejected;
     errors = tally.errors;
+    reconnects = tally.reconnects;
     inconsistent = tally.inconsistent;
     distinct_fingerprints = Hashtbl.length tally.texts;
     wall_s;
@@ -252,6 +334,9 @@ let render (o : outcome) =
   Printf.bprintf buf
     "  fresh %d  coalesced %d  cached %d  rejected %d  errors %d\n" o.fresh
     o.coalesced o.cached o.rejected o.errors;
+  if o.reconnects > 0 then
+    Printf.bprintf buf "  reconnects %d (daemon restarts survived)\n"
+      o.reconnects;
   Printf.bprintf buf "  coalesce rate %.1f%% across %d distinct fingerprints\n"
     (100.0 *. o.coalesce_rate) o.distinct_fingerprints;
   Printf.bprintf buf

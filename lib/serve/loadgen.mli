@@ -27,11 +27,19 @@ type config = {
   algorithm : string;
   platform : string;
   pool : int;
+  reconnect : bool;
+      (** resume a request whose stream died without a terminal
+          response (or whose connect was refused) by resending the
+          {e same} id after a short backoff — ids are idempotent
+          against the daemon's journal, so this rides out supervised
+          daemon restarts; off, a broken stream counts as an error *)
+  max_attempts : int;  (** sends per request under [reconnect] *)
 }
 
 val default_config : socket_path:string -> config
 (** 200 clients, concurrency 64, 4 tenants, zipf 1.1, seed 7, whole
-    suite × 3 seeds, cfr-adaptive on bdw with pool 60. *)
+    suite × 3 seeds, cfr-adaptive on bdw with pool 60, no reconnect
+    (max 10 attempts when enabled). *)
 
 type outcome = {
   completed : int;  (** requests that got a [Result] *)
@@ -40,6 +48,8 @@ type outcome = {
   cached : int;
   rejected : int;  (** typed server rejections (admission control) *)
   errors : int;  (** transport/protocol failures — must be 0 *)
+  reconnects : int;
+      (** broken streams resumed by resending their id ([reconnect]) *)
   inconsistent : int;  (** results diverging per fingerprint — must be 0 *)
   distinct_fingerprints : int;
   wall_s : float;

@@ -1,7 +1,8 @@
 module Json = Ft_obs.Json
 module Framing = Ft_framing.Framing
 
-let version = 1
+let version = 2
+let accepted_versions = [ 1; 2 ]
 
 type tune_spec = {
   benchmark : string;
@@ -13,17 +14,24 @@ type tune_spec = {
 }
 
 (* The canonical string a spec's fingerprint digests.  Every field that
-   determines the search result appears exactly once, in fixed order;
-   the protocol version is included so a future incompatible result
-   format can never collide with a v1 memo entry. *)
+   determines the search result appears exactly once, in fixed order.
+   The result format has not changed since v1 and v1 requests are still
+   served, so the digest keeps the v1 tag: a v1 and a v2 request for the
+   same spec coalesce onto the same memo entry.  Per-request fields that
+   do not affect the result (the deadline) are deliberately absent. *)
 let fingerprint spec =
   Ft_engine.Cache.digest
     (Printf.sprintf "serve/v%d|bench=%s|plat=%s|algo=%s|seed=%d|pool=%d|topx=%s"
-       version spec.benchmark spec.platform spec.algorithm spec.seed spec.pool
+       1 spec.benchmark spec.platform spec.algorithm spec.seed spec.pool
        (match spec.top_x with None -> "default" | Some x -> string_of_int x))
 
 type request =
-  | Tune of { id : string; tenant : string; spec : tune_spec }
+  | Tune of {
+      id : string;
+      tenant : string;
+      spec : tune_spec;
+      deadline_ms : int option;
+    }
   | Ping
   | Stats
   | Shutdown
@@ -34,6 +42,8 @@ type reject_reason =
   | Unsupported of string
   | Bad_version of { got : int }
   | Malformed of string
+  | Deadline_exceeded
+  | Poisoned of { crashes : int }
 
 let reject_reason_to_string = function
   | Queue_full _ -> "queue_full"
@@ -41,6 +51,8 @@ let reject_reason_to_string = function
   | Unsupported what -> "unsupported: " ^ what
   | Bad_version { got } -> Printf.sprintf "bad_version %d" got
   | Malformed what -> "malformed: " ^ what
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Poisoned _ -> "poisoned"
 
 type origin = Fresh | Coalesced_with of string | Cached
 
@@ -98,10 +110,14 @@ let spec_fields spec =
   @ match spec.top_x with None -> [] | Some x -> [ ("top_x", Json.Int x) ]
 
 let request_to_json = function
-  | Tune { id; tenant; spec } ->
+  | Tune { id; tenant; spec; deadline_ms } ->
       obj "tune"
         (("id", Json.String id) :: ("tenant", Json.String tenant)
-        :: spec_fields spec)
+        :: (spec_fields spec
+           @
+           match deadline_ms with
+           | None -> []
+           | Some ms -> [ ("deadline_ms", Json.Int ms) ]))
   | Ping -> obj "ping" []
   | Stats -> obj "stats" []
   | Shutdown -> obj "shutdown" []
@@ -109,7 +125,8 @@ let request_to_json = function
 let reject_fields = function
   | Queue_full { limit } -> [ ("limit", Json.Int limit) ]
   | Bad_version { got } -> [ ("got", Json.Int got) ]
-  | Draining | Unsupported _ | Malformed _ -> []
+  | Poisoned { crashes } -> [ ("crashes", Json.Int crashes) ]
+  | Draining | Unsupported _ | Malformed _ | Deadline_exceeded -> []
 
 let response_to_json = function
   | Admitted { id; queue_depth } ->
@@ -170,12 +187,15 @@ let num json field =
       Error (Malformed_frame (Printf.sprintf "missing number field '%s'" field))
 
 (* Version gate shared by both directions: absent ⇒ malformed (the peer
-   is not speaking this protocol at all), present-but-different ⇒ the
-   typed mismatch a server answers with [Rejected (Bad_version _)]. *)
+   is not speaking this protocol at all), present-but-unknown ⇒ the
+   typed mismatch a server answers with [Rejected (Bad_version _)].
+   v1 is still accepted: every v1 message is a valid v2 message without
+   the optional v2 fields. *)
 let versioned json k =
   match Option.bind (Json.member "v" json) Json.to_int with
   | None -> Error (Malformed_frame "missing protocol version field 'v'")
-  | Some v when v <> version -> Error (Version_mismatch { got = v })
+  | Some v when not (List.mem v accepted_versions) ->
+      Error (Version_mismatch { got = v })
   | Some _ -> k ()
 
 let spec_of_json json =
@@ -195,7 +215,8 @@ let request_of_json json =
       let* id = str json "id" in
       let* tenant = str json "tenant" in
       let* spec = spec_of_json json in
-      Ok (Tune { id; tenant; spec })
+      let deadline_ms = Option.bind (Json.member "deadline_ms" json) Json.to_int in
+      Ok (Tune { id; tenant; spec; deadline_ms })
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
   | "shutdown" -> Ok Shutdown
@@ -207,6 +228,14 @@ let reject_reason_of json reason =
   if reason = "queue_full" then
     Queue_full { limit = Option.value ~default:0 (Option.bind (Json.member "limit" json) Json.to_int) }
   else if reason = "draining" then Draining
+  else if reason = "deadline_exceeded" then Deadline_exceeded
+  else if reason = "poisoned" then
+    Poisoned
+      {
+        crashes =
+          Option.value ~default:0
+            (Option.bind (Json.member "crashes" json) Json.to_int);
+      }
   else
     match String.index_opt reason ' ' with
     | _ when String.length reason >= 13 && String.sub reason 0 13 = "unsupported: " ->

@@ -1,40 +1,48 @@
-(** The tuning service's wire protocol, version 1.
+(** The tuning service's wire protocol, version 2 (v1 still accepted).
 
     Requests and responses are single JSON objects (the JSONL schema of
     the trace subsystem, {!Ft_obs.Json}), carried one-per-frame on the
     {!Ft_framing.Framing} wire format.  Every message carries a ["v"]
-    version field; a server receiving any other version answers with a
-    typed {!response.Rejected} rather than guessing.
+    version field; a server receiving a version outside
+    {!accepted_versions} answers with a typed {!response.Rejected}
+    rather than guessing.  v2 adds an optional per-request
+    ["deadline_ms"] and the [deadline_exceeded]/[poisoned] reject
+    reasons; a v1 message is exactly a v2 message without the optional
+    fields, which is why both versions are accepted in both directions.
 
     {2 Grammar}
 
     Requests (client → server, one per connection for [tune]):
     {v
-    {"v":1,"kind":"tune","id":ID,"tenant":T,
-     "benchmark":B,"platform":P,"algorithm":A,"seed":N,"pool":K[,"top_x":X]}
-    {"v":1,"kind":"ping"}
-    {"v":1,"kind":"stats"}
-    {"v":1,"kind":"shutdown"}
+    {"v":2,"kind":"tune","id":ID,"tenant":T,
+     "benchmark":B,"platform":P,"algorithm":A,"seed":N,"pool":K
+     [,"top_x":X][,"deadline_ms":MS]}
+    {"v":2,"kind":"ping"}
+    {"v":2,"kind":"stats"}
+    {"v":2,"kind":"shutdown"}
     v}
 
     Responses (server → client; a [tune] request streams zero or more
     non-terminal events and exactly one terminal):
     {v
-    non-terminal: {"v":1,"kind":"admitted","id":ID,"queue_depth":N}
-                  {"v":1,"kind":"coalesced","id":ID,"leader":LID}
-                  {"v":1,"kind":"started","id":ID}
-                  {"v":1,"kind":"progress","id":ID,"ticks":N}
-    terminal:     {"v":1,"kind":"result","id":ID,"fingerprint":F,
+    non-terminal: {"v":2,"kind":"admitted","id":ID,"queue_depth":N}
+                  {"v":2,"kind":"coalesced","id":ID,"leader":LID}
+                  {"v":2,"kind":"started","id":ID}
+                  {"v":2,"kind":"progress","id":ID,"ticks":N}
+    terminal:     {"v":2,"kind":"result","id":ID,"fingerprint":F,
                    "origin":"fresh"|"coalesced"|"cached","group_size":N,
                    "speedup":S,"evaluations":E,"run_s":R,"text":TEXT}
-                  {"v":1,"kind":"rejected","id":ID,"reason":REASON[,...]}
-                  {"v":1,"kind":"error","id":ID,"message":M}
-                  {"v":1,"kind":"pong"} {"v":1,"kind":"stats_reply",...}
-                  {"v":1,"kind":"bye"}
+                  {"v":2,"kind":"rejected","id":ID,"reason":REASON[,...]}
+                  {"v":2,"kind":"error","id":ID,"message":M}
+                  {"v":2,"kind":"pong"} {"v":2,"kind":"stats_reply",...}
+                  {"v":2,"kind":"bye"}
     v} *)
 
 val version : int
-(** The protocol version this build speaks: 1. *)
+(** The protocol version this build speaks (and writes): 2. *)
+
+val accepted_versions : int list
+(** Versions decoded without a [Version_mismatch]: [[1; 2]]. *)
 
 type tune_spec = {
   benchmark : string;  (** suite benchmark name, e.g. ["swim"] *)
@@ -50,10 +58,18 @@ val fingerprint : tune_spec -> string
     of the canonical spec encoding, via {!Ft_engine.Cache.digest}).
     Equal fingerprints ⇒ byte-identical results, by the engine's
     determinism contract — which is what makes single-flight coalescing
-    and result memoization sound. *)
+    and result memoization sound.  Per-request fields that cannot affect
+    the result — the deadline — are excluded. *)
 
 type request =
-  | Tune of { id : string; tenant : string; spec : tune_spec }
+  | Tune of {
+      id : string;
+      tenant : string;
+      spec : tune_spec;
+      deadline_ms : int option;
+          (** v2: give up after this many milliseconds from acceptance
+              (answered with [Rejected Deadline_exceeded]) *)
+    }
   | Ping
   | Stats
   | Shutdown  (** stop accepting, drain the queue, exit *)
@@ -64,6 +80,10 @@ type reject_reason =
   | Unsupported of string  (** unknown benchmark/platform/algorithm/... *)
   | Bad_version of { got : int }  (** request spoke another protocol version *)
   | Malformed of string  (** frame was not a well-formed request *)
+  | Deadline_exceeded  (** v2: the request's [deadline_ms] elapsed first *)
+  | Poisoned of { crashes : int }
+      (** v2: this spec crashed the daemon [crashes] times and is
+          crash-quarantined in the journal *)
 
 val reject_reason_to_string : reject_reason -> string
 (** Stable wire encoding, e.g. ["queue_full"], ["bad_version 2"],
@@ -111,6 +131,13 @@ val request_to_json : request -> Ft_obs.Json.t
 val request_of_json : Ft_obs.Json.t -> (request, decode_error) result
 val response_to_json : response -> Ft_obs.Json.t
 val response_of_json : Ft_obs.Json.t -> (response, decode_error) result
+
+val spec_fields : tune_spec -> (string * Ft_obs.Json.t) list
+(** The spec's canonical field encoding, shared with the request codec —
+    {!Journal} embeds it in [accepted] records. *)
+
+val spec_of_json : Ft_obs.Json.t -> (tune_spec, decode_error) result
+(** Inverse of {!spec_fields} over an object containing them. *)
 
 (* -- framed transport --------------------------------------------------- *)
 

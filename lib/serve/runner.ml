@@ -1,12 +1,17 @@
 module Engine = Ft_engine.Engine
+module Pool = Ft_engine.Pool
 module Telemetry = Ft_engine.Telemetry
+module Checkpoint = Ft_engine.Checkpoint
 module Result = Funcytuner.Result
 module Tuner = Funcytuner.Tuner
+
+exception Cancelled = Ft_engine.Pool.Abort
 
 type t = {
   validate : Protocol.tune_spec -> (unit, string) result;
   run :
     Protocol.tune_spec ->
+    fingerprint:string ->
     tick:(unit -> unit) ->
     (Scheduler.outcome, string) result;
 }
@@ -47,21 +52,69 @@ let search ~engine (spec : Protocol.tune_spec) =
       (* unreachable behind [validate] *)
       invalid_arg ("Runner.search: unsupported algorithm " ^ other)
 
-let make ~engine =
+(* One search on [engine], progress callback installed for its duration.
+   Per-spec failures become [Error]; fatal exceptions — the runtime
+   dying, or [Cancelled] raised by the server from inside [tick] —
+   propagate, so the supervisor (and the journal's crash accounting)
+   sees a real crash and a cancellation unwinds to its catcher. *)
+let run_search ~engine spec ~tick =
   let telemetry = Engine.telemetry engine in
-  let run spec ~tick =
-    Telemetry.set_progress telemetry (fun ~completed:_ ~expected:_ -> tick ());
-    Fun.protect ~finally:(fun () ->
-        Telemetry.set_progress telemetry (fun ~completed:_ ~expected:_ -> ()))
-    @@ fun () ->
-    match search ~engine spec with
-    | result ->
-        Ok
-          {
-            Scheduler.text = Result.render result;
-            speedup = result.Result.speedup;
-            evaluations = result.Result.evaluations;
-          }
-    | exception exn -> Error (Printexc.to_string exn)
+  Telemetry.set_progress telemetry (fun ~completed:_ ~expected:_ -> tick ());
+  Fun.protect ~finally:(fun () ->
+      Telemetry.set_progress telemetry (fun ~completed:_ ~expected:_ -> ()))
+  @@ fun () ->
+  match search ~engine spec with
+  | result ->
+      Ok
+        {
+          Scheduler.text = Result.render result;
+          speedup = result.Result.speedup;
+          evaluations = result.Result.evaluations;
+        }
+  | exception exn when not (Pool.fatal exn) -> Error (Printexc.to_string exn)
+
+let make ~engine =
+  let run spec ~fingerprint:_ ~tick = run_search ~engine spec ~tick in
+  { validate; run }
+
+let snapshot_path ~state_dir fingerprint =
+  Filename.concat state_dir (fingerprint ^ ".snap")
+
+let make_durable
+    ~(make_engine :
+        ?cache:Ft_engine.Cache.t ->
+        ?quarantine:Ft_engine.Quarantine.t ->
+        ?checkpoint:Ft_engine.Checkpoint.t ->
+        unit ->
+        Engine.t) ~state_dir ?(checkpoint_every = 32) () =
+  let run spec ~fingerprint ~tick =
+    let path = snapshot_path ~state_dir fingerprint in
+    let checkpoint = Checkpoint.create ~path ~every:checkpoint_every () in
+    let engine =
+      if Checkpoint.exists checkpoint then begin
+        match Checkpoint.load checkpoint with
+        | Some (cache, quarantine) ->
+            Printf.eprintf "serve: resuming %s from checkpoint (%d entries)\n%!"
+              fingerprint
+              (Ft_engine.Cache.length cache);
+            make_engine ~cache ~quarantine ~checkpoint ()
+        | None -> make_engine ~checkpoint ()
+      end
+      else make_engine ~checkpoint ()
+    in
+    let result = run_search ~engine spec ~tick in
+    (match result with
+    | Ok _ ->
+        (* The outcome is durable in the journal's [completed] record;
+           the half-search snapshots have served their purpose. *)
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [
+            path;
+            Checkpoint.quarantine_path checkpoint;
+            Checkpoint.commit_path checkpoint;
+          ]
+    | Error _ -> ());
+    result
   in
   { validate; run }

@@ -1,6 +1,11 @@
 type outcome = { text : string; speedup : float; evaluations : int }
 
-type 'a member = { id : string; tenant : string; payload : 'a }
+type 'a member = {
+  id : string;
+  tenant : string;
+  deadline : float option;  (* absolute epoch seconds *)
+  payload : 'a;
+}
 
 type state = Queued | Running
 
@@ -26,6 +31,8 @@ type 'a t = {
   mutable memoized : int;
   mutable rejected : int;
   mutable completed : int;
+  mutable expired : int;
+  mutable cancelled : int;
 }
 
 let create ~max_queue =
@@ -46,6 +53,8 @@ let create ~max_queue =
     memoized = 0;
     rejected = 0;
     completed = 0;
+    expired = 0;
+    cancelled = 0;
   }
 
 type verdict =
@@ -101,6 +110,9 @@ let refuse t reason =
   t.rejected <- t.rejected + 1;
   Refused reason
 
+let remember t ~fingerprint outcome = Hashtbl.replace t.memo fingerprint outcome
+let known t ~fingerprint = Hashtbl.find_opt t.memo fingerprint
+
 let members t ~fingerprint =
   match Hashtbl.find_opt t.groups fingerprint with
   | None -> []
@@ -151,6 +163,38 @@ let complete t ~fingerprint outcome =
 
 let fail t ~fingerprint = take_members t fingerprint
 
+(* Sweep every group for members whose deadline has passed, removing
+   them (the server answers each with a typed rejection).  A queued
+   group emptied by the sweep is dropped like [drop_member] would; a
+   running group emptied here is the server's business to cancel at its
+   next tick. *)
+let expire t ~now =
+  let gone = ref [] in
+  Hashtbl.iter
+    (fun fp group ->
+      let expired, kept =
+        List.partition
+          (fun m ->
+            match m.deadline with Some d -> d <= now | None -> false)
+          group.members_rev
+      in
+      if expired <> [] then begin
+        group.members_rev <- kept;
+        t.waiting <- t.waiting - List.length expired;
+        t.expired <- t.expired + List.length expired;
+        List.iter (fun m -> gone := (fp, m) :: !gone) expired;
+        if kept = [] && group.state = Queued then Hashtbl.remove t.groups fp
+      end)
+    (Hashtbl.copy t.groups);
+  !gone
+
+(* Abandon a group on purpose (every subscriber disconnected or
+   expired): no memo entry — nobody saw a result — and any stragglers
+   are returned so the server can forget them. *)
+let cancel t ~fingerprint =
+  t.cancelled <- t.cancelled + 1;
+  take_members t fingerprint
+
 let drop_member t ~fingerprint ~id =
   match Hashtbl.find_opt t.groups fingerprint with
   | None -> ()
@@ -177,4 +221,6 @@ let counters t =
     ("rejected", t.rejected);
     ("groups_completed", t.completed);
     ("queue_depth", t.waiting);
+    ("expired", t.expired);
+    ("cancelled", t.cancelled);
   ]

@@ -31,7 +31,13 @@ type outcome = { text : string; speedup : float; evaluations : int }
 (** What a finished search hands back to every group member —
     [text] is the {!Ft_core.Result.render} block. *)
 
-type 'a member = { id : string; tenant : string; payload : 'a }
+type 'a member = {
+  id : string;
+  tenant : string;
+  deadline : float option;
+      (** absolute expiry (epoch seconds); [None] waits forever *)
+  payload : 'a;
+}
 
 type 'a t
 
@@ -56,6 +62,14 @@ val refuse : 'a t -> Protocol.reject_reason -> verdict
     (validation failure, malformed frame, wrong protocol version), so
     {!counters} reflects every request seen.  Returns [Refused]. *)
 
+val remember : 'a t -> fingerprint:string -> outcome -> unit
+(** Seed the result memo without a submission — restart recovery feeds
+    the journal's durable [completed] outcomes back in, so resubmitted
+    fingerprints are answered without re-running their searches. *)
+
+val known : 'a t -> fingerprint:string -> outcome option
+(** The memoized outcome for a fingerprint, if any. *)
+
 val next : 'a t -> (Protocol.tune_spec * string) option
 (** Pick the next group to run — round-robin over tenants, oldest
     pending group within the tenant — and mark it running.  Returns the
@@ -74,6 +88,19 @@ val complete : 'a t -> fingerprint:string -> outcome -> 'a member list
 val fail : 'a t -> fingerprint:string -> 'a member list
 (** Abort a running group {e without} memoizing (the error is not a
     result), returning its members for error delivery. *)
+
+val expire : 'a t -> now:float -> (string * 'a member) list
+(** Remove every member whose [deadline] is at or before [now], across
+    all groups, returning [(fingerprint, member)] pairs so the server
+    can answer each with {!Protocol.Deadline_exceeded}.  Queued groups
+    emptied by the sweep are dropped; a {e running} group emptied here
+    stays until the server notices ({!members} = [[]]) and calls
+    {!cancel}. *)
+
+val cancel : 'a t -> fingerprint:string -> 'a member list
+(** Abandon a group deliberately (all subscribers disconnected or
+    expired): like {!fail} — no memo entry — but counted as [cancelled]
+    rather than failed. *)
 
 val drop_member : 'a t -> fingerprint:string -> id:string -> unit
 (** Forget one waiting member (its client vanished).  A queued group
@@ -95,4 +122,6 @@ val counters : 'a t -> (string * int) list
 (** Lifetime counters in a fixed, documented order — the payload of
     {!Protocol.Stats_reply}: [received], [admitted] (fresh groups),
     [coalesced], [memoized], [rejected], [groups_completed],
-    [queue_depth]. *)
+    [queue_depth], [expired] (deadline-swept members), [cancelled]
+    (abandoned groups).  The server appends its own recovery counters
+    ([restarts], [replayed], [poisoned]) after these. *)

@@ -1,0 +1,273 @@
+(* The kill-restart equivalence oracle for the daemon.  See the .mli for
+   the legs; the implementation is one fork-heavy driver, so it must run
+   before the calling process spawns any domain (the solo reference
+   searches — the only engine work done in this process — run after
+   every fork). *)
+
+type leg_report = {
+  leg : string;
+  generations : int;
+  failures : string list;
+}
+
+type outcome = {
+  requests : int;
+  legs : leg_report list;
+}
+
+let passed o = List.for_all (fun l -> l.failures = []) o.legs
+
+let render o =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "servecheck: %d requests per leg\n" o.requests;
+  List.iter
+    (fun l ->
+      Printf.bprintf buf "  %-28s %d generation%s: %s\n" l.leg l.generations
+        (if l.generations = 1 then "" else "s")
+        (if l.failures = [] then "OK" else "FAILED");
+      List.iter (fun f -> Printf.bprintf buf "    - %s\n" f) l.failures)
+    o.legs;
+  Buffer.contents buf
+
+(* -- one supervised daemon in a forked process --------------------------- *)
+
+(* Chaos knobs for one leg's daemon.  [die_after] and [die_at_tick] arm
+   only in generation 0 (the equivalence legs kill once, then let the
+   respawn finish the work); [poison_fp] kills in every generation (the
+   poison leg needs the crash loop). *)
+type chaos = {
+  die_after : int option;  (* SIGKILL after Nth accepted ack *)
+  die_at_tick : int option;  (* SIGKILL at Nth engine job of a run *)
+  poison_fp : string option;  (* SIGKILL whenever this fingerprint runs *)
+}
+
+let no_chaos = { die_after = None; die_at_tick = None; poison_fp = None }
+
+let suicide () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+let wrap_runner chaos ~generation (r : Runner.t) =
+  let run spec ~fingerprint ~tick =
+    if chaos.poison_fp = Some fingerprint then suicide ();
+    let ticks = ref 0 in
+    let tick () =
+      incr ticks;
+      (match chaos.die_at_tick with
+      | Some t when generation = 0 && !ticks = t -> suicide ()
+      | _ -> ());
+      tick ()
+    in
+    r.Runner.run spec ~fingerprint ~tick
+  in
+  { r with Runner.run }
+
+let rec waitpid pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (EINTR, _, _) -> waitpid pid
+
+(* Fork a supervised daemon.  The child process runs the supervisor; the
+   supervisor forks the daemon generations; engines are built only inside
+   those grandchildren (via [make_runner]), keeping every forking process
+   domain-free.  The child exits 0 iff the last daemon drained cleanly. *)
+let fork_daemon ~socket_path ~state_dir ~make_runner chaos =
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        try
+          let daemon ~generation =
+            let runner = wrap_runner chaos ~generation (make_runner ~state_dir) in
+            let config =
+              {
+                (Server.default_config ~socket_path) with
+                state_dir = Some state_dir;
+                die_after_requests =
+                  (if generation = 0 then chaos.die_after else None);
+              }
+            in
+            ignore (Server.serve config runner);
+            0
+          in
+          let sup =
+            { Supervisor.default_config with respawn_budget = 24; seed = 11 }
+          in
+          let outcome = Supervisor.run sup daemon in
+          if outcome.Supervisor.clean then 0 else 1
+        with exn ->
+          Printf.eprintf "servecheck daemon: %s\n%!" (Printexc.to_string exn);
+          125
+      in
+      Unix._exit code
+  | pid -> pid
+
+(* -- one leg: drive the request list against a supervised daemon -------- *)
+
+let fresh_dir scratch name =
+  let dir = Filename.concat scratch name in
+  Unix.mkdir dir 0o700;
+  dir
+
+(* Send every request in order with reconnect-and-resume, then shut the
+   daemon down and reap the supervisor.  Returns per-id terminal
+   outcomes: [Ok text] or the typed failure. *)
+let drive ~scratch ~make_runner ~specs ~leg chaos =
+  let dir = fresh_dir scratch leg in
+  let socket_path = Filename.concat dir "sock" in
+  let state_dir = Filename.concat dir "state" in
+  let pid = fork_daemon ~socket_path ~state_dir ~make_runner chaos in
+  let results =
+    List.map
+      (fun (id, tenant, spec) ->
+        let r =
+          Client.tune_persistent ~attempts:30 ~retry_for:20.0 ~seed:5
+            ~socket_path ~id ~tenant spec
+        in
+        (id, Stdlib.Result.map (fun p -> p.Protocol.text) r))
+      specs
+  in
+  (match Client.shutdown ~retry_for:20.0 socket_path with
+  | Stdlib.Ok () -> ()
+  | Stdlib.Error _ -> Unix.kill pid Sys.sigterm);
+  let status = waitpid pid in
+  let generations =
+    (* The journal is the daemon's boot ledger; one Boot per generation. *)
+    (Journal.load (Filename.concat state_dir "journal")).Journal.boots
+  in
+  (results, status, generations)
+
+let describe = function
+  | Stdlib.Ok _ -> "result"
+  | Stdlib.Error f -> Client.failure_to_string f
+
+let compare_leg ~reference (results, status, generations) ~leg =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> fail "supervisor exited %d" n
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> fail "supervisor killed by signal %d" s);
+  List.iter2
+    (fun (id, got) (id', want) ->
+      assert (id = id');
+      match (got, want) with
+      | Stdlib.Ok g, Stdlib.Ok w ->
+          if g <> w then fail "%s: delivered bytes diverge from reference" id
+      | got, want ->
+          if describe got <> describe want then
+            fail "%s: got %s, reference got %s" id (describe got)
+              (describe want))
+    results reference;
+  { leg; generations; failures = List.rev !failures }
+
+(* -- the oracle ---------------------------------------------------------- *)
+
+let run ?kill_points ?(mid_run_tick = 5) ~scratch ~make_runner ~specs
+    ?poison () =
+  let n = List.length specs in
+  let kill_points =
+    match kill_points with
+    | Some ps -> List.filter (fun p -> p >= 1 && p <= n) ps
+    | None -> List.init n (fun i -> i + 1)
+  in
+  (* Reference: an unkilled supervised daemon (generation 0 drains). *)
+  let ref_results, ref_status, ref_gens =
+    drive ~scratch ~make_runner ~specs ~leg:"reference" no_chaos
+  in
+  let ref_report =
+    compare_leg ~reference:ref_results
+      (ref_results, ref_status, ref_gens)
+      ~leg:"reference"
+  in
+  (* Kill at every requested ack boundary. *)
+  let kill_reports =
+    List.map
+      (fun p ->
+        let leg = Printf.sprintf "kill at ack %d" p in
+        compare_leg ~reference:ref_results
+          (drive ~scratch ~make_runner ~specs ~leg:(Printf.sprintf "ack%d" p)
+             { no_chaos with die_after = Some p })
+          ~leg)
+      kill_points
+  in
+  (* Kill mid-search: the daemon dies between evaluations of the first
+     request's run, exercising checkpoint resume on restart. *)
+  let midrun_report =
+    compare_leg ~reference:ref_results
+      (drive ~scratch ~make_runner ~specs ~leg:"midrun"
+         { no_chaos with die_at_tick = Some mid_run_tick })
+      ~leg:(Printf.sprintf "kill at engine job %d" mid_run_tick)
+  in
+  (* Poison: a spec that kills the daemon on every attempt must end as a
+     typed rejection after the crash-count threshold, with the daemon
+     still healthy for the good specs that follow it. *)
+  let poison_reports =
+    match poison with
+    | None -> []
+    | Some (pid_, ptenant, pspec) ->
+        let poison_fp = Protocol.fingerprint pspec in
+        let all = ((pid_, ptenant, pspec) :: specs : (string * string * Protocol.tune_spec) list) in
+        let results, status, generations =
+          drive ~scratch ~make_runner ~specs:all ~leg:"poison"
+            { no_chaos with poison_fp = Some poison_fp }
+        in
+        let failures = ref [] in
+        let fail fmt =
+          Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+        in
+        (match status with
+        | Unix.WEXITED 0 -> ()
+        | _ -> fail "supervisor did not exit cleanly");
+        (match results with
+        | (id, first) :: rest ->
+            (match first with
+            | Stdlib.Error (Client.Rejected (Protocol.Poisoned { crashes }))
+              ->
+                if crashes < 3 then
+                  fail "%s: poisoned after only %d crashes" id crashes
+            | other ->
+                fail "%s: expected a poisoned rejection, got %s" id
+                  (describe other));
+            List.iter2
+              (fun (id, got) (id', want) ->
+                assert (id = id');
+                match (got, want) with
+                | Stdlib.Ok g, Stdlib.Ok w ->
+                    if g <> w then
+                      fail "%s: bytes diverge from reference after poisoning"
+                        id
+                | got, want ->
+                    if describe got <> describe want then
+                      fail "%s: got %s, reference got %s" id (describe got)
+                        (describe want))
+              rest ref_results
+        | [] -> fail "poison leg produced no results");
+        [ { leg = "poison quarantine"; generations; failures = List.rev !failures } ]
+  in
+  (* Solo ground truth: the served bytes must equal a direct in-process
+     search (runs after every fork above, so domains are safe now). *)
+  let solo_runner = make_runner ~state_dir:(fresh_dir scratch "solo") in
+  let solo_failures =
+    List.filter_map
+      (fun (id, _tenant, spec) ->
+        let fingerprint = Protocol.fingerprint spec in
+        match solo_runner.Runner.run spec ~fingerprint ~tick:(fun () -> ()) with
+        | Stdlib.Ok o -> (
+            match List.assoc id ref_results with
+            | Stdlib.Ok text when text = o.Scheduler.text -> None
+            | Stdlib.Ok _ -> Some (id ^ ": served bytes diverge from solo run")
+            | Stdlib.Error f ->
+                Some
+                  (Printf.sprintf "%s: solo run succeeded but service said %s"
+                     id (Client.failure_to_string f)))
+        | Stdlib.Error e ->
+            Some (Printf.sprintf "%s: solo run failed: %s" id e))
+      specs
+  in
+  let solo_report =
+    { leg = "solo equivalence"; generations = 0; failures = solo_failures }
+  in
+  {
+    requests = n;
+    legs =
+      (ref_report :: kill_reports)
+      @ [ midrun_report ] @ poison_reports @ [ solo_report ];
+  }

@@ -1,0 +1,60 @@
+(** The kill-restart equivalence oracle ([funcy selfcheck --serve]).
+
+    Claim under test: a supervised daemon with a durable journal can be
+    SIGKILLed at {e any} request boundary — or in the middle of a search
+    — and every client still receives byte-for-byte the result an
+    unkilled daemon (and a solo [funcy tune]) would have delivered.
+
+    Legs:
+
+    - {b reference}: an unkilled supervised daemon plays the request
+      list; its per-id result bytes are the baseline.
+    - {b kill at ack N} (for each boundary): the generation-0 daemon
+      SIGKILLs itself the instant the Nth accepted request is
+      acknowledged; clients reconnect-and-resume (same ids — idempotent
+      against the journal) against the respawned daemon.
+    - {b kill mid-run}: the generation-0 daemon SIGKILLs itself at a
+      fixed engine-job boundary inside the first search, so the respawn
+      exercises checkpoint resume, not just journal replay.
+    - {b poison quarantine}: a designated spec SIGKILLs the daemon in
+      {e every} generation.  Journal crash accounting must quarantine
+      its fingerprint after the poison threshold, answer it with the
+      typed {!Protocol.Poisoned} rejection, and leave the daemon healthy
+      for the good specs that follow.
+    - {b solo equivalence}: every reference result must equal the bytes
+      of a direct in-process run of the same spec.
+
+    Fork-legality: call {!run} before the process spawns any domain —
+    the solo searches (the only in-process engine work) run after every
+    fork. *)
+
+type leg_report = {
+  leg : string;
+  generations : int;  (** daemon boots the leg's journal recorded *)
+  failures : string list;  (** empty = the leg held *)
+}
+
+type outcome = { requests : int; legs : leg_report list }
+
+val run :
+  ?kill_points:int list ->
+  ?mid_run_tick:int ->
+  scratch:string ->
+  make_runner:(state_dir:string -> Runner.t) ->
+  specs:(string * string * Protocol.tune_spec) list ->
+  ?poison:string * string * Protocol.tune_spec ->
+  unit ->
+  outcome
+(** [run ~scratch ~make_runner ~specs ()] drives every leg.  [specs] is
+    the request list as [(id, tenant, spec)], played in order by one
+    reconnecting client per request.  [kill_points] defaults to every
+    ack boundary [1..length specs]; [mid_run_tick] (default 5) is the
+    engine-job boundary for the mid-run kill; [poison] enables the
+    poison leg with the given request.  [make_runner] is invoked inside
+    each forked daemon (build engines there, never before [run]) and
+    once afterwards for the solo leg; [scratch] must be an existing
+    directory the oracle may fill with per-leg sockets and state. *)
+
+val passed : outcome -> bool
+
+val render : outcome -> string

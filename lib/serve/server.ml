@@ -7,10 +7,21 @@ type config = {
   max_queue : int;
   backlog : int;
   progress_every : int;
+  state_dir : string option;
+  die_after_requests : int option;
+  poison_threshold : int;
 }
 
 let default_config ~socket_path =
-  { socket_path; max_queue = 256; backlog = 64; progress_every = 25 }
+  {
+    socket_path;
+    max_queue = 256;
+    backlog = 64;
+    progress_every = 25;
+    state_dir = None;
+    die_after_requests = None;
+    poison_threshold = 3;
+  }
 
 type conn = {
   fd : Unix.file_descr;
@@ -19,13 +30,25 @@ type conn = {
   mutable alive : bool;
 }
 
+(* A group member's payload: its client connection, or [None] for a
+   ghost — a request replayed from the journal whose client is not
+   connected right now.  Ghosts receive no stream, but they hold their
+   group open so replayed work is neither lost nor cancelled; their
+   client collects the result from the memo on reconnect. *)
+type payload = conn option
+
 type state = {
   config : config;
   runner : Runner.t;
   trace : Trace.t option;
   telemetry : Telemetry.t option;
   listener : Unix.file_descr;
-  sched : conn Scheduler.t;
+  sched : payload Scheduler.t;
+  journal : Journal.t option;
+  poisoned : (string, int) Hashtbl.t;  (* fingerprint → crash count *)
+  mutable restarts : int;  (* prior incarnations (journal boots) *)
+  mutable replayed : int;  (* ghosts re-enqueued at this boot *)
+  mutable accepted_this_boot : int;  (* the chaos hook's counter *)
   mutable conns : conn list;
   mutable stop : bool;
   mutable running_fp : string option;
@@ -43,6 +66,17 @@ let with_lock st f =
 let timed st name f =
   match st.telemetry with None -> f () | Some t -> Telemetry.time t name f
 
+let journal st record =
+  match st.journal with None -> () | Some j -> Journal.append j record
+
+let counters st =
+  Scheduler.counters st.sched
+  @ [
+      ("restarts", st.restarts);
+      ("replayed", st.replayed);
+      ("poisoned", Hashtbl.length st.poisoned);
+    ]
+
 (* -- connection bookkeeping (callers hold the lock) --------------------- *)
 
 let close_conn st conn =
@@ -52,6 +86,9 @@ let close_conn st conn =
     (match conn.waiting with
     | Some (fingerprint, id) ->
         conn.waiting <- None;
+        (* The journal must stop owing this request: its client is gone,
+           so a restart should not replay it as a ghost. *)
+        journal st (Journal.Dropped { id });
         Scheduler.drop_member st.sched ~fingerprint ~id
     | None -> ());
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
@@ -77,6 +114,13 @@ let respond_and_close st conn resp =
   ignore (write_resp st conn resp);
   close_conn st conn
 
+(* Ghost-aware variants: a [None] payload has nobody to talk to. *)
+let notify st (m : payload Scheduler.member) resp =
+  match m.payload with Some conn -> ignore (write_resp st conn resp) | None -> ()
+
+let answer st (m : payload Scheduler.member) resp =
+  match m.payload with Some conn -> respond_and_close st conn resp | None -> ()
+
 (* -- request handling --------------------------------------------------- *)
 
 let reject st conn ~id reason =
@@ -85,46 +129,77 @@ let reject st conn ~id reason =
     ~reason:(Protocol.reject_reason_to_string reason);
   respond_and_close st conn (Protocol.Rejected { id; reason })
 
-let handle_tune st conn ~id ~tenant spec =
+(* The deterministic chaos hook: SIGKILL ourselves the instant the Nth
+   accepted request of this boot has been acknowledged.  Under the
+   supervisor this is a scripted crash at a request boundary — the
+   journal holds the accepted-but-unanswered request, and the oracle
+   requires its eventual answer to be byte-identical. *)
+let chaos_tick st =
+  st.accepted_this_boot <- st.accepted_this_boot + 1;
+  match st.config.die_after_requests with
+  | Some n when st.accepted_this_boot >= n ->
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+  | _ -> ()
+
+let handle_tune st conn ~id ~tenant ~deadline_ms spec =
   let fingerprint = Protocol.fingerprint spec in
   Trace.request_received st.trace ~id ~tenant ~fingerprint;
-  let verdict =
-    match st.runner.Runner.validate spec with
-    | Error msg -> Scheduler.refuse st.sched (Protocol.Unsupported msg)
-    | Ok () ->
-        Scheduler.submit st.sched ~spec ~fingerprint
-          { Scheduler.id; tenant; payload = conn }
+  let now = Unix.gettimeofday () in
+  let deadline =
+    Option.map (fun ms -> now +. (float_of_int ms /. 1000.0)) deadline_ms
   in
-  match verdict with
-  | Scheduler.Fresh ->
-      conn.waiting <- Some (fingerprint, id);
-      let queue_depth = Scheduler.queue_depth st.sched in
-      Trace.request_admitted st.trace ~id ~queue_depth;
-      ignore (write_resp st conn (Protocol.Admitted { id; queue_depth }))
-  | Scheduler.Joined { leader } ->
-      conn.waiting <- Some (fingerprint, id);
-      Trace.request_coalesced st.trace ~id ~leader;
-      if write_resp st conn (Protocol.Coalesced { id; leader }) then
-        if st.running_fp = Some fingerprint then
-          ignore (write_resp st conn (Protocol.Started { id }))
-  | Scheduler.Memoized { text; speedup; evaluations } ->
-      Trace.request_cached st.trace ~id;
-      respond_and_close st conn
-        (Protocol.Result
-           {
-             id;
-             fingerprint;
-             origin = Protocol.Cached;
-             group_size = 1;
-             speedup;
-             evaluations;
-             run_s = 0.0;
-             text;
-           })
-  | Scheduler.Refused reason ->
-      Trace.request_rejected st.trace ~id
-        ~reason:(Protocol.reject_reason_to_string reason);
-      respond_and_close st conn (Protocol.Rejected { id; reason })
+  match Hashtbl.find_opt st.poisoned fingerprint with
+  | Some crashes -> reject st conn ~id (Protocol.Poisoned { crashes })
+  | None ->
+      if deadline_ms <> None && Option.get deadline <= now then
+        reject st conn ~id Protocol.Deadline_exceeded
+      else
+        let verdict =
+          match st.runner.Runner.validate spec with
+          | Error msg -> Scheduler.refuse st.sched (Protocol.Unsupported msg)
+          | Ok () ->
+              Scheduler.submit st.sched ~spec ~fingerprint
+                { Scheduler.id; tenant; deadline; payload = Some conn }
+        in
+        (match verdict with
+        | Scheduler.Fresh ->
+            conn.waiting <- Some (fingerprint, id);
+            (* Write-ahead: the journal knows the request before the
+               client does, so an acknowledged request can always be
+               replayed. *)
+            journal st
+              (Journal.Accepted { id; tenant; fingerprint; spec; deadline });
+            let queue_depth = Scheduler.queue_depth st.sched in
+            Trace.request_admitted st.trace ~id ~queue_depth;
+            ignore (write_resp st conn (Protocol.Admitted { id; queue_depth }));
+            chaos_tick st
+        | Scheduler.Joined { leader } ->
+            conn.waiting <- Some (fingerprint, id);
+            journal st
+              (Journal.Accepted { id; tenant; fingerprint; spec; deadline });
+            Trace.request_coalesced st.trace ~id ~leader;
+            (if write_resp st conn (Protocol.Coalesced { id; leader }) then
+               if st.running_fp = Some fingerprint then
+                 ignore (write_resp st conn (Protocol.Started { id })));
+            chaos_tick st
+        | Scheduler.Memoized { text; speedup; evaluations } ->
+            Trace.request_cached st.trace ~id;
+            respond_and_close st conn
+              (Protocol.Result
+                 {
+                   id;
+                   fingerprint;
+                   origin = Protocol.Cached;
+                   group_size = 1;
+                   speedup;
+                   evaluations;
+                   run_s = 0.0;
+                   text;
+                 })
+        | Scheduler.Refused reason ->
+            Trace.request_rejected st.trace ~id
+              ~reason:(Protocol.reject_reason_to_string reason);
+            respond_and_close st conn (Protocol.Rejected { id; reason }))
 
 let handle_frame st conn frame =
   match Protocol.request_of_frame frame with
@@ -134,13 +209,13 @@ let handle_frame st conn frame =
       reject st conn ~id:"?" (Protocol.Malformed reason)
   | Ok Protocol.Ping -> ignore (write_resp st conn Protocol.Pong)
   | Ok Protocol.Stats ->
-      ignore
-        (write_resp st conn (Protocol.Stats_reply (Scheduler.counters st.sched)))
+      ignore (write_resp st conn (Protocol.Stats_reply (counters st)))
   | Ok Protocol.Shutdown ->
       st.stop <- true;
       Scheduler.drain st.sched;
       respond_and_close st conn Protocol.Bye
-  | Ok (Protocol.Tune { id; tenant; spec }) -> handle_tune st conn ~id ~tenant spec
+  | Ok (Protocol.Tune { id; tenant; spec; deadline_ms }) ->
+      handle_tune st conn ~id ~tenant ~deadline_ms spec
 
 let pump_conn st conn =
   let { Framing.Decoder.frames; state } =
@@ -173,6 +248,24 @@ let accept_new st =
   in
   loop ()
 
+(* Sweep deadline-expired members: each gets the typed rejection, and
+   the journal stops owing it.  Callers hold the lock. *)
+let sweep_deadlines st =
+  match Scheduler.expire st.sched ~now:(Unix.gettimeofday ()) with
+  | [] -> ()
+  | gone ->
+      List.iter
+        (fun (_fp, (m : payload Scheduler.member)) ->
+          Trace.request_expired st.trace ~id:m.Scheduler.id;
+          journal st (Journal.Dropped { id = m.Scheduler.id });
+          (match m.payload with
+          | Some conn -> conn.waiting <- None
+          | None -> ());
+          answer st m
+            (Protocol.Rejected
+               { id = m.Scheduler.id; reason = Protocol.Deadline_exceeded }))
+        gone
+
 (* One drain step: wait up to [timeout] for socket activity, accept
    every pending connection, pump every readable one.  Callers hold the
    lock. *)
@@ -189,75 +282,210 @@ let drain_sockets st ~timeout =
 
 (* -- group execution ---------------------------------------------------- *)
 
+let cancel_group st ~fingerprint =
+  let members = Scheduler.cancel st.sched ~fingerprint in
+  journal st (Journal.Cancelled { fingerprint });
+  Trace.group_cancelled st.trace ~fingerprint;
+  (* Normally empty — cancellation fires because everyone left — but any
+     racer gets a clean terminal rather than silence. *)
+  List.iter
+    (fun (m : payload Scheduler.member) ->
+      (match m.payload with Some c -> c.waiting <- None | None -> ());
+      answer st m
+        (Protocol.Server_error { id = m.Scheduler.id; message = "cancelled" }))
+    members
+
 let run_group st (spec, fingerprint) =
-  with_lock st (fun () ->
-      st.running_fp <- Some fingerprint;
-      st.run_ticks <- 0;
-      let members = Scheduler.members st.sched ~fingerprint in
-      Trace.group_started st.trace ~fingerprint ~members:(List.length members);
-      List.iter
-        (fun (m : conn Scheduler.member) ->
-          ignore (write_resp st m.payload (Protocol.Started { id = m.Scheduler.id })))
-        members);
-  let tick () =
-    with_lock st @@ fun () ->
-    st.run_ticks <- st.run_ticks + 1;
-    if st.run_ticks mod st.config.progress_every = 0 then
-      List.iter
-        (fun (m : conn Scheduler.member) ->
-          ignore
-            (write_resp st m.payload
-               (Protocol.Progress { id = m.Scheduler.id; ticks = st.run_ticks })))
-        (Scheduler.members st.sched ~fingerprint);
-    drain_sockets st ~timeout:0.0
+  let proceed =
+    with_lock st (fun () ->
+        sweep_deadlines st;
+        match Scheduler.members st.sched ~fingerprint with
+        | [] ->
+            (* Everyone expired or vanished while it was queued. *)
+            cancel_group st ~fingerprint;
+            false
+        | members ->
+            st.running_fp <- Some fingerprint;
+            st.run_ticks <- 0;
+            journal st (Journal.Started { fingerprint });
+            Trace.group_started st.trace ~fingerprint
+              ~members:(List.length members);
+            List.iter
+              (fun (m : payload Scheduler.member) ->
+                notify st m (Protocol.Started { id = m.Scheduler.id }))
+              members;
+            true)
   in
-  let t0 = Unix.gettimeofday () in
-  let result = timed st "serve.run" (fun () -> st.runner.Runner.run spec ~tick) in
-  let run_s = Unix.gettimeofday () -. t0 in
-  with_lock st @@ fun () ->
-  st.running_fp <- None;
-  match result with
-  | Ok outcome ->
-      let members = Scheduler.complete st.sched ~fingerprint outcome in
-      let group_size = List.length members in
-      Trace.group_finished st.trace ~fingerprint ~members:group_size ~run_s;
-      let leader =
-        match members with m :: _ -> m.Scheduler.id | [] -> ""
-      in
-      List.iteri
-        (fun i (m : conn Scheduler.member) ->
-          let origin =
-            if i = 0 then Protocol.Fresh else Protocol.Coalesced_with leader
-          in
-          m.payload.waiting <- None;
-          respond_and_close st m.payload
-            (Protocol.Result
-               {
-                 id = m.Scheduler.id;
-                 fingerprint;
-                 origin;
-                 group_size;
-                 speedup = outcome.Scheduler.speedup;
-                 evaluations = outcome.Scheduler.evaluations;
-                 run_s;
-                 text = outcome.Scheduler.text;
-               }))
-        members
-  | Error message ->
-      let members = Scheduler.fail st.sched ~fingerprint in
-      Trace.group_finished st.trace ~fingerprint
-        ~members:(List.length members) ~run_s;
-      List.iter
-        (fun (m : conn Scheduler.member) ->
-          m.payload.waiting <- None;
-          respond_and_close st m.payload
-            (Protocol.Server_error { id = m.Scheduler.id; message }))
-        members
+  if proceed then begin
+    let tick () =
+      with_lock st @@ fun () ->
+      st.run_ticks <- st.run_ticks + 1;
+      if st.run_ticks mod st.config.progress_every = 0 then
+        List.iter
+          (fun (m : payload Scheduler.member) ->
+            notify st m
+              (Protocol.Progress { id = m.Scheduler.id; ticks = st.run_ticks }))
+          (Scheduler.members st.sched ~fingerprint);
+      sweep_deadlines st;
+      drain_sockets st ~timeout:0.0;
+      (* Nobody left waiting (and no ghost holding the group open):
+         abandon the search at this evaluation boundary. *)
+      if Scheduler.members st.sched ~fingerprint = [] then
+        raise (Runner.Cancelled fingerprint)
+    in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      match
+        timed st "serve.run" (fun () ->
+            st.runner.Runner.run spec ~fingerprint ~tick)
+      with
+      | result -> `Finished result
+      | exception Runner.Cancelled _ -> `Cancelled
+    in
+    let run_s = Unix.gettimeofday () -. t0 in
+    with_lock st @@ fun () ->
+    st.running_fp <- None;
+    match result with
+    | `Cancelled -> cancel_group st ~fingerprint
+    | `Finished (Ok outcome) ->
+        (* Durability order: journal first, then answer — a client may
+           never hold a result the journal could fail to replay. *)
+        journal st (Journal.Completed { fingerprint; outcome });
+        let members = Scheduler.complete st.sched ~fingerprint outcome in
+        let group_size = List.length members in
+        Trace.group_finished st.trace ~fingerprint ~members:group_size ~run_s;
+        let leader =
+          match members with m :: _ -> m.Scheduler.id | [] -> ""
+        in
+        List.iteri
+          (fun i (m : payload Scheduler.member) ->
+            let origin =
+              if i = 0 then Protocol.Fresh else Protocol.Coalesced_with leader
+            in
+            (match m.payload with Some c -> c.waiting <- None | None -> ());
+            answer st m
+              (Protocol.Result
+                 {
+                   id = m.Scheduler.id;
+                   fingerprint;
+                   origin;
+                   group_size;
+                   speedup = outcome.Scheduler.speedup;
+                   evaluations = outcome.Scheduler.evaluations;
+                   run_s;
+                   text = outcome.Scheduler.text;
+                 }))
+          members
+    | `Finished (Error message) ->
+        journal st (Journal.Failed { fingerprint });
+        let members = Scheduler.fail st.sched ~fingerprint in
+        Trace.group_finished st.trace ~fingerprint
+          ~members:(List.length members) ~run_s;
+        List.iter
+          (fun (m : payload Scheduler.member) ->
+            (match m.payload with Some c -> c.waiting <- None | None -> ());
+            answer st m
+              (Protocol.Server_error { id = m.Scheduler.id; message }))
+          members
+  end
+
+(* -- startup: socket claim and journal recovery ------------------------- *)
+
+(* A crashed daemon leaves its socket file behind; a live one answers on
+   it.  Probe before unlinking: refused/dead ⇒ stale, reclaim; answered
+   ⇒ another daemon is serving and clobbering its socket would orphan
+   its clients. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+        Unix.close fd;
+        failwith
+          (Printf.sprintf "Server.serve: %s is in use by a live daemon" path)
+    | exception Unix.Unix_error (_, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (try Sys.remove path with Sys_error _ -> ())
+  end
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+let journal_path state_dir = Filename.concat state_dir "journal"
+
+(* Boot-time recovery: replay the journal, seed the durable memo, mark
+   poisoned fingerprints (appending the quarantine record for newly
+   condemned ones), and re-enqueue every unfinished request as a ghost
+   member.  Returns after appending this boot's [Boot] record. *)
+let recover st (replay : Journal.replay) =
+  List.iter
+    (fun (fingerprint, outcome) -> Scheduler.remember st.sched ~fingerprint outcome)
+    replay.Journal.memo;
+  List.iter
+    (fun (fp, crashes) -> Hashtbl.replace st.poisoned fp crashes)
+    replay.Journal.poisoned;
+  List.iter
+    (fun (fp, crashes) ->
+      if crashes >= st.config.poison_threshold && not (Hashtbl.mem st.poisoned fp)
+      then begin
+        Hashtbl.replace st.poisoned fp crashes;
+        journal st (Journal.Poisoned { fingerprint = fp; crashes })
+      end)
+    replay.Journal.crashes;
+  List.iter
+    (fun (p : Journal.pending) ->
+      if Hashtbl.mem st.poisoned p.Journal.p_fingerprint then
+        (* Its client learns the verdict on reconnect; the journal stops
+           owing the stream. *)
+        journal st (Journal.Dropped { id = p.Journal.p_id })
+      else
+        match
+          Scheduler.submit st.sched ~spec:p.Journal.p_spec
+            ~fingerprint:p.Journal.p_fingerprint
+            {
+              Scheduler.id = p.Journal.p_id;
+              tenant = p.Journal.p_tenant;
+              deadline = p.Journal.p_deadline;
+              payload = None;
+            }
+        with
+        | Scheduler.Fresh | Scheduler.Joined _ ->
+            st.replayed <- st.replayed + 1;
+            Trace.request_replayed st.trace ~id:p.Journal.p_id
+              ~fingerprint:p.Journal.p_fingerprint
+        | Scheduler.Memoized _ | Scheduler.Refused _ ->
+            (* Already answerable (or inadmissible): nothing to re-run. *)
+            journal st (Journal.Dropped { id = p.Journal.p_id }))
+    replay.Journal.pending;
+  st.restarts <- replay.Journal.boots;
+  journal st Journal.Boot;
+  if st.journal <> None then
+    Trace.server_recovered st.trace ~restarts:st.restarts ~replayed:st.replayed
+      ~poisoned:(Hashtbl.length st.poisoned);
+  if st.restarts > 0 || st.replayed > 0 then
+    Printf.eprintf "serve: recovered journal (boot %d, %d replayed, %d poisoned)\n%!"
+      (st.restarts + 1) st.replayed
+      (Hashtbl.length st.poisoned)
 
 (* -- lifecycle ---------------------------------------------------------- *)
 
 let serve ?trace ?telemetry ?on_ready config runner =
-  if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
+  claim_socket config.socket_path;
+  let journal_handle, replay =
+    match config.state_dir with
+    | None -> (None, Journal.empty_replay)
+    | Some dir ->
+        mkdir_p dir;
+        let path = journal_path dir in
+        let warn ~line ~reason =
+          Printf.eprintf "serve: journal %s line %d: %s\n%!" path line reason
+        in
+        let replay = Journal.load ~warn path in
+        (Some (Journal.open_ path), replay)
+  in
   let listener = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
   Unix.listen listener config.backlog;
@@ -270,6 +498,11 @@ let serve ?trace ?telemetry ?on_ready config runner =
       telemetry;
       listener;
       sched = Scheduler.create ~max_queue:config.max_queue;
+      journal = journal_handle;
+      poisoned = Hashtbl.create 4;
+      restarts = 0;
+      replayed = 0;
+      accepted_this_boot = 0;
       conns = [];
       stop = false;
       running_fp = None;
@@ -277,6 +510,7 @@ let serve ?trace ?telemetry ?on_ready config runner =
       lock = Mutex.create ();
     }
   in
+  recover st replay;
   let stop_now _ =
     st.stop <- true;
     Scheduler.drain st.sched
@@ -292,6 +526,7 @@ let serve ?trace ?telemetry ?on_ready config runner =
         (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
         st.conns;
       (try Unix.close listener with Unix.Unix_error _ -> ());
+      (match st.journal with Some j -> Journal.close j | None -> ());
       try Sys.remove config.socket_path with Sys_error _ -> ())
   @@ fun () ->
   (match on_ready with Some f -> f () | None -> ());
@@ -304,9 +539,11 @@ let serve ?trace ?telemetry ?on_ready config runner =
         if st.stop && with_lock st (fun () -> Scheduler.idle st.sched) then ()
         else begin
           timed st "serve.wait" (fun () ->
-              with_lock st (fun () -> drain_sockets st ~timeout:0.2));
+              with_lock st (fun () ->
+                  sweep_deadlines st;
+                  drain_sockets st ~timeout:0.2));
           loop ()
         end
   in
   loop ();
-  Scheduler.counters st.sched
+  counters st

@@ -1,0 +1,54 @@
+(** The daemon's crash monitor: fork, wait, respawn.
+
+    [funcy serve --supervise] runs the real daemon in a forked child and
+    watches it.  A child that exits 0 (clean drain) ends the supervisor;
+    any other death — non-zero exit, SIGKILL from the chaos hook or the
+    OS — is respawned with capped exponential backoff and deterministic
+    seeded jitter, up to [respawn_budget] respawns.  Combined with the
+    {!Journal} (replayed at every boot) and per-fingerprint checkpoints
+    ({!Runner.make_durable}), a respawned daemon resumes exactly where
+    the dead one stopped.
+
+    State machine: [spawn(gen) → wait → exit 0 ⇒ done(clean)] /
+    [abnormal ⇒ gen < budget ? backoff; spawn(gen+1) : done(budget
+    exhausted)].  SIGTERM/SIGINT to the supervisor are forwarded to the
+    live child (which drains and exits 0).
+
+    Fork-legality: the supervisor parent must not have spawned domains
+    — build engines {e inside} the daemon callback, never before
+    {!run}. *)
+
+type config = {
+  respawn_budget : int;  (** respawns allowed after the first launch *)
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  seed : int;  (** jitter stream seed (deterministic schedule) *)
+}
+
+val default_config : config
+(** budget 16, base 0.05 s, cap 2 s, seed 0. *)
+
+type exit_status = Exited of int | Signalled of int
+
+val exit_status_to_string : exit_status -> string
+
+type outcome = {
+  generations : int;  (** children launched in total *)
+  last : exit_status;
+  clean : bool;  (** the last child drained and exited 0 *)
+}
+
+val delays : config -> int -> float list
+(** The deterministic backoff schedule: the sleep before respawn [k],
+    for [k = 0 .. n-1] — [min cap (base·2^k·u_k)], [u_k ~ U[0.5, 1.5)]
+    seeded by [config.seed].  Exposed for property tests. *)
+
+val run :
+  ?on_exit:(generation:int -> exit_status -> unit) ->
+  config ->
+  (generation:int -> int) ->
+  outcome
+(** [run config daemon] forks [daemon ~generation] (its return value is
+    the child's exit code; an escaping exception exits 125) and
+    supervises it as above.  [on_exit] observes every child death.
+    @raise Invalid_argument if [respawn_budget < 0]. *)

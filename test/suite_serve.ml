@@ -13,6 +13,8 @@ module Scheduler = Ft_serve.Scheduler
 module Runner = Ft_serve.Runner
 module Server = Ft_serve.Server
 module Client = Ft_serve.Client
+module Journal = Ft_serve.Journal
+module Supervisor = Ft_serve.Supervisor
 module Json = Ft_obs.Json
 
 let check = Alcotest.check
@@ -124,9 +126,15 @@ let roundtrip_response r =
 let test_protocol_roundtrip () =
   List.iter roundtrip_request
     [
-      Protocol.Tune { id = "r1"; tenant = "t0"; spec = spec "swim" };
       Protocol.Tune
-        { id = "r2"; tenant = "t1"; spec = spec ~top_x:5 ~seed:9 "lulesh" };
+        { id = "r1"; tenant = "t0"; spec = spec "swim"; deadline_ms = None };
+      Protocol.Tune
+        {
+          id = "r2";
+          tenant = "t1";
+          spec = spec ~top_x:5 ~seed:9 "lulesh";
+          deadline_ms = Some 1500;
+        };
       Protocol.Ping;
       Protocol.Stats;
       Protocol.Shutdown;
@@ -166,6 +174,9 @@ let test_protocol_roundtrip () =
         { id = "r5"; reason = Protocol.Unsupported "unknown benchmark 'x'" };
       Protocol.Rejected { id = "r6"; reason = Protocol.Bad_version { got = 9 } };
       Protocol.Rejected { id = "r7"; reason = Protocol.Malformed "not json" };
+      Protocol.Rejected { id = "r9"; reason = Protocol.Deadline_exceeded };
+      Protocol.Rejected
+        { id = "r10"; reason = Protocol.Poisoned { crashes = 3 } };
       Protocol.Server_error { id = "r8"; message = "boom" };
       Protocol.Pong;
       Protocol.Stats_reply [ ("received", 10); ("admitted", 2) ];
@@ -181,9 +192,30 @@ let test_protocol_version_gate () =
   (match Protocol.request_of_json missing with
   | Error (Protocol.Malformed_frame _) -> ()
   | _ -> Alcotest.fail "missing v not flagged as malformed");
-  match Protocol.request_of_frame (Bytes.of_string "not json at all") with
+  (match Protocol.request_of_frame (Bytes.of_string "not json at all") with
   | Error (Protocol.Malformed_frame _) -> ()
-  | _ -> Alcotest.fail "garbage frame not flagged as malformed"
+  | _ -> Alcotest.fail "garbage frame not flagged as malformed");
+  (* protocol v1 peers are still spoken to: both accepted versions pass
+     the gate, and a v1 tune (no deadline_ms field) decodes *)
+  let downgrade = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function "v", _ -> ("v", Json.Int 1) | kv -> kv)
+             (List.filter (fun (k, _) -> k <> "deadline_ms") fields))
+    | j -> j
+  in
+  let v1_tune =
+    downgrade
+      (Protocol.request_to_json
+         (Protocol.Tune
+            { id = "r1"; tenant = "t0"; spec = spec "swim"; deadline_ms = None }))
+  in
+  match Protocol.request_of_json v1_tune with
+  | Ok (Protocol.Tune { id = "r1"; deadline_ms = None; _ }) -> ()
+  | Ok _ -> Alcotest.fail "v1 tune decoded to something else"
+  | Error e ->
+      Alcotest.failf "v1 tune refused: %s" (Protocol.decode_error_to_string e)
 
 let test_fingerprint () =
   let base = spec "swim" in
@@ -206,7 +238,7 @@ let test_fingerprint () =
 
 (* --- scheduler --------------------------------------------------------- *)
 
-let member id tenant = { Scheduler.id; tenant; payload = () }
+let member ?deadline id tenant = { Scheduler.id; tenant; deadline; payload = () }
 
 let submit sched ?(tenant = "t") s id =
   Scheduler.submit sched ~spec:s ~fingerprint:(Protocol.fingerprint s)
@@ -247,6 +279,7 @@ let test_scheduler_coalescing () =
     [
       ("received", 4); ("admitted", 1); ("coalesced", 2); ("memoized", 1);
       ("rejected", 0); ("groups_completed", 1); ("queue_depth", 0);
+      ("expired", 0); ("cancelled", 0);
     ]
     (Scheduler.counters sched)
 
@@ -307,6 +340,267 @@ let test_scheduler_drop () =
   checkb "idle" true (Scheduler.idle sched);
   checkb "nothing to run" true (Scheduler.next sched = None)
 
+let test_scheduler_expire () =
+  let sched = Scheduler.create ~max_queue:8 in
+  let s1 = spec "swim" and s2 = spec "cl" in
+  let fp1 = Protocol.fingerprint s1 and fp2 = Protocol.fingerprint s2 in
+  ignore
+    (Scheduler.submit sched ~spec:s1 ~fingerprint:fp1
+       (member ~deadline:100.0 "a" "t"));
+  ignore (Scheduler.submit sched ~spec:s1 ~fingerprint:fp1 (member "b" "t"));
+  ignore
+    (Scheduler.submit sched ~spec:s2 ~fingerprint:fp2
+       (member ~deadline:50.0 "c" "t"));
+  checkb "nothing due yet" true (Scheduler.expire sched ~now:10.0 = []);
+  (* c expires while queued; its emptied group is dropped outright *)
+  (match Scheduler.expire sched ~now:60.0 with
+  | [ (fp, m) ] ->
+      checks "expired fp" fp2 fp;
+      checks "expired member" "c" m.Scheduler.id
+  | l -> Alcotest.failf "expected 1 expiry, got %d" (List.length l));
+  (match Scheduler.next sched with
+  | Some (_, fp) -> checks "only s1 left" fp1 fp
+  | None -> Alcotest.fail "s1 group vanished");
+  checkb "no second group" true (Scheduler.next sched = None);
+  (* a expires while its group runs; b keeps the group alive *)
+  (match Scheduler.expire sched ~now:150.0 with
+  | [ (fp, m) ] ->
+      checks "expired fp" fp1 fp;
+      checks "expired member" "a" m.Scheduler.id
+  | l -> Alcotest.failf "expected 1 expiry, got %d" (List.length l));
+  (match Scheduler.members sched ~fingerprint:fp1 with
+  | [ m ] -> checks "survivor" "b" m.Scheduler.id
+  | _ -> Alcotest.fail "running group lost its deadline-less member");
+  ignore (Scheduler.complete sched ~fingerprint:fp1 (outcome "T\n"));
+  checki "expired" 2 (List.assoc "expired" (Scheduler.counters sched));
+  checki "queue empty" 0 (Scheduler.queue_depth sched)
+
+let test_scheduler_cancel () =
+  let sched = Scheduler.create ~max_queue:8 in
+  let s = spec "swim" in
+  let fp = Protocol.fingerprint s in
+  ignore
+    (Scheduler.submit sched ~spec:s ~fingerprint:fp
+       (member ~deadline:100.0 "a" "t"));
+  ignore (Scheduler.next sched);
+  ignore (Scheduler.expire sched ~now:200.0);
+  (* the running group lost everyone: the server cancels it at its next
+     tick; nobody saw a result, so nothing is memoized *)
+  checkb "empty but alive" true (Scheduler.members sched ~fingerprint:fp = []);
+  checkb "still running" true (not (Scheduler.idle sched));
+  checkb "no stragglers" true (Scheduler.cancel sched ~fingerprint:fp = []);
+  checkb "gone" true (Scheduler.idle sched);
+  checkb "not memoized" true (Scheduler.known sched ~fingerprint:fp = None);
+  checki "cancelled" 1 (List.assoc "cancelled" (Scheduler.counters sched));
+  match Scheduler.submit sched ~spec:s ~fingerprint:fp (member "b" "t") with
+  | Scheduler.Fresh -> ()
+  | _ -> Alcotest.fail "cancelled fingerprint not rerunnable"
+
+let test_scheduler_remember () =
+  let sched = Scheduler.create ~max_queue:4 in
+  let s = spec "swim" in
+  let fp = Protocol.fingerprint s in
+  checkb "unknown before seeding" true (Scheduler.known sched ~fingerprint:fp = None);
+  Scheduler.remember sched ~fingerprint:fp (outcome "T\n");
+  (match Scheduler.known sched ~fingerprint:fp with
+  | Some { Scheduler.text = "T\n"; _ } -> ()
+  | _ -> Alcotest.fail "seeded memo not retrievable");
+  (* restart recovery seeds the memo this way: a resubmission is
+     answered without queueing anything *)
+  match submit sched s "a" with
+  | Scheduler.Memoized { text = "T\n"; _ } -> ()
+  | _ -> Alcotest.fail "seeded memo not served on submit"
+
+(* --- journal ------------------------------------------------------------ *)
+
+let temp_journal () =
+  let path = Filename.temp_file "funcy-journal" ".j" in
+  Sys.remove path;
+  path
+
+let o1 = { Scheduler.text = "RESULT one\n"; speedup = 1.25; evaluations = 12 }
+
+let write_journal path records =
+  if Sys.file_exists path then Sys.remove path;
+  let j = Journal.open_ path in
+  List.iter (Journal.append j) records;
+  Journal.close j
+
+let test_journal_replay () =
+  let path = temp_journal () in
+  let s1 = spec "swim" and s2 = spec "lulesh" in
+  let fp1 = Protocol.fingerprint s1 and fp2 = Protocol.fingerprint s2 in
+  write_journal path
+    [
+      Journal.Boot;
+      Journal.Accepted
+        { id = "r1"; tenant = "t0"; fingerprint = fp1; spec = s1;
+          deadline = Some 123.5 };
+      Journal.Started { fingerprint = fp1 };
+      Journal.Completed { fingerprint = fp1; outcome = o1 };
+      Journal.Accepted
+        { id = "r2"; tenant = "t1"; fingerprint = fp2; spec = s2;
+          deadline = None };
+      Journal.Started { fingerprint = fp2 };
+    ];
+  let r = Journal.load path in
+  checki "boots" 1 r.Journal.boots;
+  (* r1 completed: answered from the memo, not owed *)
+  check
+    (Alcotest.list Alcotest.string)
+    "pending ids" [ "r2" ]
+    (List.map (fun p -> p.Journal.p_id) r.Journal.pending);
+  (match r.Journal.pending with
+  | [ p ] ->
+      checks "pending tenant" "t1" p.Journal.p_tenant;
+      checks "pending fp" fp2 p.Journal.p_fingerprint;
+      checkb "pending spec" true (p.Journal.p_spec = s2)
+  | _ -> Alcotest.fail "pending shape");
+  (match r.Journal.memo with
+  | [ (fp, o) ] ->
+      checks "memo fp" fp1 fp;
+      checkb "memo outcome" true (o = o1)
+  | _ -> Alcotest.fail "memo shape");
+  (* fp2 was in flight when the log ended: the load witnesses the death *)
+  checkb "crashes" true (r.Journal.crashes = [ (fp2, 1) ]);
+  checkb "nothing poisoned" true (r.Journal.poisoned = [])
+
+let test_journal_crashes () =
+  let path = temp_journal () in
+  let s = spec "swim" in
+  let fp = Protocol.fingerprint s in
+  let accepted =
+    Journal.Accepted
+      { id = "r1"; tenant = "t0"; fingerprint = fp; spec = s; deadline = None }
+  in
+  (* three incarnations each died mid-search: two witnessed by the next
+     Boot, the third by the end of the log *)
+  write_journal path
+    [
+      Journal.Boot; accepted; Journal.Started { fingerprint = fp };
+      Journal.Boot; Journal.Started { fingerprint = fp };
+      Journal.Boot; Journal.Started { fingerprint = fp };
+    ];
+  let r = Journal.load path in
+  checki "boots" 3 r.Journal.boots;
+  checkb "three crashes" true (r.Journal.crashes = [ (fp, 3) ]);
+  checki "still owed" 1 (List.length r.Journal.pending);
+  (* quarantine is itself journaled: after Poisoned the fingerprint is
+     no longer owed and replay reports it as quarantined *)
+  let j = Journal.open_ path in
+  Journal.append j (Journal.Poisoned { fingerprint = fp; crashes = 3 });
+  Journal.close j;
+  let r = Journal.load path in
+  checkb "poisoned" true (r.Journal.poisoned = [ (fp, 3) ]);
+  checkb "no longer pending" true (r.Journal.pending = []);
+  (* a deliberate cancellation is terminal, never a crash *)
+  let path2 = temp_journal () in
+  write_journal path2
+    [
+      Journal.Boot; accepted; Journal.Started { fingerprint = fp };
+      Journal.Cancelled { fingerprint = fp };
+    ];
+  let r2 = Journal.load path2 in
+  checkb "cancel is not a crash" true (r2.Journal.crashes = []);
+  checkb "cancel clears the debt" true (r2.Journal.pending = [])
+
+(* S4: the torn-tail law, at every byte offset.  A journal truncated at
+   any byte must load as exactly the longest prefix of fully committed
+   records — never an exception (a torn header is the one legal
+   [Corrupt]), never a misparse. *)
+let journal_truncation_property =
+  let s1 = spec "swim" and s2 = spec "lulesh" in
+  let fp1 = Protocol.fingerprint s1 and fp2 = Protocol.fingerprint s2 in
+  let records =
+    [
+      Journal.Boot;
+      Journal.Accepted
+        { id = "r1"; tenant = "t0"; fingerprint = fp1; spec = s1;
+          deadline = Some 42.0 };
+      Journal.Started { fingerprint = fp1 };
+      Journal.Completed { fingerprint = fp1; outcome = o1 };
+      Journal.Boot;
+      Journal.Accepted
+        { id = "r2"; tenant = "t1"; fingerprint = fp2; spec = s2;
+          deadline = None };
+      Journal.Started { fingerprint = fp2 };
+      Journal.Poisoned { fingerprint = fp2; crashes = 3 };
+      Journal.Dropped { id = "r2" };
+      Journal.Cancelled { fingerprint = fp1 };
+      Journal.Failed { fingerprint = fp1 };
+    ]
+  in
+  let line_len r =
+    String.length (Ft_obs.Json.to_string (Journal.record_to_json r)) + 1
+  in
+  let header_len = String.length Journal.format_magic + 1 in
+  let full = temp_journal () in
+  write_journal full records;
+  let bytes = In_channel.with_open_bin full In_channel.input_all in
+  let total = String.length bytes in
+  (* sanity: the offset arithmetic matches what append actually wrote *)
+  assert (total = header_len + List.fold_left (fun a r -> a + line_len r) 0 records);
+  let records_within k =
+    let rec go off acc = function
+      | [] -> List.rev acc
+      | r :: rest ->
+          let off = off + line_len r in
+          if off <= k then go off (r :: acc) rest else List.rev acc
+    in
+    go header_len [] records
+  in
+  let torn = temp_journal () in
+  let clean = temp_journal () in
+  let prop k =
+    Out_channel.with_open_bin torn (fun oc ->
+        Out_channel.output_string oc (String.sub bytes 0 k));
+    if k < header_len then
+      (* the magic line itself is torn: refused loudly, not misread *)
+      match Journal.load torn with
+      | exception Journal.Corrupt _ -> true
+      | _ -> false
+    else begin
+      write_journal clean (records_within k);
+      Journal.load torn = Journal.load clean
+    end
+  in
+  QCheck.Test.make ~count:500
+    ~name:"journal truncated at any byte loads the longest valid prefix"
+    QCheck.(int_range 0 total)
+    prop
+
+(* --- supervisor / client backoff laws ----------------------------------- *)
+
+let test_supervisor_delays () =
+  let c = { Supervisor.default_config with respawn_budget = 10; seed = 7 } in
+  let d1 = Supervisor.delays c 10 in
+  checki "length" 10 (List.length d1);
+  checkb "deterministic" true (Supervisor.delays c 10 = d1);
+  List.iteri
+    (fun k d ->
+      let base = c.Supervisor.backoff_base_s *. (2.0 ** float_of_int k) in
+      checkb "capped" true (d <= c.Supervisor.backoff_cap_s +. 1e-9);
+      checkb "at least half the exponential" true
+        (d >= Float.min c.Supervisor.backoff_cap_s (0.5 *. base) -. 1e-9);
+      checkb "at most 1.5x the exponential" true (d <= (1.5 *. base) +. 1e-9))
+    d1;
+  (* a different seed reshuffles the jitter, so respawning herds spread *)
+  checkb "seed matters" true (Supervisor.delays { c with seed = 8 } 10 <> d1)
+
+let test_client_backoff () =
+  let d1 = Client.backoff_schedule ~seed:3 8 in
+  checki "length" 8 (List.length d1);
+  checkb "deterministic" true (Client.backoff_schedule ~seed:3 8 = d1);
+  List.iteri
+    (fun k d ->
+      let base = 0.01 *. (2.0 ** float_of_int k) in
+      checkb "capped" true (d <= 0.5 +. 1e-9);
+      checkb "at least half the exponential" true
+        (d >= Float.min 0.5 (0.5 *. base) -. 1e-9);
+      checkb "at most 1.5x the exponential" true (d <= (1.5 *. base) +. 1e-9))
+    d1;
+  checkb "seed matters" true (Client.backoff_schedule ~seed:4 8 <> d1)
+
 let suite =
   ( "serve",
     [
@@ -331,6 +625,21 @@ let suite =
         test_scheduler_fairness;
       Alcotest.test_case "scheduler drops vanished members" `Quick
         test_scheduler_drop;
+      Alcotest.test_case "scheduler deadline sweep" `Quick
+        test_scheduler_expire;
+      Alcotest.test_case "scheduler cancels abandoned groups" `Quick
+        test_scheduler_cancel;
+      Alcotest.test_case "scheduler memo seeding (restart replay)" `Quick
+        test_scheduler_remember;
+      Alcotest.test_case "journal replay owes unfinished work" `Quick
+        test_journal_replay;
+      Alcotest.test_case "journal crash accounting and quarantine" `Quick
+        test_journal_crashes;
+      QCheck_alcotest.to_alcotest journal_truncation_property;
+      Alcotest.test_case "supervisor backoff schedule law" `Quick
+        test_supervisor_delays;
+      Alcotest.test_case "client connect backoff law" `Quick
+        test_client_backoff;
     ] )
 
 (* --- end-to-end daemon tests (fork-legal binary only) ------------------ *)
@@ -345,7 +654,7 @@ let fake_runner ?(ticks = 40) ?(tick_sleep = 0.005) () =
         if s.Protocol.benchmark = "bad" then Error "unknown benchmark 'bad'"
         else Ok ());
     run =
-      (fun s ~tick ->
+      (fun s ~fingerprint:_ ~tick ->
         for _ = 1 to ticks do
           Unix.sleepf tick_sleep;
           tick ()
@@ -394,10 +703,10 @@ let with_daemon ?(max_queue = 256) runner f =
    the streamed responses later.  The daemon serves all of them
    concurrently; reading sequentially afterwards does not change what
    it did. *)
-let park socket_path ?(tenant = "t0") s id =
+let park socket_path ?(tenant = "t0") ?deadline_ms s id =
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX socket_path);
-  Protocol.write_request fd (Protocol.Tune { id; tenant; spec = s });
+  Protocol.write_request fd (Protocol.Tune { id; tenant; spec = s; deadline_ms });
   fd
 
 let read_terminal fd =
@@ -637,6 +946,257 @@ let test_e2e_loadgen () =
   checki "no divergence" 0 Ft_serve.Loadgen.(o.inconsistent);
   checkb "coalescing helped" true (Ft_serve.Loadgen.(o.coalesce_rate) > 0.5)
 
+(* --- crash recovery, deadlines, cancellation (e2e) ---------------------- *)
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let reap pid = snd (Unix.waitpid [] pid)
+
+let status_to_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "signalled %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+
+let expect_killed pid =
+  match reap pid with
+  | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | st -> Alcotest.failf "daemon should have been SIGKILLed, %s" (status_to_string st)
+
+(* A daemon with a durable journal (and optionally the chaos hook),
+   forked so the parent can watch it die and boot a successor on the
+   same state directory. *)
+let fork_state_daemon ?die_after ~socket_path ~state_dir runner =
+  match Unix.fork () with
+  | 0 ->
+      (try
+         ignore
+           (Server.serve
+              {
+                (Server.default_config ~socket_path) with
+                state_dir = Some state_dir;
+                die_after_requests = die_after;
+                progress_every = 10;
+              }
+              runner)
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid -> pid
+
+let stop_daemon ~socket_path pid =
+  (match Client.shutdown ~retry_for:5.0 socket_path with
+  | Ok () -> ()
+  | Error _ -> ( try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()));
+  ignore (reap pid)
+
+(* The tentpole, end to end: the daemon journals an accepted request,
+   SIGKILLs itself at the ack boundary (chaos hook), and a successor on
+   the same state directory replays the debt, runs it unattended, and
+   answers the re-sent id with the bytes the dead daemon owed. *)
+let test_e2e_kill_restart () =
+  let dir = temp_dir "funcy-recover" in
+  let socket_path = Filename.concat dir "sock" in
+  let state_dir = Filename.concat dir "state" in
+  let runner = fake_runner ~ticks:20 ~tick_sleep:0.005 () in
+  let s = spec ~seed:7 "swim" in
+  let pid1 = fork_state_daemon ~die_after:1 ~socket_path ~state_dir runner in
+  (match Client.tune ~retry_for:10.0 ~socket_path ~id:"k1" ~tenant:"t0" s with
+  | Error (Client.Transport _) -> ()
+  | Ok _ -> Alcotest.fail "chaos daemon answered instead of dying"
+  | Error f -> Alcotest.failf "wrong failure: %s" (Client.failure_to_string f));
+  expect_killed pid1;
+  (* the journal survived the corpse and owes exactly k1 *)
+  let r = Journal.load (Filename.concat state_dir "journal") in
+  checki "boots" 1 r.Journal.boots;
+  (match r.Journal.pending with
+  | [ p ] -> checks "owed id" "k1" p.Journal.p_id
+  | ps -> Alcotest.failf "expected 1 pending, got %d" (List.length ps));
+  let pid2 = fork_state_daemon ~socket_path ~state_dir runner in
+  Fun.protect ~finally:(fun () -> stop_daemon ~socket_path pid2) @@ fun () ->
+  (match Client.tune ~retry_for:10.0 ~socket_path ~id:"k1" ~tenant:"t0" s with
+  | Ok p -> checks "recovered result" "RESULT swim seed 7\n" p.Protocol.text
+  | Error f -> Alcotest.failf "resend failed: %s" (Client.failure_to_string f));
+  match Client.stats socket_path with
+  | Ok cs ->
+      checki "restarts" 1 (List.assoc "restarts" cs);
+      checki "replayed" 1 (List.assoc "replayed" cs)
+  | Error e -> Alcotest.failf "stats failed: %s" (Client.failure_to_string e)
+
+(* A queued request whose deadline lapses while another search holds the
+   engine gets the typed [Deadline_exceeded] answer mid-run. *)
+let test_e2e_deadline () =
+  with_daemon (fake_runner ~ticks:100 ~tick_sleep:0.01 ()) @@ fun sock ->
+  let busy = park sock (spec ~seed:1 "swim") "busy" in
+  ignore (Unix.select [] [] [] 0.1);
+  let doomed = park sock ~deadline_ms:80 (spec ~seed:2 "lulesh") "doomed" in
+  (match read_terminal doomed with
+  | _, Protocol.Rejected { id = "doomed"; reason = Protocol.Deadline_exceeded }
+    -> ()
+  | _, t ->
+      Alcotest.failf "expected deadline rejection, got %s"
+        (match t with
+        | Protocol.Result _ -> "a result"
+        | Protocol.Rejected { reason; _ } ->
+            Protocol.reject_reason_to_string reason
+        | _ -> "another response"));
+  ignore (expect_result (read_terminal busy));
+  match Client.stats sock with
+  | Ok cs -> checki "expired" 1 (List.assoc "expired" cs)
+  | Error e -> Alcotest.failf "stats failed: %s" (Client.failure_to_string e)
+
+(* A running search whose only subscriber expires is cancelled at the
+   next evaluation boundary; the daemon stays healthy. *)
+let test_e2e_cancel_expired () =
+  with_daemon (fake_runner ~ticks:100 ~tick_sleep:0.005 ()) @@ fun sock ->
+  let fd = park sock ~deadline_ms:100 (spec ~seed:3 "swim") "solo" in
+  (match read_terminal fd with
+  | _, Protocol.Rejected { reason = Protocol.Deadline_exceeded; _ } -> ()
+  | _ -> Alcotest.fail "expired subscriber not answered with the deadline");
+  (* the abandoned search did not wedge the daemon *)
+  (match Client.tune ~socket_path:sock ~id:"after" ~tenant:"t1" (spec ~seed:4 "cl") with
+  | Ok p -> checks "next result" "RESULT cl seed 4\n" p.Protocol.text
+  | Error f -> Alcotest.failf "follow-up failed: %s" (Client.failure_to_string f));
+  match Client.stats sock with
+  | Ok cs ->
+      checki "expired" 1 (List.assoc "expired" cs);
+      checki "cancelled" 1 (List.assoc "cancelled" cs)
+  | Error e -> Alcotest.failf "stats failed: %s" (Client.failure_to_string e)
+
+(* Same cancellation path via disconnection: the sole subscriber's
+   socket closes mid-search. *)
+let test_e2e_cancel_disconnect () =
+  with_daemon (fake_runner ~ticks:100 ~tick_sleep:0.005 ()) @@ fun sock ->
+  let fd = park sock (spec ~seed:5 "swim") "ghost" in
+  let rec await_started () =
+    match Protocol.read_response fd with
+    | Ok (Protocol.Started _) -> ()
+    | Ok _ -> await_started ()
+    | Error _ -> Alcotest.fail "ghost never reached Started"
+  in
+  await_started ();
+  Unix.close fd;
+  (match Client.tune ~socket_path:sock ~id:"after" ~tenant:"t1" (spec ~seed:6 "cl") with
+  | Ok p -> checks "next result" "RESULT cl seed 6\n" p.Protocol.text
+  | Error f -> Alcotest.failf "follow-up failed: %s" (Client.failure_to_string f));
+  match Client.stats sock with
+  | Ok cs -> checki "cancelled" 1 (List.assoc "cancelled" cs)
+  | Error e -> Alcotest.failf "stats failed: %s" (Client.failure_to_string e)
+
+(* S1: a SIGKILLed daemon leaves its socket file behind; a successor
+   probes the corpse and reclaims the path — but never steals a live
+   daemon's socket. *)
+let test_e2e_stale_socket () =
+  let dir = temp_dir "funcy-stale" in
+  let socket_path = Filename.concat dir "sock" in
+  let runner = fake_runner ~ticks:5 ~tick_sleep:0.002 () in
+  let fork_plain () =
+    match Unix.fork () with
+    | 0 ->
+        (try
+           ignore
+             (Server.serve
+                { (Server.default_config ~socket_path) with progress_every = 10 }
+                runner)
+         with _ -> Unix._exit 1);
+        Unix._exit 0
+    | pid -> pid
+  in
+  let pid1 = fork_plain () in
+  (match Client.ping ~retry_for:10.0 socket_path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "daemon 1 never up: %s" (Client.failure_to_string e));
+  Unix.kill pid1 Sys.sigkill;
+  expect_killed pid1;
+  checkb "socket file left behind" true (Sys.file_exists socket_path);
+  let pid2 = fork_plain () in
+  Fun.protect ~finally:(fun () -> stop_daemon ~socket_path pid2) @@ fun () ->
+  (match Client.ping ~retry_for:10.0 socket_path with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "stale socket not reclaimed: %s" (Client.failure_to_string e));
+  (* a third daemon probes, finds daemon 2 alive, and refuses *)
+  let pid3 = fork_plain () in
+  (match reap pid3 with
+  | Unix.WEXITED 1 -> ()
+  | st -> Alcotest.failf "live socket stolen (%s)" (status_to_string st));
+  (* ... without harming the live daemon *)
+  match Client.tune ~socket_path ~id:"s1" ~tenant:"t" (spec ~seed:8 "swim") with
+  | Ok p -> checks "survivor result" "RESULT swim seed 8\n" p.Protocol.text
+  | Error f -> Alcotest.failf "daemon 2 damaged: %s" (Client.failure_to_string f)
+
+(* Poison quarantine: a spec that kills the daemon every time it runs is
+   condemned by journal crash accounting after 3 deaths (two of them
+   unattended replay crashes) and answered with the typed rejection,
+   leaving the daemon healthy for everyone else. *)
+let test_e2e_poison () =
+  let dir = temp_dir "funcy-poison" in
+  let socket_path = Filename.concat dir "sock" in
+  let state_dir = Filename.concat dir "state" in
+  let base = fake_runner ~ticks:3 ~tick_sleep:0.002 () in
+  let runner =
+    {
+      base with
+      Runner.run =
+        (fun s ~fingerprint ~tick ->
+          if s.Protocol.benchmark = "cl" then
+            Unix.kill (Unix.getpid ()) Sys.sigkill;
+          base.Runner.run s ~fingerprint ~tick);
+    }
+  in
+  let bad = spec ~seed:1 "cl" and good = spec ~seed:2 "swim" in
+  (* boot 1: the poison spec is accepted, then kills the daemon *)
+  let pid1 = fork_state_daemon ~socket_path ~state_dir runner in
+  (match Client.tune ~retry_for:10.0 ~socket_path ~id:"p1" ~tenant:"t0" bad with
+  | Error (Client.Transport _) -> ()
+  | _ -> Alcotest.fail "poison spec did not kill the daemon");
+  expect_killed pid1;
+  (* boots 2 and 3: replay re-runs the ghost unattended and dies again *)
+  expect_killed (fork_state_daemon ~socket_path ~state_dir runner);
+  expect_killed (fork_state_daemon ~socket_path ~state_dir runner);
+  (* boot 4: three crashes on record — quarantined, daemon survives *)
+  let pid4 = fork_state_daemon ~socket_path ~state_dir runner in
+  Fun.protect ~finally:(fun () -> stop_daemon ~socket_path pid4) @@ fun () ->
+  (match Client.tune ~retry_for:10.0 ~socket_path ~id:"p1" ~tenant:"t0" bad with
+  | Error (Client.Rejected (Protocol.Poisoned { crashes = 3 })) -> ()
+  | Ok _ -> Alcotest.fail "poisoned spec served a result"
+  | Error f -> Alcotest.failf "wrong answer: %s" (Client.failure_to_string f));
+  (match Client.tune ~socket_path ~id:"g1" ~tenant:"t0" good with
+  | Ok p -> checks "good spec unharmed" "RESULT swim seed 2\n" p.Protocol.text
+  | Error f -> Alcotest.failf "good spec failed: %s" (Client.failure_to_string f));
+  match Client.stats socket_path with
+  | Ok cs ->
+      checki "poisoned" 1 (List.assoc "poisoned" cs);
+      checki "restarts" 3 (List.assoc "restarts" cs)
+  | Error e -> Alcotest.failf "stats failed: %s" (Client.failure_to_string e)
+
+(* S4b: the full oracle on a real search — supervised respawns, a kill
+   at the ack boundary, a SIGKILL between evaluations (checkpoint
+   resume), a crash-looping poison spec, and solo byte-equivalence. *)
+let test_e2e_servecheck () =
+  let scratch = temp_dir "funcy-servecheck" in
+  let make_runner ~state_dir =
+    Runner.make_durable
+      ~make_engine:(fun ?cache ?quarantine ?checkpoint () ->
+        Ft_engine.Engine.create ~jobs:1 ?cache ?quarantine ?checkpoint ())
+      ~state_dir ~checkpoint_every:4 ()
+  in
+  let s =
+    { Protocol.benchmark = "swim"; platform = "bdw"; algorithm = "cfr";
+      seed = 11; pool = 40; top_x = None }
+  in
+  let o =
+    Ft_serve.Servecheck.run ~kill_points:[ 1 ] ~mid_run_tick:9 ~scratch
+      ~make_runner
+      ~specs:[ ("sv-1", "t0", s) ]
+      ~poison:("sv-p", "t0", { s with Protocol.benchmark = "cl"; seed = 12 })
+      ()
+  in
+  if not (Ft_serve.Servecheck.passed o) then
+    Alcotest.failf "servecheck failed:\n%s" (Ft_serve.Servecheck.render o)
+
 let suite_e2e =
   ( "serve-e2e",
     [
@@ -653,4 +1213,18 @@ let suite_e2e =
         test_e2e_byte_identity;
       Alcotest.test_case "loadgen burst: zero errors, coalesced" `Quick
         test_e2e_loadgen;
+      Alcotest.test_case "kill at ack, restart replays the journal" `Quick
+        test_e2e_kill_restart;
+      Alcotest.test_case "queued request expires with typed rejection" `Quick
+        test_e2e_deadline;
+      Alcotest.test_case "expired sole subscriber cancels the search" `Quick
+        test_e2e_cancel_expired;
+      Alcotest.test_case "disconnected sole subscriber cancels the search"
+        `Quick test_e2e_cancel_disconnect;
+      Alcotest.test_case "stale socket reclaimed, live socket refused" `Quick
+        test_e2e_stale_socket;
+      Alcotest.test_case "crash-looping spec is quarantined" `Quick
+        test_e2e_poison;
+      Alcotest.test_case "kill-restart equivalence oracle (real search)"
+        `Quick test_e2e_servecheck;
     ] )
