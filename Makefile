@@ -2,7 +2,8 @@ DUNE ?= dune
 FUNCY = $(DUNE) exec --no-build bin/funcy.exe --
 
 .PHONY: all build test smoke smoke-faults smoke-trace smoke-procs \
-        smoke-selfcheck smoke-serve smoke-recover golden coverage check clean
+        smoke-selfcheck smoke-adaptive smoke-serve smoke-recover golden \
+        coverage check clean
 
 all: build
 
@@ -91,6 +92,34 @@ smoke-selfcheck: build
 	  --faults --fault-seed 7
 	@echo "smoke-selfcheck OK: kill-and-resume equivalent to uninterrupted runs"
 
+# Adaptive-allocation smoke (see DESIGN.md section 15):
+#   1. adaptive-sh output AND its logical trace (including the rung
+#      open/close/promote/eliminate events) are byte-identical at
+#      --jobs 1 and --jobs 4;
+#   2. quality-vs-budget: at a quarter of CFR's measurement budget,
+#      adaptive-sh lands within 2% of CFR's best time (speedups compare
+#      as sh >= cfr / 1.02, same thing via T_O3/best);
+#   3. the checkpoint/resume equivalence oracle passes for adaptive-sh.
+smoke-adaptive: build
+	$(FUNCY) tune -b swim -a adaptive-sh -k 120 --jobs 1 \
+	  --trace _build/smoke-adaptive-j1.jsonl --trace-clock logical \
+	  > _build/smoke-adaptive-j1.out
+	$(FUNCY) tune -b swim -a adaptive-sh -k 120 --jobs 4 \
+	  --trace _build/smoke-adaptive-j4.jsonl --trace-clock logical \
+	  > _build/smoke-adaptive-j4.out
+	cmp _build/smoke-adaptive-j1.out _build/smoke-adaptive-j4.out
+	cmp _build/smoke-adaptive-j1.jsonl _build/smoke-adaptive-j4.jsonl
+	grep -q rung_open _build/smoke-adaptive-j1.jsonl
+	grep -q arm_elim _build/smoke-adaptive-j1.jsonl
+	$(FUNCY) tune -b swim -a cfr -k 120 > _build/smoke-adaptive-cfr.out
+	sh=`awk '/^CFR-SH: speedup/ {print $$3}' _build/smoke-adaptive-j1.out`; \
+	  cfr=`awk '/^CFR: speedup/ {print $$3}' _build/smoke-adaptive-cfr.out`; \
+	  awk -v sh=$$sh -v cfr=$$cfr 'BEGIN { \
+	    printf "adaptive-sh speedup %s vs CFR %s\n", sh, cfr; \
+	    exit !(sh + 0 >= cfr / 1.02) }'
+	$(FUNCY) selfcheck -b swim -k 60 --jobs 2 -a adaptive-sh
+	@echo "smoke-adaptive OK: quarter-budget quality held, traces jobs-independent, resume equivalent"
+
 # Tuning-service smoke (see DESIGN.md section 13):
 #   1. a daemon comes up and a served result is byte-identical to the
 #      result block of a solo `funcy tune` with the same spec;
@@ -168,7 +197,7 @@ golden: build
 	$(FUNCY) experiment fig5c fig7a -k 12 --csv-dir test/golden
 
 check: build test smoke smoke-faults smoke-trace smoke-procs smoke-selfcheck \
-       smoke-serve smoke-recover
+       smoke-adaptive smoke-serve smoke-recover
 
 clean:
 	$(DUNE) clean

@@ -1,7 +1,7 @@
 (* The benchmark harness: regenerates every table and figure of the paper
    (run with no arguments for all of them, or name experiments:
    tab1 tab2 fig1 fig5a fig5b fig5c fig6 fig7a fig7b fig8 fig9 tab3
-   ablations faults micro engine).
+   ablations adaptive faults micro engine).
 
    Flags (anywhere on the command line):
      --jobs N | -j N   size of the evaluation-engine worker pool
@@ -433,6 +433,75 @@ let run_json_bench () =
   close_out oc;
   note "wrote %s" path
 
+(* --- adaptive: quality-vs-budget curves ------------------------------- *)
+
+(* Merge the curves into BENCH_<rev>.json under the "adaptive" key so the
+   snapshot taken by --json (which owns the file's other sections) and
+   this experiment compose in either order. *)
+let write_adaptive_json curves =
+  let module Json = Ft_obs.Json in
+  let rev = git_rev () in
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  let read_file p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let existing =
+    if Sys.file_exists path then
+      match Json.of_string (read_file path) with
+      | Ok (Json.Obj fields) -> List.remove_assoc "adaptive" fields
+      | Ok _ | Error _ -> []
+    else []
+  in
+  let base =
+    if existing = [] then
+      [
+        ("schema", Json.String "funcytuner/bench/1");
+        ("rev", Json.String rev);
+      ]
+    else existing
+  in
+  let curve_json (c : Ablations.quality_curve) =
+    Json.Obj
+      [
+        ("benchmark", Json.String c.Ablations.benchmark);
+        ( "cfr",
+          Json.Obj
+            [
+              ("speedup", Json.Float c.Ablations.cfr_speedup);
+              ("evaluations", Json.Int c.Ablations.cfr_evaluations);
+            ] );
+        ( "curve",
+          Json.List
+            (List.map
+               (fun (pt : Ablations.budget_point) ->
+                 Json.Obj
+                   [
+                     ("budget", Json.Int pt.Ablations.budget);
+                     ("evaluations", Json.Int pt.Ablations.evaluations);
+                     ("speedup", Json.Float pt.Ablations.speedup);
+                   ])
+               c.Ablations.points) );
+      ]
+  in
+  let json =
+    Json.Obj (base @ [ ("adaptive", Json.List (List.map curve_json curves)) ])
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote quality-vs-budget curves to %s" path
+
+let run_adaptive () =
+  banner "adaptive"
+    "successive-halving CFR at K/16..K/2 measurement budgets vs full CFR";
+  let curves = Ablations.quality_vs_budget (Lazy.force lab) in
+  Table.print (Ablations.quality_vs_budget_table curves);
+  write_adaptive_json curves
+
 let experiments =
   [
     ("tab1", run_tab1);
@@ -448,6 +517,7 @@ let experiments =
     ("fig9", run_fig9);
     ("tab3", run_tab3);
     ("ablations", run_ablations);
+    ("adaptive", run_adaptive);
     ("faults", run_faults);
     ("micro", run_micro);
     ("engine", run_engine);

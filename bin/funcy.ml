@@ -493,6 +493,7 @@ let tune_cmd =
       [
         ("cfr", `Cfr);
         ("cfr-adaptive", `Adaptive);
+        ("adaptive-sh", `AdaptiveSh);
         ("random", `Random);
         ("fr", `Fr);
         ("greedy", `Greedy);
@@ -507,16 +508,41 @@ let tune_cmd =
       & opt (enum algos) `Cfr
       & info [ "a"; "algorithm" ] ~docv:"ALGO"
           ~doc:
-            "One of: cfr, cfr-adaptive, random, fr, greedy, opentuner, \
-             cobayn, ce, pgo (default cfr).")
+            "One of: cfr, cfr-adaptive, adaptive-sh, random, fr, greedy, \
+             opentuner, cobayn, ce, pgo (default cfr).")
   in
   let top_x_t =
     Arg.(
-      value & opt int Funcytuner.Cfr.default_top_x
-      & info [ "top-x" ] ~docv:"X" ~doc:"CFR space-focusing width.")
+      value
+      & opt (some int) None
+      & info [ "top-x" ] ~docv:"X"
+          ~doc:
+            "Space-focusing width (default: each algorithm's own — 20 \
+             for cfr/cfr-adaptive, 4 for adaptive-sh).")
+  in
+  let budget_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "adaptive-sh only: total measurement budget for the \
+             successive-halving allocator (default: a quarter of the \
+             pool size).")
+  in
+  let warm_start_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "warm-start" ] ~docv:"CACHE"
+          ~doc:
+            "adaptive-sh only: a previous run's persistent cache file \
+             (e.g. a --shared-cache); arms whose assignments it already \
+             holds are pre-scored as allocator priors, costing no \
+             budget.")
   in
   let run program platform seed pool jobs backend kill_workers shared_cache
-      stats resilience tspec algo top_x =
+      stats resilience tspec algo top_x budget warm_start =
     let trace = make_trace tspec in
     let engine =
       make_engine ~jobs ~backend ?kill_workers_after:kill_workers ?trace
@@ -547,10 +573,15 @@ let tune_cmd =
         maybe_stats stats (Funcytuner.Context.telemetry ctx))
     @@ fun () ->
     match algo with
-    | `Cfr -> print_result (Tuner.run_cfr ~top_x session)
+    | `Cfr -> print_result (Tuner.run_cfr ?top_x session)
     | `Adaptive ->
         print_result
-          (Funcytuner.Adaptive.run ~top_x ctx
+          (Funcytuner.Adaptive.run ?top_x ctx
+             (Lazy.force session.Tuner.collection))
+    | `AdaptiveSh ->
+        let warm = Option.map Ft_engine.Cache.load warm_start in
+        print_result
+          (Funcytuner.Adaptive_sh.run ?top_x ?budget ?warm ctx
              (Lazy.force session.Tuner.collection))
     | `Random -> print_result (Funcytuner.Random_search.run ctx)
     | `Fr -> print_result (Funcytuner.Fr.run ctx session.Tuner.outline)
@@ -614,7 +645,7 @@ let tune_cmd =
     Term.(
       const run $ program_t $ platform_t $ seed_t $ pool_t $ jobs_t
       $ backend_t $ kill_workers_t $ shared_cache_t $ stats_t $ resilience_t
-      $ trace_spec_t $ algo_t $ top_x_t)
+      $ trace_spec_t $ algo_t $ top_x_t $ budget_t $ warm_start_t)
 
 (* --- selfcheck --------------------------------------------------------- *)
 
@@ -651,15 +682,22 @@ let with_scratch_dir f =
   Fun.protect ~finally:(fun () -> remove_tree path) (fun () -> f path)
 
 let selfcheck_cmd =
-  let algos = [ ("cfr", `Cfr); ("fr", `Fr); ("random", `Random) ] in
+  let algos =
+    [
+      ("cfr", `Cfr);
+      ("fr", `Fr);
+      ("random", `Random);
+      ("adaptive-sh", `AdaptiveSh);
+    ]
+  in
   let algos_t =
     Arg.(
       value
       & opt_all (enum algos) []
       & info [ "a"; "algorithm" ] ~docv:"ALGO"
           ~doc:
-            "Search to check: cfr, fr or random (repeatable; default: all \
-             three).")
+            "Search to check: cfr, fr, random or adaptive-sh (repeatable; \
+             default: all four).")
   in
   let kill_at_t =
     Arg.(
@@ -726,14 +764,20 @@ let selfcheck_cmd =
     let policy = policy_of_resilience resilience in
     let input = Ft_suite.Suite.tuning_input platform program in
     let algos_selected =
-      match algos_selected with [] -> [ `Cfr; `Fr; `Random ] | l -> l
+      match algos_selected with
+      | [] -> [ `Cfr; `Fr; `Random; `AdaptiveSh ]
+      | l -> l
     in
     with_scratch_dir @@ fun scratch ->
     let failures =
       List.filter
         (fun algo ->
           let name =
-            match algo with `Cfr -> "cfr" | `Fr -> "fr" | `Random -> "random"
+            match algo with
+            | `Cfr -> "cfr"
+            | `Fr -> "fr"
+            | `Random -> "random"
+            | `AdaptiveSh -> "adaptive-sh"
           in
           let label =
             Printf.sprintf "%s (%s on %s, seed %d, jobs %d, backend %s)" name
@@ -755,7 +799,10 @@ let selfcheck_cmd =
               (match algo with
               | `Cfr -> Tuner.run_cfr session
               | `Fr -> Funcytuner.Fr.run session.Tuner.ctx session.Tuner.outline
-              | `Random -> Funcytuner.Random_search.run session.Tuner.ctx)
+              | `Random -> Funcytuner.Random_search.run session.Tuner.ctx
+              | `AdaptiveSh ->
+                  Funcytuner.Adaptive_sh.run session.Tuner.ctx
+                    (Lazy.force session.Tuner.collection))
           in
           let outcome =
             Ft_engine.Selfcheck.run ?kill_points:kill_at ~scratch ~label
@@ -1115,8 +1162,8 @@ let client_cmd =
           "cfr"
       & info [ "a"; "algorithm" ] ~docv:"ALGO"
           ~doc:
-            "One of: cfr, cfr-adaptive, fr, random (the searches the \
-             service accepts; default cfr).")
+            "One of: cfr, cfr-adaptive, adaptive-sh, fr, random (the \
+             searches the service accepts; default cfr).")
   in
   let top_x_t =
     Arg.(

@@ -55,7 +55,10 @@ let run ?(top_x = Cfr.default_top_x) ?(patience = default_patience)
           ( Fr.evaluate_assignment ctx collection.Collection.outline a,
             Result.Per_module a )
   in
+  (* +1: the final [evaluate_assignment] confirmation of the winner is
+     budget spend like any other measurement (it used to go uncounted,
+     under-reporting by one). *)
   Result.make ~algorithm:"CFR-adaptive" ~configuration
-    ~baseline_s:ctx.Context.baseline_s ~evaluations:!spent
+    ~baseline_s:ctx.Context.baseline_s ~evaluations:(!spent + 1)
     ~trace:(Result.best_so_far (List.rev !times))
     ~best_seconds

@@ -27,4 +27,6 @@ val run :
   Collection.t ->
   Result.t
 (** Like {!Cfr.run}, with early stopping; [Result.evaluations] reports the
-    budget actually spent and the algorithm label is ["CFR-adaptive"]. *)
+    budget actually spent — the search-loop measurements plus the final
+    confirmation of the winner, so it is always [List.length
+    Result.trace + 1] — and the algorithm label is ["CFR-adaptive"]. *)

@@ -1,0 +1,319 @@
+type policy =
+  | Successive_halving of { eta : int }
+  | Ucb of { exploration : float; batch : int }
+
+let default_policy = Successive_halving { eta = 2 }
+
+type pull = { arm : int; repeat : int }
+
+type decision =
+  | Rung_opened of { rung : int; arms : int; pulls : int }
+  | Rung_closed of { rung : int; survivors : int }
+  | Promoted of { rung : int; arm : int }
+  | Eliminated of { rung : int; arm : int }
+
+(* The SH rung schedule, fixed at [create]: sizes.(i) survivors each
+   pulled quotas.(i) times, plus [extra] single bonus pulls on the last
+   rung (handed to its first survivors in arm order) so that the ladder
+   spends exactly [budget] on completion. *)
+type sh_plan = { sizes : int array; quotas : int array; extra : int }
+
+type mode =
+  | Sh of { plan : sh_plan; rung : int; survivors : int list }
+  | Ucb_mode
+
+type t = {
+  policy : policy;
+  arms : int;
+  budget : int;
+  counts : int array;  (* observed pulls per arm *)
+  sums : float array;  (* observations + prior pseudo-score *)
+  weights : int array;  (* counts + (1 if the arm has a prior) *)
+  spent : int;
+  pending : pull list option;
+  decisions_rev : decision list;
+  mode : mode;
+}
+
+(* Survivor ladder n, ceil(n/eta), ... down to (and including) 1. *)
+let ladder ~eta n =
+  let rec go s acc =
+    if s <= 1 then List.rev (1 :: acc)
+    else go ((s + eta - 1) / eta) (s :: acc)
+  in
+  go n []
+
+let sh_plan ~eta ~arms ~budget =
+  let rec prefix acc sum = function
+    | s :: rest when sum + s <= budget -> prefix (s :: acc) (sum + s) rest
+    | _ -> (List.rev acc, sum)
+  in
+  (* arms <= budget, so the prefix holds at least rung 0. *)
+  let sizes, base = prefix [] 0 (ladder ~eta arms) in
+  let p = List.length sizes in
+  let sizes = Array.of_list sizes in
+  let quotas = Array.make p 1 in
+  let committed = ref base in
+  let share = budget / p in
+  for i = 0 to p - 2 do
+    let s = sizes.(i) in
+    let want = max 1 (share / s) in
+    (* Never commit pulls the remaining rungs' one-each minimum needs:
+       [committed] already reserves that minimum, so capping the extra
+       by what is left of [budget] preserves it. *)
+    let extra = min (want - 1) ((budget - !committed) / s) in
+    quotas.(i) <- 1 + extra;
+    committed := !committed + (extra * s)
+  done;
+  let last = sizes.(p - 1) in
+  (* [committed] counts one pull for the last rung; everything else of
+     the budget is the last rung's to absorb — at least [last]. *)
+  let rem = budget - !committed + last in
+  quotas.(p - 1) <- rem / last;
+  { sizes; quotas; extra = rem mod last }
+
+let create ?(policy = default_policy) ?priors ~arms ~budget () =
+  if arms < 1 then invalid_arg "Allocator.create: arms < 1";
+  if budget < arms then
+    invalid_arg "Allocator.create: budget < arms (every arm is owed one pull)";
+  (match policy with
+  | Successive_halving { eta } ->
+      if eta < 2 then invalid_arg "Allocator.create: eta < 2"
+  | Ucb { exploration; batch } ->
+      if batch < 1 then invalid_arg "Allocator.create: batch < 1";
+      if (not (Float.is_finite exploration)) || exploration < 0.0 then
+        invalid_arg "Allocator.create: exploration must be finite and >= 0");
+  let sums = Array.make arms 0.0 in
+  let weights = Array.make arms 0 in
+  (match priors with
+  | None -> ()
+  | Some p ->
+      if Array.length p <> arms then
+        invalid_arg "Allocator.create: priors length <> arms";
+      Array.iteri
+        (fun a -> function
+          | None -> ()
+          | Some s ->
+              if not (Float.is_finite s) then
+                invalid_arg "Allocator.create: non-finite prior";
+              sums.(a) <- s;
+              weights.(a) <- 1)
+        p);
+  let mode, decisions_rev =
+    match policy with
+    | Ucb _ -> (Ucb_mode, [])
+    | Successive_halving { eta } ->
+        let plan = sh_plan ~eta ~arms ~budget in
+        ( Sh { plan; rung = 0; survivors = List.init arms Fun.id },
+          [
+            Rung_opened
+              {
+                rung = 0;
+                arms;
+                pulls =
+                  (plan.quotas.(0) * plan.sizes.(0))
+                  + (if Array.length plan.sizes = 1 then plan.extra else 0);
+              };
+          ] )
+  in
+  {
+    policy;
+    arms;
+    budget;
+    counts = Array.make arms 0;
+    sums;
+    weights;
+    spent = 0;
+    pending = None;
+    decisions_rev;
+    mode;
+  }
+
+let finished t = t.spent >= t.budget
+let spent t = t.spent
+let counts t = Array.copy t.counts
+
+let mean t a = if t.weights.(a) = 0 then Float.nan else t.sums.(a) /. float_of_int t.weights.(a)
+
+let means t = Array.init t.arms (mean t)
+
+let best t =
+  let best = ref None in
+  for a = 0 to t.arms - 1 do
+    if t.counts.(a) > 0 then
+      let m = mean t a in
+      match !best with
+      | Some (bm, _) when Float.compare m bm >= 0 -> ()
+      | _ -> best := Some (m, a)
+  done;
+  Option.map snd !best
+
+let decisions t = List.rev t.decisions_rev
+
+(* -- batch construction ------------------------------------------------- *)
+
+let sh_batch t plan rung survivors =
+  let last = rung = Array.length plan.sizes - 1 in
+  let quota = plan.quotas.(rung) in
+  List.concat
+    (List.mapi
+       (fun pos a ->
+         let n = quota + if last && pos < plan.extra then 1 else 0 in
+         List.init n (fun j -> { arm = a; repeat = t.counts.(a) + j }))
+       survivors)
+
+let ucb_batch t ~exploration ~batch =
+  let m = min batch (t.budget - t.spent) in
+  let pc = Array.copy t.counts in
+  let total = ref (Array.fold_left ( + ) 0 pc) in
+  let pick () =
+    (* Fill first: an arm never pulled (nor picked earlier in this very
+       batch) beats any confidence bound. *)
+    let unpulled = ref (-1) in
+    for a = t.arms - 1 downto 0 do
+      if pc.(a) = 0 then unpulled := a
+    done;
+    if !unpulled >= 0 then !unpulled
+    else begin
+      (* Lower confidence bound (minimization): mean - c*sqrt(2 ln T / n),
+         with provisional counts so a batch spreads instead of stacking.
+         Arms with no score yet (in-flight fill pulls) are skipped; if
+         no arm has a score, fall back to the least-pulled arm. *)
+      let best = ref None in
+      for a = 0 to t.arms - 1 do
+        if t.weights.(a) > 0 then begin
+          let radius =
+            exploration
+            *. sqrt (2.0 *. log (float_of_int (max 1 !total))
+                     /. float_of_int pc.(a))
+          in
+          let score = mean t a -. radius in
+          match !best with
+          | Some (bs, _) when Float.compare score bs >= 0 -> ()
+          | _ -> best := Some (score, a)
+        end
+      done;
+      match !best with
+      | Some (_, a) -> a
+      | None ->
+          let least = ref 0 in
+          for a = 1 to t.arms - 1 do
+            if pc.(a) < pc.(!least) then least := a
+          done;
+          !least
+    end
+  in
+  List.init m (fun _ ->
+      let a = pick () in
+      let p = { arm = a; repeat = pc.(a) } in
+      pc.(a) <- pc.(a) + 1;
+      incr total;
+      p)
+
+let next_batch t =
+  if t.pending <> None then
+    invalid_arg "Allocator.next_batch: previous batch not yet observed";
+  if finished t then ([], t)
+  else
+    let pulls =
+      match t.mode with
+      | Sh { plan; rung; survivors } -> sh_batch t plan rung survivors
+      | Ucb_mode -> (
+          match t.policy with
+          | Ucb { exploration; batch } -> ucb_batch t ~exploration ~batch
+          | Successive_halving _ -> assert false)
+    in
+    (pulls, { t with pending = Some pulls })
+
+(* -- observation and rung close ----------------------------------------- *)
+
+(* Rank survivors best-first: mean ascending, arm index breaking ties.
+   Total (Float.compare handles infinities), so promotion is monotone:
+   any arm strictly better than a promoted arm outranks it and is
+   promoted too. *)
+let rank t survivors =
+  List.stable_sort
+    (fun a b ->
+      let c = Float.compare (mean t a) (mean t b) in
+      if c <> 0 then c else compare a b)
+    survivors
+
+let close_rung t plan rung survivors =
+  let p = Array.length plan.sizes in
+  if rung = p - 1 then
+    (* Ladder exhausted: by construction the budget is exactly spent. *)
+    { t with
+      decisions_rev =
+        Rung_closed { rung; survivors = List.length survivors }
+        :: t.decisions_rev;
+    }
+  else begin
+    let keep = plan.sizes.(rung + 1) in
+    let ranked = rank t survivors in
+    let rec split i acc = function
+      | [] -> (List.rev acc, [])
+      | rest when i = keep -> (List.rev acc, rest)
+      | a :: rest -> split (i + 1) (a :: acc) rest
+    in
+    let promoted, eliminated = split 0 [] ranked in
+    let decisions_rev =
+      List.fold_left
+        (fun acc a -> Promoted { rung; arm = a } :: acc)
+        t.decisions_rev promoted
+    in
+    let decisions_rev =
+      List.fold_left
+        (fun acc a -> Eliminated { rung; arm = a } :: acc)
+        decisions_rev eliminated
+    in
+    let survivors = List.sort compare promoted in
+    let rung = rung + 1 in
+    let pulls =
+      (plan.quotas.(rung) * plan.sizes.(rung))
+      + if rung = p - 1 then plan.extra else 0
+    in
+    let decisions_rev =
+      Rung_opened { rung; arms = List.length survivors; pulls }
+      :: Rung_closed { rung = rung - 1; survivors = List.length survivors }
+      :: decisions_rev
+    in
+    { t with
+      decisions_rev;
+      mode = Sh { plan; rung; survivors };
+    }
+  end
+
+let observe t scores =
+  match t.pending with
+  | None -> invalid_arg "Allocator.observe: no batch outstanding"
+  | Some pulls ->
+      if List.length scores <> List.length pulls then
+        invalid_arg "Allocator.observe: score count differs from batch";
+      List.iter
+        (fun s ->
+          if Float.is_nan s then invalid_arg "Allocator.observe: NaN score")
+        scores;
+      let counts = Array.copy t.counts in
+      let sums = Array.copy t.sums in
+      let weights = Array.copy t.weights in
+      List.iter2
+        (fun { arm; repeat = _ } s ->
+          counts.(arm) <- counts.(arm) + 1;
+          sums.(arm) <- sums.(arm) +. s;
+          weights.(arm) <- weights.(arm) + 1)
+        pulls scores;
+      let t =
+        {
+          t with
+          counts;
+          sums;
+          weights;
+          spent = t.spent + List.length pulls;
+          pending = None;
+        }
+      in
+      (match t.mode with
+      | Ucb_mode -> t
+      | Sh { plan; rung; survivors } ->
+          (* A batch is a whole rung, so every observation closes one. *)
+          close_rung t plan rung survivors)

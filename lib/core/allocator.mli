@@ -1,0 +1,121 @@
+(** Pure, deterministic evaluation-budget allocator over a fixed arm set.
+
+    CFR spends its budget uniformly: every draw from the pruned per-loop
+    pools gets exactly one measurement.  This module is the other half of
+    the ROADMAP's adaptive-search item — given [arms] candidate
+    configurations and a total [budget] of measurements, decide {e which}
+    arm to measure next so that most of the budget concentrates on the
+    arms that look fastest, while every arm still gets a fair first look.
+
+    Two policies:
+
+    - {b successive halving} ([Successive_halving]): the budget is split
+      across a ladder of rungs.  Rung 0 pulls every arm; at each rung
+      close the survivors are ranked by mean observed score (lower is
+      better, ties broken by arm index) and only the top [ceil (s /
+      eta)] are promoted.  The last rung absorbs the integer remainder
+      so that a completed run spends {e exactly} its budget.
+    - {b UCB} ([Ucb]): after a fill phase that pulls every arm once,
+      batches are chosen greedily by the lower confidence bound [mean -
+      exploration * sqrt (2 ln t / n)] (minimization form), with
+      provisional pull counts inside a batch so one call never stacks
+      its whole batch on a single arm.
+
+    The allocator is an explicit state machine — [create] →
+    [next_batch] → [observe] → … → [finished] — with {e no} I/O, RNG,
+    or wall-clock inputs: every decision is a pure function of the
+    policy, the arm count, the budget, the optional priors, and the
+    observed scores.  That is what makes the laws in
+    [test/suite_core.ml] (budget conservation, fair first look,
+    promotion monotonicity, replay determinism) directly checkable, and
+    what lets {!Adaptive_sh} batch each rung through the parallel
+    engine without the schedule leaking into the decisions — the same
+    discipline that keeps [Ft_serve.Scheduler] unit-testable. *)
+
+type policy =
+  | Successive_halving of { eta : int }
+      (** keep [ceil (survivors / eta)] arms per rung; [eta >= 2] *)
+  | Ucb of { exploration : float; batch : int }
+      (** lower-confidence-bound batches of [batch >= 1] pulls;
+          [exploration >= 0] scales the confidence radius *)
+
+val default_policy : policy
+(** [Successive_halving { eta = 2 }] — the flagship schedule. *)
+
+type pull = { arm : int; repeat : int }
+(** One requested measurement: pull [arm] for the ([repeat]+1)-th time.
+    [repeat] counts that arm's previous pulls across the whole run, so
+    [(arm, repeat)] is a stable identity for the measurement — callers
+    use it to derive a per-pull RNG label that does not depend on how
+    pulls were grouped into batches. *)
+
+type decision =
+  | Rung_opened of { rung : int; arms : int; pulls : int }
+      (** rung [rung] begins with [arms] survivors and [pulls] total
+          measurements scheduled *)
+  | Rung_closed of { rung : int; survivors : int }
+      (** rung [rung] ended; [survivors] arms were promoted out of it *)
+  | Promoted of { rung : int; arm : int }
+  | Eliminated of { rung : int; arm : int }
+      (** per-arm outcome of a rung close, emitted best-rank first for
+          promotions and worst-rank last for eliminations *)
+
+type t
+(** Immutable allocator state.  [next_batch]/[observe] return new states;
+    old states stay valid (useful for replay in tests). *)
+
+val create : ?policy:policy -> ?priors:float option array -> arms:int -> budget:int -> unit -> t
+(** A fresh allocator over arm indices [0 .. arms-1].
+
+    [priors.(a)], when present, is a pseudo-observation for arm [a] —
+    typically a warm-start time recalled from a previous run's cache.
+    It seeds the arm's running mean with weight 1 but counts as neither
+    a pull nor budget spend, so the structural laws are unchanged; it
+    only biases early rankings toward (or away from) the arm.
+
+    @raise Invalid_argument if [arms < 1], [budget < arms] (every arm
+    is owed one pull), [priors] has the wrong length or a non-finite
+    entry, or the policy parameters are out of range. *)
+
+val next_batch : t -> pull list * t
+(** The next block of measurements the caller owes the allocator, and
+    the state awaiting their scores.  The list is empty iff the
+    allocator is finished.  Pulls are ordered by arm index, repeats
+    consecutive — the order is part of the deterministic contract but
+    carries no priority.
+
+    @raise Invalid_argument if a previous batch is still unobserved. *)
+
+val observe : t -> float list -> t
+(** Feed back the scores of the outstanding batch, positionally (score
+    [i] answers pull [i]; lower is better; faulted measurements should
+    be scored [infinity], never NaN).  Closes the rung (SH) when its
+    quota is met, recording promotion/elimination decisions.
+
+    @raise Invalid_argument if no batch is outstanding, the length
+    differs from the outstanding batch, or a score is NaN. *)
+
+val finished : t -> bool
+(** No pulls remain: the whole budget has been observed. *)
+
+val spent : t -> int
+(** Observed pulls so far (excludes the outstanding batch, excludes
+    priors).  On a finished allocator, [spent t = budget]. *)
+
+val best : t -> int option
+(** The arm with the lowest mean score (ties to the lowest index),
+    considering only arms with at least one real observation — [None]
+    before any observation.  Priors break ties {e within} an arm's mean
+    but an arm never wins on a prior alone. *)
+
+val counts : t -> int array
+(** Per-arm observed pull counts (priors excluded). *)
+
+val means : t -> float array
+(** Per-arm running mean of observations {e and} prior pseudo-scores;
+    [nan] for an arm with neither. *)
+
+val decisions : t -> decision list
+(** All rung/promotion decisions so far, in chronological order.  A
+    pure function of (policy, arms, budget, priors, scores) — two
+    allocators fed identical inputs produce identical lists. *)

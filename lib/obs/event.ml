@@ -34,6 +34,10 @@ type t =
   | Phase_begin of { phase : phase }
   | Phase_end of { phase : phase }
   | Prune_kept of { module_name : string; kept : int }
+  | Rung_opened of { rung : int; arms : int; pulls : int }
+  | Rung_closed of { rung : int; survivors : int }
+  | Arm_promoted of { rung : int; arm : int }
+  | Arm_eliminated of { rung : int; arm : int }
   | Request_received of { id : string; tenant : string; fingerprint : string }
   | Request_admitted of { id : string; queue_depth : int }
   | Request_coalesced of { id : string; leader : string }
@@ -67,6 +71,10 @@ let name = function
   | Phase_begin _ -> "phase_begin"
   | Phase_end _ -> "phase_end"
   | Prune_kept _ -> "prune"
+  | Rung_opened _ -> "rung_open"
+  | Rung_closed _ -> "rung_close"
+  | Arm_promoted _ -> "arm_promote"
+  | Arm_eliminated _ -> "arm_elim"
   | Request_received _ -> "req_recv"
   | Request_admitted _ -> "req_admit"
   | Request_coalesced _ -> "req_coalesce"
@@ -110,6 +118,12 @@ let fields = function
       [ ("phase", Json.String (phase_name phase)) ]
   | Prune_kept { module_name; kept } ->
       [ ("module", Json.String module_name); ("kept", Json.Int kept) ]
+  | Rung_opened { rung; arms; pulls } ->
+      [ ("rung", Json.Int rung); ("arms", Json.Int arms); ("pulls", Json.Int pulls) ]
+  | Rung_closed { rung; survivors } ->
+      [ ("rung", Json.Int rung); ("survivors", Json.Int survivors) ]
+  | Arm_promoted { rung; arm } | Arm_eliminated { rung; arm } ->
+      [ ("rung", Json.Int rung); ("arm", Json.Int arm) ]
   | Request_received { id; tenant; fingerprint } ->
       [
         ("id", Json.String id);
@@ -243,6 +257,23 @@ let of_json json =
           let* module_name = str "module" in
           let* kept = int "kept" in
           Ok (Prune_kept { module_name; kept })
+      | "rung_open" ->
+          let* rung = int "rung" in
+          let* arms = int "arms" in
+          let* pulls = int "pulls" in
+          Ok (Rung_opened { rung; arms; pulls })
+      | "rung_close" ->
+          let* rung = int "rung" in
+          let* survivors = int "survivors" in
+          Ok (Rung_closed { rung; survivors })
+      | "arm_promote" ->
+          let* rung = int "rung" in
+          let* arm = int "arm" in
+          Ok (Arm_promoted { rung; arm })
+      | "arm_elim" ->
+          let* rung = int "rung" in
+          let* arm = int "arm" in
+          Ok (Arm_eliminated { rung; arm })
       | "req_recv" ->
           let* id = str "id" in
           let* tenant = str "tenant" in

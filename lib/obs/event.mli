@@ -64,6 +64,20 @@ type t =
   | Phase_end of { phase : phase }
   | Prune_kept of { module_name : string; kept : int }
       (** space focusing kept [kept] CVs for this module (top-X) *)
+  | Rung_opened of { rung : int; arms : int; pulls : int }
+      (** adaptive-sh: successive-halving rung [rung] began with [arms]
+          surviving candidate assignments and [pulls] measurements
+          scheduled.  A pure function of the allocator's inputs, so it
+          survives normalization like any search decision. *)
+  | Rung_closed of { rung : int; survivors : int }
+      (** adaptive-sh: the rung's quota was observed; [survivors] arms
+          were promoted out of it (the arm count itself on the final
+          rung, which promotes nobody) *)
+  | Arm_promoted of { rung : int; arm : int }
+      (** adaptive-sh: arm [arm] ranked inside the top [ceil (s/eta)]
+          of rung [rung] and advances to the next rung *)
+  | Arm_eliminated of { rung : int; arm : int }
+      (** adaptive-sh: arm [arm] was cut at the close of rung [rung] *)
   | Request_received of { id : string; tenant : string; fingerprint : string }
       (** server: a tune request arrived, keyed by its content-addressed
           program fingerprint *)

@@ -181,6 +181,20 @@ let timer t ~name ~seconds = emit_wall t (Event.Timer { name; seconds })
 let prune_kept t ~module_name ~kept =
   emit t (Event.Prune_kept { module_name; kept })
 
+(* Adaptive-search rung lifecycle.  Allocator decisions are pure
+   functions of the observed (deterministic) scores, so these are
+   emitted under either clock and kept by normalization: a resumed or
+   re-scheduled run must reproduce the same promotions. *)
+
+let rung_opened t ~rung ~arms ~pulls =
+  emit t (Event.Rung_opened { rung; arms; pulls })
+
+let rung_closed t ~rung ~survivors =
+  emit t (Event.Rung_closed { rung; survivors })
+
+let arm_promoted t ~rung ~arm = emit t (Event.Arm_promoted { rung; arm })
+let arm_eliminated t ~rung ~arm = emit t (Event.Arm_eliminated { rung; arm })
+
 (* Server request-lifecycle events.  Arrival order, coalescing and queue
    depth are properties of live traffic, not of any one search, so they
    are recorded under either clock (a server trace is never part of the

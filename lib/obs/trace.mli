@@ -136,6 +136,15 @@ val timer : t option -> name:string -> seconds:float -> unit
 
 val prune_kept : t option -> module_name:string -> kept:int -> unit
 
+val rung_opened : t option -> rung:int -> arms:int -> pulls:int -> unit
+val rung_closed : t option -> rung:int -> survivors:int -> unit
+val arm_promoted : t option -> rung:int -> arm:int -> unit
+
+val arm_eliminated : t option -> rung:int -> arm:int -> unit
+(** Adaptive-sh allocator decisions (see {!Event.Rung_opened} et al.):
+    deterministic search facts, emitted under either clock and kept by
+    {!normalized_lines}. *)
+
 (** {3 Server request-lifecycle events}
 
     Emitted by {!Ft_serve.Server} at each step of a request's life

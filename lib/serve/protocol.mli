@@ -47,7 +47,8 @@ val accepted_versions : int list
 type tune_spec = {
   benchmark : string;  (** suite benchmark name, e.g. ["swim"] *)
   platform : string;  (** platform short name: ["opteron"|"snb"|"bdw"] *)
-  algorithm : string;  (** ["cfr"|"cfr-adaptive"|"fr"|"random"] *)
+  algorithm : string;
+      (** ["cfr"|"cfr-adaptive"|"adaptive-sh"|"fr"|"random"] *)
   seed : int;
   pool : int;  (** CV pool size / evaluation budget *)
   top_x : int option;  (** CFR space-focusing width (algorithm default) *)

@@ -16,7 +16,7 @@ type t = {
     (Scheduler.outcome, string) result;
 }
 
-let algorithms = [ "cfr"; "cfr-adaptive"; "fr"; "random" ]
+let algorithms = [ "cfr"; "cfr-adaptive"; "adaptive-sh"; "fr"; "random" ]
 
 let validate (spec : Protocol.tune_spec) =
   if Ft_suite.Suite.find spec.benchmark = None then
@@ -40,11 +40,17 @@ let search ~engine (spec : Protocol.tune_spec) =
       ~input:(Ft_suite.Suite.tuning_input platform program)
       ~seed:spec.seed ()
   in
-  let top_x = Option.value ~default:Funcytuner.Cfr.default_top_x spec.top_x in
+  (* [spec.top_x] stays optional all the way down so each algorithm
+     applies its own default width (20 for cfr/cfr-adaptive, 4 for
+     adaptive-sh) — exactly as the solo [funcy tune] CLI does, which
+     the byte-identity contract depends on. *)
   match spec.algorithm with
-  | "cfr" -> Tuner.run_cfr ~top_x session
+  | "cfr" -> Tuner.run_cfr ?top_x:spec.top_x session
   | "cfr-adaptive" ->
-      Funcytuner.Adaptive.run ~top_x session.Tuner.ctx
+      Funcytuner.Adaptive.run ?top_x:spec.top_x session.Tuner.ctx
+        (Lazy.force session.Tuner.collection)
+  | "adaptive-sh" ->
+      Funcytuner.Adaptive_sh.run ?top_x:spec.top_x session.Tuner.ctx
         (Lazy.force session.Tuner.collection)
   | "fr" -> Funcytuner.Fr.run session.Tuner.ctx session.Tuner.outline
   | "random" -> Funcytuner.Random_search.run session.Tuner.ctx

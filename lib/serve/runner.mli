@@ -44,7 +44,7 @@ type t = {
 val algorithms : string list
 (** Specs the service accepts: the searches whose solo [funcy tune]
     output is exactly {!Ft_core.Result.render} — ["cfr"],
-    ["cfr-adaptive"], ["fr"], ["random"]. *)
+    ["cfr-adaptive"], ["adaptive-sh"], ["fr"], ["random"]. *)
 
 val make : engine:Ft_engine.Engine.t -> t
 (** A shared-engine runner.  [run] installs a telemetry progress

@@ -147,6 +147,9 @@ let run_algo ?kill_workers_after ~backend ~jobs algo =
     | `Cfr -> Tuner.run_cfr session
     | `Fr -> Funcytuner.Fr.run session.Tuner.ctx session.Tuner.outline
     | `Random -> Funcytuner.Random_search.run session.Tuner.ctx
+    | `AdaptiveSh ->
+        Funcytuner.Adaptive_sh.run session.Tuner.ctx
+          (Lazy.force session.Tuner.collection)
   in
   let bytes = String.concat "\n" (Export.jsonl_lines trace) ^ "\n" in
   (result, bytes, engine)
@@ -172,6 +175,9 @@ let check_differential algo name =
 let test_differential_cfr () = check_differential `Cfr "cfr"
 let test_differential_fr () = check_differential `Fr "fr"
 let test_differential_random () = check_differential `Random "random"
+
+let test_differential_adaptive_sh () =
+  check_differential `AdaptiveSh "adaptive-sh"
 
 let test_differential_survives_worker_kills () =
   (* The acceptance property end-to-end: SIGKILL a worker on the first
@@ -471,6 +477,8 @@ let suite =
         test_differential_fr;
       Alcotest.test_case "random differential (jobs 1/2/4)" `Quick
         test_differential_random;
+      Alcotest.test_case "adaptive-sh differential (jobs 1/2/4)" `Quick
+        test_differential_adaptive_sh;
       Alcotest.test_case "differential survives worker kills" `Quick
         test_differential_survives_worker_kills;
       Alcotest.test_case "worker crash exhausts to typed outcome" `Quick

@@ -245,12 +245,14 @@ let test_adaptive_cfr () =
     Funcytuner.Adaptive.run ~top_x:10 ~patience:20 s.Tuner.ctx (collection ())
   in
   Alcotest.(check string) "name" "CFR-adaptive" r.Result.algorithm;
+  (* +1: the final confirmation of the winner counts as budget spend. *)
   Alcotest.(check bool) "stops within the budget" true
-    (r.Result.evaluations <= 120);
+    (r.Result.evaluations <= 121);
   Alcotest.(check bool) "spent at least patience evaluations" true
-    (r.Result.evaluations >= 20);
-  Alcotest.(check int) "trace matches spent budget" r.Result.evaluations
-    (List.length r.Result.trace);
+    (r.Result.evaluations >= 21);
+  Alcotest.(check int) "trace is the loop spend, evaluations one more"
+    r.Result.evaluations
+    (List.length r.Result.trace + 1);
   (* The adaptive variant should land close to full CFR. *)
   let full = Funcytuner.Cfr.run ~top_x:10 s.Tuner.ctx (collection ()) in
   Alcotest.(check bool)
@@ -269,6 +271,266 @@ let test_adaptive_patience_controls_budget () =
   in
   Alcotest.(check bool) "more patience, at least as many evaluations" true
     (long.Result.evaluations >= short.Result.evaluations)
+
+(* --- Allocator: the pure budget allocator's laws --------------------------- *)
+
+module Allocator = Funcytuner.Allocator
+
+(* Drive an allocator to completion on a synthetic score function,
+   calling [check] after every observation.  Returns the final state and
+   every pull issued, in order. *)
+let drive ?(check = fun _ -> ()) ~score alloc =
+  let rec go alloc acc =
+    let pulls, awaiting = Allocator.next_batch alloc in
+    match pulls with
+    | [] -> (alloc, List.rev acc)
+    | _ ->
+        let alloc = Allocator.observe awaiting (List.map score pulls) in
+        check alloc;
+        go alloc (List.rev_append pulls acc)
+  in
+  go alloc []
+
+(* A deterministic pure score: a hash of (seed, arm, repeat). *)
+let synth_score seed { Allocator.arm; repeat } =
+  let rng =
+    Ft_util.Rng.of_label
+      (Ft_util.Rng.create seed)
+      (Printf.sprintf "%d:%d" arm repeat)
+  in
+  Ft_util.Rng.float rng 10.0
+
+let alloc_case_arb =
+  QCheck.make
+    ~print:(fun (sh, arms, slack, p, seed) ->
+      Printf.sprintf "sh=%b arms=%d slack=%d p=%d seed=%d" sh arms slack p
+        seed)
+    QCheck.Gen.(
+      map
+        (fun ((sh, arms), (slack, (p, seed))) -> (sh, arms, slack, p, seed))
+        (pair
+           (pair bool (int_range 1 12))
+           (pair (int_range 0 60) (pair (int_range 2 4) (int_bound 10_000)))))
+
+let prop_allocator_laws =
+  QCheck.Test.make ~count:300
+    ~name:
+      "allocator laws: budget conservation, fair first look, monotone \
+       promotion, replay determinism"
+    alloc_case_arb
+    (fun (sh, arms, slack, p, seed) ->
+      let budget = arms + slack in
+      let policy =
+        if sh then Allocator.Successive_halving { eta = p }
+        else Allocator.Ucb { exploration = 0.5; batch = p }
+      in
+      let make () = Allocator.create ~policy ~arms ~budget () in
+      let score = synth_score seed in
+      let fail fmt = QCheck.Test.fail_reportf fmt in
+      let seen = ref 0 in
+      let elim_seen = ref false in
+      let check alloc =
+        if Allocator.spent alloc > budget then
+          fail "spent %d overshoots budget %d" (Allocator.spent alloc) budget;
+        let ds = Allocator.decisions alloc in
+        let fresh = List.filteri (fun i _ -> i >= !seen) ds in
+        seen := List.length ds;
+        let means = Allocator.means alloc in
+        (* Fair first look: no elimination before every arm has a pull. *)
+        (if (not !elim_seen)
+            && List.exists
+                 (function Allocator.Eliminated _ -> true | _ -> false)
+                 fresh
+         then begin
+           elim_seen := true;
+           if not (Array.for_all (fun c -> c >= 1) (Allocator.counts alloc))
+           then fail "elimination before every arm was pulled"
+         end);
+        (* Promotion monotonicity, on the rung that just closed: no
+           eliminated arm may have a strictly better mean than any
+           promoted arm. *)
+        let promoted =
+          List.filter_map
+            (function Allocator.Promoted { arm; _ } -> Some arm | _ -> None)
+            fresh
+        and eliminated =
+          List.filter_map
+            (function
+              | Allocator.Eliminated { arm; _ } -> Some arm | _ -> None)
+            fresh
+        in
+        List.iter
+          (fun e ->
+            List.iter
+              (fun p ->
+                if Float.compare means.(e) means.(p) < 0 then
+                  fail "eliminated arm %d (mean %f) beats promoted %d (%f)" e
+                    means.(e) p means.(p))
+              promoted)
+          eliminated
+      in
+      let final, pulls = drive ~check ~score (make ()) in
+      if not (Allocator.finished final) then fail "never finished";
+      (* Conservation is exact on completion. *)
+      if Allocator.spent final <> budget then
+        fail "spent %d <> budget %d on completion" (Allocator.spent final)
+          budget;
+      if List.length pulls <> budget then fail "pull log disagrees with spend";
+      (* Replay determinism: identical inputs, identical decisions and
+         pull sequence. *)
+      let final', pulls' = drive ~score (make ()) in
+      Allocator.decisions final = Allocator.decisions final' && pulls = pulls')
+
+let test_allocator_rejects () =
+  let reject name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ " accepted")
+  in
+  reject "arms=0" (fun () -> Allocator.create ~arms:0 ~budget:5 ());
+  reject "budget<arms" (fun () -> Allocator.create ~arms:5 ~budget:4 ());
+  reject "eta=1" (fun () ->
+      Allocator.create
+        ~policy:(Allocator.Successive_halving { eta = 1 })
+        ~arms:2 ~budget:4 ());
+  reject "short priors" (fun () ->
+      Allocator.create ~priors:[| Some 1.0 |] ~arms:2 ~budget:4 ());
+  reject "nan prior" (fun () ->
+      Allocator.create ~priors:[| Some Float.nan; None |] ~arms:2 ~budget:4 ());
+  let a = Allocator.create ~arms:2 ~budget:4 () in
+  let pulls, awaiting = Allocator.next_batch a in
+  reject "double next_batch" (fun () -> Allocator.next_batch awaiting);
+  reject "observe without batch" (fun () -> Allocator.observe a [ 1.0 ]);
+  reject "observe length mismatch" (fun () ->
+      Allocator.observe awaiting (1.0 :: List.map (fun _ -> 1.0) pulls));
+  reject "observe NaN" (fun () ->
+      Allocator.observe awaiting (List.map (fun _ -> Float.nan) pulls))
+
+let test_allocator_prior_bias () =
+  (* Two arms, equal observed scores: without priors the index tie-break
+     promotes arm 0; a bad prior pseudo-score on arm 0 flips it. *)
+  let promoted_of priors =
+    let a =
+      Allocator.create
+        ~policy:(Allocator.Successive_halving { eta = 2 })
+        ?priors ~arms:2 ~budget:3 ()
+    in
+    let final, _ = drive ~score:(fun _ -> 5.0) a in
+    List.filter_map
+      (function
+        | Allocator.Promoted { rung = 0; arm } -> Some arm | _ -> None)
+      (Allocator.decisions final)
+  in
+  Alcotest.(check (list int)) "tie goes to arm 0" [ 0 ] (promoted_of None);
+  Alcotest.(check (list int)) "a bad prior on arm 0 flips the tie" [ 1 ]
+    (promoted_of (Some [| Some 10.0; None |]))
+
+let test_allocator_ucb_exploits () =
+  (* A clearly best arm must absorb most of a UCB budget. *)
+  let a =
+    Allocator.create
+      ~policy:(Allocator.Ucb { exploration = 0.1; batch = 2 })
+      ~arms:3 ~budget:30 ()
+  in
+  let score { Allocator.arm; _ } = if arm = 0 then 1.0 else 5.0 in
+  let final, _ = drive ~score a in
+  let counts = Allocator.counts final in
+  Alcotest.(check bool)
+    (Printf.sprintf "best arm dominates (%d/%d/%d)" counts.(0) counts.(1)
+       counts.(2))
+    true
+    (counts.(0) > counts.(1) + counts.(2));
+  Alcotest.(check (option int)) "best is the cheap arm" (Some 0)
+    (Allocator.best final)
+
+(* --- Adaptive_sh: successive-halving CFR ----------------------------------- *)
+
+module Adaptive_sh = Funcytuner.Adaptive_sh
+
+let test_adaptive_sh_basic () =
+  let s = Lazy.force session in
+  let r = Adaptive_sh.run s.Tuner.ctx (collection ()) in
+  let budget = Adaptive_sh.default_budget s.Tuner.ctx in
+  Alcotest.(check string) "name" "CFR-SH" r.Result.algorithm;
+  Alcotest.(check int) "evaluations = budget + final confirmation"
+    (budget + 1) r.Result.evaluations;
+  Alcotest.(check int) "trace is the allocator spend" budget
+    (List.length r.Result.trace);
+  Alcotest.(check bool) "positive speedup" true (r.Result.speedup > 0.0);
+  let r' = Adaptive_sh.run s.Tuner.ctx (collection ()) in
+  Alcotest.(check (float 0.0)) "deterministic" r.Result.speedup
+    r'.Result.speedup
+
+let test_adaptive_sh_quality_vs_budget () =
+  (* The ROADMAP target, enforced: at a quarter of CFR's evaluation
+     budget, adaptive-sh must come within 2% of CFR's best time. *)
+  let s = Lazy.force session in
+  let cfr = Tuner.run_cfr s in
+  let sh = Adaptive_sh.run s.Tuner.ctx (collection ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "quarter budget (%d vs %d)" sh.Result.evaluations
+       cfr.Result.evaluations)
+    true
+    (sh.Result.evaluations <= (cfr.Result.evaluations / 4) + 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "within 2%% of CFR's best time (%.4f vs %.4f)"
+       sh.Result.best_seconds cfr.Result.best_seconds)
+    true
+    (sh.Result.best_seconds <= cfr.Result.best_seconds *. 1.02)
+
+let test_adaptive_sh_trace_events () =
+  (* The rung lifecycle is visible as typed events, under the logical
+     clock, and survives selfcheck normalization. *)
+  let trace = Ft_obs.Trace.create ~clock:Ft_obs.Trace.Logical () in
+  let engine = Ft_engine.Engine.create ~trace () in
+  let s =
+    Tuner.make_session ~pool_size:40 ~engine ~platform ~program ~input
+      ~seed:7 ()
+  in
+  let r = Adaptive_sh.run s.Tuner.ctx (Lazy.force s.Tuner.collection) in
+  Alcotest.(check bool) "ran" true (r.Result.evaluations > 0);
+  let events =
+    List.map (fun st -> st.Ft_obs.Trace.event) (Ft_obs.Trace.events trace)
+  in
+  let count p = List.length (List.filter p events) in
+  let opened =
+    count (function Ft_obs.Event.Rung_opened _ -> true | _ -> false)
+  and closed =
+    count (function Ft_obs.Event.Rung_closed _ -> true | _ -> false)
+  and promoted =
+    count (function Ft_obs.Event.Arm_promoted _ -> true | _ -> false)
+  and eliminated =
+    count (function Ft_obs.Event.Arm_eliminated _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "rungs opened" true (opened >= 2);
+  Alcotest.(check int) "every rung closed" opened closed;
+  Alcotest.(check bool) "promotions and eliminations recorded" true
+    (promoted > 0 && eliminated > 0);
+  let normalized = Ft_obs.Trace.normalized_lines trace in
+  Alcotest.(check bool) "rung events survive normalization" true
+    (List.exists (fun l -> Test_helpers.contains l "rung_open") normalized
+    && List.exists (fun l -> Test_helpers.contains l "arm_elim") normalized)
+
+let test_adaptive_sh_warm_start () =
+  (* A warm cache from a previous identical run pre-scores every arm;
+     the warm search must still be valid and deterministic. *)
+  let cache = Ft_engine.Cache.create () in
+  let run ?warm ~engine () =
+    let s =
+      Tuner.make_session ~pool_size:40 ~engine ~platform ~program ~input
+        ~seed:5 ()
+    in
+    Adaptive_sh.run ?warm s.Tuner.ctx (Lazy.force s.Tuner.collection)
+  in
+  let cold = run ~engine:(Ft_engine.Engine.create ~cache ()) () in
+  let warm () = run ~warm:cache ~engine:(Ft_engine.Engine.create ()) () in
+  let w1 = warm () and w2 = warm () in
+  Alcotest.(check string) "same algorithm" cold.Result.algorithm
+    w1.Result.algorithm;
+  Alcotest.(check int) "same budget spent" cold.Result.evaluations
+    w1.Result.evaluations;
+  Alcotest.(check (float 0.0)) "warm start deterministic" w1.Result.speedup
+    w2.Result.speedup
 
 let suite =
   ( "core",
@@ -304,4 +566,17 @@ let suite =
       Alcotest.test_case "adaptive CFR" `Quick test_adaptive_cfr;
       Alcotest.test_case "adaptive patience" `Quick
         test_adaptive_patience_controls_budget;
+      QCheck_alcotest.to_alcotest prop_allocator_laws;
+      Alcotest.test_case "allocator rejects" `Quick test_allocator_rejects;
+      Alcotest.test_case "allocator prior bias" `Quick
+        test_allocator_prior_bias;
+      Alcotest.test_case "allocator UCB exploits" `Quick
+        test_allocator_ucb_exploits;
+      Alcotest.test_case "adaptive-sh basics" `Quick test_adaptive_sh_basic;
+      Alcotest.test_case "adaptive-sh quality at quarter budget" `Quick
+        test_adaptive_sh_quality_vs_budget;
+      Alcotest.test_case "adaptive-sh rung trace events" `Quick
+        test_adaptive_sh_trace_events;
+      Alcotest.test_case "adaptive-sh warm start" `Quick
+        test_adaptive_sh_warm_start;
     ] )

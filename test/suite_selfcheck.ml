@@ -53,7 +53,10 @@ let search_of algo engine =
     (match algo with
     | `Cfr -> Tuner.run_cfr ~top_x:3 session
     | `Fr -> Funcytuner.Fr.run session.Tuner.ctx session.Tuner.outline
-    | `Random -> Funcytuner.Random_search.run session.Tuner.ctx)
+    | `Random -> Funcytuner.Random_search.run session.Tuner.ctx
+    | `AdaptiveSh ->
+        Funcytuner.Adaptive_sh.run ~top_x:3 session.Tuner.ctx
+          (Lazy.force session.Tuner.collection))
 
 let oracle ?(policy = Engine.default_policy) ?kill_points ~backend ~jobs ~algo
     () =
@@ -125,7 +128,12 @@ let cases backend =
               `Slow
               (test_kill_everywhere ~backend ~algo ~jobs))
           [ 1; 2; 4 ])
-      [ ("cfr", `Cfr); ("fr", `Fr); ("random", `Random) ]
+      [
+        ("cfr", `Cfr);
+        ("fr", `Fr);
+        ("random", `Random);
+        ("adaptive-sh", `AdaptiveSh);
+      ]
   in
   matrix
   @ [
