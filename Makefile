@@ -3,7 +3,10 @@ FUNCY = $(DUNE) exec --no-build bin/funcy.exe --
 
 .PHONY: all build test smoke smoke-faults smoke-trace smoke-procs \
         smoke-selfcheck smoke-adaptive smoke-serve smoke-recover golden \
-        coverage check clean
+        bench-gate coverage check clean
+
+# Committed perf baseline the gate compares against (see bench-gate).
+BENCH_SEED ?= BENCH_11e6649.json
 
 all: build
 
@@ -174,6 +177,17 @@ smoke-recover: build
 	  kill -0 `cat _build/smoke-recover/pid` 2>/dev/null || break; sleep 0.1; done; \
 	  ! kill -0 `cat _build/smoke-recover/pid` 2>/dev/null
 	@echo "smoke-recover OK: supervised restarts survived, loadgen consistent, drained cleanly"
+
+# Perf regression gate (see DESIGN.md section 16): run the JSON bench
+# suite and compare its headline metrics against the committed seed
+# snapshot.  Solo-tune evals/sec must reach 1.3x the seed's; the cache
+# hit rate may drop at most 0.05 absolute; loadgen p50/p99 latencies may
+# grow at most 3x (latency tolerances are deliberately loose: CI boxes
+# vary, while the throughput ratio is the contract this PR's hot-path
+# work must hold).  Exits 1 on any regression.
+bench-gate: build
+	$(DUNE) exec --no-build bench/main.exe -- --json --jobs 4 \
+	  --gate $(BENCH_SEED) --gate-min-ratio 1.3
 
 # Line coverage of `dune runtest` via bisect_ppx, which must be installed
 # (it is deliberately NOT a build dependency: the instrumentation stanzas

@@ -46,6 +46,11 @@ let timeout = ref None
 let repeats = ref 1
 let retries = ref 2
 let checkpoint = ref None
+let cache_format = ref Ft_engine.Cache.default_format
+let gate_path = ref None
+let gate_min_ratio = ref 0.9
+let gate_latency_slack = ref 3.0
+let gate_hit_slack = ref 0.05
 
 let policy () =
   let base = Ft_engine.Engine.default_policy in
@@ -67,7 +72,7 @@ let make_engine () =
   match !checkpoint with
   | None -> Engine.create ~jobs:!jobs ~backend:!backend ~policy:(policy ()) ()
   | Some path ->
-      let ck = Checkpoint.create ~path () in
+      let ck = Checkpoint.create ~path ~format:!cache_format () in
       let cache, quarantine =
         match if Checkpoint.exists ck then Checkpoint.load ck else None with
         | Some (cache, quarantine) ->
@@ -334,6 +339,87 @@ let fork_daemon ~socket_path =
       Stdlib.exit 0
   | pid -> pid
 
+(* --- perf regression gate ---------------------------------------------- *)
+
+(* Compare this run's headline metrics against a committed seed snapshot
+   (a BENCH_<rev>.json from an earlier revision).  Solo-tune throughput
+   must reach [!gate_min_ratio] x the seed's; the cache hit rate may drop
+   at most [!gate_hit_slack] absolute; loadgen p50/p99 latencies may grow
+   at most [!gate_latency_slack] x.  Any violation exits 1, so CI fails
+   the build on a perf regression. *)
+let run_gate ~seed_path ~evals_per_sec ~hit_rate ~p50 ~p99 =
+  let module Json = Ft_obs.Json in
+  let contents =
+    match
+      let ic = open_in_bin seed_path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | s -> s
+    | exception Sys_error msg ->
+        Printf.eprintf "bench: cannot read gate seed: %s\n" msg;
+        exit 1
+  in
+  let seed =
+    match Json.of_string contents with
+    | Ok j -> j
+    | Error msg ->
+        Printf.eprintf "bench: gate seed %s is not valid JSON: %s\n" seed_path
+          msg;
+        exit 1
+  in
+  let field obj name =
+    match obj with Json.Obj fields -> List.assoc_opt name fields | _ -> None
+  in
+  let num section key =
+    match Option.bind (field seed section) (fun sec -> field sec key) with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ ->
+        Printf.eprintf "bench: gate seed %s lacks a numeric %s.%s\n" seed_path
+          section key;
+        exit 1
+  in
+  let seed_eps = num "tune" "evals_per_sec" in
+  let seed_hit = num "tune" "cache_hit_rate" in
+  let seed_p50 = num "loadgen" "latency_p50_s" in
+  let seed_p99 = num "loadgen" "latency_p99_s" in
+  note "gate: vs %s (min evals/s ratio %.2f, hit-rate slack %.2f, latency \
+        slack %.1fx)"
+    seed_path !gate_min_ratio !gate_hit_slack !gate_latency_slack;
+  let failures = ref 0 in
+  let check name ~ok ~current ~bound =
+    if ok then note "gate: %-22s %12.4f  ok  (bound %.4f)" name current bound
+    else begin
+      incr failures;
+      Printf.eprintf "bench: GATE FAIL %s: %.4f violates bound %.4f\n" name
+        current bound
+    end
+  in
+  check "evals_per_sec >="
+    ~ok:(evals_per_sec >= !gate_min_ratio *. seed_eps)
+    ~current:evals_per_sec
+    ~bound:(!gate_min_ratio *. seed_eps);
+  check "cache_hit_rate >="
+    ~ok:(hit_rate >= seed_hit -. !gate_hit_slack)
+    ~current:hit_rate
+    ~bound:(seed_hit -. !gate_hit_slack);
+  check "latency_p50_s <="
+    ~ok:(p50 <= !gate_latency_slack *. seed_p50)
+    ~current:p50
+    ~bound:(!gate_latency_slack *. seed_p50);
+  check "latency_p99_s <="
+    ~ok:(p99 <= !gate_latency_slack *. seed_p99)
+    ~current:p99
+    ~bound:(!gate_latency_slack *. seed_p99);
+  if !failures > 0 then begin
+    Printf.eprintf "bench: perf gate FAILED (%d regression(s) vs %s)\n"
+      !failures seed_path;
+    exit 1
+  end
+  else note "gate: PASS (vs %s)" seed_path
+
 let run_json_bench () =
   let module Json = Ft_obs.Json in
   let socket_path =
@@ -431,7 +517,15 @@ let run_json_bench () =
   output_string oc (Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  note "wrote %s" path
+  note "wrote %s" path;
+  match !gate_path with
+  | None -> ()
+  | Some seed_path ->
+      run_gate ~seed_path
+        ~evals_per_sec:
+          (float_of_int result.Funcytuner.Result.evaluations /. tune_wall)
+        ~hit_rate ~p50:lg.Ft_serve.Loadgen.latency_p50
+        ~p99:lg.Ft_serve.Loadgen.latency_p99
 
 (* --- adaptive: quality-vs-budget curves ------------------------------- *)
 
@@ -560,6 +654,16 @@ let set_timeout s =
   | Some t when t > 0.0 -> timeout := Some t
   | _ -> usage_error "--timeout expects a positive float, got '%s'" s
 
+let set_cache_format s =
+  match Ft_engine.Cache.format_of_string s with
+  | Some f -> cache_format := f
+  | None -> usage_error "--cache-format expects 'text' or 'binary', got '%s'" s
+
+let float_flag ~flag ~min_v cell s =
+  match float_of_string_opt s with
+  | Some f when f >= min_v -> cell := f
+  | _ -> usage_error "%s expects a float >= %g, got '%s'" flag min_v s
+
 let parse_args argv =
   let rec go names = function
     | [] -> List.rev names
@@ -596,12 +700,29 @@ let parse_args argv =
     | "--checkpoint" :: path :: rest ->
         checkpoint := Some path;
         go names rest
+    | "--cache-format" :: f :: rest ->
+        set_cache_format f;
+        go names rest
+    | "--gate" :: path :: rest ->
+        gate_path := Some path;
+        go names rest
+    | "--gate-min-ratio" :: r :: rest ->
+        float_flag ~flag:"--gate-min-ratio" ~min_v:0.0 gate_min_ratio r;
+        go names rest
+    | "--gate-latency-slack" :: r :: rest ->
+        float_flag ~flag:"--gate-latency-slack" ~min_v:1.0 gate_latency_slack r;
+        go names rest
+    | "--gate-hit-slack" :: r :: rest ->
+        float_flag ~flag:"--gate-hit-slack" ~min_v:0.0 gate_hit_slack r;
+        go names rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
       ->
         set_jobs (String.sub arg 7 (String.length arg - 7));
         go names rest
     | ("--fault-rate" | "--fault-seed" | "--timeout" | "--repeats"
-      | "--retries" | "--checkpoint" | "--jobs" | "-j" | "--backend") :: [] ->
+      | "--retries" | "--checkpoint" | "--cache-format" | "--gate"
+      | "--gate-min-ratio" | "--gate-latency-slack" | "--gate-hit-slack"
+      | "--jobs" | "-j" | "--backend") :: [] ->
         usage_error "missing value for the last flag"
     | name :: rest -> go (name :: names) rest
   in

@@ -213,6 +213,7 @@ type resilience = {
   retries : int;
   checkpoint : string option;
   die_after : int option;
+  cache_format : Cache.format;
 }
 
 let resilience_t =
@@ -305,14 +306,42 @@ let resilience_t =
             "Testing hook: flush the checkpoint and abort (exit 99) after \
              $(docv) engine jobs, simulating a mid-search crash.")
   in
+  let cache_format_t =
+    let format_arg =
+      let parse s =
+        match Cache.format_of_string s with
+        | Some f -> Ok f
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown cache format '%s', expected text or binary" s))
+      in
+      Arg.conv
+        (parse, fun fmt f -> Format.pp_print_string fmt (Cache.format_to_string f))
+    in
+    Arg.(
+      value
+      & opt format_arg Cache.default_format
+      & info [ "cache-format" ] ~docv:"FMT"
+          ~doc:
+            "On-disk format of the cache files this run writes \
+             ($(b,--checkpoint) snapshots, $(b,--shared-cache), serve \
+             state): $(b,binary) (default; versioned append-only records, \
+             O(delta) shared-cache syncs) or $(b,text) (the v1 \
+             line-oriented format, human-inspectable).  Reading \
+             auto-detects either format, so old checkpoints and \
+             $(b,--warm-start) files keep working and either setting \
+             reaches bit-identical results.")
+  in
   let combine faults fault_rate fault_seed timeout repeats retries checkpoint
-      die_after =
+      die_after cache_format =
     { faults; fault_rate; fault_seed; timeout; repeats; retries; checkpoint;
-      die_after }
+      die_after; cache_format }
   in
   Term.(
     const combine $ faults_t $ rate_t $ fault_seed_t $ timeout_t $ repeats_t
-    $ retries_t $ checkpoint_t $ die_after_t)
+    $ retries_t $ checkpoint_t $ die_after_t $ cache_format_t)
 
 let policy_of_resilience r =
   let base = Engine.default_policy in
@@ -336,7 +365,7 @@ let make_engine ~jobs ?backend ?kill_workers_after ?trace r =
   match r.checkpoint with
   | None -> Engine.create ~jobs ?backend ?kill_workers_after ~policy ?trace ()
   | Some path ->
-      let ck = Checkpoint.create ~path () in
+      let ck = Checkpoint.create ~path ~format:r.cache_format () in
       let cache, quarantine =
         match if Checkpoint.exists ck then Checkpoint.load ck else None with
         | Some (cache, quarantine) ->
@@ -355,17 +384,17 @@ let make_engine ~jobs ?backend ?kill_workers_after ?trace r =
    (adopting whatever other processes committed) and one at exit
    (publishing what this run measured).  Chatter goes to stderr so stdout
    stays byte-comparable with unshared runs. *)
-let adopt_shared_cache engine = function
+let adopt_shared_cache engine ~format = function
   | None -> ()
   | Some path ->
-      let adopted = Cache.sync (Engine.cache engine) ~path in
+      let adopted = Cache.sync ~format (Engine.cache engine) ~path in
       if adopted > 0 then
         Printf.eprintf "funcy: adopted %d cached summaries from %s\n%!"
           adopted path
 
-let publish_shared_cache engine = function
+let publish_shared_cache engine ~format = function
   | None -> ()
-  | Some path -> ignore (Cache.sync (Engine.cache engine) ~path)
+  | Some path -> ignore (Cache.sync ~format (Engine.cache engine) ~path)
 
 (* The simulated crash still flushes the checkpoint and exports the trace
    collected so far: a post-mortem [funcy report] on a crashed run is
@@ -548,7 +577,7 @@ let tune_cmd =
       make_engine ~jobs ~backend ?kill_workers_after:kill_workers ?trace
         resilience
     in
-    adopt_shared_cache engine shared_cache;
+    adopt_shared_cache engine ~format:resilience.cache_format shared_cache;
     arm_die_after engine
       ~on_die:(fun () -> export_trace tspec trace)
       resilience.die_after;
@@ -568,7 +597,7 @@ let tune_cmd =
     print_newline ();
     Fun.protect ~finally:(fun () ->
         Engine.flush_checkpoint engine;
-        publish_shared_cache engine shared_cache;
+        publish_shared_cache engine ~format:resilience.cache_format shared_cache;
         export_trace tspec trace;
         maybe_stats stats (Funcytuner.Context.telemetry ctx))
     @@ fun () ->
@@ -733,7 +762,7 @@ let selfcheck_cmd =
         Engine.create ~jobs ~backend ?cache ?quarantine ~policy ?checkpoint ()
       in
       Ft_serve.Runner.make_durable ~make_engine ~state_dir ~checkpoint_every:8
-        ()
+        ~cache_format:resilience.cache_format ()
     in
     let spec s =
       {
@@ -805,8 +834,9 @@ let selfcheck_cmd =
                     (Lazy.force session.Tuner.collection))
           in
           let outcome =
-            Ft_engine.Selfcheck.run ?kill_points:kill_at ~scratch ~label
-              ~make_engine ~search ()
+            Ft_engine.Selfcheck.run ?kill_points:kill_at
+              ~format:resilience.cache_format ~scratch ~label ~make_engine
+              ~search ()
           in
           print_string (Ft_engine.Selfcheck.render outcome);
           not (Ft_engine.Selfcheck.passed outcome))
@@ -876,7 +906,7 @@ let experiment_cmd =
       make_engine ~jobs ~backend ?kill_workers_after:kill_workers ?trace
         resilience
     in
-    adopt_shared_cache engine shared_cache;
+    adopt_shared_cache engine ~format:resilience.cache_format shared_cache;
     arm_die_after engine
       ~on_die:(fun () -> export_trace tspec trace)
       resilience.die_after;
@@ -922,7 +952,7 @@ let experiment_cmd =
     in
     Fun.protect ~finally:(fun () ->
         Engine.flush_checkpoint engine;
-        publish_shared_cache engine shared_cache;
+        publish_shared_cache engine ~format:resilience.cache_format shared_cache;
         export_trace tspec trace;
         maybe_stats stats (Ft_experiments.Lab.telemetry lab))
     @@ fun () ->
@@ -1078,7 +1108,7 @@ let serve_cmd =
             in
             ( Ft_engine.Telemetry.create (),
               Ft_serve.Runner.make_durable ~make_engine ~state_dir:dir
-                ~checkpoint_every () )
+                ~checkpoint_every ~cache_format:resilience.cache_format () )
       in
       let config =
         {

@@ -1,11 +1,39 @@
 module Exec = Ft_machine.Exec
 
+type format = Text | Binary
+
+let default_format = Binary
+let format_to_string = function Text -> "text" | Binary -> "binary"
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "binary" -> Some Binary
+  | _ -> None
+
+(* Per-file delta-sync bookkeeping: what this process last saw on disk
+   under the sidecar lock, so the next [sync] can read and append only
+   the delta instead of re-parsing the world.  Invalidated whenever the
+   file is replaced out from under us (the dev/ino pair changes: an
+   atomic save or another process's compaction) or shrinks. *)
+type sync_state = {
+  mutable s_offset : int;  (* committed bytes: every whole frame *)
+  mutable s_records : int;  (* frames on disk, duplicates included *)
+  s_known : (string, unit) Hashtbl.t;  (* keys already on disk *)
+  mutable s_id : int * int;  (* (st_dev, st_ino) of the synced file *)
+}
+
 type t = {
   table : (string, Exec.summary) Hashtbl.t;
   lock : Mutex.t;
+  sync_states : (string, sync_state) Hashtbl.t;  (* guarded by [lock] *)
 }
 
-let create () = { table = Hashtbl.create 1024; lock = Mutex.create () }
+let create () =
+  {
+    table = Hashtbl.create 1024;
+    lock = Mutex.create ();
+    sync_states = Hashtbl.create 4;
+  }
 
 let digest canonical = Digest.to_hex (Digest.string canonical)
 
@@ -22,13 +50,26 @@ let bindings t =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])
   |> List.sort compare
 
-(* On-disk format: one entry per line,
+let drop_sync_state t path =
+  Mutex.protect t.lock (fun () -> Hashtbl.remove t.sync_states path)
+
+let set_sync_state t path state =
+  Mutex.protect t.lock (fun () -> Hashtbl.replace t.sync_states path state)
+
+let get_sync_state t path =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.sync_states path)
+
+(* -- text format (v1) ----------------------------------------------------
+
+   One entry per line,
      <key> TAB <total> TAB <nonloop> [TAB <loop-name>=<seconds>]...
    Floats are printed with %h (hexadecimal significand), so a save/load
    round-trip is bit-exact and the determinism guarantee survives
-   persistence. *)
+   persistence.  Still written under [~format:Text] and always readable
+   (the header's magic line picks the decoder), so old checkpoints and
+   --warm-start files keep working. *)
 
-let format_magic = "ft-engine-cache/1"
+let format_magic = Cache_codec.text_magic
 
 let entry_line key (s : Exec.summary) =
   let buf = Buffer.create 128 in
@@ -77,57 +118,18 @@ let parse_entry line =
               | Error _ as e -> e))
   | _ -> Error "truncated entry"
 
-let save t ~path =
-  Atomic_file.write ~path (fun oc ->
-      output_string oc (format_magic ^ "\n");
-      List.iter
-        (fun (key, summary) ->
-          output_string oc (entry_line key summary);
-          output_char oc '\n')
-        (bindings t))
-
 exception Corrupt of { path : string; line : int; reason : string }
 
 let default_warn ~path ~line ~reason =
   Printf.eprintf "warning: %s:%d: skipping malformed cache entry (%s)\n%!"
     path line reason
 
-let load ?warn path =
-  let warn =
-    match warn with
-    | Some w -> w
-    | None -> fun ~line ~reason -> default_warn ~path ~line ~reason
-  in
-  let contents =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  (* A line is trusted only once its terminating newline reached the disk:
-     truncation can only tear a file's tail, and a torn final line may
-     otherwise still parse — a float cut mid-digits is a different, valid
-     float.  [input_line] cannot see the missing terminator, hence the
-     whole-file read. *)
-  if contents = "" then raise (Corrupt { path; line = 1; reason = "empty file" });
-  let body_start =
-    match String.index_opt contents '\n' with
-    | None ->
-        let reason =
-          if contents = format_magic then "truncated header"
-          else "not an engine cache file"
-        in
-        raise (Corrupt { path; line = 1; reason })
-    | Some i ->
-        if String.sub contents 0 i <> format_magic then
-          raise
-            (Corrupt { path; line = 1; reason = "not an engine cache file" });
-        i + 1
-  in
-  let t = create () in
-  let body =
-    String.sub contents body_start (String.length contents - body_start)
-  in
+(* Parse a text-format body (everything after the header newline) into
+   entries, newest-wins.  A line is trusted only once its terminating
+   newline reached the disk: truncation can only tear a file's tail, and
+   a torn final line may otherwise still parse — a float cut mid-digits
+   is a different, valid float. *)
+let parse_text_body ~warn table body =
   let lines = String.split_on_char '\n' body in
   (* A newline-terminated body splits into a trailing "" sentinel; any
      other final element is a torn line to be skipped, not parsed. *)
@@ -140,10 +142,61 @@ let load ?warn path =
           warn ~line:line_no ~reason:"torn final line (missing newline)"
         else
           match parse_entry line with
-          | Ok (key, summary) -> Hashtbl.replace t.table key summary
+          | Ok (key, summary) -> Hashtbl.replace table key summary
           | Error reason -> warn ~line:line_no ~reason)
-    lines;
+    lines
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Decode any cache file's contents (format auto-detected by magic) into
+   a fresh table.  Shared by [load] and the full-pass leg of [sync]. *)
+let table_of_contents ~warn ~path contents =
+  if contents = "" then raise (Corrupt { path; line = 1; reason = "empty file" });
+  let t = create () in
+  (match Cache_codec.detect contents with
+  | `Corrupt reason -> raise (Corrupt { path; line = 1; reason })
+  | `Text ->
+      let body_start = String.length format_magic + 1 in
+      parse_text_body ~warn t.table
+        (String.sub contents body_start (String.length contents - body_start))
+  | `Binary ->
+      let d =
+        Cache_codec.decode
+          ~warn:(fun ~line ~reason -> warn ~line:(line + 1) ~reason)
+          ~pos:(String.length Cache_codec.header)
+          contents
+      in
+      List.iter (fun (k, v) -> Hashtbl.replace t.table k v) d.entries);
   t
+
+let load ?warn path =
+  let warn =
+    match warn with
+    | Some w -> w
+    | None -> fun ~line ~reason -> default_warn ~path ~line ~reason
+  in
+  table_of_contents ~warn ~path (read_whole path)
+
+let save ?(format = default_format) t ~path =
+  (match format with
+  | Text ->
+      Atomic_file.write ~path (fun oc ->
+          output_string oc (format_magic ^ "\n");
+          List.iter
+            (fun (key, summary) ->
+              output_string oc (entry_line key summary);
+              output_char oc '\n')
+            (bindings t))
+  | Binary ->
+      Atomic_file.write ~path (fun oc ->
+          output_string oc (Cache_codec.encode_file (bindings t))));
+  (* The rename put a new inode under [path]; any delta bookkeeping for
+     it now describes a dead file. *)
+  drop_sync_state t path
 
 (* -- multi-process sharing ---------------------------------------------- *)
 
@@ -161,9 +214,10 @@ let merge t ~from =
        0
 
 (* Advisory exclusive lock on a sidecar ([path ^ ".lock"]), not on [path]
-   itself: [save] replaces [path] by rename, so a lock on the data file's
-   inode would guard a file that no longer exists.  The sidecar is
-   stable, empty, and shared by every process syncing against [path]. *)
+   itself: the compaction/atomic-save path replaces [path] by rename, so
+   a lock on the data file's inode would guard a file that no longer
+   exists.  The sidecar is stable, empty, and shared by every process
+   syncing against [path]. *)
 let with_file_lock ~path f =
   let lock_path = path ^ ".lock" in
   let fd = Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
@@ -175,10 +229,209 @@ let with_file_lock ~path f =
       Unix.lockf fd Unix.F_LOCK 0;
       f ())
 
-let sync ?warn t ~path =
+(* -- delta sync (binary) -------------------------------------------------
+
+   The journal-style protocol behind [--shared-cache] at scale.  Under
+   the sidecar lock:
+
+   - first contact with a file (or after it was replaced/shrunk): read
+     and decode the whole file once, adopt what we lack, then either
+     compact (atomic rewrite: torn tail, skipped records, duplicate
+     bloat, or a v1 text file being migrated) or append just our news;
+   - every sync after that: read only the bytes past the last committed
+     offset we saw, adopt the delta, truncate any torn tail left by a
+     writer killed mid-append (safe: we hold the exclusive lock, so no
+     live writer can be inside the tail), and append only entries the
+     file does not already hold.
+
+   Appends become commits frame-by-frame — a reader never trusts bytes
+   past the last whole frame — so a SIGKILL anywhere in this protocol
+   loses at most the killed process's own uncommitted tail. *)
+
+let file_id (st : Unix.stats) = (st.Unix.st_dev, st.Unix.st_ino)
+
+let rec write_all fd buf ofs len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf ofs len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (ofs + n) (len - n)
+  end
+
+(* Append [records] at byte offset [at], truncating first: if the file
+   tail past [at] is a torn frame this removes it, and when the file
+   already ends at [at] the truncate is a no-op. *)
+let append_records ~path ~at records =
+  let buf = Buffer.create 4096 in
+  List.iter (fun (k, s) -> Cache_codec.encode_record buf k s) records;
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd at;
+      ignore (Unix.lseek fd at Unix.SEEK_SET);
+      let b = Buffer.to_bytes buf in
+      write_all fd b 0 (Bytes.length b);
+      Unix.fsync fd);
+  Buffer.length buf
+
+(* Duplicate frames accumulate when several processes race to append the
+   same key (benign: values for equal keys are bit-identical).  Compact
+   once the frame count is over twice the distinct keys, plus slack so
+   small files never bother. *)
+let needs_compaction ~records ~distinct = records > (2 * distinct) + 32
+
+(* Atomic whole-file rewrite: one frame per binding, duplicates and torn
+   tails gone.  Installs fresh bookkeeping from the file we just wrote. *)
+let compact t ~path =
+  let bs = bindings t in
+  let contents = Cache_codec.encode_file bs in
+  Atomic_file.write ~path (fun oc -> output_string oc contents);
+  let st = Unix.stat path in
+  let s_known = Hashtbl.create (List.length bs) in
+  List.iter (fun (k, _) -> Hashtbl.replace s_known k ()) bs;
+  set_sync_state t path
+    {
+      s_offset = String.length contents;
+      s_records = List.length bs;
+      s_known;
+      s_id = file_id st;
+    }
+
+(* Keep the on-disk file as-is and append only entries it lacks. *)
+let append_news t ~path ~state =
+  let news =
+    List.filter (fun (k, _) -> not (Hashtbl.mem state.s_known k)) (bindings t)
+  in
+  let written = append_records ~path ~at:state.s_offset news in
+  List.iter (fun (k, _) -> Hashtbl.replace state.s_known k ()) news;
+  state.s_offset <- state.s_offset + written;
+  state.s_records <- state.s_records + List.length news;
+  state.s_id <- file_id (Unix.stat path);
+  set_sync_state t path state
+
+(* Adopt decoded entries we lack; returns how many were new to [t]. *)
+let adopt t entries =
+  List.fold_left
+    (fun adopted (k, v) ->
+      Mutex.protect t.lock (fun () ->
+          if Hashtbl.mem t.table k then adopted
+          else begin
+            Hashtbl.replace t.table k v;
+            adopted + 1
+          end))
+    0 entries
+
+let full_sync ?warn t ~path =
+  let warn =
+    match warn with
+    | Some w -> w
+    | None -> fun ~line ~reason -> default_warn ~path ~line ~reason
+  in
+  if not (Sys.file_exists path) then begin
+    compact t ~path;
+    0
+  end
+  else begin
+    let contents = read_whole path in
+    if contents = "" then
+      raise (Corrupt { path; line = 1; reason = "empty file" });
+    match Cache_codec.detect contents with
+    | `Corrupt reason -> raise (Corrupt { path; line = 1; reason })
+    | `Text ->
+        (* v1 file: adopt it wholesale and migrate to binary in place. *)
+        let disk = create () in
+        let body_start = String.length format_magic + 1 in
+        parse_text_body ~warn disk.table
+          (String.sub contents body_start (String.length contents - body_start));
+        let adopted = merge t ~from:disk in
+        compact t ~path;
+        adopted
+    | `Binary ->
+        let d =
+          Cache_codec.decode
+            ~warn:(fun ~line ~reason -> warn ~line:(line + 1) ~reason)
+            ~pos:(String.length Cache_codec.header)
+            contents
+        in
+        let adopted = adopt t d.entries in
+        let s_known = Hashtbl.create 256 in
+        List.iter (fun (k, _) -> Hashtbl.replace s_known k ()) d.entries;
+        let records = List.length d.entries + d.skipped in
+        if
+          d.torn || d.skipped > 0
+          || needs_compaction ~records ~distinct:(Hashtbl.length s_known)
+        then compact t ~path
+        else
+          append_news t ~path
+            ~state:
+              {
+                s_offset = d.committed;
+                s_records = records;
+                s_known;
+                s_id = file_id (Unix.stat path);
+              };
+        adopted
+  end
+
+let delta_sync ?warn t ~path ~state ~size =
+  let warn =
+    match warn with
+    | Some w -> w
+    | None -> fun ~line ~reason -> default_warn ~path ~line ~reason
+  in
+  let delta =
+    if size = state.s_offset then ""
+    else begin
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          seek_in ic state.s_offset;
+          really_input_string ic (size - state.s_offset))
+    end
+  in
+  let d =
+    Cache_codec.decode
+      ~warn:(fun ~line ~reason ->
+        warn ~line:(state.s_records + line + 1) ~reason)
+      ~pos:0 delta
+  in
+  let adopted = adopt t d.entries in
+  List.iter (fun (k, _) -> Hashtbl.replace state.s_known k ()) d.entries;
+  state.s_offset <- state.s_offset + d.committed;
+  state.s_records <- state.s_records + List.length d.entries + d.skipped;
+  if
+    d.skipped > 0
+    || needs_compaction ~records:state.s_records
+         ~distinct:(Hashtbl.length state.s_known)
+  then compact t ~path
+  else
+    (* [append_news] truncates to [state.s_offset] first, discarding any
+       torn tail [decode] refused to trust. *)
+    append_news t ~path ~state;
+  adopted
+
+let sync ?warn ?(format = default_format) t ~path =
   with_file_lock ~path (fun () ->
-      let adopted =
-        if Sys.file_exists path then merge t ~from:(load ?warn path) else 0
-      in
-      save t ~path;
-      adopted)
+      match format with
+      | Text ->
+          (* v1 semantics: whole-file read-merge-write, kept for golden
+             tests and human-inspectable shared caches. *)
+          let adopted =
+            if Sys.file_exists path then merge t ~from:(load ?warn path)
+            else 0
+          in
+          save ~format:Text t ~path;
+          adopted
+      | Binary -> (
+          match (get_sync_state t path, Sys.file_exists path) with
+          | Some state, true ->
+              let st = Unix.stat path in
+              if file_id st = state.s_id && st.Unix.st_size >= state.s_offset
+              then delta_sync ?warn t ~path ~state ~size:st.Unix.st_size
+              else full_sync ?warn t ~path
+          | Some _, false | None, _ ->
+              drop_sync_state t path;
+              full_sync ?warn t ~path))

@@ -195,17 +195,23 @@ let canonical_key ~(toolchain : Toolchain.t) ~(program : Ft_prog.Program.t)
     (Platform.short_name toolchain.Toolchain.arch.Ft_machine.Arch.platform);
   Buffer.add_char buf ';';
   Buffer.add_string buf program.Ft_prog.Program.name;
-  Buffer.add_string buf
-    (Printf.sprintf ";size=%h;steps=%d;" input.Input.size input.Input.steps);
+  Printf.bprintf buf ";size=%h;steps=%d;" input.Input.size input.Input.steps;
+  (* Hand-rolled appends below: this runs once per evaluation (and the
+     bytes are pinned — they are what existing caches digested). *)
   (match build with
   | Uniform { cv; instrumented } ->
       Buffer.add_string buf
-        (Printf.sprintf "uniform;instr=%b;%s" instrumented (Cv.to_compact cv))
+        (if instrumented then "uniform;instr=true;" else "uniform;instr=false;");
+      Cv.add_compact buf cv
   | Assigned { assignment; instrumented } ->
-      Buffer.add_string buf (Printf.sprintf "assigned;instr=%b" instrumented);
+      Buffer.add_string buf
+        (if instrumented then "assigned;instr=true" else "assigned;instr=false");
       List.iter
         (fun (m, cv) ->
-          Buffer.add_string buf (Printf.sprintf ";%s=%s" m (Cv.to_compact cv)))
+          Buffer.add_char buf ';';
+          Buffer.add_string buf m;
+          Buffer.add_char buf '=';
+          Cv.add_compact buf cv)
         (List.sort (fun (a, _) (b, _) -> String.compare a b) assignment));
   Buffer.contents buf
 
@@ -237,8 +243,15 @@ let compile ~toolchain ?outline ~program build =
                   invalid_arg ("Engine: assignment misses module " ^ name))
             ~instrumented ())
 
-let summary t ~toolchain ?outline ~program ~input build =
-  let key = key ~toolchain ~program ~input build in
+(* [?key_str] lets callers that already digested the job's key (the
+   measurement path computes it for quarantine and trace bookkeeping)
+   avoid paying for the canonical string and digest twice. *)
+let summary ?key_str t ~toolchain ?outline ~program ~input build =
+  let key =
+    match key_str with
+    | Some k -> k
+    | None -> key ~toolchain ~program ~input build
+  in
   match Cache.find t.cache key with
   | Some s ->
       Telemetry.cache_hit t.telemetry;
@@ -347,7 +360,7 @@ let run_job t ~toolchain ?outline ~program ~input ~key_str { build; rng } =
           quarantine_add t key_str (Quarantine.Build_failed module_name);
           Build_failed module_name
       | None -> (
-          let s = summary t ~toolchain ?outline ~program ~input build in
+          let s = summary ~key_str t ~toolchain ?outline ~program ~input build in
           match t.policy.faults with
           | None ->
               Ok

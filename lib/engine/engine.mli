@@ -158,6 +158,7 @@ val key :
     (exposed for tests; also the structural key faults are drawn from). *)
 
 val summary :
+  ?key_str:string ->
   t ->
   toolchain:Ft_machine.Toolchain.t ->
   ?outline:Ft_outline.Outline.t ->
@@ -165,7 +166,10 @@ val summary :
   input:Ft_prog.Input.t ->
   build ->
   Ft_machine.Exec.summary
-(** Noise-free summary of one build, through the cache.
+(** Noise-free summary of one build, through the cache.  [key_str], when
+    given, must be {!key} of the same build in the same context — callers
+    that already computed it skip the second canonicalization + digest on
+    the evaluation hot path.
     @raise Invalid_argument for an [Assigned] build without [?outline]. *)
 
 val evaluate :

@@ -17,6 +17,13 @@ let max_frame_bytes = Framing.default_max_bytes
 
 let write fd v = Framing.write_value fd v
 
+module Writer = struct
+  type t = Framing.Writer.t
+
+  let create fd = Framing.Writer.create fd
+  let write t v = Framing.Writer.write_value t v
+end
+
 let read fd =
   match Framing.read_value ~max_bytes:max_frame_bytes fd with
   | Ok v -> Ok v

@@ -31,6 +31,17 @@ val write : Unix.file_descr -> 'a -> unit
     retried; [EPIPE] (peer already dead) escapes as [Unix_error] for
     the caller's crash handling. *)
 
+(** Buffer-reusing writer for a pipe's hot end
+    ({!Ft_framing.Framing.Writer} under Ipc's contract): marshals into
+    one owned, geometrically grown scratch buffer instead of allocating
+    per frame.  One writer per pipe end; error behavior is {!write}'s. *)
+module Writer : sig
+  type t
+
+  val create : Unix.file_descr -> t
+  val write : t -> 'a -> unit
+end
+
 val read : Unix.file_descr -> ('a, error) result
 (** Read one frame.  The ['a] is the caller's protocol contract, as
     with [Marshal.from_channel]. *)

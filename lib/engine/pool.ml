@@ -31,7 +31,12 @@ let parallel_map ~workers f a =
     in
     loop ()
   in
-  let domains = List.init workers (fun _ -> Domain.spawn worker) in
+  (* The calling domain is worker zero: [workers - 1] spawns suffice, and
+     a pool clamped to one worker runs the whole batch in place without
+     spawning at all — while keeping the parallel path's exception
+     envelope ([Worker_failure]). *)
+  let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
   List.iter Domain.join domains;
   (match Atomic.get failed with
   | Some e -> raise (Worker_failure e)
@@ -42,7 +47,16 @@ let map ~jobs f a =
   if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
   let n = Array.length a in
   if jobs = 1 || n <= 1 then sequential_map f a
-  else parallel_map ~workers:(min jobs n) f a
+  else
+    (* Never oversubscribe the machine: surplus domains add minor-GC
+       synchronization stalls without adding parallelism (on a saturated
+       core each minor collection waits for every runnable domain to be
+       scheduled).  Job values are independent of worker count, so the
+       clamp changes wall clock only. *)
+    let workers =
+      min (min jobs n) (max 1 (Domain.recommended_domain_count ()))
+    in
+    parallel_map ~workers f a
 
 let submit ~jobs thunks =
   Array.to_list (map ~jobs (fun thunk -> thunk ()) (Array.of_list thunks))

@@ -37,6 +37,7 @@ type request = { index : int; kill : bool }
 type worker = {
   pid : int;
   job_w : Unix.file_descr;
+  job_writer : Ipc.Writer.t;  (* scratch-buffer reuse across feeds *)
   res_r : Unix.file_descr;
   mutable inflight : int option;
   mutable fed : int;
@@ -67,6 +68,9 @@ let reap pid =
    parent's channel buffers at fork and must not flush them a second
    time — stdout byte-identity across backends depends on it. *)
 let worker_loop f a job_r res_w =
+  (* One reply frame per job: marshal them all through one reusable
+     scratch buffer instead of allocating per reply. *)
+  let res = Ipc.Writer.create res_w in
   let rec loop () =
     match Ipc.read job_r with
     | Error `Eof -> Unix._exit 0
@@ -78,7 +82,7 @@ let worker_loop f a job_r res_w =
           | v -> Stdlib.Ok v
           | exception e -> Stdlib.Error (Printexc.to_string e)
         in
-        (match Ipc.write res_w (index, payload) with
+        (match Ipc.Writer.write res (index, payload) with
         | () -> ()
         | exception _ -> Unix._exit 2);
         loop ()
@@ -134,8 +138,8 @@ let map ~workers ?on_result ?kill_first_worker_after f a =
           close_noerr job_r;
           close_noerr res_w;
           let w =
-            { pid; job_w; res_r; inflight = None; fed = 0; alive = true;
-              chaos_designee }
+            { pid; job_w; job_writer = Ipc.Writer.create job_w; res_r;
+              inflight = None; fed = 0; alive = true; chaos_designee }
           in
           live := w :: !live
     in
@@ -157,8 +161,27 @@ let map ~workers ?on_result ?kill_first_worker_after f a =
           finish i (Stdlib.Error (Crashed { pid = w.pid; detail }))
       | None -> ()
     in
+    (* While the chaos hook is armed but unfired, non-designees may not
+       take the last jobs: the designee needs [k] completions plus one
+       more feed for the kill to fire, and under an unlucky scheduler a
+       starved designee could otherwise watch its siblings drain the
+       whole array — leaving an armed kill that silently never happens
+       (and crash-count tests that flake with machine load). *)
+    let reserved_for_designee w =
+      match kill_first_worker_after with
+      | Some k when (not !chaos_fired) && not w.chaos_designee -> (
+          match
+            List.find_opt (fun x -> x.chaos_designee && x.alive) !live
+          with
+          | Some d -> max 0 (k + 1 - d.fed)
+          | None -> 0)
+      | _ -> 0
+    in
     let feed w =
-      if w.alive && w.inflight = None && !next < n then begin
+      if
+        w.alive && w.inflight = None
+        && n - !next > reserved_for_designee w
+      then begin
         let i = !next in
         incr next;
         let kill =
@@ -170,7 +193,7 @@ let map ~workers ?on_result ?kill_first_worker_after f a =
         in
         w.fed <- w.fed + 1;
         w.inflight <- Some i;
-        match Ipc.write w.job_w { index = i; kill } with
+        match Ipc.Writer.write w.job_writer { index = i; kill } with
         | () -> ()
         | exception _ ->
             (* Dead before it could read: we cannot know how much of the

@@ -35,9 +35,12 @@ let lines_of contents =
 
 let remove_if_exists path = if Sys.file_exists path then Sys.remove path
 
+(* Always rendered as text, whatever format the checkpoints under test
+   use: the comparison is semantic (same bindings, bit-exact %h floats)
+   and the divergence diffs must stay human-readable lines. *)
 let serialize_cache ~scratch ~tag cache =
   let path = Filename.concat scratch (tag ^ ".cache") in
-  Cache.save cache ~path;
+  Cache.save ~format:Cache.Text cache ~path;
   lines_of (read_file path)
 
 let snapshot ~scratch ~tag engine trace result =
@@ -98,7 +101,7 @@ let compare_artifacts ~stage ~reference ~candidate =
        ~actual:candidate.trace_lines
   |> List.rev
 
-let run ?kill_points ~scratch ~label ~make_engine ~search () =
+let run ?kill_points ?format ~scratch ~label ~make_engine ~search () =
   (* Reference: uninterrupted, fresh stores, logical trace. *)
   let ref_trace = Trace.create ~clock:Trace.Logical () in
   let ref_engine =
@@ -124,7 +127,7 @@ let run ?kill_points ~scratch ~label ~make_engine ~search () =
   let check_kill n =
     let stage = Printf.sprintf "kill@%d" n in
     let snap = Filename.concat scratch (Printf.sprintf "kill%d.snap" n) in
-    let ck = Checkpoint.create ~path:snap () in
+    let ck = Checkpoint.create ~path:snap ?format () in
     List.iter remove_if_exists
       [ Checkpoint.path ck; Checkpoint.quarantine_path ck;
         Checkpoint.commit_path ck ];
@@ -147,7 +150,7 @@ let run ?kill_points ~scratch ~label ~make_engine ~search () =
         let trace = Trace.create ~clock:Trace.Logical () in
         let resumed_engine =
           make_engine ~cache ~quarantine
-            ~checkpoint:(Some (Checkpoint.create ~path:snap ()))
+            ~checkpoint:(Some (Checkpoint.create ~path:snap ?format ()))
             ~trace:(Some trace)
         in
         let result = search resumed_engine in

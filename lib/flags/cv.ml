@@ -57,8 +57,20 @@ let render_full t =
   |> List.map (fun id -> render_flag id (get t id))
   |> String.concat " "
 
+let add_compact buf t =
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf '.';
+      (* Every domain has arity <= 9, so values are single digits; the
+         general path keeps [of_compact] round-trips total anyway. *)
+      if v >= 0 && v < 10 then Buffer.add_char buf (Char.chr (Char.code '0' + v))
+      else Buffer.add_string buf (string_of_int v))
+    t
+
 let to_compact t =
-  Array.to_list t |> List.map string_of_int |> String.concat "."
+  let buf = Buffer.create (2 * Array.length t) in
+  add_compact buf t;
+  Buffer.contents buf
 
 let of_compact s =
   let parts = String.split_on_char '.' s in

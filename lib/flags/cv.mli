@@ -46,6 +46,11 @@ val render_full : t -> string
 val to_compact : t -> string
 (** Compact machine-readable encoding (dot-separated value indices). *)
 
+val add_compact : Buffer.t -> t -> unit
+(** Append exactly {!to_compact} to a buffer without building the
+    intermediate string (cache-key construction is an evaluation hot
+    path). *)
+
 val of_compact : string -> t option
 (** Inverse of {!to_compact}; [None] on malformed or out-of-domain input. *)
 

@@ -81,6 +81,33 @@ let read_bytes ?(max_bytes = default_max_bytes) fd =
 
 let write_value fd v = write_bytes fd (Marshal.to_bytes v [])
 
+module Writer = struct
+  type t = { fd : Unix.file_descr; mutable scratch : Bytes.t }
+
+  let create ?(initial_bytes = 64 * 1024) fd =
+    { fd; scratch = Bytes.create (max initial_bytes (header_bytes + 64)) }
+
+  let fd t = t.fd
+
+  (* [Marshal.to_buffer] raises [Failure] when the value does not fit;
+     doubling converges in O(log size) attempts and the buffer then
+     serves every subsequent frame allocation-free. *)
+  let rec marshal_into t v =
+    match
+      Marshal.to_buffer t.scratch header_bytes
+        (Bytes.length t.scratch - header_bytes) v []
+    with
+    | len -> len
+    | exception Failure _ ->
+        t.scratch <- Bytes.create (2 * Bytes.length t.scratch);
+        marshal_into t v
+
+  let write_value t v =
+    let len = marshal_into t v in
+    Bytes.set_int64_be t.scratch 0 (Int64.of_int len);
+    write_all t.fd t.scratch 0 (header_bytes + len)
+end
+
 let read_value ?max_bytes fd =
   match read_bytes ?max_bytes fd with
   | Error _ as e -> e

@@ -45,6 +45,11 @@ val default_max_bytes : int
 (** Default frame-size ceiling (256 MiB), sized for the process pool's
     Marshal traffic; protocol layers pass a far smaller [?max_bytes]. *)
 
+val header_bytes : int
+(** Length of the frame header (8: one big-endian [int64]).  Exposed for
+    codecs that walk framed bytes in memory (e.g.
+    [Ft_engine.Cache_codec]). *)
+
 val write_bytes : Unix.file_descr -> bytes -> unit
 (** Write one frame.  Short writes and [EINTR] are retried; [EPIPE]
     (peer already dead) escapes as [Unix_error] for the caller's crash
@@ -56,6 +61,31 @@ val read_bytes : ?max_bytes:int -> Unix.file_descr -> (bytes, error) result
 
 val write_value : Unix.file_descr -> 'a -> unit
 (** Marshal one value as a frame ({!write_bytes} of [Marshal.to_bytes]). *)
+
+(** Frame writer with a reusable scratch buffer.
+
+    {!write_value} above allocates a fresh [Marshal] byte string and a
+    header per frame; on the process pool's hot reply path (one frame
+    per job, each carrying summaries, journal deltas, trace batches)
+    that churn is measurable.  A [Writer] marshals directly into one
+    owned buffer — header and payload contiguous, grown geometrically
+    and then reused forever — and emits the frame with a single
+    [write].  Not thread-safe: one writer per producing thread/process
+    end, which is how {!Ft_engine.Procpool} uses it. *)
+module Writer : sig
+  type t
+
+  val create : ?initial_bytes:int -> Unix.file_descr -> t
+  (** [initial_bytes] (default 64 KiB) sizes the scratch buffer; it
+      doubles on demand and never shrinks. *)
+
+  val fd : t -> Unix.file_descr
+
+  val write_value : t -> 'a -> unit
+  (** Exactly {!Framing.write_value}'s wire format and error behavior
+      ([EPIPE] escapes as [Unix_error]), minus the per-frame
+      allocations. *)
+end
 
 val read_value : ?max_bytes:int -> Unix.file_descr -> ('a, error) result
 (** Read one Marshal frame.  The ['a] is the caller's protocol contract,

@@ -14,24 +14,60 @@ let flag_factor ~platform ~program ~region (flag : Flag.id) value =
   1.0 +. ((Rng.float rng 2.0 -. 1.0) *. amplitude)
 
 (* The same ~1000 pooled CVs are priced against the same regions hundreds
-   of thousands of times during a search, so the product is memoized on
-   (platform, program, region, CV).  Cv.hash is stable and collisions are
-   harmless here (a collision would only alias one ±few-% texture value). *)
-let memo : (string * int, float) Hashtbl.t = Hashtbl.create 4096
+   of thousands of times during a search, so two layers are memoized:
+
+   - Per (platform, program, region): the multiplier of {e every}
+     (flag, value) pair — 33 flags x arity <= 6 — computed once.  Pricing
+     a CV the region has never seen is then 33 array reads and multiplies
+     instead of 33 seed-string formats and hashes, which used to dominate
+     the whole evaluation hot path (the seed strings cost ~60k minor
+     words per evaluation).
+   - Per (region, CV): the finished product, keyed on [Cv.hash].  [Cv.hash]
+     is stable and collisions are harmless here (a collision would only
+     alias one ±few-% texture value).
+
+   Both tables are domain-local: [Exec.evaluate] runs inside worker
+   domains, and a shared [Hashtbl] mutated concurrently would race.  Each
+   domain rebuilds at most a few kilobytes of table.
+
+   The product folds over [Flag.all] in canonical order, so every factor
+   is bit-identical to the unmemoized computation. *)
+type tables = {
+  regions : (string, float array array) Hashtbl.t;
+  products : (string * int, float) Hashtbl.t;
+}
+
+let dls : tables Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { regions = Hashtbl.create 64; products = Hashtbl.create 4096 })
+
+let build_table ~platform ~program ~region =
+  Array.map
+    (fun flag ->
+      Array.init (Flag.arity flag) (fun value ->
+          flag_factor ~platform ~program ~region flag value))
+    Flag.all
 
 let factor ~platform ~program ~region cv =
-  let key =
-    ( Ft_prog.Platform.short_name platform ^ ":" ^ program ^ ":" ^ region,
-      Cv.hash cv )
+  let t = Domain.DLS.get dls in
+  let rkey =
+    Ft_prog.Platform.short_name platform ^ ":" ^ program ^ ":" ^ region
   in
-  match Hashtbl.find_opt memo key with
+  let mkey = (rkey, Cv.hash cv) in
+  match Hashtbl.find_opt t.products mkey with
   | Some f -> f
   | None ->
-      let f =
-        Array.fold_left
-          (fun acc flag ->
-            acc *. flag_factor ~platform ~program ~region flag (Cv.get cv flag))
-          1.0 Flag.all
+      let table =
+        match Hashtbl.find_opt t.regions rkey with
+        | Some tab -> tab
+        | None ->
+            let tab = build_table ~platform ~program ~region in
+            Hashtbl.replace t.regions rkey tab;
+            tab
       in
-      Hashtbl.replace memo key f;
-      f
+      let f = ref 1.0 in
+      Array.iteri
+        (fun i flag -> f := !f *. table.(i).(Cv.get cv flag))
+        Flag.all;
+      Hashtbl.replace t.products mkey !f;
+      !f

@@ -50,18 +50,70 @@ let record_stamped t st =
   in
   Mutex.protect shard.lock (fun () -> shard.events <- st :: shard.events)
 
+(* In-job events are batched in a domain-local buffer and drained into
+   the domain's shard under a single mutex acquisition — at job exit
+   ({!in_job}'s finally, which runs in the recording domain, so a pool
+   join can never observe an undrained job), at [flush_threshold], or
+   when the domain switches traces.  Per-event locking remains only for
+   out-of-job emissions, which are rare by construction. *)
+
+let flush_threshold = 512
+
+type pending_buf = {
+  tr : t;
+  mutable buffered : stamped list;  (* newest first, like a shard *)
+  mutable count : int;
+}
+
+let pending : pending_buf option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let drain_buf b =
+  match b.buffered with
+  | [] -> ()
+  | evs ->
+      b.buffered <- [];
+      b.count <- 0;
+      let shard =
+        b.tr.shards.((Domain.self () :> int) land (shard_count - 1))
+      in
+      Mutex.protect shard.lock (fun () -> shard.events <- evs @ shard.events)
+
+let drain_pending () =
+  match Domain.DLS.get pending with
+  | None -> ()
+  | Some b ->
+      drain_buf b;
+      Domain.DLS.set pending None
+
+let record_buffered t st =
+  match Domain.DLS.get pending with
+  | Some b when b.tr == t ->
+      b.buffered <- st :: b.buffered;
+      b.count <- b.count + 1;
+      if b.count >= flush_threshold then drain_buf b
+  | other ->
+      (match other with Some b -> drain_buf b | None -> ());
+      Domain.DLS.set pending (Some { tr = t; buffered = [ st ]; count = 1 })
+
+(* Flush this domain's buffer when the caller is about to read [t]'s
+   shards directly (insurance for readers inside a job scope). *)
+let flush_local t =
+  match Domain.DLS.get pending with
+  | Some b when b.tr == t -> drain_buf b
+  | _ -> ()
+
 let now t = match t.clock with Wall -> Unix.gettimeofday () -. t.t0 | Logical -> 0.0
 
 let record t event =
-  let serial, job, seq =
-    match Domain.DLS.get job_scope with
-    | Some (batch, index, counter) ->
-        let s = !counter in
-        incr counter;
-        (batch, index, s)
-    | None -> (Atomic.fetch_and_add t.next_serial 1, -1, 0)
-  in
-  record_stamped t { serial; job; seq; ts = now t; event }
+  match Domain.DLS.get job_scope with
+  | Some (batch, index, counter) ->
+      let s = !counter in
+      incr counter;
+      record_buffered t { serial = batch; job = index; seq = s; ts = now t; event }
+  | None ->
+      let serial = Atomic.fetch_and_add t.next_serial 1 in
+      record_stamped t { serial; job = -1; seq = 0; ts = now t; event }
 
 let epoch t = t.t0
 
@@ -78,6 +130,7 @@ let inject t ~epoch:e0 stamps =
     stamps
 
 let events t =
+  flush_local t;
   let all =
     Array.fold_left
       (fun acc shard ->
@@ -95,6 +148,7 @@ let events t =
     all
 
 let length t =
+  flush_local t;
   Array.fold_left
     (fun acc shard ->
       acc + Mutex.protect shard.lock (fun () -> List.length shard.events))
@@ -124,7 +178,14 @@ let in_job t ~batch ~index f =
   | Some _ ->
       let saved = Domain.DLS.get job_scope in
       Domain.DLS.set job_scope (Some (batch, index, ref 0));
-      Fun.protect ~finally:(fun () -> Domain.DLS.set job_scope saved) f
+      Fun.protect
+        ~finally:(fun () ->
+          (* Drain before the scope closes: this runs in the recording
+             domain, so every in-job event is in its shard before the
+             pool can join the batch and a reader can ask for it. *)
+          drain_pending ();
+          Domain.DLS.set job_scope saved)
+        f
 
 let emit t e = match t with None -> () | Some tr -> record tr e
 

@@ -60,7 +60,13 @@ let with_connection ?retry_for ?seed socket_path f =
   match connect ?retry_for ?seed socket_path with
   | Error _ as e -> e
   | Ok fd ->
+      (* A daemon that dies under us (crash, supervised respawn) must
+         surface as EPIPE on the next write — caught below as a
+         [Transport] failure the persistent path retries — not as a
+         process-killing SIGPIPE. *)
+      let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
       Fun.protect ~finally:(fun () ->
+          Sys.set_signal Sys.sigpipe prev_pipe;
           try Unix.close fd with Unix.Unix_error _ -> ())
       @@ fun () -> (
       try f fd

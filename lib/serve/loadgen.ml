@@ -242,6 +242,12 @@ let launch config tally rng cdf catalog n =
 let run config =
   if config.clients < 0 || config.concurrency < 1 then
     invalid_arg "Loadgen.run: clients must be >= 0, concurrency >= 1";
+  (* A daemon killed mid-request (the --supervise chaos path) must
+     surface as EPIPE on our next write — which [send] catches and turns
+     into a reconnect retry — not as a fatal SIGPIPE. *)
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev_pipe)
+  @@ fun () ->
   let rng = Rng.create config.seed in
   let catalog = Array.of_list (catalog config) in
   let cdf = zipf_cdf ~s:config.zipf_s (Array.length catalog) in

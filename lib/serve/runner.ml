@@ -92,10 +92,12 @@ let make_durable
         ?quarantine:Ft_engine.Quarantine.t ->
         ?checkpoint:Ft_engine.Checkpoint.t ->
         unit ->
-        Engine.t) ~state_dir ?(checkpoint_every = 32) () =
+        Engine.t) ~state_dir ?(checkpoint_every = 32) ?cache_format () =
   let run spec ~fingerprint ~tick =
     let path = snapshot_path ~state_dir fingerprint in
-    let checkpoint = Checkpoint.create ~path ~every:checkpoint_every () in
+    let checkpoint =
+      Checkpoint.create ~path ~every:checkpoint_every ?format:cache_format ()
+    in
     let engine =
       if Checkpoint.exists checkpoint then begin
         match Checkpoint.load checkpoint with

@@ -23,6 +23,7 @@ let swim = Option.get (Ft_suite.Suite.find "swim")
 let platform = Platform.Broadwell
 let toolchain = Ft_machine.Toolchain.make platform
 let input = Ft_suite.Suite.tuning_input platform swim
+let quiet_load path = Cache.load ~warn:(fun ~line:_ ~reason:_ -> ()) path
 
 (* --- Backend naming ---------------------------------------------------- *)
 
@@ -135,9 +136,16 @@ let test_procpool_rejects_bad_workers () =
    trace attached: returns the algorithm's result and the trace bytes.
    The engine is created explicitly so the trace and telemetry are ours
    to inspect. *)
-let run_algo ?kill_workers_after ~backend ~jobs algo =
+let run_algo ?kill_workers_after ?checkpoint ~backend ~jobs algo =
   let trace = Trace.create ~clock:Trace.Logical () in
-  let engine = Engine.create ~jobs ~backend ?kill_workers_after ~trace () in
+  let checkpoint =
+    Option.map
+      (fun (path, format) -> Ft_engine.Checkpoint.create ~path ~format ())
+      checkpoint
+  in
+  let engine =
+    Engine.create ~jobs ~backend ?kill_workers_after ?checkpoint ~trace ()
+  in
   let session =
     Tuner.make_session ~pool_size:24 ~engine ~platform ~program:swim
       ~input ~seed:42 ()
@@ -151,6 +159,7 @@ let run_algo ?kill_workers_after ~backend ~jobs algo =
         Funcytuner.Adaptive_sh.run session.Tuner.ctx
           (Lazy.force session.Tuner.collection)
   in
+  Engine.flush_checkpoint engine;
   let bytes = String.concat "\n" (Export.jsonl_lines trace) ^ "\n" in
   (result, bytes, engine)
 
@@ -197,6 +206,83 @@ let test_differential_survives_worker_kills () =
   let s = Telemetry.snapshot (Engine.telemetry engine) in
   Alcotest.(check bool) "the kills actually happened" true
     (s.Telemetry.worker_crashes > 0)
+
+(* --- differential: text vs binary cache format -------------------------- *)
+
+(* The on-disk cache format must be invisible to the search: for the same
+   algorithm, results and logical traces are byte-identical whether the
+   checkpoint is written as v1 text or v2 binary, at any backend and jobs
+   count — and the two checkpoint files, though byte-different on disk,
+   load to semantically identical caches. *)
+let check_format_differential configs algo name =
+  let dir = Test_helpers.temp_dir "format-diff" in
+  Fun.protect
+    ~finally:(fun () -> Test_helpers.remove_tree dir)
+    (fun () ->
+      let run i format backend jobs =
+        let path = Filename.concat dir (Printf.sprintf "ck-%d.cache" i) in
+        let result, bytes, _ =
+          run_algo ~checkpoint:(path, format) ~backend ~jobs algo
+        in
+        (result, bytes, Cache.bindings (quiet_load path))
+      in
+      let base_result, base_bytes, base_cache =
+        run 0 Cache.Text Backend.Domains 1
+      in
+      List.iteri
+        (fun i (backend, jobs) ->
+          let tag =
+            Printf.sprintf "%s %s -j%d" name (Backend.to_name backend) jobs
+          in
+          let text_result, text_bytes, text_cache =
+            run ((2 * i) + 1) Cache.Text backend jobs
+          in
+          let bin_result, bin_bytes, bin_cache =
+            run ((2 * i) + 2) Cache.Binary backend jobs
+          in
+          Alcotest.(check bool)
+            (tag ^ ": text result = binary result = baseline")
+            true
+            (text_result = base_result && bin_result = base_result);
+          Alcotest.(check string)
+            (tag ^ ": text trace byte-identical to binary trace")
+            text_bytes bin_bytes;
+          Alcotest.(check string)
+            (tag ^ ": trace byte-identical to baseline")
+            base_bytes bin_bytes;
+          Alcotest.(check bool)
+            (tag ^ ": checkpoint caches semantically identical across formats")
+            true
+            (text_cache = bin_cache && bin_cache = base_cache))
+        configs)
+
+let full_matrix =
+  [
+    (Backend.Domains, 1);
+    (Backend.Domains, 2);
+    (Backend.Domains, 4);
+    (Backend.Processes, 1);
+    (Backend.Processes, 2);
+    (Backend.Processes, 4);
+  ]
+
+(* CFR gets the full jobs/backend matrix; the other algorithms spot-check
+   the extremes (sequential domains, parallel domains, parallel
+   processes) to keep the suite's runtime in check. *)
+let spot_matrix =
+  [ (Backend.Domains, 4); (Backend.Processes, 4) ]
+
+let test_format_differential_cfr () =
+  check_format_differential full_matrix `Cfr "cfr"
+
+let test_format_differential_fr () =
+  check_format_differential spot_matrix `Fr "fr"
+
+let test_format_differential_random () =
+  check_format_differential spot_matrix `Random "random"
+
+let test_format_differential_adaptive_sh () =
+  check_format_differential spot_matrix `AdaptiveSh "adaptive-sh"
 
 let sample_jobs n =
   let rng = Rng.create 11 in
@@ -335,6 +421,149 @@ let test_cache_sync_concurrent_writers () =
     [ 0; 1; 2; 3 ];
   Test_helpers.remove_tree dir
 
+let test_v1_to_v2_migration () =
+  (* A v1 text cache (an old checkpoint or --warm-start file) must be
+     adopted wholesale by a binary-writer sync and migrated to v2 in
+     place, losing nothing. *)
+  let dir = Test_helpers.temp_dir "migrate" in
+  let path = Filename.concat dir "c.cache" in
+  Fun.protect
+    ~finally:(fun () -> Test_helpers.remove_tree dir)
+    (fun () ->
+      let old_entries =
+        List.init 20 (fun k -> (Printf.sprintf "v1-key-%d" k, summary_of_seed k))
+      in
+      let old = Cache.create () in
+      List.iter (fun (k, s) -> Cache.add old k s) old_entries;
+      Cache.save ~format:Cache.Text old ~path;
+      Alcotest.(check bool) "v1 text on disk" true
+        (Ft_engine.Cache_codec.detect (Test_helpers.read_file path) = `Text);
+      let fresh = Cache.create () in
+      Cache.add fresh "v2-key" (summary_of_seed 999);
+      let adopted = Cache.sync fresh ~path in
+      Alcotest.(check int) "every v1 entry adopted" 20 adopted;
+      Alcotest.(check bool) "migrated to v2 binary on disk" true
+        (Ft_engine.Cache_codec.detect (Test_helpers.read_file path) = `Binary);
+      let reloaded = quiet_load path in
+      Alcotest.(check int) "union survives the migration" 21
+        (Cache.length reloaded);
+      List.iter
+        (fun (k, s) ->
+          Alcotest.(check bool) ("v1 entry survives: " ^ k) true
+            (Cache.find reloaded k = Some s))
+        (("v2-key", summary_of_seed 999) :: old_entries))
+
+let test_sync_survives_sigkill_mid_append () =
+  (* The crash-safety property at the file-protocol level: a writer
+     SIGKILLed at an arbitrary point of its sync loop — possibly holding
+     the sidecar lock, possibly mid-append, possibly mid-compaction —
+     must cost at most its own uncommitted tail.  Concurrent and later
+     writers heal the torn tail (decode refuses it; the next sync
+     truncates or compacts it away) and lose none of their own entries. *)
+  let dir = Test_helpers.temp_dir "sync-kill" in
+  let path = Filename.concat dir "shared.cache" in
+  Fun.protect
+    ~finally:(fun () -> Test_helpers.remove_tree dir)
+    (fun () ->
+      let r, w = Unix.pipe () in
+      flush stdout;
+      flush stderr;
+      let victim =
+        match Unix.fork () with
+        | 0 ->
+            (* Loop forever, syncing a fresh batch each round and
+               signalling the parent after each committed sync; the
+               parent's SIGKILL lands at an arbitrary protocol point. *)
+            (try
+               Unix.close r;
+               let c = Cache.create () in
+               let round = ref 0 in
+               while true do
+                 incr round;
+                 List.iter
+                   (fun k ->
+                     Cache.add c
+                       (Printf.sprintf "victim-%d-%d" !round k)
+                       (summary_of_seed ((1000 * !round) + k)))
+                   [ 0; 1; 2; 3; 4 ];
+                 ignore (Cache.sync c ~path);
+                 ignore (Unix.write w (Bytes.of_string "s") 0 1)
+               done;
+               Unix._exit 0
+             with _ -> Unix._exit 1)
+        | pid -> pid
+      in
+      Unix.close w;
+      (* Two acknowledged syncs, so rounds 1 and 2 are committed; then
+         kill wherever the victim happens to be. *)
+      let b = Bytes.create 1 in
+      ignore (Unix.read r b 0 1);
+      ignore (Unix.read r b 0 1);
+      Unix.kill victim Sys.sigkill;
+      ignore (Unix.waitpid [] victim);
+      Unix.close r;
+      (* Now race three fresh writers over the possibly-torn file. *)
+      let entries_of child =
+        List.init 25 (fun k ->
+            ( Printf.sprintf "writer-%d-key-%d" child k,
+              summary_of_seed ((child * 100) + k) ))
+      in
+      flush stdout;
+      flush stderr;
+      let pids =
+        List.init 3 (fun child ->
+            match Unix.fork () with
+            | 0 ->
+                (try
+                   let c = Cache.create () in
+                   (* Five delta-sync rounds of five entries each. *)
+                   List.iteri
+                     (fun i (k, s) ->
+                       Cache.add c k s;
+                       if (i + 1) mod 5 = 0 then ignore (Cache.sync c ~path))
+                     (entries_of child);
+                   Unix._exit 0
+                 with _ -> Unix._exit 1)
+            | pid -> pid)
+      in
+      List.iter
+        (fun pid ->
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, _ -> Alcotest.fail "a syncing writer failed")
+        pids;
+      let merged = quiet_load path in
+      (* Every surviving writer's entry is present... *)
+      List.iter
+        (fun child ->
+          List.iter
+            (fun (k, s) ->
+              Alcotest.(check bool) ("writer entry survives: " ^ k) true
+                (Cache.find merged k = Some s))
+            (entries_of child))
+        [ 0; 1; 2 ];
+      (* ...and so is everything the victim committed before the kill. *)
+      List.iter
+        (fun round ->
+          List.iter
+            (fun k ->
+              let key = Printf.sprintf "victim-%d-%d" round k in
+              Alcotest.(check bool) ("committed victim entry survives: " ^ key)
+                true
+                (Cache.find merged key
+                = Some (summary_of_seed ((1000 * round) + k))))
+            [ 0; 1; 2; 3; 4 ])
+        [ 1; 2 ];
+      (* The healed file stays appendable. *)
+      let late = Cache.create () in
+      Cache.add late "late-key" (summary_of_seed 7);
+      ignore (Cache.sync late ~path);
+      let final = quiet_load path in
+      Alcotest.(check bool) "file still appendable after the kill" true
+        (Cache.find final "late-key" = Some (summary_of_seed 7));
+      Alcotest.(check bool) "append after heal loses nothing" true
+        (Cache.find final "writer-2-key-24" = Some (summary_of_seed 224)))
+
 (* --- QCheck crash injection: Atomic_file and Cache persistence --------- *)
 
 let loop_name_gen =
@@ -364,8 +593,6 @@ let cache_of entries =
   let c = Cache.create () in
   List.iter (fun (k, s) -> Cache.add c k s) entries;
   c
-
-let quiet_load path = Cache.load ~warn:(fun ~line:_ ~reason:_ -> ()) path
 
 let prop_truncation_never_corrupts =
   (* Chop a saved cache at an arbitrary byte: load must either reject the
@@ -481,6 +708,14 @@ let suite =
         test_differential_adaptive_sh;
       Alcotest.test_case "differential survives worker kills" `Quick
         test_differential_survives_worker_kills;
+      Alcotest.test_case "cfr format differential (full matrix)" `Quick
+        test_format_differential_cfr;
+      Alcotest.test_case "fr format differential" `Quick
+        test_format_differential_fr;
+      Alcotest.test_case "random format differential" `Quick
+        test_format_differential_random;
+      Alcotest.test_case "adaptive-sh format differential" `Quick
+        test_format_differential_adaptive_sh;
       Alcotest.test_case "worker crash exhausts to typed outcome" `Quick
         test_worker_crash_exhausts_to_outcome;
       Alcotest.test_case "worker crash retries recover bit-identically" `Quick
@@ -489,6 +724,10 @@ let suite =
         test_worker_crashes_derivable_from_trace;
       Alcotest.test_case "concurrent Cache.sync writers union" `Quick
         test_cache_sync_concurrent_writers;
+      Alcotest.test_case "v1 text cache migrates to v2 binary" `Quick
+        test_v1_to_v2_migration;
+      Alcotest.test_case "sync survives SIGKILL mid-append" `Quick
+        test_sync_survives_sigkill_mid_append;
       QCheck_alcotest.to_alcotest prop_truncation_never_corrupts;
       QCheck_alcotest.to_alcotest prop_leftover_tmp_files_ignored;
       QCheck_alcotest.to_alcotest prop_crashed_writer_keeps_snapshot;

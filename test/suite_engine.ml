@@ -162,10 +162,18 @@ let test_cache_roundtrip () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Cache.save cache ~path;
-      let reloaded = Cache.load path in
-      Alcotest.(check bool) "save/load round-trip is bit-exact" true
-        (Cache.bindings cache = Cache.bindings reloaded))
+      (* Both on-disk formats must round-trip bit-exactly; load
+         auto-detects which one it was handed. *)
+      List.iter
+        (fun format ->
+          Cache.save ~format cache ~path;
+          let reloaded = Cache.load path in
+          Alcotest.(check bool)
+            (Cache.format_to_string format
+            ^ " save/load round-trip is bit-exact")
+            true
+            (Cache.bindings cache = Cache.bindings reloaded))
+        [ Cache.Text; Cache.Binary ])
 
 let test_cache_load_rejects_garbage () =
   let path = Filename.temp_file "ft_cache" ".tsv" in
@@ -181,8 +189,10 @@ let test_cache_load_rejects_garbage () =
       | _ -> Alcotest.fail "garbage accepted")
 
 let test_cache_load_skips_malformed_entries () =
-  (* After a valid magic line, a torn entry (e.g. a crash mid-write before
-     Cache.save became atomic) is skipped and reported, not fatal. *)
+  (* After a valid v1 magic line, a torn entry (e.g. a crash mid-write
+     before Cache.save became atomic) is skipped and reported, not
+     fatal.  Pinned to the text format: the torn line is a text-era
+     artifact (its binary counterpart is the next test). *)
   let engine = Engine.create () in
   List.iter
     (fun b -> ignore (Engine.summary engine ~toolchain ~program ~input b))
@@ -191,7 +201,7 @@ let test_cache_load_skips_malformed_entries () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Cache.save (Engine.cache engine) ~path;
+      Cache.save ~format:Cache.Text (Engine.cache engine) ~path;
       let oc = open_out_gen [ Open_append ] 0o600 path in
       output_string oc "torn\tentry\n";
       close_out oc;
@@ -203,6 +213,30 @@ let test_cache_load_skips_malformed_entries () =
       Alcotest.(check int) "exactly one warning" 1 (List.length !warned);
       Alcotest.(check int) "warning points at the torn line" 8
         (fst (List.hd !warned)))
+
+let test_binary_cache_tolerates_torn_tail () =
+  (* The binary counterpart: garbage appended to a v2 file (a writer
+     killed mid-append) is refused at the frame layer — committed
+     entries all load, the tail is reported, nothing is invented. *)
+  let engine = Engine.create () in
+  List.iter
+    (fun b -> ignore (Engine.summary engine ~toolchain ~program ~input b))
+    some_builds;
+  let path = Filename.temp_file "ft_cache" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cache.save ~format:Cache.Binary (Engine.cache engine) ~path;
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o600 path in
+      output_string oc "torn\tentry\n";
+      close_out oc;
+      let warned = ref [] in
+      let reloaded =
+        Cache.load ~warn:(fun ~line ~reason -> warned := (line, reason) :: !warned) path
+      in
+      Alcotest.(check int) "committed entries survive" 6
+        (Cache.length reloaded);
+      Alcotest.(check int) "the torn tail is reported" 1 (List.length !warned))
 
 let test_cache_save_is_atomic () =
   (* The write goes through a temp file + rename: saving over an existing
@@ -349,6 +383,8 @@ let suite =
         test_cache_load_rejects_garbage;
       Alcotest.test_case "cache skips malformed entries" `Quick
         test_cache_load_skips_malformed_entries;
+      Alcotest.test_case "binary cache tolerates a torn tail" `Quick
+        test_binary_cache_tolerates_torn_tail;
       Alcotest.test_case "cache save is atomic" `Quick
         test_cache_save_is_atomic;
       Alcotest.test_case "cache hit counting" `Quick test_cache_hit_counting;

@@ -12,6 +12,7 @@ let () =
       Suite_machine.suite;
       Suite_caliper_outline.suite;
       Suite_engine.suite;
+      Suite_codec.suite;
       Suite_fault.suite;
       Suite_selfcheck.suite;
       Suite_core.suite;
