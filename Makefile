@@ -2,7 +2,7 @@ DUNE ?= dune
 FUNCY = $(DUNE) exec --no-build bin/funcy.exe --
 
 .PHONY: all build test smoke smoke-faults smoke-trace smoke-procs \
-        smoke-selfcheck smoke-adaptive smoke-serve smoke-recover golden \
+        smoke-shard smoke-selfcheck smoke-adaptive smoke-serve smoke-recover golden \
         bench-gate coverage check clean
 
 # Committed perf baseline the gate compares against (see bench-gate).
@@ -83,6 +83,30 @@ smoke-procs: build
 	cmp _build/smoke-procs-d.out _build/smoke-procs-k.out
 	cmp _build/smoke-procs-d.jsonl _build/smoke-procs-k.jsonl
 	@echo "smoke-procs OK: processes backend byte-identical to domains, even under worker kills"
+
+# Sharded-backend smoke (see DESIGN.md section 17):
+#   1. --backend sharded --nodes 4 tune output AND its logical trace are
+#      byte-identical to --backend domains --jobs 4 (itself already
+#      checked against --jobs 1 by `smoke`);
+#   2. they stay byte-identical when node 0 is SIGKILLed mid-search
+#      (--kill-node-after): its shard migrates by work stealing and the
+#      in-flight job retries bit-identically.
+smoke-shard: build
+	$(FUNCY) tune -b swim -a cfr -k 120 --jobs 4 \
+	  --trace _build/smoke-shard-d.jsonl --trace-clock logical \
+	  > _build/smoke-shard-d.out
+	$(FUNCY) tune -b swim -a cfr -k 120 --backend sharded --nodes 4 \
+	  --trace _build/smoke-shard-s.jsonl --trace-clock logical \
+	  > _build/smoke-shard-s.out
+	cmp _build/smoke-shard-d.out _build/smoke-shard-s.out
+	cmp _build/smoke-shard-d.jsonl _build/smoke-shard-s.jsonl
+	$(FUNCY) tune -b swim -a cfr -k 120 --backend sharded --nodes 4 \
+	  --kill-node-after 3 \
+	  --trace _build/smoke-shard-k.jsonl --trace-clock logical \
+	  > _build/smoke-shard-k.out
+	cmp _build/smoke-shard-d.out _build/smoke-shard-k.out
+	cmp _build/smoke-shard-d.jsonl _build/smoke-shard-k.jsonl
+	@echo "smoke-shard OK: sharded backend byte-identical to domains, even under node kills"
 
 # Checkpoint/resume equivalence oracle (see DESIGN.md section 12): for
 # each algorithm, run uninterrupted, then kill-and-resume at several
@@ -210,8 +234,8 @@ coverage:
 golden: build
 	$(FUNCY) experiment fig5c fig7a -k 12 --csv-dir test/golden
 
-check: build test smoke smoke-faults smoke-trace smoke-procs smoke-selfcheck \
-       smoke-adaptive smoke-serve smoke-recover
+check: build test smoke smoke-faults smoke-trace smoke-procs smoke-shard \
+       smoke-selfcheck smoke-adaptive smoke-serve smoke-recover
 
 clean:
 	$(DUNE) clean

@@ -427,10 +427,31 @@ let run_json_bench () =
       (Printf.sprintf "funcy-bench-%d.sock" (Unix.getpid ()))
   in
   let daemon = fork_daemon ~socket_path in
-  (* 1. solo tune: wall clock, evaluation rate, cache hit rate *)
   let platform = Ft_prog.Platform.Broadwell in
   let program = Option.get (Ft_suite.Suite.find "363.swim") in
   let input = Ft_suite.Suite.tuning_input platform program in
+  (* 1a. sharded tune: coordinator/worker fleet.  Runs first — the
+     sharded backend forks node processes, which is illegal once this
+     process has spawned a domain (the solo tune may, with --jobs). *)
+  let shard_nodes = 4 in
+  let shard_result, shard_wall =
+    let engine =
+      Ft_engine.Engine.create ~backend:Ft_engine.Backend.Sharded
+        ~nodes:shard_nodes ~policy:(policy ()) ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let session =
+      Funcytuner.Tuner.make_session ~pool_size:150 ~engine ~platform ~program
+        ~input ~seed:42 ()
+    in
+    let result = Funcytuner.Tuner.run_cfr session in
+    (result, Unix.gettimeofday () -. t0)
+  in
+  note "shard (swim/bdw cfr, K=150, %d nodes): %.3f s wall, %d evaluations \
+        (%.0f/s)"
+    shard_nodes shard_wall shard_result.Funcytuner.Result.evaluations
+    (float_of_int shard_result.Funcytuner.Result.evaluations /. shard_wall);
+  (* 1b. solo tune: wall clock, evaluation rate, cache hit rate *)
   let engine =
     Ft_engine.Engine.create ~jobs:!jobs ~backend:!backend ~policy:(policy ()) ()
   in
@@ -489,6 +510,21 @@ let run_json_bench () =
                   (float_of_int result.Funcytuner.Result.evaluations
                   /. tune_wall) );
               ("cache_hit_rate", Json.Float hit_rate);
+            ] );
+        ( "shard",
+          Json.Obj
+            [
+              ("benchmark", Json.String program.Ft_prog.Program.name);
+              ("algorithm", Json.String "cfr");
+              ("pool", Json.Int 150);
+              ("nodes", Json.Int shard_nodes);
+              ("wall_s", Json.Float shard_wall);
+              ( "evaluations",
+                Json.Int shard_result.Funcytuner.Result.evaluations );
+              ( "evals_per_sec",
+                Json.Float
+                  (float_of_int shard_result.Funcytuner.Result.evaluations
+                  /. shard_wall) );
             ] );
         ( "loadgen",
           Json.Obj
@@ -729,6 +765,7 @@ let parse_args argv =
   go [] (List.tl (Array.to_list argv))
 
 let () =
+  Ft_shard.Shard.install ();
   let names = parse_args Sys.argv in
   if !json_out then begin
     if names <> [] then

@@ -105,8 +105,10 @@ let backend_t =
     & info [ "backend" ] ~docv:"BACKEND"
         ~doc:
           "Evaluation substrate: $(b,domains) (default; shared-memory OCaml \
-           domains) or $(b,processes) (a pool of forked workers — a \
-           crashing evaluation loses one worker, never the search).  Tune \
+           domains), $(b,processes) (a pool of forked workers — a \
+           crashing evaluation loses one worker, never the search) or \
+           $(b,sharded) (a coordinator over $(b,--nodes) forked node \
+           processes with pre-partitioned shards and work stealing).  Tune \
            output and logical traces are byte-identical across backends.")
 
 let kill_workers_t =
@@ -119,6 +121,29 @@ let kill_workers_t =
            first round, one worker SIGKILLs itself after completing \
            $(docv) jobs, exercising crash recovery; results still match \
            an uninterrupted run.")
+
+let nodes_t =
+  Arg.(
+    value
+    & opt (bounded_int_arg ~what:"nodes" ~min_v:1) 1
+    & info [ "nodes" ] ~docv:"N"
+        ~doc:
+          "Node count for $(b,--backend sharded) (default 1): the \
+           coordinator pre-partitions each batch into $(docv) contiguous \
+           shards, one per forked node, rebalanced by work stealing.  \
+           Results are bit-identical for any value.")
+
+let kill_node_t =
+  Arg.(
+    value
+    & opt (some (bounded_int_arg ~what:"kill-node-after" ~min_v:0)) None
+    & info [ "kill-node-after" ] ~docv:"N"
+        ~doc:
+          "Testing hook ($(b,--backend sharded) only): in each batch's \
+           first round, node 0 SIGKILLs itself after completing $(docv) \
+           jobs — its unfed shard migrates to surviving nodes and its \
+           in-flight job retries; results still match an uninterrupted \
+           run.")
 
 let shared_cache_t =
   Arg.(
@@ -360,10 +385,13 @@ let policy_of_resilience r =
    policy and, with --checkpoint, attach the snapshot file — resuming from
    it when it already exists.  Resume chatter goes to stderr so stdout
    stays byte-comparable across resumed runs. *)
-let make_engine ~jobs ?backend ?kill_workers_after ?trace r =
+let make_engine ~jobs ?backend ?kill_workers_after ?nodes ?kill_node_after
+    ?trace r =
   let policy = policy_of_resilience r in
   match r.checkpoint with
-  | None -> Engine.create ~jobs ?backend ?kill_workers_after ~policy ?trace ()
+  | None ->
+      Engine.create ~jobs ?backend ?kill_workers_after ?nodes
+        ?kill_node_after ~policy ?trace ()
   | Some path ->
       let ck = Checkpoint.create ~path ~format:r.cache_format () in
       let cache, quarantine =
@@ -377,8 +405,8 @@ let make_engine ~jobs ?backend ?kill_workers_after ?trace r =
             (cache, quarantine)
         | None -> (Cache.create (), Quarantine.create ())
       in
-      Engine.create ~jobs ?backend ?kill_workers_after ~cache ~quarantine
-        ~policy ~checkpoint:ck ?trace ()
+      Engine.create ~jobs ?backend ?kill_workers_after ?nodes
+        ?kill_node_after ~cache ~quarantine ~policy ~checkpoint:ck ?trace ()
 
 (* --shared-cache: one read-merge-write against the shared file at startup
    (adopting whatever other processes committed) and one at exit
@@ -570,12 +598,13 @@ let tune_cmd =
              holds are pre-scored as allocator priors, costing no \
              budget.")
   in
-  let run program platform seed pool jobs backend kill_workers shared_cache
-      stats resilience tspec algo top_x budget warm_start =
+  let run program platform seed pool jobs backend kill_workers nodes
+      kill_node shared_cache stats resilience tspec algo top_x budget
+      warm_start =
     let trace = make_trace tspec in
     let engine =
-      make_engine ~jobs ~backend ?kill_workers_after:kill_workers ?trace
-        resilience
+      make_engine ~jobs ~backend ?kill_workers_after:kill_workers ~nodes
+        ?kill_node_after:kill_node ?trace resilience
     in
     adopt_shared_cache engine ~format:resilience.cache_format shared_cache;
     arm_die_after engine
@@ -673,8 +702,9 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Run one auto-tuning algorithm")
     Term.(
       const run $ program_t $ platform_t $ seed_t $ pool_t $ jobs_t
-      $ backend_t $ kill_workers_t $ shared_cache_t $ stats_t $ resilience_t
-      $ trace_spec_t $ algo_t $ top_x_t $ budget_t $ warm_start_t)
+      $ backend_t $ kill_workers_t $ nodes_t $ kill_node_t $ shared_cache_t
+      $ stats_t $ resilience_t $ trace_spec_t $ algo_t $ top_x_t $ budget_t
+      $ warm_start_t)
 
 (* --- selfcheck --------------------------------------------------------- *)
 
@@ -785,8 +815,8 @@ let selfcheck_cmd =
     print_string (Ft_serve.Servecheck.render outcome);
     if not (Ft_serve.Servecheck.passed outcome) then exit 1
   in
-  let run program platform seed pool jobs backend kill_workers resilience
-      algos_selected kill_at serve =
+  let run program platform seed pool jobs backend kill_workers nodes
+      kill_node resilience algos_selected kill_at serve =
     if serve then run_serve_oracle program platform seed pool jobs backend
       resilience
     else begin
@@ -817,7 +847,8 @@ let selfcheck_cmd =
           in
           let make_engine ~cache ~quarantine ~checkpoint ~trace =
             Engine.create ~jobs ~backend ?kill_workers_after:kill_workers
-              ~cache ~quarantine ~policy ?checkpoint ?trace ()
+              ~nodes ?kill_node_after:kill_node ~cache ~quarantine ~policy
+              ?checkpoint ?trace ()
           in
           let search engine =
             let session =
@@ -859,8 +890,8 @@ let selfcheck_cmd =
           and ignored here.")
     Term.(
       const run $ program_t $ platform_t $ seed_t $ pool_t $ jobs_t
-      $ backend_t $ kill_workers_t $ resilience_t $ algos_t $ kill_at_t
-      $ serve_t)
+      $ backend_t $ kill_workers_t $ nodes_t $ kill_node_t $ resilience_t
+      $ algos_t $ kill_at_t $ serve_t)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -899,12 +930,12 @@ let experiment_cmd =
           ~doc:"fig1 fig5a fig5b fig5c fig6 fig7a fig7b fig8 fig9 tab1 tab2 \
                 tab3 ablations faults (default: fig5c).")
   in
-  let run seed pool jobs backend kill_workers shared_cache stats resilience
-      tspec csv_dir names =
+  let run seed pool jobs backend kill_workers nodes kill_node shared_cache
+      stats resilience tspec csv_dir names =
     let trace = make_trace tspec in
     let engine =
-      make_engine ~jobs ~backend ?kill_workers_after:kill_workers ?trace
-        resilience
+      make_engine ~jobs ~backend ?kill_workers_after:kill_workers ~nodes
+        ?kill_node_after:kill_node ?trace resilience
     in
     adopt_shared_cache engine ~format:resilience.cache_format shared_cache;
     arm_die_after engine
@@ -962,8 +993,8 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate paper tables and figures")
     Term.(
       const run $ seed_t $ pool_t $ jobs_t $ backend_t $ kill_workers_t
-      $ shared_cache_t $ stats_t $ resilience_t $ trace_spec_t $ csv_dir_t
-      $ names_t)
+      $ nodes_t $ kill_node_t $ shared_cache_t $ stats_t $ resilience_t
+      $ trace_spec_t $ csv_dir_t $ names_t)
 
 (* --- report ------------------------------------------------------------ *)
 
@@ -1085,9 +1116,9 @@ let serve_cmd =
       & info [ "respawn-budget" ] ~docv:"N"
           ~doc:"Respawns the supervisor allows (default 16).")
   in
-  let run socket max_queue progress_every jobs backend kill_workers stats
-      resilience tspec state_dir die_after_requests poison_threshold
-      checkpoint_every supervise respawn_budget =
+  let run socket max_queue progress_every jobs backend kill_workers nodes
+      kill_node stats resilience tspec state_dir die_after_requests
+      poison_threshold checkpoint_every supervise respawn_budget =
     (* Everything engine-flavoured happens inside [daemon] so that under
        --supervise the forking supervisor parent never spawns a domain. *)
     let daemon ~generation:_ =
@@ -1097,14 +1128,15 @@ let serve_cmd =
         | None ->
             let engine =
               make_engine ~jobs ~backend ?kill_workers_after:kill_workers
-                ?trace resilience
+                ~nodes ?kill_node_after:kill_node ?trace resilience
             in
             (Engine.telemetry engine, Ft_serve.Runner.make ~engine)
         | Some dir ->
             let policy = policy_of_resilience resilience in
             let make_engine ?cache ?quarantine ?checkpoint () =
               Engine.create ~jobs ~backend ?kill_workers_after:kill_workers
-                ?cache ?quarantine ~policy ?checkpoint ?trace ()
+                ~nodes ?kill_node_after:kill_node ?cache ?quarantine ~policy
+                ?checkpoint ?trace ()
             in
             ( Ft_engine.Telemetry.create (),
               Ft_serve.Runner.make_durable ~make_engine ~state_dir:dir
@@ -1163,9 +1195,10 @@ let serve_cmd =
           and exits.")
     Term.(
       const run $ socket_t $ max_queue_t $ progress_every_t $ jobs_t
-      $ backend_t $ kill_workers_t $ stats_t $ resilience_t $ trace_spec_t
-      $ state_dir_t $ die_after_requests_t $ poison_threshold_t
-      $ checkpoint_every_t $ supervise_t $ respawn_budget_t)
+      $ backend_t $ kill_workers_t $ nodes_t $ kill_node_t $ stats_t
+      $ resilience_t $ trace_spec_t $ state_dir_t $ die_after_requests_t
+      $ poison_threshold_t $ checkpoint_every_t $ supervise_t
+      $ respawn_budget_t)
 
 let wait_t =
   let wait_arg =
@@ -1481,6 +1514,8 @@ let loadgen_cmd =
       $ benchmarks_t $ wait_t $ reconnect_t $ max_attempts_t)
 
 let () =
+  (* Enable --backend sharded everywhere an engine can be built. *)
+  Ft_shard.Shard.install ();
   let doc = "FuncyTuner: per-loop compilation auto-tuning (ICPP'19 reproduction)" in
   let info = Cmd.info "funcy" ~version:"1.0.0" ~doc in
   exit

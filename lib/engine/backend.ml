@@ -1,12 +1,17 @@
-type t = Domains | Processes
+type t = Domains | Processes | Sharded
 
 let default = Domains
-let all = [ Domains; Processes ]
-let to_name = function Domains -> "domains" | Processes -> "processes"
+let all = [ Domains; Processes; Sharded ]
+
+let to_name = function
+  | Domains -> "domains"
+  | Processes -> "processes"
+  | Sharded -> "sharded"
 
 let of_name = function
   | "domains" -> Some Domains
   | "processes" -> Some Processes
+  | "sharded" -> Some Sharded
   | _ -> None
 
 let describe = function
@@ -15,3 +20,6 @@ let describe = function
   | Processes ->
       "forked worker processes (crash isolation, length-prefixed Marshal \
        frames over pipes)"
+  | Sharded ->
+      "coordinator + forked worker nodes (--nodes): pre-partitioned shards \
+       with work stealing, cache deltas shipped as binary v2 frames"

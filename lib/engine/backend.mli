@@ -6,12 +6,17 @@
     each batch on a fixed-size {!Procpool} of forked workers: a crashing
     or leaking evaluation takes down only its worker, never the search —
     the failure surfaces as a typed {!Engine.job_outcome.Worker_crashed}
-    and flows through the engine's retry/quarantine machinery.  Both
-    backends compute bit-identical results (and byte-identical
-    logical-clock traces): the choice trades isolation and address-space
-    hygiene against fork/IPC overhead, never outcomes. *)
+    and flows through the engine's retry/quarantine machinery.
+    [Sharded] is the coordinator/worker topology ([Ft_shard]): the batch
+    is pre-partitioned into contiguous shards across [--nodes] forked
+    node processes, straggler shards rebalance by work stealing, and
+    each node ships its cache deltas home as {!Cache_codec} binary v2
+    frames.  All backends compute bit-identical results (and
+    byte-identical logical-clock traces): the choice trades isolation,
+    address-space hygiene and scheduling topology against fork/IPC
+    overhead, never outcomes. *)
 
-type t = Domains | Processes
+type t = Domains | Processes | Sharded
 
 val default : t
 (** [Domains] — single-process, so all historical output is unchanged. *)
@@ -19,7 +24,8 @@ val default : t
 val all : t list
 
 val to_name : t -> string
-(** ["domains"] / ["processes"] (the [--backend] spelling). *)
+(** ["domains"] / ["processes"] / ["sharded"] (the [--backend]
+    spelling). *)
 
 val of_name : string -> t option
 

@@ -173,12 +173,38 @@ let table_of_contents ~warn ~path contents =
       List.iter (fun (k, v) -> Hashtbl.replace t.table k v) d.entries);
   t
 
+(* Advisory exclusive lock on a sidecar ([path ^ ".lock"]), not on [path]
+   itself: the compaction/atomic-save path replaces [path] by rename, so
+   a lock on the data file's inode would guard a file that no longer
+   exists.  The sidecar is stable, empty, and shared by every process
+   syncing against [path]. *)
+let with_file_lock ~path f =
+  let lock_path = path ^ ".lock" in
+  let fd = Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      Unix.close fd)
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      f ())
+
+(* Reclaim orphaned [Atomic_file] temporaries around [path] — litter from
+   writers SIGKILLed mid-save.  The lock-free probe keeps the common
+   clean-directory case from manufacturing sidecar lock files; actual
+   removal happens under the lock so two sweepers (or a sweeper and a
+   compacting sync) never race. *)
+let sweep_stale_tmp ~path =
+  if Atomic_file.stale_tmp_files ~path () <> [] then
+    with_file_lock ~path (fun () -> ignore (Atomic_file.sweep ~path ()))
+
 let load ?warn path =
   let warn =
     match warn with
     | Some w -> w
     | None -> fun ~line ~reason -> default_warn ~path ~line ~reason
   in
+  sweep_stale_tmp ~path;
   table_of_contents ~warn ~path (read_whole path)
 
 let save ?(format = default_format) t ~path =
@@ -213,22 +239,6 @@ let merge t ~from =
              end))
        0
 
-(* Advisory exclusive lock on a sidecar ([path ^ ".lock"]), not on [path]
-   itself: the compaction/atomic-save path replaces [path] by rename, so
-   a lock on the data file's inode would guard a file that no longer
-   exists.  The sidecar is stable, empty, and shared by every process
-   syncing against [path]. *)
-let with_file_lock ~path f =
-  let lock_path = path ^ ".lock" in
-  let fd = Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
-      Unix.close fd)
-    (fun () ->
-      Unix.lockf fd Unix.F_LOCK 0;
-      f ())
-
 (* -- delta sync (binary) -------------------------------------------------
 
    The journal-style protocol behind [--shared-cache] at scale.  Under
@@ -250,14 +260,7 @@ let with_file_lock ~path f =
 
 let file_id (st : Unix.stats) = (st.Unix.st_dev, st.Unix.st_ino)
 
-let rec write_all fd buf ofs len =
-  if len > 0 then begin
-    let n =
-      try Unix.write fd buf ofs len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd buf (ofs + n) (len - n)
-  end
+let write_all = Ft_framing.Framing.write_all
 
 (* Append [records] at byte offset [at], truncating first: if the file
    tail past [at] is a torn frame this removes it, and when the file
@@ -415,6 +418,7 @@ let delta_sync ?warn t ~path ~state ~size =
 
 let sync ?warn ?(format = default_format) t ~path =
   with_file_lock ~path (fun () ->
+      ignore (Atomic_file.sweep ~path ());
       match format with
       | Text ->
           (* v1 semantics: whole-file read-merge-write, kept for golden

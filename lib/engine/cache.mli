@@ -76,6 +76,10 @@ val load : ?warn:(line:int -> reason:string -> unit) -> string -> t
     the full length-prefixed frame) is treated as torn and skipped too,
     {e even if it would parse}: a float truncated mid-digits is a
     different valid float, so only fully committed records are trusted.
+    Before reading, stale {!Atomic_file} temporaries around [path]
+    (orphans of writers SIGKILLed mid-save, older than the grace
+    period) are swept under {!with_file_lock} — the lock is only taken
+    when litter actually exists.
     @raise Corrupt when the header is missing, wrong or truncated;
     [Sys_error] if the file is unreadable. *)
 
@@ -118,5 +122,9 @@ val sync :
 
     With [~format:Text] it is the v1 whole-file read-merge-write, kept
     for golden tests and human-inspectable shared caches.
+
+    Either way the held lock also pays for an {!Atomic_file.sweep}:
+    stale temporaries left by SIGKILLed writers are reclaimed on every
+    sync.
 
     @raise Corrupt as {!load}. *)

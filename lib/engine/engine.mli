@@ -99,6 +99,8 @@ val create :
   ?jobs:int ->
   ?backend:Backend.t ->
   ?kill_workers_after:int ->
+  ?nodes:int ->
+  ?kill_node_after:int ->
   ?cache:Cache.t ->
   ?telemetry:Telemetry.t ->
   ?policy:policy ->
@@ -111,24 +113,35 @@ val create :
     {!Backend.Domains}) selects the execution substrate for batches:
     {!Backend.Processes} runs each batch on a {!Procpool} of forked
     workers, whose crashes surface as typed [Worker_crashed] outcomes
-    instead of taking the search down.  [kill_workers_after] arms the
-    deterministic chaos hook (processes backend only): on each batch's
-    {e first} round, the first worker SIGKILLs itself after completing
-    that many jobs — the crash path's test harness.  A fresh cache,
-    telemetry and quarantine are allocated unless shared ones are passed
-    (e.g. one cache for a whole experiment lab, or a quarantine reloaded
-    from a checkpoint).  When a [checkpoint] is attached, cache and
-    quarantine snapshots are refreshed as state accumulates and on
+    instead of taking the search down; {!Backend.Sharded} runs it on the
+    installed coordinator/node topology ({!install_node_mapper},
+    normally [Ft_shard.Shard.install]) across [nodes] (default 1) forked
+    node processes, with work stealing and codec-framed cache deltas.
+    [kill_workers_after] arms the deterministic chaos hook (processes
+    backend only): on each batch's {e first} round, the first worker
+    SIGKILLs itself after completing that many jobs — the crash path's
+    test harness.  [kill_node_after] is the same hook for the sharded
+    backend's designated first node.  A fresh cache, telemetry and
+    quarantine are allocated unless shared ones are passed (e.g. one
+    cache for a whole experiment lab, or a quarantine reloaded from a
+    checkpoint).  When a [checkpoint] is attached, cache and quarantine
+    snapshots are refreshed as state accumulates and on
     {!flush_checkpoint}.  When a [trace] is attached, every cache lookup,
     build, run, fault, retry, quarantine decision and job completion is
     recorded as a typed {!Ft_obs.Event} — with no trace, not a single
     extra instruction runs on the job path.
-    @raise Invalid_argument if [jobs < 1], [policy.repeats < 1],
-    [policy.max_retries < 0], [policy.timeout_s <= 0] or
-    [kill_workers_after < 0]. *)
+    @raise Invalid_argument if [jobs < 1], [nodes < 1],
+    [policy.repeats < 1], [policy.max_retries < 0],
+    [policy.timeout_s <= 0], [kill_workers_after < 0] or
+    [kill_node_after < 0]. *)
 
 val jobs : t -> int
 val backend : t -> Backend.t
+
+val nodes : t -> int
+(** Node count for the sharded backend (1 unless set; ignored by the
+    other backends, as [jobs] is by the sharded one). *)
+
 val cache : t -> Cache.t
 val telemetry : t -> Telemetry.t
 val policy : t -> policy
@@ -257,3 +270,31 @@ val try_measure_list :
   job list ->
   job_outcome list
 (** List version of {!try_measure_batch}. *)
+
+(** {2 Sharded-backend registry}
+
+    [Ft_shard] (the coordinator/node library) depends on this one, so
+    the engine reaches it through an installed callback rather than by
+    name.  The record field is universally quantified: one installation
+    serves every item/result type the engine instantiates it at. *)
+
+type node_mapper = {
+  map :
+    'a 'b.
+    nodes:int ->
+    ?on_result:(int -> ('b, Procpool.failure) Stdlib.result -> unit) ->
+    ?kill_first_node_after:int ->
+    ('a -> 'b) ->
+    'a array ->
+    ('b, Procpool.failure) Stdlib.result array;
+}
+(** The contract {!Backend.Sharded} batches run through — same shape and
+    failure taxonomy as {!Procpool.map}, with [nodes] forked node
+    processes in place of cursor-fed workers and [kill_first_node_after]
+    arming the designated node's self-SIGKILL chaos hook. *)
+
+val install_node_mapper : node_mapper -> unit
+(** Install (or replace) the sharded backend's mapper.  Called once at
+    startup by [Ft_shard.Shard.install]; a {!Backend.Sharded} batch
+    without an installation fails with a [Failure] naming the missing
+    call. *)

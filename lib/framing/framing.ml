@@ -28,13 +28,19 @@ let default_max_bytes = 256 * 1024 * 1024
 let header_bytes = 8
 
 let rec write_all fd buf ofs len =
-  if len > 0 then begin
-    let n =
-      try Unix.write fd buf ofs len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd buf (ofs + n) (len - n)
-  end
+  if len > 0 then
+    match Unix.write fd buf ofs len with
+    | n -> write_all fd buf (ofs + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf ofs len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* The fd was left nonblocking — the mode [Decoder.pump] already
+           expects on the read side.  A full kernel buffer is not an
+           error for a framed writer: wait for writability and resume
+           mid-frame, otherwise a slow peer kills the caller. *)
+        (match Unix.select [] [ fd ] [] (-1.0) with
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        write_all fd buf ofs len
 
 let write_bytes fd payload =
   let len = Bytes.length payload in

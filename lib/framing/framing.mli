@@ -50,10 +50,18 @@ val header_bytes : int
     codecs that walk framed bytes in memory (e.g.
     [Ft_engine.Cache_codec]). *)
 
+val write_all : Unix.file_descr -> bytes -> int -> int -> unit
+(** [write_all fd buf ofs len]: write exactly [len] bytes.  Short writes
+    and [EINTR] are retried; [EAGAIN]/[EWOULDBLOCK] (the fd was left
+    nonblocking, e.g. a server socket the {!Decoder} side reads in
+    nonblocking mode) waits for writability and resumes rather than
+    escaping mid-frame.  [EPIPE] (peer already dead) escapes as
+    [Unix_error] for the caller's crash handling.  Exposed for writers
+    that append framed bytes outside this module (e.g.
+    [Ft_engine.Cache]'s locked appends). *)
+
 val write_bytes : Unix.file_descr -> bytes -> unit
-(** Write one frame.  Short writes and [EINTR] are retried; [EPIPE]
-    (peer already dead) escapes as [Unix_error] for the caller's crash
-    handling. *)
+(** Write one frame (header then payload, each via {!write_all}). *)
 
 val read_bytes : ?max_bytes:int -> Unix.file_descr -> (bytes, error) result
 (** Blocking read of one frame's payload ([max_bytes] defaults to

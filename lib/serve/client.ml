@@ -1,4 +1,5 @@
 module Rng = Ft_util.Rng
+module Clock = Ft_util.Clock
 
 type failure =
   | Rejected of Protocol.reject_reason
@@ -29,7 +30,9 @@ let backoff_schedule ~seed n =
   List.init n (fun k -> backoff_delay rng k)
 
 let connect ?(retry_for = 0.0) ?(seed = 0) socket_path =
-  let deadline = Unix.gettimeofday () +. retry_for in
+  (* Monotonic, not wall: a clock step during the retry window must not
+     silently stretch or collapse it. *)
+  let deadline = Clock.now () +. retry_for in
   let rng = Rng.create seed in
   let rec go attempt =
     let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -37,7 +40,7 @@ let connect ?(retry_for = 0.0) ?(seed = 0) socket_path =
     | () -> Ok fd
     | exception Unix.Unix_error (((ECONNREFUSED | ENOENT) as e), _, _) ->
         Unix.close fd;
-        if Unix.gettimeofday () < deadline then begin
+        if Clock.now () < deadline then begin
           ignore (Unix.select [] [] [] (backoff_delay rng attempt));
           go (attempt + 1)
         end

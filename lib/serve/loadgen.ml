@@ -1,5 +1,6 @@
 module Rng = Ft_util.Rng
 module Stats = Ft_util.Stats
+module Clock = Ft_util.Clock
 module Framing = Ft_framing.Framing
 
 type config = {
@@ -109,7 +110,7 @@ type retry = {
   r_spec : Protocol.tune_spec;
   r_t0 : float;
   r_attempts : int;
-  r_at : float;  (* wall time before which we don't retry *)
+  r_at : float;  (* monotonic time before which we don't retry *)
 }
 
 type tally = {
@@ -147,7 +148,7 @@ let broken config tally flight =
         r_spec = flight.spec;
         r_t0 = flight.t0;
         r_attempts = flight.attempts + 1;
-        r_at = Unix.gettimeofday () +. retry_delay flight.attempts;
+        r_at = Clock.now () +. retry_delay flight.attempts;
       }
       :: tally.retries
   end
@@ -162,7 +163,7 @@ let handle_response tally flight = function
       | Protocol.Fresh -> tally.fresh <- tally.fresh + 1
       | Protocol.Coalesced_with _ -> tally.coalesced <- tally.coalesced + 1
       | Protocol.Cached -> tally.cached <- tally.cached + 1);
-      tally.latencies <- (Unix.gettimeofday () -. flight.t0) :: tally.latencies;
+      tally.latencies <- (Clock.now () -. flight.t0) :: tally.latencies;
       (match Hashtbl.find_opt tally.texts flight.fp with
       | None -> Hashtbl.add tally.texts flight.fp payload.Protocol.text
       | Some first ->
@@ -226,7 +227,7 @@ let send config tally ~id ~tenant ~t0 ~attempts spec =
             r_spec = spec;
             r_t0 = t0;
             r_attempts = attempts + 1;
-            r_at = Unix.gettimeofday () +. retry_delay attempts;
+            r_at = Clock.now () +. retry_delay attempts;
           }
           :: tally.retries
       end
@@ -237,7 +238,7 @@ let launch config tally rng cdf catalog n =
   let spec = pick rng cdf catalog in
   let tenant = "t" ^ string_of_int (Rng.int rng config.tenants) in
   let id = Printf.sprintf "r%05d" n in
-  send config tally ~id ~tenant ~t0:(Unix.gettimeofday ()) ~attempts:0 spec
+  send config tally ~id ~tenant ~t0:(Clock.now ()) ~attempts:0 spec
 
 let run config =
   if config.clients < 0 || config.concurrency < 1 then
@@ -268,7 +269,7 @@ let run config =
   in
   let launched = ref 0 in
   let in_flight = ref [] in
-  let t_start = Unix.gettimeofday () in
+  let t_start = Clock.now () in
   while !launched < config.clients || !in_flight <> [] || tally.retries <> [] do
     while
       List.length !in_flight < config.concurrency && !launched < config.clients
@@ -279,7 +280,7 @@ let run config =
       | None -> ()
     done;
     (* Resend every broken request whose backoff has elapsed. *)
-    let now = Unix.gettimeofday () in
+    let now = Clock.now () in
     let due, not_due = List.partition (fun r -> r.r_at <= now) tally.retries in
     tally.retries <- not_due;
     List.iter
@@ -306,7 +307,7 @@ let run config =
     end
     else if tally.retries <> [] then ignore (Unix.select [] [] [] 0.05)
   done;
-  let wall_s = Unix.gettimeofday () -. t_start in
+  let wall_s = Clock.now () -. t_start in
   let pct p =
     match tally.latencies with [] -> 0.0 | l -> Stats.percentile p l
   in

@@ -3,7 +3,7 @@ type outcome = { text : string; speedup : float; evaluations : int }
 type 'a member = {
   id : string;
   tenant : string;
-  deadline : float option;  (* absolute epoch seconds *)
+  deadline : float option;  (* absolute Ft_util.Clock.now seconds *)
   payload : 'a;
 }
 

@@ -35,7 +35,10 @@ type 'a member = {
   id : string;
   tenant : string;
   deadline : float option;
-      (** absolute expiry (epoch seconds); [None] waits forever *)
+      (** absolute expiry on the monotonic clock ({!Ft_util.Clock.now}
+          seconds — a wall-clock step must not expire or resurrect
+          members); [None] waits forever.  The journal persists the
+          wall-clock equivalent; the server converts at the boundary. *)
   payload : 'a;
 }
 

@@ -1,6 +1,7 @@
 module Framing = Ft_framing.Framing
 module Trace = Ft_obs.Trace
 module Telemetry = Ft_engine.Telemetry
+module Clock = Ft_util.Clock
 
 type config = {
   socket_path : string;
@@ -144,9 +145,17 @@ let chaos_tick st =
 let handle_tune st conn ~id ~tenant ~deadline_ms spec =
   let fingerprint = Protocol.fingerprint spec in
   Trace.request_received st.trace ~id ~tenant ~fingerprint;
-  let now = Unix.gettimeofday () in
+  (* Scheduler members carry monotonic deadlines (a wall-clock step must
+     not expire — or resurrect — queued requests); the journal persists
+     the wall-clock equivalent, the only clock that survives a restart. *)
+  let now = Clock.now () in
   let deadline =
     Option.map (fun ms -> now +. (float_of_int ms /. 1000.0)) deadline_ms
+  in
+  let wall_deadline =
+    Option.map
+      (fun ms -> Clock.wall () +. (float_of_int ms /. 1000.0))
+      deadline_ms
   in
   match Hashtbl.find_opt st.poisoned fingerprint with
   | Some crashes -> reject st conn ~id (Protocol.Poisoned { crashes })
@@ -168,7 +177,8 @@ let handle_tune st conn ~id ~tenant ~deadline_ms spec =
                client does, so an acknowledged request can always be
                replayed. *)
             journal st
-              (Journal.Accepted { id; tenant; fingerprint; spec; deadline });
+              (Journal.Accepted
+                 { id; tenant; fingerprint; spec; deadline = wall_deadline });
             let queue_depth = Scheduler.queue_depth st.sched in
             Trace.request_admitted st.trace ~id ~queue_depth;
             ignore (write_resp st conn (Protocol.Admitted { id; queue_depth }));
@@ -176,7 +186,8 @@ let handle_tune st conn ~id ~tenant ~deadline_ms spec =
         | Scheduler.Joined { leader } ->
             conn.waiting <- Some (fingerprint, id);
             journal st
-              (Journal.Accepted { id; tenant; fingerprint; spec; deadline });
+              (Journal.Accepted
+                 { id; tenant; fingerprint; spec; deadline = wall_deadline });
             Trace.request_coalesced st.trace ~id ~leader;
             (if write_resp st conn (Protocol.Coalesced { id; leader }) then
                if st.running_fp = Some fingerprint then
@@ -251,7 +262,7 @@ let accept_new st =
 (* Sweep deadline-expired members: each gets the typed rejection, and
    the journal stops owing it.  Callers hold the lock. *)
 let sweep_deadlines st =
-  match Scheduler.expire st.sched ~now:(Unix.gettimeofday ()) with
+  match Scheduler.expire st.sched ~now:(Clock.now ()) with
   | [] -> ()
   | gone ->
       List.iter
@@ -333,7 +344,7 @@ let run_group st (spec, fingerprint) =
       if Scheduler.members st.sched ~fingerprint = [] then
         raise (Runner.Cancelled fingerprint)
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let result =
       match
         timed st "serve.run" (fun () ->
@@ -342,7 +353,7 @@ let run_group st (spec, fingerprint) =
       | result -> `Finished result
       | exception Runner.Cancelled _ -> `Cancelled
     in
-    let run_s = Unix.gettimeofday () -. t0 in
+    let run_s = Clock.now () -. t0 in
     with_lock st @@ fun () ->
     st.running_fp <- None;
     match result with
@@ -448,7 +459,13 @@ let recover st (replay : Journal.replay) =
             {
               Scheduler.id = p.Journal.p_id;
               tenant = p.Journal.p_tenant;
-              deadline = p.Journal.p_deadline;
+              (* Journaled deadlines are wall-clock; members carry
+                 monotonic ones.  Re-base the remaining budget onto the
+                 monotonic clock at replay time. *)
+              deadline =
+                Option.map
+                  (fun d -> Clock.now () +. (d -. Clock.wall ()))
+                  p.Journal.p_deadline;
               payload = None;
             }
         with

@@ -1,0 +1,18 @@
+external raw_monotonic_s : unit -> float = "ft_clock_monotonic_s"
+
+let monotonize ~last now = if now > last then now else last
+
+(* Process-global ratchet over the raw reading.  CLOCK_MONOTONIC is
+   already non-decreasing; the ratchet guards the gettimeofday fallback
+   (and any hypothetical per-CPU skew) so [now] is non-decreasing by
+   construction.  The unsynchronized read-modify-write is benign: the
+   underlying clock is shared and (virtually) monotonic, so a racing
+   domain can at worst publish an equally valid recent reading. *)
+let last = ref 0.0
+
+let now () =
+  let t = monotonize ~last:!last (raw_monotonic_s ()) in
+  last := t;
+  t
+
+let wall = Unix.gettimeofday

@@ -1,0 +1,26 @@
+(** Monotonic time for elapsed/deadline arithmetic.
+
+    Every duration in the codebase — connect-retry deadlines, request
+    deadlines, backoff waits, latency percentiles — must be computed
+    from a clock that cannot step backward when NTP slews or an operator
+    resets the date.  [Unix.gettimeofday] is that wall clock and is kept
+    {e only} for timestamps that leave the process (journal records,
+    wall-clock trace stamps); all elapsed computations go through
+    {!now}. *)
+
+val now : unit -> float
+(** Seconds on the process's monotonic clock ([clock_gettime
+    (CLOCK_MONOTONIC)]).  Non-decreasing across calls; the epoch is
+    arbitrary (boot time on Linux), so values are only meaningful as
+    differences within one process — never persist them. *)
+
+val wall : unit -> float
+(** [Unix.gettimeofday]: wall-clock epoch seconds, for timestamps that
+    must survive the process (journals, traces).  Subject to clock
+    steps — never subtract two of these to measure elapsed time. *)
+
+val monotonize : last:float -> float -> float
+(** [monotonize ~last reading] is the pure ratchet {!now} folds raw
+    clock readings through: the reading itself if it advanced past
+    [last], else [last].  Exposed so the never-goes-backward property
+    can be tested over simulated clock-step sequences. *)

@@ -1,0 +1,27 @@
+/* Monotonic clock for Ft_util.Clock.
+
+   CLOCK_MONOTONIC never steps backward under NTP adjustments or
+   manual clock changes, which is what every elapsed/deadline
+   computation needs.  Platforms without it (none we build on, but the
+   fallback keeps the stub portable) degrade to gettimeofday, which the
+   OCaml side ratchets into monotonicity. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value ft_clock_monotonic_s(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

@@ -1,9 +1,12 @@
-(* Tests for the process-isolated evaluation backend (DESIGN.md section 11):
-   the Procpool crash taxonomy, the differential property that the
-   processes backend is byte-identical to the domains backend — results
-   AND logical traces, at any --jobs, even while workers are being
-   SIGKILLed mid-batch — and QCheck crash-injection properties for the
-   Atomic_file/Cache persistence layer the multi-process mode rests on. *)
+(* Tests for the process-isolated evaluation backends (DESIGN.md
+   sections 11 and 17): the Procpool crash taxonomy, the sharded
+   coordinator/worker pool and its work stealing, the differential
+   property that the processes AND sharded backends are byte-identical
+   to the domains backend — results and logical traces, at any --jobs or
+   --nodes, even while workers or whole nodes are being SIGKILLed
+   mid-batch — and QCheck crash-injection properties for the
+   Atomic_file/Cache persistence layer the multi-process modes rest
+   on. *)
 
 open Ft_prog
 module Backend = Ft_engine.Backend
@@ -18,6 +21,7 @@ module Trace = Ft_obs.Trace
 module Export = Ft_obs.Export
 module Tuner = Funcytuner.Tuner
 module Rng = Ft_util.Rng
+module Shard = Ft_shard.Shard
 
 let swim = Option.get (Ft_suite.Suite.find "swim")
 let platform = Platform.Broadwell
@@ -130,21 +134,128 @@ let test_procpool_rejects_bad_workers () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "workers=0 accepted"
 
+(* --- Shard: the coordinator/worker pool with work stealing ------------- *)
+
+let test_shard_map_in_order () =
+  (* Skewed per-item work concentrated in one contiguous shard, so the
+     initial partition is maximally unbalanced and completion order
+     depends on stealing: results must still land by submission index,
+     at any node count. *)
+  let items = Array.init 100 (fun i -> i) in
+  let work i =
+    let spins = if i < 25 then 20000 else 100 in
+    let acc = ref i in
+    for _ = 1 to spins do
+      acc := (!acc * 31) mod 65537
+    done;
+    (i, i * i)
+  in
+  List.iter
+    (fun nodes ->
+      let results = Shard.map ~nodes work items in
+      Alcotest.(check int) "all slots filled" 100 (Array.length results);
+      Array.iteri
+        (fun idx r ->
+          let i, sq = ok_exn r in
+          Alcotest.(check int) "submission order preserved" idx i;
+          Alcotest.(check int) "value correct" (idx * idx) sq)
+        results)
+    [ 1; 3; 4 ]
+
+let test_shard_raised_is_isolated () =
+  let work i = if i mod 13 = 7 then failwith (string_of_int i) else i + 1 in
+  let results = Shard.map ~nodes:3 work (Array.init 80 (fun i -> i)) in
+  Array.iteri
+    (fun i -> function
+      | Stdlib.Ok v -> Alcotest.(check int) "healthy slot" (i + 1) v
+      | Stdlib.Error (Procpool.Raised msg) ->
+          Alcotest.(check int) "raising index only" 7 (i mod 13);
+          Alcotest.(check bool) "original exception carried" true
+            (Test_helpers.contains msg (string_of_int i))
+      | Stdlib.Error (Procpool.Crashed c) ->
+          Alcotest.fail ("raise escalated to crash: " ^ Procpool.crash_to_string c))
+    results
+
+let test_shard_on_result_once_per_index () =
+  let seen = ref [] in
+  let results =
+    Shard.map ~nodes:4
+      ~on_result:(fun i r -> seen := (i, Stdlib.Result.is_ok r) :: !seen)
+      (fun i -> i * 2)
+      (Array.init 50 (fun i -> i))
+  in
+  Alcotest.(check int) "all results" 50 (Array.length results);
+  let indices = List.sort compare (List.map fst !seen) in
+  Alcotest.(check (list int))
+    "on_result fired exactly once per index"
+    (List.init 50 (fun i -> i))
+    indices;
+  Alcotest.(check bool) "all reported ok" true (List.for_all snd !seen)
+
+let test_shard_kill_surfaces_as_crash () =
+  (* The chaos hook: node 0 SIGKILLs itself after completing two jobs.
+     Exactly its in-flight job is lost (as Crashed, with the signal
+     named); its queued shard and every other job complete on the
+     survivors or the respawn. *)
+  let results =
+    Shard.map ~nodes:2 ~kill_first_node_after:2
+      (fun i -> i * 3)
+      (Array.init 30 (fun i -> i))
+  in
+  let crashed = ref 0 in
+  Array.iteri
+    (fun i -> function
+      | Stdlib.Ok v -> Alcotest.(check int) "survivor correct" (i * 3) v
+      | Stdlib.Error (Procpool.Crashed { detail; _ }) ->
+          incr crashed;
+          Alcotest.(check bool) "signal named in detail" true
+            (Test_helpers.contains detail "SIGKILL")
+      | Stdlib.Error (Procpool.Raised msg) ->
+          Alcotest.fail ("kill surfaced as Raised: " ^ msg))
+    results;
+  Alcotest.(check int) "exactly the in-flight job is lost" 1 !crashed
+
+let test_shard_orphaned_shard_migrates () =
+  (* Kill node 0 before it completes anything: its whole shard (minus
+     the one in-flight casualty) must migrate through the orphan pool
+     and still complete — no queued job is ever lost with a node. *)
+  let results =
+    Shard.map ~nodes:3 ~kill_first_node_after:0
+      (fun i -> i + 100)
+      (Array.init 60 (fun i -> i))
+  in
+  let crashed = ref 0 in
+  Array.iteri
+    (fun i -> function
+      | Stdlib.Ok v -> Alcotest.(check int) "migrated job correct" (i + 100) v
+      | Stdlib.Error _ -> incr crashed)
+    results;
+  Alcotest.(check int) "only the in-flight job is a casualty" 1 !crashed
+
+let test_shard_rejects_bad_nodes () =
+  match Shard.map ~nodes:0 (fun i -> i) [| 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nodes=0 accepted"
+
 (* --- differential: processes backend vs domains backend ---------------- *)
 
 (* One full tune under a given backend and jobs count, with a logical
    trace attached: returns the algorithm's result and the trace bytes.
    The engine is created explicitly so the trace and telemetry are ours
    to inspect. *)
-let run_algo ?kill_workers_after ?checkpoint ~backend ~jobs algo =
+let run_algo ?kill_workers_after ?kill_node_after ?checkpoint ~backend ~jobs
+    algo =
   let trace = Trace.create ~clock:Trace.Logical () in
   let checkpoint =
     Option.map
       (fun (path, format) -> Ft_engine.Checkpoint.create ~path ~format ())
       checkpoint
   in
+  (* [jobs] doubles as the node count: each backend reads its own knob
+     and ignores the other, so one matrix covers both. *)
   let engine =
-    Engine.create ~jobs ~backend ?kill_workers_after ?checkpoint ~trace ()
+    Engine.create ~jobs ~nodes:jobs ~backend ?kill_workers_after
+      ?kill_node_after ?checkpoint ~trace ()
   in
   let session =
     Tuner.make_session ~pool_size:24 ~engine ~platform ~program:swim
@@ -168,18 +279,25 @@ let check_differential algo name =
     run_algo ~backend:Backend.Domains ~jobs:1 algo
   in
   List.iter
-    (fun jobs ->
-      let result, bytes, _ =
-        run_algo ~backend:Backend.Processes ~jobs algo
+    (fun (backend, jobs) ->
+      let result, bytes, _ = run_algo ~backend ~jobs algo in
+      let tag =
+        Printf.sprintf "%s %s/%d" name (Backend.to_name backend) jobs
       in
-      let tag = Printf.sprintf "%s -j%d" name jobs in
       Alcotest.(check bool)
         (tag ^ ": result bit-identical to domains -j1")
         true (result = base_result);
       Alcotest.(check string)
         (tag ^ ": logical trace byte-identical to domains -j1")
         base_bytes bytes)
-    [ 1; 2; 4 ]
+    [
+      (Backend.Processes, 1);
+      (Backend.Processes, 2);
+      (Backend.Processes, 4);
+      (Backend.Sharded, 1);
+      (Backend.Sharded, 2);
+      (Backend.Sharded, 4);
+    ]
 
 let test_differential_cfr () = check_differential `Cfr "cfr"
 let test_differential_fr () = check_differential `Fr "fr"
@@ -205,6 +323,26 @@ let test_differential_survives_worker_kills () =
     base_bytes bytes;
   let s = Telemetry.snapshot (Engine.telemetry engine) in
   Alcotest.(check bool) "the kills actually happened" true
+    (s.Telemetry.worker_crashes > 0)
+
+let test_differential_survives_node_kills () =
+  (* The sharded acceptance property end-to-end: SIGKILL node 0 on the
+     first round of every batch — losing a whole pre-partitioned shard
+     to the orphan pool each time — and the tune must still be
+     byte-identical, result and logical trace, to an uninterrupted
+     domains -j1 run. *)
+  let base_result, base_bytes, _ =
+    run_algo ~backend:Backend.Domains ~jobs:1 `Cfr
+  in
+  let result, bytes, engine =
+    run_algo ~backend:Backend.Sharded ~jobs:4 ~kill_node_after:3 `Cfr
+  in
+  Alcotest.(check bool) "result identical despite node kills" true
+    (result = base_result);
+  Alcotest.(check string) "logical trace identical despite node kills"
+    base_bytes bytes;
+  let s = Telemetry.snapshot (Engine.telemetry engine) in
+  Alcotest.(check bool) "the node kills actually happened" true
     (s.Telemetry.worker_crashes > 0)
 
 (* --- differential: text vs binary cache format -------------------------- *)
@@ -264,13 +402,15 @@ let full_matrix =
     (Backend.Processes, 1);
     (Backend.Processes, 2);
     (Backend.Processes, 4);
+    (Backend.Sharded, 2);
+    (Backend.Sharded, 4);
   ]
 
 (* CFR gets the full jobs/backend matrix; the other algorithms spot-check
    the extremes (sequential domains, parallel domains, parallel
    processes) to keep the suite's runtime in check. *)
 let spot_matrix =
-  [ (Backend.Domains, 4); (Backend.Processes, 4) ]
+  [ (Backend.Domains, 4); (Backend.Processes, 4); (Backend.Sharded, 4) ]
 
 let test_format_differential_cfr () =
   check_format_differential full_matrix `Cfr "cfr"
@@ -346,6 +486,36 @@ let test_worker_crash_retries_recover () =
   Alcotest.(check int) "one crash recorded" 1 s.Telemetry.worker_crashes;
   Alcotest.(check int) "no crash survives to quarantine" 0
     (Quarantine.length (Engine.quarantine engine))
+
+let test_node_crash_exhausts_to_outcome () =
+  (* Sharded sibling of the worker-crash test: with no retry budget, a
+     killed node's in-flight job surfaces as the typed Worker_crashed
+     outcome while its queued shard-mates still complete. *)
+  let policy = { Engine.default_policy with Engine.max_retries = 0 } in
+  let engine =
+    Engine.create ~backend:Backend.Sharded ~nodes:2 ~kill_node_after:0
+      ~policy ()
+  in
+  let outcomes =
+    Engine.try_measure_batch engine ~toolchain ~program:swim ~input
+      (sample_jobs 8)
+  in
+  let crashed = ref 0 in
+  Array.iter
+    (function
+      | Engine.Worker_crashed detail ->
+          incr crashed;
+          Alcotest.(check bool) "crash detail carried" true
+            (String.length detail > 0)
+      | Engine.Ok _ -> ()
+      | o -> Alcotest.fail ("unexpected outcome: " ^ Engine.outcome_to_string o))
+    outcomes;
+  Alcotest.(check int) "exactly the in-flight job is lost" 1 !crashed;
+  let s = Telemetry.snapshot (Engine.telemetry engine) in
+  Alcotest.(check int) "telemetry counts the crash" 1
+    s.Telemetry.worker_crashes;
+  Alcotest.(check bool) "crashed key quarantined" true
+    (Quarantine.length (Engine.quarantine engine) > 0)
 
 let test_worker_crashes_derivable_from_trace () =
   (* Crashes are wall-trace events like every other counter: deriving
@@ -564,6 +734,74 @@ let test_sync_survives_sigkill_mid_append () =
       Alcotest.(check bool) "append after heal loses nothing" true
         (Cache.find final "writer-2-key-24" = Some (summary_of_seed 224)))
 
+(* --- stale temp-file sweep --------------------------------------------- *)
+
+let age_file path =
+  (* Backdate far past the sweep's grace period. *)
+  let old = Unix.gettimeofday () -. (2.0 *. Atomic_file.default_grace_s) in
+  Unix.utimes path old old
+
+let test_load_sweeps_stale_tmp_files () =
+  (* Orphaned temporaries of SIGKILLed writers (older than the grace
+     period) are removed by the next load; fresh temporaries — a live
+     writer mid-emit — and the committed file itself are untouched. *)
+  let dir = Test_helpers.temp_dir "sweep" in
+  let path = Filename.concat dir "c.cache" in
+  Fun.protect
+    ~finally:(fun () -> Test_helpers.remove_tree dir)
+    (fun () ->
+      let c = Cache.create () in
+      Cache.add c (Cache.digest "k") (summary_of_seed 3);
+      Cache.save c ~path;
+      let stale =
+        List.map
+          (fun i ->
+            let p = Filename.concat dir (Printf.sprintf ".c.cache%d.tmp" i) in
+            Test_helpers.write_file p "orphaned garbage";
+            age_file p;
+            p)
+          [ 0; 1 ]
+      in
+      let fresh = Filename.concat dir ".c.cacheF.tmp" in
+      Test_helpers.write_file fresh "live writer mid-emit";
+      let unrelated = Filename.concat dir ".other.cache9.tmp" in
+      Test_helpers.write_file unrelated "someone else's temp";
+      age_file unrelated;
+      Alcotest.(check (list string))
+        "stale_tmp_files finds exactly the orphans"
+        (List.sort compare stale)
+        (List.sort compare (Atomic_file.stale_tmp_files ~path ()));
+      let loaded = quiet_load path in
+      Alcotest.(check bool) "committed data intact" true
+        (Cache.find loaded (Cache.digest "k") = Some (summary_of_seed 3));
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) ("orphan swept: " ^ p) false
+            (Sys.file_exists p))
+        stale;
+      Alcotest.(check bool) "fresh tmp file untouched" true
+        (Sys.file_exists fresh);
+      Alcotest.(check bool) "other file's tmp untouched" true
+        (Sys.file_exists unrelated))
+
+let test_sync_sweeps_stale_tmp_files () =
+  let dir = Test_helpers.temp_dir "sweep-sync" in
+  let path = Filename.concat dir "c.cache" in
+  Fun.protect
+    ~finally:(fun () -> Test_helpers.remove_tree dir)
+    (fun () ->
+      let orphan = Filename.concat dir ".c.cacheX.tmp" in
+      Test_helpers.write_file orphan "orphaned garbage";
+      age_file orphan;
+      let c = Cache.create () in
+      Cache.add c (Cache.digest "k") (summary_of_seed 5);
+      ignore (Cache.sync c ~path);
+      Alcotest.(check bool) "orphan swept by sync" false
+        (Sys.file_exists orphan);
+      Alcotest.(check bool) "sync still committed" true
+        (Cache.find (quiet_load path) (Cache.digest "k")
+        = Some (summary_of_seed 5)))
+
 (* --- QCheck crash injection: Atomic_file and Cache persistence --------- *)
 
 let loop_name_gen =
@@ -698,16 +936,30 @@ let suite =
         test_procpool_kill_surfaces_as_crash;
       Alcotest.test_case "procpool rejects workers=0" `Quick
         test_procpool_rejects_bad_workers;
-      Alcotest.test_case "cfr differential (jobs 1/2/4)" `Quick
+      Alcotest.test_case "shard preserves order under stealing" `Quick
+        test_shard_map_in_order;
+      Alcotest.test_case "shard isolates raised exceptions" `Quick
+        test_shard_raised_is_isolated;
+      Alcotest.test_case "shard on_result once per index" `Quick
+        test_shard_on_result_once_per_index;
+      Alcotest.test_case "shard kill surfaces as crash" `Quick
+        test_shard_kill_surfaces_as_crash;
+      Alcotest.test_case "shard orphaned queue migrates" `Quick
+        test_shard_orphaned_shard_migrates;
+      Alcotest.test_case "shard rejects nodes=0" `Quick
+        test_shard_rejects_bad_nodes;
+      Alcotest.test_case "cfr differential (procs+shard 1/2/4)" `Quick
         test_differential_cfr;
-      Alcotest.test_case "fr differential (jobs 1/2/4)" `Quick
+      Alcotest.test_case "fr differential (procs+shard 1/2/4)" `Quick
         test_differential_fr;
-      Alcotest.test_case "random differential (jobs 1/2/4)" `Quick
+      Alcotest.test_case "random differential (procs+shard 1/2/4)" `Quick
         test_differential_random;
-      Alcotest.test_case "adaptive-sh differential (jobs 1/2/4)" `Quick
+      Alcotest.test_case "adaptive-sh differential (procs+shard 1/2/4)" `Quick
         test_differential_adaptive_sh;
       Alcotest.test_case "differential survives worker kills" `Quick
         test_differential_survives_worker_kills;
+      Alcotest.test_case "differential survives node kills" `Quick
+        test_differential_survives_node_kills;
       Alcotest.test_case "cfr format differential (full matrix)" `Quick
         test_format_differential_cfr;
       Alcotest.test_case "fr format differential" `Quick
@@ -720,6 +972,8 @@ let suite =
         test_worker_crash_exhausts_to_outcome;
       Alcotest.test_case "worker crash retries recover bit-identically" `Quick
         test_worker_crash_retries_recover;
+      Alcotest.test_case "node crash exhausts to typed outcome" `Quick
+        test_node_crash_exhausts_to_outcome;
       Alcotest.test_case "worker crashes derivable from wall trace" `Quick
         test_worker_crashes_derivable_from_trace;
       Alcotest.test_case "concurrent Cache.sync writers union" `Quick
@@ -728,6 +982,10 @@ let suite =
         test_v1_to_v2_migration;
       Alcotest.test_case "sync survives SIGKILL mid-append" `Quick
         test_sync_survives_sigkill_mid_append;
+      Alcotest.test_case "load sweeps stale tmp orphans" `Quick
+        test_load_sweeps_stale_tmp_files;
+      Alcotest.test_case "sync sweeps stale tmp orphans" `Quick
+        test_sync_sweeps_stale_tmp_files;
       QCheck_alcotest.to_alcotest prop_truncation_never_corrupts;
       QCheck_alcotest.to_alcotest prop_leftover_tmp_files_ignored;
       QCheck_alcotest.to_alcotest prop_crashed_writer_keeps_snapshot;

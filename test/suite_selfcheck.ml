@@ -62,8 +62,9 @@ let oracle ?(policy = Engine.default_policy) ?kill_points ~backend ~jobs ~algo
     () =
   with_scratch @@ fun scratch ->
   let make_engine ~cache ~quarantine ~checkpoint ~trace =
-    Engine.create ~jobs ~backend ~cache ~quarantine ~policy ?checkpoint ?trace
-      ()
+    (* [jobs] doubles as the sharded backend's node count. *)
+    Engine.create ~jobs ~nodes:jobs ~backend ~cache ~quarantine ~policy
+      ?checkpoint ?trace ()
   in
   Selfcheck.run ?kill_points ~scratch ~label:"test" ~make_engine
     ~search:(search_of algo) ()
@@ -105,7 +106,8 @@ let test_oracle_catches_tampered_resume ~backend () =
         Cache.add cache key
           { s with Exec.sum_total_s = s.Exec.sum_total_s *. 2.0 }
     | [] -> ());
-    Engine.create ~jobs:2 ~backend ~cache ~quarantine ?checkpoint ?trace ()
+    Engine.create ~jobs:2 ~nodes:2 ~backend ~cache ~quarantine ?checkpoint
+      ?trace ()
   in
   let o =
     Selfcheck.run ~kill_points:[ 4 ] ~scratch ~label:"tampered" ~make_engine
@@ -145,3 +147,4 @@ let cases backend =
 
 let suite = ("selfcheck", cases Backend.Domains)
 let suite_processes = ("selfcheck-processes", cases Backend.Processes)
+let suite_sharded = ("selfcheck-sharded", cases Backend.Sharded)

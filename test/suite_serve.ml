@@ -71,6 +71,41 @@ let test_framing_oversized () =
   Unix.close a;
   Unix.close b
 
+(* write_all on a nonblocking fd: a frame far larger than the kernel
+   socket buffer forces EAGAIN mid-write; write_all must poll for
+   writability and resume until every byte is out, never raising and
+   never tearing the frame.  The reader drains concurrently from a
+   forked child so the writer genuinely fills the buffer first. *)
+let test_write_all_nonblocking () =
+  let a, b = sockpair () in
+  Unix.set_nonblock a;
+  let payload =
+    String.init 1_000_000 (fun i -> Char.chr (((i * 31) + (i / 251)) mod 256))
+  in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* Child: slow reader — let the writer hit a full buffer, then
+         drain and echo a digest back on exit status. *)
+      (try
+         Unix.close a;
+         Unix.sleepf 0.05;
+         (match Framing.read_bytes b with
+         | Ok got when Bytes.to_string got = payload -> Unix._exit 0
+         | Ok _ -> Unix._exit 1
+         | Error _ -> Unix._exit 2)
+       with _ -> Unix._exit 3)
+  | pid ->
+      Unix.close b;
+      Framing.write_bytes a (Bytes.of_string payload);
+      Unix.close a;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED 1 -> Alcotest.fail "payload corrupted across EAGAIN"
+      | _, Unix.WEXITED c -> Alcotest.failf "reader failed (exit %d)" c
+      | _, _ -> Alcotest.fail "reader killed")
+
 (* The decoder must reassemble frames from arbitrarily fragmented reads:
    drip a 3-frame stream through a nonblocking socket one odd-sized
    chunk at a time. *)
@@ -1200,6 +1235,10 @@ let test_e2e_servecheck () =
 let suite_e2e =
   ( "serve-e2e",
     [
+      (* Forks a reader, so it lives in the fork-legal binary despite
+         being a framing-layer test. *)
+      Alcotest.test_case "write_all completes across EAGAIN" `Quick
+        test_write_all_nonblocking;
       Alcotest.test_case "single-flight coalescing over the wire" `Quick
         test_e2e_coalescing;
       Alcotest.test_case "mid-run join of an in-flight search" `Quick

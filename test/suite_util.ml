@@ -209,7 +209,38 @@ let test_bar () =
     (Table.bar ~width:10 ~scale:1.0 2.0);
   Alcotest.(check string) "half" "#####" (Table.bar ~width:10 ~scale:1.0 0.5)
 
+(* --- monotonic clock --------------------------------------------------- *)
+
+let test_clock_now_advances () =
+  (* Successive reads never decrease, and the monotonic epoch is not the
+     wall epoch (CLOCK_MONOTONIC counts from boot, not 1970). *)
+  let a = Ft_util.Clock.now () in
+  let b = Ft_util.Clock.now () in
+  Alcotest.(check bool) "now never decreases" true (b >= a);
+  Alcotest.(check bool) "wall is epoch-scale" true
+    (Ft_util.Clock.wall () > 1.0e9)
+
 (* --- qcheck properties ------------------------------------------------ *)
+
+let prop_monotonize_never_goes_backward =
+  (* Fold an arbitrary sequence of raw clock readings — including
+     backward steps, as a stepped/virtualized clock can produce —
+     through the ratchet: elapsed time between any two successive
+     ratcheted values must never be negative, and a genuinely advancing
+     reading must pass through unchanged. *)
+  QCheck.Test.make ~count:300 ~name:"monotonize: elapsed never negative"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1000.0) 1000.0))
+    (fun readings ->
+      let last = ref neg_infinity in
+      List.for_all
+        (fun raw ->
+          let t = Ft_util.Clock.monotonize ~last:!last raw in
+          let ok =
+            t >= !last && (raw <= !last || t = raw) && (raw > !last || t = !last)
+          in
+          last := t;
+          ok)
+        readings)
 
 let prop_top_k_matches_sort =
   QCheck.Test.make ~count:200 ~name:"top_k agrees with full sort"
@@ -399,6 +430,8 @@ let suite =
       Alcotest.test_case "table width check" `Quick test_table_too_wide;
       Alcotest.test_case "formatting" `Quick test_fmt;
       Alcotest.test_case "ascii bars" `Quick test_bar;
+      Alcotest.test_case "monotonic clock advances" `Quick
+        test_clock_now_advances;
       QCheck_alcotest.to_alcotest prop_top_k_matches_sort;
       QCheck_alcotest.to_alcotest prop_geomean_between_min_max;
       QCheck_alcotest.to_alcotest prop_rng_float_in_range;
@@ -411,4 +444,5 @@ let suite =
       QCheck_alcotest.to_alcotest prop_aggregates_reject_nan;
       QCheck_alcotest.to_alcotest prop_selectors_reject_nan;
       QCheck_alcotest.to_alcotest prop_median_permutation_invariant;
+      QCheck_alcotest.to_alcotest prop_monotonize_never_goes_backward;
     ] )

@@ -5,5 +5,11 @@
    no domain is ever created) so Procpool's forks stay legal. *)
 
 let () =
+  Ft_shard.Shard.install ();
   Alcotest.run "funcytuner-backend"
-    [ Suite_backend.suite; Suite_selfcheck.suite_processes; Suite_serve.suite_e2e ]
+    [
+      Suite_backend.suite;
+      Suite_selfcheck.suite_processes;
+      Suite_selfcheck.suite_sharded;
+      Suite_serve.suite_e2e;
+    ]
